@@ -1,0 +1,29 @@
+# Convenience targets for the C-BMF reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench paper medium examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+medium:
+	REPRO_SCALE=medium $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+paper:
+	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .cache .pytest_cache build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

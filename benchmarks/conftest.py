@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables and figures. Scale defaults to
+``small`` so `pytest benchmarks/ --benchmark-only` finishes in minutes;
+set ``REPRO_SCALE=medium`` (or ``paper`` for the full 32-state, 1264/1303-
+variable reproduction) to run closer to the paper. Simulated datasets are
+cached under ``.cache/datasets`` and reused across benchmarks.
+
+Every benchmark prints its paper-style table — run with ``-s`` to see them;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import load_or_simulate, resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Active experiment scale (REPRO_SCALE env or 'small')."""
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def lna_data(scale):
+    """(pool, test) datasets for the LNA at the active scale."""
+    return load_or_simulate("lna", scale, seed=2016)
+
+
+@pytest.fixture(scope="session")
+def mixer_data(scale):
+    """(pool, test) datasets for the mixer at the active scale."""
+    return load_or_simulate("mixer", scale, seed=2016)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark an expensive harness exactly once (no warmup rounds)."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

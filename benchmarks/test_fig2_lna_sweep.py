@@ -1,0 +1,71 @@
+"""Figure 2(b)-(d): LNA modeling error vs. training samples.
+
+Regenerates the three panels of the paper's Figure 2 — NF, VG and IIP3
+error as a function of the number of training samples, for S-OMP and
+C-BMF — and asserts the two observations the paper draws from them:
+
+1. both methods improve as samples increase;
+2. C-BMF sits at or below S-OMP across the budget grid.
+
+Each panel is benchmarked end to end (all fits across the budget grid for
+its metric). Run with ``-s`` to see the regenerated series.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.basis.polynomial import LinearBasis
+from repro.evaluation.plotting import sweep_chart
+from repro.evaluation.report import format_sweep_table
+from repro.evaluation.sweep import sample_count_sweep
+from repro.paper import METRIC_LABELS
+from repro.simulate.cost import LNA_COST_MODEL
+
+PANELS = {"nf_db": "fig2b", "gain_db": "fig2c", "iip3_dbm": "fig2d"}
+
+
+def run_panel(lna_data, scale, metric):
+    pool, test = lna_data
+    return sample_count_sweep(
+        pool,
+        test,
+        LinearBasis(pool.n_variables),
+        methods=("somp", "cbmf"),
+        n_per_state_grid=scale.sweep_grid,
+        cost_model=LNA_COST_MODEL,
+        seed=2016,
+        metrics=(metric,),
+    )
+
+
+@pytest.mark.parametrize("metric", list(PANELS))
+def test_fig2_panel(benchmark, lna_data, scale, metric):
+    """One figure panel: regenerate the series, check the paper's shape."""
+    sweep = run_once(benchmark, run_panel, lna_data, scale, metric)
+    print("\n" + format_sweep_table(
+        f"Figure 2 ({PANELS[metric]}) — tunable LNA",
+        sweep,
+        metric,
+        METRIC_LABELS[metric],
+    ))
+    print(sweep_chart(sweep, metric, METRIC_LABELS[metric]))
+
+    somp = sweep.errors("somp", metric)
+    cbmf = sweep.errors("cbmf", metric)
+    # Observation 1: error decreases with more samples (endpoints).
+    assert somp[-1] < somp[0]
+    assert cbmf[-1] < cbmf[0]
+    # Observation 2: C-BMF at or below S-OMP on (almost) every budget.
+    wins = sum(c <= s * 1.10 for c, s in zip(cbmf, somp))
+    assert wins >= len(somp) - 1
+
+
+def test_fig2_sample_reduction(benchmark, lna_data, scale):
+    """C-BMF reaches S-OMP's final NF accuracy (within a 15 %
+    relative tolerance — single-run noise) with ≤ 60 % of the samples; at
+    the paper's full scale the reduction reaches the >2× headline."""
+    sweep = run_once(benchmark, run_panel, lna_data, scale, "nf_db")
+    target = sweep.errors("somp", "nf_db")[-1]
+    budget = sweep.samples_to_reach("cbmf", "nf_db", target * 1.15)
+    assert budget is not None
+    assert budget <= 0.6 * sweep.n_total_grid()[-1]

@@ -1,0 +1,61 @@
+"""Figure 3(b)-(d): mixer modeling error vs. training samples.
+
+Same structure as the Figure 2 benchmarks, for the tunable down-conversion
+mixer: NF, VG and I1dBCP panels, S-OMP vs C-BMF.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.basis.polynomial import LinearBasis
+from repro.evaluation.plotting import sweep_chart
+from repro.evaluation.report import format_sweep_table
+from repro.evaluation.sweep import sample_count_sweep
+from repro.paper import METRIC_LABELS
+from repro.simulate.cost import MIXER_COST_MODEL
+
+PANELS = {"nf_db": "fig3b", "gain_db": "fig3c", "i1db_dbm": "fig3d"}
+
+
+def run_panel(mixer_data, scale, metric):
+    pool, test = mixer_data
+    return sample_count_sweep(
+        pool,
+        test,
+        LinearBasis(pool.n_variables),
+        methods=("somp", "cbmf"),
+        n_per_state_grid=scale.sweep_grid,
+        cost_model=MIXER_COST_MODEL,
+        seed=2016,
+        metrics=(metric,),
+    )
+
+
+@pytest.mark.parametrize("metric", list(PANELS))
+def test_fig3_panel(benchmark, mixer_data, scale, metric):
+    """One figure panel: regenerate the series, check the paper's shape."""
+    sweep = run_once(benchmark, run_panel, mixer_data, scale, metric)
+    print("\n" + format_sweep_table(
+        f"Figure 3 ({PANELS[metric]}) — tunable mixer",
+        sweep,
+        metric,
+        METRIC_LABELS[metric],
+    ))
+    print(sweep_chart(sweep, metric, METRIC_LABELS[metric]))
+
+    somp = sweep.errors("somp", metric)
+    cbmf = sweep.errors("cbmf", metric)
+    assert somp[-1] < somp[0]
+    assert cbmf[-1] < cbmf[0]
+    wins = sum(c <= s * 1.10 for c, s in zip(cbmf, somp))
+    assert wins >= len(somp) - 1
+
+
+def test_fig3_sample_reduction(benchmark, mixer_data, scale):
+    """C-BMF needs substantially fewer samples than S-OMP for the mixer
+    too (paper: 'substantially less training samples ... same accuracy')."""
+    sweep = run_once(benchmark, run_panel, mixer_data, scale, "gain_db")
+    target = sweep.errors("somp", "gain_db")[-1]
+    budget = sweep.samples_to_reach("cbmf", "gain_db", target * 1.15)
+    assert budget is not None
+    assert budget <= 0.6 * sweep.n_total_grid()[-1]

@@ -1,0 +1,82 @@
+"""Fitting-cost microbenchmarks (the 'Fitting cost (Sec.)' table rows).
+
+The paper reports S-OMP fitting in ~1.3 s and C-BMF in ~316-407 s at full
+scale — C-BMF deliberately trades fitting compute (cheap) for simulation
+samples (expensive). These benchmarks measure the fitting stages on the
+active scale so regressions in the numerical core show up as timing
+changes; the assertions only guard correctness of the outputs.
+"""
+
+import numpy as np
+
+from repro.basis.polynomial import LinearBasis
+from repro.core.cbmf import CBMF
+from repro.core.posterior import compute_posterior
+from repro.core.prior import CorrelatedPrior, ar1_correlation
+from repro.evaluation.methods import make_estimator
+
+
+def test_posterior_solve(benchmark, lna_data, scale):
+    """One dual-space MAP solve (the EM inner loop's dominant cost)."""
+    pool, _ = lna_data
+    train = pool.head(scale.table_cbmf_per_state)
+    basis = LinearBasis(pool.n_variables)
+    designs = basis.expand_states(train.inputs())
+    targets = train.targets("gain_db")
+    prior = CorrelatedPrior(
+        lambdas=np.full(basis.n_basis, 0.5),
+        correlation=ar1_correlation(len(designs), 0.8),
+    )
+
+    result = benchmark(
+        compute_posterior, designs, targets, prior, 0.01, want_blocks=True
+    )
+    assert result.mean.shape == (basis.n_basis, len(designs))
+    assert np.isfinite(result.nll)
+
+
+def test_cbmf_fit(benchmark, lna_data, scale):
+    """Full C-BMF fit (init + EM) on one metric."""
+    pool, _ = lna_data
+    train = pool.head(scale.table_cbmf_per_state)
+    basis = LinearBasis(pool.n_variables)
+    designs = basis.expand_states(train.inputs())
+    targets = train.targets("gain_db")
+
+    def fit():
+        return CBMF(seed=0).fit(designs, targets)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert model.coef_.shape == (len(designs), basis.n_basis)
+
+
+def test_somp_fit(benchmark, lna_data, scale):
+    """Full S-OMP fit (CV + final scan) on one metric."""
+    pool, _ = lna_data
+    train = pool.head(scale.table_somp_per_state)
+    basis = LinearBasis(pool.n_variables)
+    designs = basis.expand_states(train.inputs())
+    targets = train.targets("gain_db")
+
+    def fit():
+        return make_estimator("somp", seed=0).fit(designs, targets)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert model.coef_.shape == (len(designs), basis.n_basis)
+
+
+def test_simulation_throughput(benchmark, scale):
+    """Samples/second of the synthetic 'simulator' (one LNA state).
+
+    For the cost tables the simulation time is *modeled* at the paper's
+    SPICE rate; this measures how fast the substrate actually is.
+    """
+    from repro.circuits.lna import TunableLNA
+
+    lna = TunableLNA(n_states=scale.n_states,
+                     n_variables=scale.n_variables_lna)
+    x = np.random.default_rng(0).standard_normal(lna.n_variables)
+    state = lna.states[0]
+
+    values = benchmark(lna.evaluate_x, x, state)
+    assert set(values) == set(lna.metric_names)

@@ -1,0 +1,35 @@
+"""Statistical confirmation: C-BMF vs S-OMP over repeated realizations.
+
+The paper's figures are single dataset realizations. This benchmark reruns
+the low-budget LNA comparison under several independent Monte Carlo seeds
+and checks that C-BMF's advantage is systematic, not a draw of the dice:
+it must win the NF comparison in a clear majority of repetitions and on
+the mean.
+"""
+
+from benchmarks.conftest import run_once
+from repro.circuits.lna import TunableLNA
+from repro.evaluation.repetition import repeat_experiment
+
+
+def run_repeats(scale):
+    circuit = TunableLNA(n_states=scale.n_states, n_variables=None)
+    return repeat_experiment(
+        circuit,
+        methods=("somp", "cbmf"),
+        n_train_per_state=12,
+        n_test_per_state=20,
+        n_repetitions=5,
+        base_seed=500,
+        metrics=("nf_db",),
+    )
+
+
+def test_cbmf_advantage_is_systematic(benchmark, scale):
+    result = run_once(benchmark, run_repeats, scale)
+    print("\n" + result.format())
+    wins = result.wins("cbmf", "somp", "nf_db")
+    print(f"cbmf wins {wins}/{result.n_repetitions} repetitions")
+
+    assert result.mean("cbmf", "nf_db") < result.mean("somp", "nf_db")
+    assert wins >= result.n_repetitions - 1

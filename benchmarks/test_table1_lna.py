@@ -1,0 +1,45 @@
+"""Table 1: LNA modeling error and cost — S-OMP vs C-BMF.
+
+Regenerates the paper's Table 1: S-OMP fitted at the large training budget
+(paper: 1120 samples) against C-BMF at the small one (paper: 480), with
+the cost rows built from the paper-calibrated per-sample simulation cost
+and the measured fitting time. Asserts the table's two claims:
+
+* >2× overall cost reduction (driven by the 2.33× sample reduction);
+* no accuracy surrendered — C-BMF's errors stay comparable on all three
+  metrics despite the smaller budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.report import format_comparison_table
+from repro.paper import METRIC_LABELS, PAPER_TABLE1, run_cost_table
+
+
+def test_table1(benchmark, scale, lna_data):
+    results = run_once(benchmark, run_cost_table, "lna", scale, seed=2016)
+    somp, cbmf = results["somp"], results["cbmf"]
+    print("\n" + format_comparison_table(
+        f"Table 1 — LNA (scale: {scale.name}; paper ratios in brackets)",
+        [somp, cbmf],
+        METRIC_LABELS,
+    ))
+    paper_ratio = (
+        PAPER_TABLE1["somp"]["overall_hours"]
+        / PAPER_TABLE1["cbmf"]["overall_hours"]
+    )
+    measured_ratio = somp.cost.total_hours / cbmf.cost.total_hours
+    print(
+        f"overall cost reduction: measured {measured_ratio:.2f}x "
+        f"[paper {paper_ratio:.2f}x]"
+    )
+
+    # Claim 1: >2× overall cost reduction.
+    assert measured_ratio > 2.0
+    # Claim 2: accuracy not surrendered. At reduced scales the comparison
+    # is noisier than the paper's 32-state runs, so allow up to 2×; at
+    # paper scale tighten toward parity.
+    tolerance = 1.35 if scale.name == "paper" else 2.0
+    for metric in somp.errors:
+        assert cbmf.errors[metric] < tolerance * somp.errors[metric]
+    # Simulation dominates the cost, as the paper observes.
+    assert somp.cost.simulation_seconds > somp.cost.fitting_seconds

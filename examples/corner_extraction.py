@@ -1,0 +1,63 @@
+"""Design-specific worst-case corner extraction on a tunable mixer.
+
+Fits C-BMF models for the mixer, then extracts the 3-sigma worst-case
+corner of each metric per knob state — the corner a designer would re-simulate
+and design against. Shows that worst-case NF corners of *adjacent* states
+point in nearly the same process direction (the correlation C-BMF exploits)
+while the metric value still shifts with the knob.
+
+Run:  python examples/corner_extraction.py
+"""
+
+import numpy as np
+
+from repro import CBMF, LinearBasis, MonteCarloEngine, TunableMixer
+from repro.applications import extract_worst_case_corner
+
+
+def main() -> None:
+    mixer = TunableMixer(n_states=6, n_variables=None)
+    data = MonteCarloEngine(mixer, seed=11).run(30)
+    basis = LinearBasis(mixer.n_variables)
+    designs = basis.expand_states(data.inputs())
+
+    print("fitting C-BMF models ...")
+    models = {
+        metric: CBMF(seed=0).fit(designs, data.targets(metric))
+        for metric in mixer.metric_names
+    }
+
+    print("\n3-sigma worst-case corners (metric value at the corner):")
+    header = f"{'state':>5}" + "".join(
+        f"{m:>14}" for m in mixer.metric_names
+    )
+    print(header)
+    corners = {}
+    for state in range(mixer.n_states):
+        row = [f"{state:>5}"]
+        for metric in mixer.metric_names:
+            # Worst case: max for NF (upper-bounded), min for gain/I1dB.
+            direction = "max" if metric == "nf_db" else "min"
+            corner = extract_worst_case_corner(
+                models[metric], basis, state, sigma_budget=3.0,
+                direction=direction,
+            )
+            corners[(metric, state)] = corner
+            row.append(f"{corner.value:>13.2f} ")
+        print("".join(row))
+
+    print("\ncorner-direction alignment across states (NF):")
+    reference = corners[("nf_db", 0)].x
+    for state in range(mixer.n_states):
+        x = corners[("nf_db", state)].x
+        cosine = float(
+            x @ reference
+            / max(np.linalg.norm(x) * np.linalg.norm(reference), 1e-12)
+        )
+        print(f"  state {state}: cos(corner_0, corner_{state}) = {cosine:+.3f}")
+    print("\n(high alignment between neighbouring states is exactly the "
+          "cross-state correlation the C-BMF prior encodes)")
+
+
+if __name__ == "__main__":
+    main()

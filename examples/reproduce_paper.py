@@ -1,0 +1,89 @@
+"""Regenerate every table and figure of the paper's evaluation (Section 4).
+
+Runs the LNA (Table 1, Figure 2b-d) and mixer (Table 2, Figure 3b-d)
+experiments and prints the paper-style comparisons. Scale is selected via
+the REPRO_SCALE environment variable or --scale:
+
+    python examples/reproduce_paper.py --scale small    # minutes
+    python examples/reproduce_paper.py --scale medium   # ~10 min
+    python examples/reproduce_paper.py --scale paper    # full reproduction
+
+Figures are emitted as text tables (error % per training budget); the paper
+plots exactly these series.
+"""
+
+import argparse
+import time
+
+from repro.evaluation.report import (
+    format_comparison_table,
+    format_sweep_table,
+)
+from repro.paper import (
+    METRIC_LABELS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    resolve_scale,
+    run_cost_table,
+    run_figure_sweep,
+)
+
+FIGURES = {
+    "lna": ("Figure 2(b)-(d) — tunable LNA", "Table 1", PAPER_TABLE1),
+    "mixer": ("Figure 3(b)-(d) — tunable mixer", "Table 2", PAPER_TABLE2),
+}
+
+
+def reproduce_circuit(circuit: str, scale, seed: int) -> None:
+    figure_title, table_title, paper_numbers = FIGURES[circuit]
+
+    started = time.perf_counter()
+    sweep = run_figure_sweep(circuit, scale, seed=seed)
+    for metric in sweep.metric_names:
+        print(format_sweep_table(
+            figure_title, sweep, metric, METRIC_LABELS.get(metric)
+        ))
+        print()
+
+    results = run_cost_table(circuit, scale, seed=seed)
+    print(format_comparison_table(
+        f"{table_title} — {circuit.upper()} (scale: {scale.name})",
+        [results["somp"], results["cbmf"]],
+        METRIC_LABELS,
+    ))
+    print()
+
+    somp, cbmf = results["somp"], results["cbmf"]
+    ratio = somp.cost.total_hours / cbmf.cost.total_hours
+    paper_ratio = (
+        paper_numbers["somp"]["overall_hours"]
+        / paper_numbers["cbmf"]["overall_hours"]
+    )
+    print(
+        f"cost reduction: {ratio:.2f}x measured "
+        f"(paper: {paper_ratio:.2f}x); "
+        f"wall clock {time.perf_counter() - started:.0f}s"
+    )
+    print("=" * 72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default=None, choices=("small", "medium", "paper"),
+        help="experiment size (default: REPRO_SCALE env or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--circuit", default="both", choices=("lna", "mixer", "both")
+    )
+    args = parser.parse_args()
+    scale = resolve_scale(args.scale)
+
+    circuits = ("lna", "mixer") if args.circuit == "both" else (args.circuit,)
+    for circuit in circuits:
+        reproduce_circuit(circuit, scale, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""State clustering for mutually-different states (paper Section 5).
+
+The paper's conclusion: the unified correlation model breaks down when
+states are *mutually different* — e.g. a knob that switches the signal path
+rather than nudging a bias. This example builds such a circuit-like
+scenario (two state families with disjoint sensitivity templates), shows
+plain C-BMF degrade, and recovers the accuracy with ClusteredCBMF.
+
+Run:  python examples/state_clustering.py
+"""
+
+import numpy as np
+
+from repro import CBMF, ClusteredCBMF, modeling_error_percent
+from repro.core.clustering import cluster_states
+
+
+def make_two_family_system(seed=0, n_per_family=5, n_basis=120):
+    """Synthetic tunable system whose knob switches between two topologies.
+
+    States 0..4 share one sparse template, states 5..9 a disjoint one —
+    within each family the coefficient magnitudes stay correlated (AR(1)),
+    across families they share nothing.
+    """
+    rng = np.random.default_rng(seed)
+    n_states = 2 * n_per_family
+    truth = np.zeros((n_states, n_basis))
+    ar1 = 0.9 ** np.abs(
+        np.subtract.outer(np.arange(n_per_family), np.arange(n_per_family))
+    )
+    chol = np.linalg.cholesky(ar1)
+    for family, support in enumerate(
+        (rng.choice(np.arange(1, n_basis), 5, replace=False),
+         rng.choice(np.arange(1, n_basis), 5, replace=False))
+    ):
+        rows = slice(family * n_per_family, (family + 1) * n_per_family)
+        for m in support:
+            truth[rows, m] = chol @ rng.standard_normal(n_per_family) * 2.0
+    truth[:, 0] = 5.0  # shared intercept
+
+    def sample(n):
+        designs, targets = [], []
+        for k in range(n_states):
+            design = rng.standard_normal((n, n_basis))
+            design[:, 0] = 1.0
+            designs.append(design)
+            targets.append(
+                design @ truth[k] + 0.05 * rng.standard_normal(n)
+            )
+        return designs, targets
+
+    return sample, truth
+
+
+def main() -> None:
+    sample, _ = make_two_family_system()
+    train_designs, train_targets = sample(12)
+    test_designs, test_targets = sample(300)
+
+    def error(model):
+        predictions = [
+            model.predict(d, k) for k, d in enumerate(test_designs)
+        ]
+        return modeling_error_percent(predictions, test_targets)
+
+    labels = cluster_states(train_designs, train_targets, 2)
+    print("inferred state clusters:", labels.tolist())
+
+    plain = CBMF(seed=0).fit(train_designs, train_targets)
+    clustered = ClusteredCBMF(n_clusters=2, seed=0).fit(
+        train_designs, train_targets
+    )
+    print(f"plain C-BMF   (unified correlation): {error(plain):7.3f} %")
+    print(f"Clustered C-BMF (per-family fusion): {error(clustered):7.3f} %")
+    print("\nas the paper's conclusion predicts, clustering mutually-"
+          "different states before fusing restores the accuracy.")
+
+
+if __name__ == "__main__":
+    main()

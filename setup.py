@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs (environments without the wheel pkg).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — Correlated Bayesian Model Fusion (C-BMF), DAC 2016 reproduction.
+
+Performance modeling of large-scale *tunable* analog/RF circuits: fit, from
+a few simulation samples, one linear-in-the-basis model per knob state while
+fusing both the sparse model template and the coefficient magnitudes across
+states through a unified Gaussian prior.
+
+Quick start::
+
+    from repro import CBMF, LinearBasis, TunableLNA, MonteCarloEngine
+
+    lna = TunableLNA(n_states=8, n_variables=None)
+    data = MonteCarloEngine(lna, seed=0).run(n_samples_per_state=30)
+    train, test = data.split(n_train_per_state=20)
+
+    basis = LinearBasis(lna.n_variables)
+    model = CBMF(seed=0).fit(
+        basis.expand_states(train.inputs()), train.targets("gain_db")
+    )
+
+Subpackages: ``core`` (the C-BMF method), ``baselines`` (S-OMP and friends),
+``circuits``/``variation``/``simulate`` (the synthetic silicon substrate),
+``basis``, ``evaluation`` (the paper's experiments), ``applications``
+(yield / corners / tuning).
+"""
+
+from repro.baselines import (
+    GroupLasso,
+    LeastSquares,
+    OMP,
+    Ridge,
+    SOMP,
+    UncorrelatedBMF,
+)
+from repro.basis import CrossTermBasis, LinearBasis, QuadraticBasis
+from repro.circuits import TunableLNA, TunableMixer, TunableVCO
+from repro.core import CBMF, ClusteredCBMF, CorrelatedPrior, ar1_correlation
+from repro.evaluation import (
+    ModelingExperiment,
+    modeling_error_percent,
+    sample_count_sweep,
+)
+from repro.simulate import CostModel, Dataset, MonteCarloEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CBMF",
+    "ClusteredCBMF",
+    "CorrelatedPrior",
+    "ar1_correlation",
+    "GroupLasso",
+    "LeastSquares",
+    "OMP",
+    "Ridge",
+    "SOMP",
+    "UncorrelatedBMF",
+    "LinearBasis",
+    "QuadraticBasis",
+    "CrossTermBasis",
+    "TunableLNA",
+    "TunableMixer",
+    "TunableVCO",
+    "ModelingExperiment",
+    "modeling_error_percent",
+    "sample_count_sweep",
+    "CostModel",
+    "Dataset",
+    "MonteCarloEngine",
+    "__version__",
+]

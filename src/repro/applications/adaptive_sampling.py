@@ -1,0 +1,191 @@
+"""Uncertainty-driven adaptive sampling.
+
+The paper fixes the training budget up front; with C-BMF's posterior in
+hand one can do better — simulate in small batches and stop as soon as the
+*model's own predictive uncertainty* drops below the accuracy target. The
+probe evaluation needs no extra simulations: ``predict_std`` is queried on
+fresh process samples, so the loop only pays for the samples it keeps.
+
+    sampler = AdaptiveSampler(circuit, "gain_db", target_percent=1.0)
+    result = sampler.run()
+    result.model            # fitted CBMF
+    result.n_samples_total  # budget actually spent
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.basis.polynomial import LinearBasis
+from repro.circuits.base import TunableCircuit
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+from repro.simulate.dataset import Dataset
+from repro.simulate.montecarlo import MonteCarloEngine
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_positive
+from repro.variation.sampling import standard_normal_samples
+
+__all__ = ["AdaptiveSampler", "AdaptiveRound", "AdaptiveResult"]
+
+
+@dataclass
+class AdaptiveRound:
+    """Diagnostics of one sample-fit-probe round."""
+
+    n_per_state: int
+    n_samples_total: int
+    #: Mean predictive std over the probe set, % of mean |performance|.
+    predicted_error_percent: float
+    fit_seconds: float
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive-sampling run."""
+
+    model: CBMF
+    dataset: Dataset
+    rounds: List[AdaptiveRound] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def n_samples_total(self) -> int:
+        """Simulation budget actually spent."""
+        return self.dataset.n_samples_total
+
+
+class AdaptiveSampler:
+    """Batch-simulate until the C-BMF posterior meets an accuracy target.
+
+    Parameters
+    ----------
+    circuit:
+        The tunable circuit to model.
+    metric:
+        Performance of interest (one of ``circuit.metric_names``).
+    target_percent:
+        Stop when the probe-averaged predictive std falls below this
+        percentage of the mean performance magnitude.
+    batch_per_state:
+        Samples added per state per round.
+    initial_per_state:
+        First-round budget (must support the CV initializer's folds).
+    max_rounds:
+        Hard cap on rounds.
+    n_probe:
+        Fresh (unsimulated) probe points per state for the uncertainty
+        estimate.
+    """
+
+    def __init__(
+        self,
+        circuit: TunableCircuit,
+        metric: str,
+        target_percent: float = 1.0,
+        batch_per_state: int = 5,
+        initial_per_state: int = 10,
+        max_rounds: int = 8,
+        n_probe: int = 64,
+        seed: SeedLike = None,
+        init_config: Optional[InitConfig] = None,
+        em_config: Optional[EmConfig] = None,
+    ) -> None:
+        if metric not in circuit.metric_names:
+            raise KeyError(
+                f"unknown metric {metric!r}; circuit has "
+                f"{circuit.metric_names}"
+            )
+        self.circuit = circuit
+        self.metric = metric
+        self.target_percent = check_positive(target_percent, "target_percent")
+        self.batch_per_state = check_integer(
+            batch_per_state, "batch_per_state", minimum=1
+        )
+        self.initial_per_state = check_integer(
+            initial_per_state, "initial_per_state", minimum=4
+        )
+        self.max_rounds = check_integer(max_rounds, "max_rounds", minimum=1)
+        self.n_probe = check_integer(n_probe, "n_probe", minimum=8)
+        self.seed = seed
+        self.init_config = init_config
+        self.em_config = em_config
+
+    # ------------------------------------------------------------------
+    def _simulate_batch(self, engine: MonteCarloEngine, n: int) -> Dataset:
+        return engine.run(n)
+
+    def _merge(self, base: Optional[Dataset], extra: Dataset) -> Dataset:
+        if base is None:
+            return extra
+        return Dataset.concat(base, extra)
+
+    def _probe_error_percent(
+        self, model: CBMF, basis: LinearBasis, magnitude: float, rng
+    ) -> float:
+        total = 0.0
+        for state in range(self.circuit.n_states):
+            probe = standard_normal_samples(
+                self.n_probe, self.circuit.n_variables, rng
+            )
+            std = model.predict_std(basis.expand(probe), state)
+            total += float(np.mean(std))
+        average = total / self.circuit.n_states
+        return 100.0 * average / magnitude
+
+    def run(self) -> AdaptiveResult:
+        """Execute the sample-fit-probe loop."""
+        rng = as_generator(self.seed)
+        basis = LinearBasis(self.circuit.n_variables)
+        dataset: Optional[Dataset] = None
+        rounds: List[AdaptiveRound] = []
+        model: Optional[CBMF] = None
+        converged = False
+
+        for round_index in range(self.max_rounds):
+            batch = (
+                self.initial_per_state
+                if round_index == 0
+                else self.batch_per_state
+            )
+            engine = MonteCarloEngine(
+                self.circuit, seed=rng.integers(2**31)
+            )
+            dataset = self._merge(dataset, self._simulate_batch(engine, batch))
+
+            designs = basis.expand_states(dataset.inputs())
+            targets = dataset.targets(self.metric)
+            model = CBMF(
+                init_config=self.init_config,
+                em_config=self.em_config,
+                seed=rng.integers(2**31),
+                # Reuse the previous round's hyper-parameters: EM refines
+                # them on the grown data without re-running the CV scan.
+                warm_start=model,
+            ).fit(designs, targets)
+
+            magnitude = float(
+                np.mean(np.abs(np.concatenate(targets)))
+            )
+            predicted = self._probe_error_percent(
+                model, basis, magnitude, rng
+            )
+            rounds.append(
+                AdaptiveRound(
+                    n_per_state=dataset.n_samples_per_state[0],
+                    n_samples_total=dataset.n_samples_total,
+                    predicted_error_percent=predicted,
+                    fit_seconds=model.report_.total_seconds,
+                )
+            )
+            if predicted <= self.target_percent:
+                converged = True
+                break
+
+        return AdaptiveResult(
+            model=model, dataset=dataset, rounds=rounds, converged=converged
+        )

@@ -1,0 +1,115 @@
+"""Design-specific worst-case corner extraction [14].
+
+Given a fitted linear performance model ``y ≈ α₀ + wᵀx`` and a sigma
+budget ``β`` (e.g. 3σ), the worst-case corner inside the ball ``‖x‖ ≤ β``
+has the closed form ``x* = ±β·w/‖w‖`` — the steepest direction of the
+model. For non-linear-in-x models (quadratic bases), a projected-gradient
+refinement is applied on top of the linear seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.basis.dictionary import BasisDictionary
+from repro.basis.polynomial import LinearBasis
+from repro.core.base import MultiStateRegressor
+from repro.utils.validation import check_positive
+
+__all__ = ["CornerResult", "extract_worst_case_corner"]
+
+
+@dataclass
+class CornerResult:
+    """A worst-case corner of one state/metric."""
+
+    x: np.ndarray
+    value: float
+    sigma_budget: float
+    direction: str  # "max" or "min"
+
+    @property
+    def sigma_norm(self) -> float:
+        """Distance of the corner from the typical point, in sigmas."""
+        return float(np.linalg.norm(self.x))
+
+
+def _model_gradient(
+    model: MultiStateRegressor,
+    basis: BasisDictionary,
+    state: int,
+    x: np.ndarray,
+    epsilon: float = 1e-5,
+) -> Tuple[float, np.ndarray]:
+    """Finite-difference gradient of the model prediction at ``x``."""
+    n = x.shape[0]
+    base = float(model.predict(basis.expand(x[None, :]), state)[0])
+    gradient = np.empty(n)
+    for i in range(n):
+        shifted = x.copy()
+        shifted[i] += epsilon
+        gradient[i] = (
+            float(model.predict(basis.expand(shifted[None, :]), state)[0])
+            - base
+        ) / epsilon
+    return base, gradient
+
+
+def extract_worst_case_corner(
+    model: MultiStateRegressor,
+    basis: BasisDictionary,
+    state: int,
+    sigma_budget: float = 3.0,
+    direction: str = "max",
+    refine_steps: int = 0,
+) -> CornerResult:
+    """Worst-case corner of one state under a sigma-ball budget.
+
+    Parameters
+    ----------
+    model / basis / state:
+        Fitted estimator, its basis dictionary, and the knob state.
+    sigma_budget:
+        Radius β of the variation ball.
+    direction:
+        ``"max"`` finds the corner maximizing the metric (worst for
+        upper-bounded specs like NF), ``"min"`` the minimizing corner.
+    refine_steps:
+        Projected-gradient refinements after the linear closed form; only
+        useful for non-linear bases (each step costs ``n`` predictions).
+    """
+    sigma_budget = check_positive(sigma_budget, "sigma_budget")
+    if direction not in ("max", "min"):
+        raise ValueError(f"direction must be 'max' or 'min', got {direction!r}")
+    sign = 1.0 if direction == "max" else -1.0
+
+    if isinstance(basis, LinearBasis):
+        # Closed form: coefficients beyond the intercept are the gradient.
+        weights = model.coef_[state][1:]
+        norm = float(np.linalg.norm(weights))
+        if norm <= 0.0:
+            x = np.zeros(basis.n_variables)
+        else:
+            x = sign * sigma_budget * weights / norm
+    else:
+        x = np.zeros(basis.n_variables)
+        refine_steps = max(refine_steps, 10)
+
+    for _ in range(refine_steps):
+        _, gradient = _model_gradient(model, basis, state, x)
+        step = sign * gradient
+        norm = float(np.linalg.norm(step))
+        if norm <= 1e-12:
+            break
+        x = x + (0.5 * sigma_budget / norm) * step
+        radius = float(np.linalg.norm(x))
+        if radius > sigma_budget:
+            x = x * (sigma_budget / radius)
+
+    value = float(model.predict(basis.expand(x[None, :]), state)[0])
+    return CornerResult(
+        x=x, value=value, sigma_budget=sigma_budget, direction=direction
+    )

@@ -1,0 +1,108 @@
+"""Sensitivity ranking: which process variables drive a performance.
+
+For a linear-basis model the coefficient of variable i *is* its one-sigma
+sensitivity, so ranking |coefficients| answers the designer's first
+question about any variability result: which devices matter. With the
+C-BMF coefficient matrix in hand the ranking also shows how importance
+migrates across knob states (e.g. which DAC cell takes over as the code
+rises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.basis.polynomial import LinearBasis
+from repro.core.base import MultiStateRegressor
+from repro.utils.validation import check_integer
+
+__all__ = ["SensitivityEntry", "rank_sensitivities", "format_ranking"]
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """One variable's contribution to one state's performance spread."""
+
+    variable: str
+    index: int
+    coefficient: float
+
+    @property
+    def magnitude(self) -> float:
+        """|one-sigma sensitivity| in performance units."""
+        return abs(self.coefficient)
+
+
+def rank_sensitivities(
+    model: MultiStateRegressor,
+    basis: LinearBasis,
+    state: int,
+    variable_names: Optional[Sequence[str]] = None,
+    top: int = 10,
+) -> List[SensitivityEntry]:
+    """Top process variables of one state's model, by |coefficient|.
+
+    Parameters
+    ----------
+    model / basis / state:
+        A fitted linear-basis estimator and the knob state.
+    variable_names:
+        Names of the raw variables (e.g. from
+        ``circuit.process_model.variable_names``); falls back to the basis
+        column names.
+    top:
+        Entries returned.
+    """
+    if not isinstance(basis, LinearBasis):
+        raise TypeError(
+            "sensitivity ranking requires a LinearBasis model; got "
+            f"{type(basis).__name__}"
+        )
+    model._require_fitted()
+    if not 0 <= state < model.n_states:
+        raise IndexError(
+            f"state {state} out of range 0..{model.n_states - 1}"
+        )
+    top = check_integer(top, "top", minimum=1)
+
+    weights = model.coef_[state][1:]  # drop the intercept
+    if variable_names is None:
+        variable_names = basis.names[1:]
+    if len(variable_names) != weights.shape[0]:
+        raise ValueError(
+            f"got {len(variable_names)} variable names for "
+            f"{weights.shape[0]} variables"
+        )
+    order = np.argsort(-np.abs(weights))[:top]
+    return [
+        SensitivityEntry(
+            variable=str(variable_names[i]),
+            index=int(i),
+            coefficient=float(weights[i]),
+        )
+        for i in order
+    ]
+
+
+def format_ranking(
+    entries: Sequence[SensitivityEntry], unit: str = ""
+) -> str:
+    """Text table of a sensitivity ranking.
+
+    The share column is each entry's fraction of the *listed* entries'
+    variance (coef²), so the column sums to 100 %.
+    """
+    if not entries:
+        raise ValueError("no entries to format")
+    total_var = float(sum(e.coefficient**2 for e in entries))
+    lines = [f"{'variable':<24}{'coef/sigma':>14}  {'var share':>9}"]
+    for entry in entries:
+        share = entry.coefficient**2 / total_var if total_var > 0 else 0.0
+        lines.append(
+            f"{entry.variable:<24}{entry.coefficient:>+12.4g} {unit:<2}"
+            f"{share:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Post-silicon tuning policies [6]-[11] — why tunable circuits exist.
+
+After manufacturing, each die can select the knob state that best fits its
+own process corner. ``TuningPolicy`` turns fitted performance models into a
+state-selection rule and quantifies the yield gain of tuning versus a fixed
+(best-single-state) design — the paper's opening motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.applications.yield_estimation import Specification, YieldEstimator
+from repro.basis.dictionary import BasisDictionary
+from repro.core.base import MultiStateRegressor
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_integer
+from repro.variation.sampling import standard_normal_samples
+
+__all__ = ["TuningPolicy", "TuningSummary"]
+
+
+@dataclass
+class TuningSummary:
+    """Yield comparison between fixed-state and tuned operation."""
+
+    #: Yield of the single best fixed state.
+    best_fixed_yield: float
+    #: Index of that state.
+    best_fixed_state: int
+    #: Yield when every die picks its own best state.
+    tuned_yield: float
+    #: Per-state fixed yields.
+    state_yields: np.ndarray
+
+    @property
+    def tuning_gain(self) -> float:
+        """Absolute yield improvement from tuning."""
+        return self.tuned_yield - self.best_fixed_yield
+
+
+class TuningPolicy:
+    """Model-driven state selection.
+
+    Parameters
+    ----------
+    models:
+        metric → fitted estimator (shared state count).
+    basis:
+        Basis dictionary for raw samples.
+    specs:
+        The pass/fail specifications every die must meet.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, MultiStateRegressor],
+        basis: BasisDictionary,
+        specs: Sequence[Specification],
+    ) -> None:
+        self._estimator = YieldEstimator(models, basis)
+        self._estimator._check_specs(specs)
+        self.specs = tuple(specs)
+        self.basis = basis
+
+    @property
+    def n_states(self) -> int:
+        """Number of selectable knob states."""
+        return self._estimator.n_states
+
+    # ------------------------------------------------------------------
+    def select_states(self, x: np.ndarray) -> np.ndarray:
+        """Best state per die (row of ``x``), −1 when no state passes.
+
+        Among passing states the lowest index is chosen (deterministic);
+        dies with no passing state report −1 so callers can flag them.
+        """
+        passes = self._estimator.pass_matrix(x, self.specs)
+        any_pass = passes.any(axis=1)
+        # argmax returns the first True column; mask the failures.
+        choice = np.argmax(passes, axis=1)
+        choice[~any_pass] = -1
+        return choice
+
+    def summarize(
+        self, n_samples: int = 50_000, seed: SeedLike = None
+    ) -> TuningSummary:
+        """Monte Carlo comparison of fixed-state vs. tuned yield."""
+        n_samples = check_integer(n_samples, "n_samples", minimum=1)
+        x = standard_normal_samples(
+            n_samples, self.basis.n_variables, seed
+        )
+        passes = self._estimator.pass_matrix(x, self.specs)
+        state_yields = passes.mean(axis=0)
+        best_state = int(np.argmax(state_yields))
+        return TuningSummary(
+            best_fixed_yield=float(state_yields[best_state]),
+            best_fixed_state=best_state,
+            tuned_yield=float(passes.any(axis=1).mean()),
+            state_yields=state_yields,
+        )

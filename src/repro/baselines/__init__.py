@@ -1,0 +1,26 @@
+"""Baseline performance-modeling methods the paper compares against.
+
+* ``LeastSquares`` / ``Ridge`` — the traditional per-state fit (eq. 2);
+* ``OMP`` — per-state sparse regression [16], no cross-state sharing;
+* ``SOMP`` — simultaneous OMP [19]: shared template, independent
+  magnitudes; the paper's state-of-the-art comparison point;
+* ``GroupLasso`` — convex group-sparse alternative [21];
+* ``UncorrelatedBMF`` — Bayesian model fusion in the spirit of [18]:
+  C-BMF's machinery with the cross-state correlation forced diagonal, used
+  as the magnitude-correlation ablation.
+"""
+
+from repro.baselines.bmf import UncorrelatedBMF
+from repro.baselines.group_lasso import GroupLasso
+from repro.baselines.least_squares import LeastSquares, Ridge
+from repro.baselines.omp import OMP
+from repro.baselines.somp import SOMP
+
+__all__ = [
+    "LeastSquares",
+    "Ridge",
+    "OMP",
+    "SOMP",
+    "GroupLasso",
+    "UncorrelatedBMF",
+]

@@ -1,0 +1,66 @@
+"""Per-state least-squares and ridge fits (the traditional method, eq. 2)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import MultiStateRegressor, validate_multistate
+from repro.utils.validation import check_positive
+
+__all__ = ["LeastSquares", "Ridge"]
+
+
+class LeastSquares(MultiStateRegressor):
+    """Independent ordinary least squares per state.
+
+    The paper's eq. 2. Needs ``N_k ≥ M`` samples per state to be
+    well-posed; below that ``numpy.linalg.lstsq`` returns the minimum-norm
+    solution, which badly overfits — exactly the failure mode motivating
+    sparse and Bayesian methods at high dimension.
+    """
+
+    def __init__(self) -> None:
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        designs: Sequence[np.ndarray],
+        targets: Sequence[np.ndarray],
+    ) -> "LeastSquares":
+        designs, targets = validate_multistate(designs, targets)
+        rows = []
+        for design, target in zip(designs, targets):
+            solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+            rows.append(solution)
+        self.coef_ = np.vstack(rows)
+        return self
+
+
+class Ridge(MultiStateRegressor):
+    """Independent L2-regularized least squares per state.
+
+    Parameters
+    ----------
+    alpha:
+        Ridge strength (> 0). Solves ``(BᵀB + αI)·α_k = Bᵀy_k`` per state.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = check_positive(alpha, "alpha")
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        designs: Sequence[np.ndarray],
+        targets: Sequence[np.ndarray],
+    ) -> "Ridge":
+        designs, targets = validate_multistate(designs, targets)
+        rows = []
+        for design, target in zip(designs, targets):
+            n_basis = design.shape[1]
+            gram = design.T @ design + self.alpha * np.eye(n_basis)
+            rows.append(np.linalg.solve(gram, design.T @ target))
+        self.coef_ = np.vstack(rows)
+        return self

@@ -1,0 +1,146 @@
+"""Per-state orthogonal matching pursuit [16].
+
+Classic sparse regression with *no* cross-state sharing: each state picks
+its own support greedily and solves least squares on it. Support size is
+either fixed or chosen by per-state cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import MultiStateRegressor, validate_multistate
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer
+
+__all__ = ["OMP", "omp_select"]
+
+
+def omp_select(
+    design: np.ndarray, target: np.ndarray, n_select: int
+) -> Tuple[List[int], np.ndarray]:
+    """Single-state OMP: returns (support, coefficients-on-support)."""
+    n_basis = design.shape[1]
+    if not 0 < n_select <= n_basis:
+        raise ValueError(f"n_select must be in 1..{n_basis}, got {n_select}")
+    support: List[int] = []
+    residual = target.copy()
+    coefficients = np.zeros(0)
+    for _ in range(n_select):
+        score = np.abs(design.T @ residual)
+        score[support] = -np.inf
+        support.append(int(np.argmax(score)))
+        sub = design[:, support]
+        coefficients, *_ = np.linalg.lstsq(sub, target, rcond=None)
+        residual = target - sub @ coefficients
+    return support, coefficients
+
+
+class OMP(MultiStateRegressor):
+    """Independent OMP per state.
+
+    Parameters
+    ----------
+    n_select:
+        Support size per state, or ``"cv"`` to pick it per state by
+        cross-validation over ``n_select_grid``.
+    n_select_grid:
+        Candidate support sizes for CV mode.
+    n_folds:
+        CV fold count.
+    seed:
+        Fold-shuffling seed.
+    """
+
+    def __init__(
+        self,
+        n_select: Union[int, str] = "cv",
+        n_select_grid: Tuple[int, ...] = (5, 10, 20, 40),
+        n_folds: int = 4,
+        seed: SeedLike = None,
+    ) -> None:
+        if isinstance(n_select, str):
+            if n_select != "cv":
+                raise ValueError(
+                    f"n_select must be an int or 'cv', got {n_select!r}"
+                )
+        else:
+            n_select = check_integer(n_select, "n_select", minimum=1)
+        self.n_select = n_select
+        self.n_select_grid = tuple(n_select_grid)
+        self.n_folds = check_integer(n_folds, "n_folds", minimum=2)
+        self.seed = seed
+        self.coef_: Optional[np.ndarray] = None
+        self.supports_: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    def _cv_support_size(
+        self,
+        design: np.ndarray,
+        target: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        n_samples = design.shape[0]
+        permutation = rng.permutation(n_samples)
+        folds = np.array_split(permutation, self.n_folds)
+        grid = sorted(
+            {
+                min(theta, design.shape[1])
+                for theta in self.n_select_grid
+            }
+        )
+        errors = {theta: [] for theta in grid}
+        for fold in folds:
+            mask = np.ones(n_samples, dtype=bool)
+            mask[fold] = False
+            train_x, train_y = design[mask], target[mask]
+            test_x, test_y = design[fold], target[fold]
+            theta_max = min(max(grid), train_x.shape[0])
+            support: List[int] = []
+            residual = train_y.copy()
+            for step in range(1, theta_max + 1):
+                score = np.abs(train_x.T @ residual)
+                score[support] = -np.inf
+                support.append(int(np.argmax(score)))
+                sub = train_x[:, support]
+                coefficients, *_ = np.linalg.lstsq(sub, train_y, rcond=None)
+                residual = train_y - sub @ coefficients
+                if step in errors:
+                    prediction = test_x[:, support] @ coefficients
+                    errors[step].append(
+                        float(np.sum((prediction - test_y) ** 2))
+                    )
+        averaged = {
+            theta: float(np.mean(values))
+            for theta, values in errors.items()
+            if values
+        }
+        if not averaged:
+            return min(grid)
+        return min(averaged, key=averaged.get)
+
+    def fit(
+        self,
+        designs: Sequence[np.ndarray],
+        targets: Sequence[np.ndarray],
+    ) -> "OMP":
+        designs, targets = validate_multistate(designs, targets)
+        rng = as_generator(self.seed)
+        n_basis_total = designs[0].shape[1]
+        rows = []
+        supports: List[List[int]] = []
+        for design, target in zip(designs, targets):
+            if self.n_select == "cv":
+                size = self._cv_support_size(design, target, rng)
+            else:
+                size = min(int(self.n_select), n_basis_total, design.shape[0])
+            support, coefficients = omp_select(design, target, size)
+            dense = np.zeros(n_basis_total)
+            dense[support] = coefficients
+            rows.append(dense)
+            supports.append(support)
+        self.coef_ = np.vstack(rows)
+        self.supports_ = supports
+        return self

@@ -1,0 +1,23 @@
+"""Basis-function dictionaries for performance models.
+
+The paper approximates each performance as a linear combination of basis
+functions of the normalized process variables (eq. 1); its examples use
+linear bases (constant + first-order terms). Quadratic and selected
+cross-term dictionaries are provided for the nonlinear-metric examples.
+"""
+
+from repro.basis.dictionary import BasisDictionary
+from repro.basis.orthogonal import HermiteBasis
+from repro.basis.polynomial import (
+    CrossTermBasis,
+    LinearBasis,
+    QuadraticBasis,
+)
+
+__all__ = [
+    "BasisDictionary",
+    "HermiteBasis",
+    "LinearBasis",
+    "QuadraticBasis",
+    "CrossTermBasis",
+]

@@ -1,0 +1,61 @@
+"""Abstract basis dictionary: named functions x ↦ b_m(x)."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["BasisDictionary"]
+
+
+class BasisDictionary(abc.ABC):
+    """A fixed, ordered set of basis functions shared by all states.
+
+    Subclasses implement :meth:`_expand` on a validated 2-D input; the
+    public :meth:`expand` adds shape checking and guarantees the output is
+    ``n_samples × n_basis``.
+    """
+
+    def __init__(self, n_variables: int) -> None:
+        if n_variables < 1:
+            raise ValueError(f"n_variables must be >= 1, got {n_variables}")
+        self.n_variables = n_variables
+
+    @property
+    @abc.abstractmethod
+    def names(self) -> Tuple[str, ...]:
+        """Basis-function names, in column order."""
+
+    @abc.abstractmethod
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        """Expand a validated (n_samples × n_variables) matrix."""
+
+    @property
+    def n_basis(self) -> int:
+        """Number of basis functions M."""
+        return len(self.names)
+
+    def expand(self, x: np.ndarray) -> np.ndarray:
+        """Design matrix ``B`` with ``B[n, m] = b_m(x^(n))`` (paper eq. 3)."""
+        x = check_matrix(x, "x", shape=(None, self.n_variables))
+        design = self._expand(x)
+        if design.shape != (x.shape[0], self.n_basis):
+            raise AssertionError(
+                f"basis expansion produced shape {design.shape}, expected "
+                f"{(x.shape[0], self.n_basis)}"
+            )
+        return design
+
+    def expand_states(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Expand the per-state input list into design matrices ``B_k``."""
+        return [self.expand(x) for x in inputs]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n_variables={self.n_variables}, "
+            f"n_basis={self.n_basis})"
+        )

@@ -1,0 +1,121 @@
+"""Polynomial basis dictionaries (linear, quadratic, selected cross terms)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.basis.dictionary import BasisDictionary
+
+__all__ = ["LinearBasis", "QuadraticBasis", "CrossTermBasis"]
+
+
+class LinearBasis(BasisDictionary):
+    """Constant plus first-order terms: ``{1, x_1, ..., x_n}``.
+
+    This is the dictionary the paper uses for both circuit examples
+    ("model three performance metrics ... as linear functions of all
+    random variables").
+    """
+
+    def __init__(self, n_variables: int) -> None:
+        super().__init__(n_variables)
+        self._names = ("1",) + tuple(
+            f"x{i}" for i in range(1, n_variables + 1)
+        )
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Basis-function names, in column order."""
+        return self._names
+
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        return np.hstack([np.ones((x.shape[0], 1)), x])
+
+
+class QuadraticBasis(BasisDictionary):
+    """Constant, linear and pure-square terms: ``{1, x_i, x_i²}``.
+
+    The squares are centered (``x² − 1``) so every non-constant basis
+    function has zero mean under the standard-normal sampling distribution,
+    keeping the dictionary well-conditioned.
+    """
+
+    def __init__(self, n_variables: int) -> None:
+        super().__init__(n_variables)
+        self._names = (
+            ("1",)
+            + tuple(f"x{i}" for i in range(1, n_variables + 1))
+            + tuple(f"x{i}^2-1" for i in range(1, n_variables + 1))
+        )
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Basis-function names, in column order."""
+        return self._names
+
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        return np.hstack(
+            [np.ones((x.shape[0], 1)), x, x * x - 1.0]
+        )
+
+
+class CrossTermBasis(BasisDictionary):
+    """Linear basis plus selected pairwise products ``x_i·x_j``.
+
+    A full cross-term dictionary over >1000 variables would have ~10⁶
+    columns; in practice one screens a candidate pair list (e.g. the
+    devices known to interact). ``pairs`` takes 0-based variable index
+    pairs.
+    """
+
+    def __init__(
+        self,
+        n_variables: int,
+        pairs: Sequence[Tuple[int, int]],
+        include_squares: bool = False,
+    ) -> None:
+        super().__init__(n_variables)
+        validated = []
+        for i, j in pairs:
+            if not (0 <= i < n_variables and 0 <= j < n_variables):
+                raise ValueError(
+                    f"pair ({i}, {j}) out of range for {n_variables} variables"
+                )
+            if i == j:
+                raise ValueError(
+                    f"pair ({i}, {j}) is a square; use include_squares"
+                )
+            validated.append((min(i, j), max(i, j)))
+        if len(set(validated)) != len(validated):
+            raise ValueError("duplicate cross-term pairs")
+        self._pairs: Tuple[Tuple[int, int], ...] = tuple(validated)
+        self._include_squares = include_squares
+
+        names = ["1"] + [f"x{i}" for i in range(1, n_variables + 1)]
+        if include_squares:
+            names += [f"x{i}^2-1" for i in range(1, n_variables + 1)]
+        names += [f"x{i + 1}*x{j + 1}" for i, j in self._pairs]
+        self._names = tuple(names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Basis-function names, in column order."""
+        return self._names
+
+    @property
+    def pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The cross-term index pairs (0-based, sorted)."""
+        return self._pairs
+
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        blocks = [np.ones((x.shape[0], 1)), x]
+        if self._include_squares:
+            blocks.append(x * x - 1.0)
+        if self._pairs:
+            rows = np.column_stack(
+                [x[:, i] * x[:, j] for i, j in self._pairs]
+            )
+            blocks.append(rows)
+        return np.hstack(blocks)

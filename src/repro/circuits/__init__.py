@@ -1,0 +1,62 @@
+"""Synthetic tunable analog/RF circuits and the analysis engines behind them.
+
+The two circuits from the paper's evaluation — a tunable 2.4 GHz LNA and a
+tunable 2.4 GHz down-conversion mixer — are implemented on top of:
+
+* an analytic MOSFET/passive device layer (``devices``),
+* a modified-nodal-analysis small-signal AC solver (``mna``),
+* a linear noise analysis (``noise``),
+* weakly-nonlinear metric math (``metrics``).
+
+Each circuit exposes ``evaluate(sample, state) → PerformanceValues`` so the
+Monte Carlo engine can play the role of the paper's transistor-level
+simulator.
+"""
+
+from repro.circuits.devices import (
+    Mosfet,
+    MosfetParameters,
+    MosfetSmallSignal,
+    Passive,
+)
+from repro.circuits.knobs import KnobConfiguration, TuningKnob
+from repro.circuits.lna import TunableLNA
+from repro.circuits.metrics import (
+    db,
+    db10,
+    dbm_from_vrms,
+    iip3_dbm_from_series,
+    input_p1db_dbm_from_series,
+    undb,
+    undb10,
+)
+from repro.circuits.mixer import TunableMixer
+from repro.circuits.mna import AcSolution, Circuit
+from repro.circuits.noise import NoiseAnalysis, NoiseContribution
+from repro.circuits.sparams import SParameters, TwoPortTestbench
+from repro.circuits.vco import TunableVCO
+
+__all__ = [
+    "Mosfet",
+    "MosfetParameters",
+    "MosfetSmallSignal",
+    "Passive",
+    "KnobConfiguration",
+    "TuningKnob",
+    "TunableLNA",
+    "TunableMixer",
+    "TunableVCO",
+    "Circuit",
+    "AcSolution",
+    "NoiseAnalysis",
+    "NoiseContribution",
+    "SParameters",
+    "TwoPortTestbench",
+    "db",
+    "db10",
+    "undb",
+    "undb10",
+    "dbm_from_vrms",
+    "iip3_dbm_from_series",
+    "input_p1db_dbm_from_series",
+]

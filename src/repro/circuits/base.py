@@ -1,0 +1,128 @@
+"""Common scaffolding for tunable circuits.
+
+A tunable circuit bundles a process model (its full variation space), an
+ordered list of knob states and an ``evaluate`` method that plays the role
+of one transistor-level simulation: normalized sample in, performance
+metrics out.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.knobs import KnobConfiguration
+from repro.variation.parameters import ParameterSpec, VariationKind
+from repro.variation.process import DeviceVariation, ProcessModel, ProcessSample
+
+__all__ = ["TunableCircuit", "peripheral_padding"]
+
+
+class TunableCircuit(abc.ABC):
+    """Abstract tunable circuit: process model + states + evaluator."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short circuit identifier (e.g. ``"lna"``)."""
+
+    @property
+    @abc.abstractmethod
+    def process_model(self) -> ProcessModel:
+        """The circuit's full variation space."""
+
+    @property
+    @abc.abstractmethod
+    def states(self) -> Tuple[KnobConfiguration, ...]:
+        """Ordered knob configurations (the paper's k = 1..K)."""
+
+    @property
+    @abc.abstractmethod
+    def metric_names(self) -> Tuple[str, ...]:
+        """Names of the performances of interest."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, sample: ProcessSample, state: KnobConfiguration
+    ) -> Dict[str, float]:
+        """One 'simulation': metrics of ``state`` under process ``sample``."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all circuits
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of knob configurations K."""
+        return len(self.states)
+
+    @property
+    def n_variables(self) -> int:
+        """Dimension of the normalized variation vector x."""
+        return self.process_model.n_variables
+
+    def evaluate_x(
+        self, x: np.ndarray, state: KnobConfiguration
+    ) -> Dict[str, float]:
+        """Evaluate from a raw normalized vector instead of a sample."""
+        return self.evaluate(self.process_model.realize(x), state)
+
+    def nominal(self, state: KnobConfiguration) -> Dict[str, float]:
+        """Metrics at the typical corner (all variations zero)."""
+        zero = np.zeros(self.n_variables)
+        return self.evaluate(self.process_model.realize(zero), state)
+
+
+def peripheral_padding(
+    prefix: str,
+    n_target_variables: int,
+    n_current_variables: int,
+    params_per_cell: int = 9,
+) -> List[DeviceVariation]:
+    """Peripheral device declarations that pad the space to an exact size.
+
+    Real testbenches carry many devices whose mismatch barely touches the RF
+    metrics (decoupling cells, guard rings, measurement buffers, wiring).
+    The paper's variable counts (1264 for the LNA, 1303 for the mixer)
+    include that periphery. This helper declares ``bias-decap`` style cells
+    of ``params_per_cell`` mismatch parameters each, plus single-parameter
+    wire segments for the remainder, so a circuit can match the paper's
+    dimension exactly. These variables take part in sampling and modeling;
+    their true metric sensitivity is (essentially) zero — which is precisely
+    the sparsity the estimators under study must cope with.
+    """
+    remaining = n_target_variables - n_current_variables
+    if remaining < 0:
+        raise ValueError(
+            f"already have {n_current_variables} variables, more than the "
+            f"target {n_target_variables}"
+        )
+    cell_specs = tuple(
+        ParameterSpec(kind, sigma)
+        for kind, sigma in (
+            (VariationKind.VTH, 3e-3),
+            (VariationKind.BETA, 0.01),
+            (VariationKind.LENGTH, 0.008),
+            (VariationKind.TOX, 0.006),
+            (VariationKind.CGS, 0.012),
+            (VariationKind.CGD, 0.012),
+            (VariationKind.RDS, 0.02),
+            (VariationKind.RCWIRE, 0.05),
+            (VariationKind.GSUB, 0.08),
+        )[:params_per_cell]
+    )
+    declarations: List[DeviceVariation] = []
+    index = 0
+    while remaining >= params_per_cell:
+        declarations.append(
+            DeviceVariation(f"{prefix}_cell{index}", cell_specs)
+        )
+        remaining -= params_per_cell
+        index += 1
+    wire_spec = (ParameterSpec(VariationKind.RCWIRE, 0.05),)
+    for wire in range(remaining):
+        declarations.append(
+            DeviceVariation(f"{prefix}_wire{wire}", wire_spec)
+        )
+    return declarations

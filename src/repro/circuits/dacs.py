@@ -1,0 +1,275 @@
+"""Tuning DACs: thermometer current-mirror DAC and switched-resistor DAC.
+
+These are the physical structures behind the paper's tuning knobs — the
+LNA's "tunable current source" and the mixer's "two tunable load
+resistors". Both are modeled at the device level so that *every unit cell
+carries its own mismatch*, which is what creates the smooth state-to-state
+variation of model coefficients that C-BMF exploits: adjacent codes share
+all but one enabled cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.circuits.devices import Mosfet, MosfetParameters, Passive
+from repro.variation.process import DeviceVariation, ProcessSample
+from repro.variation.parameters import VariationKind
+
+__all__ = ["CurrentMirrorDac", "SwitchedResistorBank", "FixedCurrentMirror"]
+
+
+class CurrentMirrorDac:
+    """Thermometer-coded tail/bias current DAC built from mirror cells.
+
+    One diode-connected reference device sets the gate line from a fixed
+    external reference current. A wide always-on "base" device supplies the
+    floor current; each of ``n_cells`` thermometer cells adds one unit
+    current when enabled. Every cell is a mirror device in series with a
+    switch whose on-resistance degenerates the mirror slightly; a cascode
+    and a layout dummy complete the cell (they carry mismatch variables but
+    do not measurably move the cell current — deliberately, as on silicon).
+
+    Parameters
+    ----------
+    name:
+        Prefix for all device names.
+    n_cells:
+        Thermometer length; codes run 0..n_cells-1 enabling that many cells.
+    reference_current:
+        External reference, amperes.
+    base_ratio:
+        Width ratio of the always-on device to the reference device.
+    unit_ratio:
+        Width ratio of one thermometer cell to the reference device.
+    switch_r_on:
+        Nominal switch on-resistance, Ω.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_cells: int = 32,
+        reference_current: float = 250e-6,
+        base_ratio: float = 8.0,
+        unit_ratio: float = 0.8,
+        switch_r_on: float = 15.0,
+    ) -> None:
+        if n_cells < 2:
+            raise ValueError(f"n_cells must be >= 2, got {n_cells}")
+        if reference_current <= 0.0:
+            raise ValueError("reference_current must be > 0")
+        self.name = name
+        self.n_cells = n_cells
+        self.reference_current = reference_current
+        self.switch_r_on = switch_r_on
+
+        ref_params = MosfetParameters(width_um=8.0, length_um=0.24)
+        self.reference = Mosfet(f"{name}_ref", ref_params)
+        self.base = Mosfet(
+            f"{name}_base",
+            MosfetParameters(
+                width_um=ref_params.width_um * base_ratio,
+                length_um=ref_params.length_um,
+            ),
+        )
+        cell_params = MosfetParameters(
+            width_um=ref_params.width_um * unit_ratio,
+            length_um=ref_params.length_um,
+        )
+        switch_params = MosfetParameters(width_um=6.0, length_um=0.03)
+        self.cells: List[Mosfet] = []
+        self.switches: List[Mosfet] = []
+        self.cascodes: List[Mosfet] = []
+        self.dummies: List[Mosfet] = []
+        for cell in range(n_cells):
+            self.cells.append(Mosfet(f"{name}_m{cell}", cell_params))
+            self.switches.append(Mosfet(f"{name}_sw{cell}", switch_params))
+            self.cascodes.append(Mosfet(f"{name}_cas{cell}", cell_params))
+            self.dummies.append(Mosfet(f"{name}_dmy{cell}", cell_params))
+
+    def transistors(self) -> List[Mosfet]:
+        """All MOSFETs of the DAC, reference first."""
+        devices: List[Mosfet] = [self.reference, self.base]
+        for group in (self.cells, self.switches, self.cascodes, self.dummies):
+            devices.extend(group)
+        return devices
+
+    def device_variations(self) -> List[DeviceVariation]:
+        """Mismatch declarations for the process model."""
+        return [fet.variation() for fet in self.transistors()]
+
+    # ------------------------------------------------------------------
+    def _gate_overdrive(self, sample: Optional[ProcessSample]) -> float:
+        """Gate-line overdrive set by the diode-connected reference."""
+        return self.reference.solve_vov_for_current(
+            self.reference_current, sample
+        )
+
+    def _mirrored_current(
+        self,
+        device: Mosfet,
+        vov_gate: float,
+        sample: Optional[ProcessSample],
+        series_ohms: float = 0.0,
+    ) -> float:
+        """Current of one mirror device given the shared gate overdrive.
+
+        The gate line sits at ``Vgs = vov_gate + vth(reference)``; the
+        mirror device sees ``Vov = Vgs − vth(device)``, so threshold
+        *mismatch* between the two moves the copied current while a global
+        threshold shift cancels — standard mirror behaviour. A series switch
+        drops ``I·R``, handled with one fixed-point refinement.
+        """
+        dvth = 0.0
+        if sample is not None:
+            dvth = sample.deviation(
+                device.name, VariationKind.VTH
+            ) - sample.deviation(self.reference.name, VariationKind.VTH)
+        vov = vov_gate - dvth
+        if vov <= 1e-3:
+            return 0.0
+        current = device.current_for_vov(vov, sample)
+        if series_ohms > 0.0:
+            vov_degraded = vov - current * series_ohms
+            if vov_degraded <= 1e-3:
+                return 0.0
+            current = device.current_for_vov(vov_degraded, sample)
+        return current
+
+    def current(self, code: int, sample: Optional[ProcessSample] = None) -> float:
+        """Total output current at thermometer ``code`` (0..n_cells−1)."""
+        if not 0 <= code < self.n_cells:
+            raise IndexError(
+                f"code {code} out of range 0..{self.n_cells - 1}"
+            )
+        vov_gate = self._gate_overdrive(sample)
+        total = self._mirrored_current(self.base, vov_gate, sample)
+        for cell in range(code + 1):
+            r_on = self.switch_r_on
+            if sample is not None:
+                r_on *= sample.relative(
+                    self.switches[cell].name, VariationKind.RDS
+                )
+            total += self._mirrored_current(
+                self.cells[cell], vov_gate, sample, series_ohms=r_on
+            )
+        return total
+
+    def nominal_currents(self) -> List[float]:
+        """Nominal output current of every code (typical corner)."""
+        return [self.current(code) for code in range(self.n_cells)]
+
+
+class FixedCurrentMirror:
+    """Non-tunable current mirror: reference device + one output device.
+
+    Used for fixed bias branches (e.g. the mixer tail current). Threshold
+    and current-factor mismatch between the two devices moves the copied
+    current, exactly as in the tunable DAC cells.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        reference_current: float,
+        ratio: float = 8.0,
+    ) -> None:
+        if reference_current <= 0.0:
+            raise ValueError("reference_current must be > 0")
+        if ratio <= 0.0:
+            raise ValueError("ratio must be > 0")
+        self.name = name
+        self.reference_current = reference_current
+        ref_params = MosfetParameters(width_um=8.0, length_um=0.24)
+        self.reference = Mosfet(f"{name}_ref", ref_params)
+        self.output = Mosfet(
+            f"{name}_out",
+            MosfetParameters(
+                width_um=ref_params.width_um * ratio,
+                length_um=ref_params.length_um,
+            ),
+        )
+
+    def transistors(self) -> List[Mosfet]:
+        """Both mirror devices."""
+        return [self.reference, self.output]
+
+    def device_variations(self) -> List[DeviceVariation]:
+        """Mismatch declarations for the process model."""
+        return [fet.variation() for fet in self.transistors()]
+
+    def current(self, sample: Optional[ProcessSample] = None) -> float:
+        """Copied output current (amperes)."""
+        vov_gate = self.reference.solve_vov_for_current(
+            self.reference_current, sample
+        )
+        dvth = 0.0
+        if sample is not None:
+            dvth = sample.deviation(
+                self.output.name, VariationKind.VTH
+            ) - sample.deviation(self.reference.name, VariationKind.VTH)
+        vov = vov_gate - dvth
+        if vov <= 1e-3:
+            return 0.0
+        return self.output.current_for_vov(vov, sample)
+
+
+class SwitchedResistorBank:
+    """A tunable load resistor: base resistor with switchable parallel legs.
+
+    ``code`` enables that many legs (thermometer). Each enabled leg places
+    its resistor plus the switch on-resistance in parallel with the base, so
+    increasing the code *lowers* the effective load. Every resistor segment
+    and every switch carries mismatch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_legs: int,
+        base_ohms: float,
+        leg_ohms: float,
+        switch_r_on: float = 25.0,
+        mismatch_sigma: float = 0.015,
+    ) -> None:
+        if n_legs < 1:
+            raise ValueError(f"n_legs must be >= 1, got {n_legs}")
+        self.name = name
+        self.n_legs = n_legs
+        self.switch_r_on = switch_r_on
+        self.base = Passive(f"{name}_rbase", "resistor", base_ohms, mismatch_sigma)
+        self.legs = [
+            Passive(f"{name}_rleg{i}", "resistor", leg_ohms, mismatch_sigma)
+            for i in range(n_legs)
+        ]
+        self.switches = [
+            Mosfet(
+                f"{name}_sw{i}",
+                MosfetParameters(width_um=12.0, length_um=0.03),
+            )
+            for i in range(n_legs)
+        ]
+
+    def device_variations(self) -> List[DeviceVariation]:
+        """Mismatch declarations for the process model."""
+        declarations = [self.base.variation()]
+        declarations.extend(leg.variation() for leg in self.legs)
+        declarations.extend(sw.variation() for sw in self.switches)
+        return declarations
+
+    def resistance(self, code: int, sample: Optional[ProcessSample] = None) -> float:
+        """Effective resistance at ``code`` enabled legs (0..n_legs)."""
+        if not 0 <= code <= self.n_legs:
+            raise IndexError(f"code {code} out of range 0..{self.n_legs}")
+        conductance = 1.0 / self.base.value(sample)
+        for leg in range(code):
+            r_leg = self.legs[leg].value(sample)
+            r_sw = self.switch_r_on
+            if sample is not None:
+                r_sw *= sample.relative(
+                    self.switches[leg].name, VariationKind.RDS
+                )
+            conductance += 1.0 / (r_leg + r_sw)
+        return 1.0 / conductance

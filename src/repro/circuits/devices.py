@@ -1,0 +1,311 @@
+"""Analytic device models: MOSFET bias/small-signal/noise, and passives.
+
+The MOSFET uses a velocity-saturation-corrected square law,
+
+    I_D = ½·β·Vov² / (1 + θ·Vov),    β = k'·(W/L)
+
+which is accurate enough for a 32nm-class RF device biased in strong
+inversion and — crucially for this reproduction — responds smoothly and
+near-linearly to small process deviations, matching the linear-model
+assumption the paper fits under. All process sensitivity enters through a
+``ProcessSample``: threshold shift (ΔVTH), current-factor deviation (Δβ),
+gate-length deviation (ΔL, which also moves λ and Cgs), oxide thickness
+(Δtox → β and gate capacitance), overlap capacitances and series resistance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.variation.mismatch import mosfet_mismatch_specs
+from repro.variation.process import DeviceVariation, ProcessSample
+from repro.variation.parameters import ParameterSpec, VariationKind
+
+__all__ = [
+    "MosfetParameters",
+    "MosfetSmallSignal",
+    "Mosfet",
+    "Passive",
+    "BOLTZMANN",
+    "ROOM_TEMPERATURE",
+]
+
+#: Boltzmann constant, J/K.
+BOLTZMANN = 1.380649e-23
+#: Analysis temperature, K.
+ROOM_TEMPERATURE = 300.0
+
+
+@dataclass(frozen=True)
+class MosfetParameters:
+    """Nominal (typical-corner) MOSFET parameters.
+
+    Defaults are representative of a 32nm-class SOI NFET used at RF.
+    """
+
+    #: Gate width, µm.
+    width_um: float = 20.0
+    #: Gate length, µm.
+    length_um: float = 0.03
+    #: Nominal threshold voltage, V.
+    vth0: float = 0.35
+    #: Process transconductance k' = µ·Cox, A/V².
+    kprime: float = 450e-6
+    #: Velocity-saturation coefficient θ, 1/V.
+    theta: float = 1.2
+    #: Channel-length modulation coefficient at nominal L, 1/V.
+    lambda0: float = 0.15
+    #: Gate-oxide capacitance density, fF/µm².
+    cox_ff_um2: float = 28.0
+    #: Overlap capacitance per width, fF/µm.
+    cov_ff_um: float = 0.35
+    #: Thermal-noise excess factor γ (short channel).
+    gamma_noise: float = 1.2
+    #: Effective gate resistance, Ω (poly + contact, after fingering).
+    rg_ohms: float = 4.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "width_um",
+            "length_um",
+            "kprime",
+            "cox_ff_um2",
+            "gamma_noise",
+        ):
+            if getattr(self, field_name) <= 0.0:
+                raise ValueError(f"{field_name} must be > 0")
+
+    @property
+    def beta(self) -> float:
+        """Nominal current factor β = k'·W/L, A/V²."""
+        return self.kprime * self.width_um / self.length_um
+
+
+@dataclass(frozen=True)
+class MosfetSmallSignal:
+    """Small-signal operating point of one MOSFET.
+
+    All conductances in siemens, capacitances in farads, currents in
+    amperes, voltages in volts.
+    """
+
+    #: Drain bias current.
+    id_amps: float
+    #: Overdrive voltage Vov = Vgs − Vth.
+    vov: float
+    #: Transconductance ∂I_D/∂V_GS.
+    gm: float
+    #: Output conductance ∂I_D/∂V_DS.
+    gds: float
+    #: Gate-source capacitance.
+    cgs: float
+    #: Gate-drain capacitance.
+    cgd: float
+    #: Second-order transconductance ½·∂²I/∂V² (power-series g2).
+    gm2: float
+    #: Third-order transconductance ⅙·∂³I/∂V³ (power-series g3).
+    gm3: float
+    #: Drain thermal-noise PSD, A²/Hz.
+    drain_noise_psd: float
+    #: Gate-resistance value for noise, Ω.
+    rg_ohms: float
+
+    @property
+    def ft_hz(self) -> float:
+        """Unity-current-gain frequency ≈ gm / (2π(Cgs+Cgd))."""
+        return self.gm / (2.0 * math.pi * (self.cgs + self.cgd))
+
+
+class Mosfet:
+    """A MOSFET instance: nominal parameters + its mismatch declaration.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name, used as the device key in the process model.
+    params:
+        Nominal device parameters.
+    """
+
+    def __init__(self, name: str, params: Optional[MosfetParameters] = None):
+        if not name:
+            raise ValueError("MOSFET name must be non-empty")
+        self.name = name
+        self.params = params or MosfetParameters()
+
+    def variation(self) -> DeviceVariation:
+        """Mismatch declaration (Pelgrom-scaled) for the process model."""
+        return DeviceVariation(
+            self.name,
+            mosfet_mismatch_specs(self.params.width_um, self.params.length_um),
+        )
+
+    # ------------------------------------------------------------------
+    # bias / small signal
+    # ------------------------------------------------------------------
+    def _effective(self, sample: Optional[ProcessSample]):
+        """Process-shifted (vth, beta, lambda, cox_scale, cgs_f, cgd_f, rds_f)."""
+        p = self.params
+        if sample is None:
+            return p.vth0, p.beta, p.lambda0, 1.0, 1.0, 1.0, 1.0
+        dvth = sample.deviation(self.name, VariationKind.VTH)
+        beta_f = max(1.0 + sample.deviation(self.name, VariationKind.BETA), 0.05)
+        length_f = max(
+            1.0 + sample.deviation(self.name, VariationKind.LENGTH), 0.05
+        )
+        tox_f = max(1.0 + sample.deviation(self.name, VariationKind.TOX), 0.05)
+        cgs_f = max(1.0 + sample.deviation(self.name, VariationKind.CGS), 0.05)
+        cgd_f = max(1.0 + sample.deviation(self.name, VariationKind.CGD), 0.05)
+        rds_f = max(1.0 + sample.deviation(self.name, VariationKind.RDS), 0.05)
+        vth = p.vth0 + dvth
+        # β = µCox·W/L: thinner oxide raises Cox; longer channel lowers W/L.
+        beta = p.beta * beta_f / (length_f * tox_f)
+        # λ ∝ 1/L.
+        lam = p.lambda0 / length_f
+        # Cox density ∝ 1/tox; Cgs area also ∝ L.
+        cox_scale = length_f / tox_f
+        return vth, beta, lam, cox_scale, cgs_f, cgd_f, rds_f
+
+    def solve_vov_for_current(
+        self, id_amps: float, sample: Optional[ProcessSample] = None
+    ) -> float:
+        """Overdrive voltage that conducts ``id_amps`` (saturation).
+
+        Solves ``½β·Vov²/(1+θVov) = I_D`` exactly (quadratic in Vov).
+        """
+        if id_amps <= 0.0:
+            raise ValueError(f"id_amps must be > 0, got {id_amps}")
+        _, beta, _, _, _, _, _ = self._effective(sample)
+        theta = self.params.theta
+        # ½βVov² − I·θ·Vov − I = 0
+        a = 0.5 * beta
+        b = -id_amps * theta
+        c = -id_amps
+        return (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+
+    def current_for_vov(
+        self, vov: float, sample: Optional[ProcessSample] = None
+    ) -> float:
+        """Drain current at overdrive ``vov`` (saturation, no λ term)."""
+        if vov <= 0.0:
+            raise ValueError(f"vov must be > 0, got {vov}")
+        _, beta, _, _, _, _, _ = self._effective(sample)
+        return 0.5 * beta * vov * vov / (1.0 + self.params.theta * vov)
+
+    def small_signal(
+        self,
+        id_amps: float,
+        sample: Optional[ProcessSample] = None,
+    ) -> MosfetSmallSignal:
+        """Small-signal model at drain current ``id_amps``.
+
+        The power-series coefficients g2, g3 are the exact derivatives of
+        the velocity-saturated square law — they drive the IIP3/P1dB
+        calculations and inherit full process sensitivity.
+        """
+        vth, beta, lam, cox_scale, cgs_f, cgd_f, rds_f = self._effective(sample)
+        theta = self.params.theta
+        vov = self.solve_vov_for_current(id_amps, sample)
+
+        # I(V) = ½βV²/(1+θV); derivatives evaluated at V = vov.
+        denom = 1.0 + theta * vov
+        i0 = 0.5 * beta * vov * vov / denom
+        gm = 0.5 * beta * vov * (2.0 + theta * vov) / (denom * denom)
+        d2 = beta * (1.0 / denom**3)
+        d3 = -3.0 * beta * theta / denom**4
+        gm2 = 0.5 * d2
+        gm3 = d3 / 6.0
+
+        # Channel-length modulation; series resistance folds into rds_f.
+        gds = lam * i0 / rds_f
+
+        p = self.params
+        cgs_nominal = (
+            (2.0 / 3.0) * p.cox_ff_um2 * p.width_um * p.length_um
+            + p.cov_ff_um * p.width_um
+        ) * 1e-15
+        cgd_nominal = p.cov_ff_um * p.width_um * 1e-15
+        cgs = cgs_nominal * cox_scale * cgs_f
+        cgd = cgd_nominal * cgd_f
+
+        drain_noise = 4.0 * BOLTZMANN * ROOM_TEMPERATURE * p.gamma_noise * gm
+        return MosfetSmallSignal(
+            id_amps=id_amps,
+            vov=vov,
+            gm=gm,
+            gds=gds,
+            cgs=cgs,
+            cgd=cgd,
+            gm2=gm2,
+            gm3=gm3,
+            drain_noise_psd=drain_noise,
+            rg_ohms=p.rg_ohms * rds_f,
+        )
+
+
+class Passive:
+    """A passive component (resistor / capacitor / inductor) with variation.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name.
+    kind:
+        One of ``"resistor"``, ``"capacitor"``, ``"inductor"``.
+    nominal:
+        Nominal value in SI units (Ω, F, H).
+    mismatch_sigma:
+        Local relative 1-sigma deviation of this instance.
+    """
+
+    _KIND_TO_VARIATION = {
+        "resistor": VariationKind.RSHEET,
+        "capacitor": VariationKind.CDENS,
+        "inductor": VariationKind.LIND,
+    }
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        nominal: float,
+        mismatch_sigma: float = 0.01,
+    ) -> None:
+        if kind not in self._KIND_TO_VARIATION:
+            raise ValueError(
+                f"kind must be one of {sorted(self._KIND_TO_VARIATION)}, "
+                f"got {kind!r}"
+            )
+        if nominal <= 0.0:
+            raise ValueError(f"nominal must be > 0, got {nominal}")
+        self.name = name
+        self.kind = kind
+        self.nominal = nominal
+        self.mismatch_sigma = mismatch_sigma
+
+    def variation(self) -> DeviceVariation:
+        """Mismatch declaration for the process model."""
+        return DeviceVariation(
+            self.name,
+            (
+                ParameterSpec(
+                    self._KIND_TO_VARIATION[self.kind], self.mismatch_sigma
+                ),
+            ),
+        )
+
+    def value(self, sample: Optional[ProcessSample] = None) -> float:
+        """Process-shifted component value."""
+        if sample is None:
+            return self.nominal
+        return self.nominal * sample.relative(
+            self.name, self._KIND_TO_VARIATION[self.kind]
+        )
+
+    def thermal_noise_psd(self, sample: Optional[ProcessSample] = None) -> float:
+        """Thermal current-noise PSD ``4kT/R`` (resistors only), A²/Hz."""
+        if self.kind != "resistor":
+            raise ValueError("only resistors have thermal noise")
+        return 4.0 * BOLTZMANN * ROOM_TEMPERATURE / self.value(sample)

@@ -1,0 +1,95 @@
+"""Tuning-knob abstraction.
+
+A tunable circuit owns one or more discrete knobs (a current-mirror DAC, a
+switchable load-resistor bank, ...). The cross product of all knob settings
+defines the circuit's *states* — the ``k = 1..K`` index of the paper. States
+are ordered so that adjacent indexes correspond to adjacent knob codes,
+which is what makes the AR(1)-style correlation prior (eq. 32) meaningful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["TuningKnob", "KnobConfiguration", "enumerate_states"]
+
+
+@dataclass(frozen=True)
+class TuningKnob:
+    """One discrete tuning knob.
+
+    Attributes
+    ----------
+    name:
+        Knob identifier (e.g. ``"bias_code"``).
+    values:
+        The physical value each code maps to, in code order (monotone for a
+        DAC). ``len(values)`` is the knob resolution.
+    """
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("knob name must be non-empty")
+        if len(self.values) < 2:
+            raise ValueError(
+                f"knob {self.name!r} needs at least 2 settings, "
+                f"got {len(self.values)}"
+            )
+
+    @property
+    def n_codes(self) -> int:
+        """Number of discrete settings."""
+        return len(self.values)
+
+    def value(self, code: int) -> float:
+        """Physical value of setting ``code``."""
+        if not 0 <= code < len(self.values):
+            raise IndexError(
+                f"code {code} out of range for knob {self.name!r} "
+                f"with {len(self.values)} settings"
+            )
+        return self.values[code]
+
+
+@dataclass(frozen=True)
+class KnobConfiguration:
+    """One circuit state: a code per knob plus the resolved values."""
+
+    index: int
+    codes: Tuple[int, ...]
+    values: Dict[str, float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        settings = ", ".join(f"{k}={v:g}" for k, v in self.values.items())
+        return f"state {self.index} ({settings})"
+
+
+def enumerate_states(knobs: Sequence[TuningKnob]) -> List[KnobConfiguration]:
+    """Cross product of knob codes → ordered state list.
+
+    The first knob varies slowest, so a single-knob circuit gets states in
+    code order and a two-knob circuit is ordered lexicographically; in both
+    cases neighbouring states differ by one code step, keeping the state
+    index a meaningful similarity coordinate.
+    """
+    if not knobs:
+        raise ValueError("at least one knob is required")
+    names = [knob.name for knob in knobs]
+    if len(names) != len(set(names)):
+        raise ValueError("knob names must be unique")
+    states: List[KnobConfiguration] = []
+    for index, codes in enumerate(
+        itertools.product(*(range(knob.n_codes) for knob in knobs))
+    ):
+        values = {
+            knob.name: knob.value(code) for knob, code in zip(knobs, codes)
+        }
+        states.append(
+            KnobConfiguration(index=index, codes=tuple(codes), values=values)
+        )
+    return states

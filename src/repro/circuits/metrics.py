@@ -1,0 +1,118 @@
+"""RF metric math: dB conversions and weakly-nonlinear intercept points.
+
+A memoryless transconductor is modeled by the power series
+
+    i(v) = g1·v + g2·v² + g3·v³
+
+around its bias point. The two-tone third-order intercept and the 1 dB
+compression point follow from the classic expressions (see e.g. Razavi,
+*RF Microelectronics*):
+
+    A_IIP3  = sqrt(4/3 · |g1 / g3|)          (input amplitude, volts)
+    A_1dB   = sqrt(0.145 · |g1 / g3|)        (input amplitude, volts)
+
+Powers are referred to a source resistance (50 Ω by default) and expressed
+in dBm.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db",
+    "db10",
+    "undb",
+    "undb10",
+    "dbm_from_vrms",
+    "vrms_from_dbm",
+    "iip3_dbm_from_series",
+    "input_p1db_dbm_from_series",
+    "noise_figure_db",
+]
+
+DEFAULT_REFERENCE_OHMS = 50.0
+
+
+def db(value: float) -> float:
+    """Voltage/current ratio in dB: ``20·log10(value)``."""
+    if value <= 0.0:
+        raise ValueError(f"dB argument must be > 0, got {value}")
+    return 20.0 * math.log10(value)
+
+
+def db10(value: float) -> float:
+    """Power ratio in dB: ``10·log10(value)``."""
+    if value <= 0.0:
+        raise ValueError(f"dB argument must be > 0, got {value}")
+    return 10.0 * math.log10(value)
+
+
+def undb(value_db: float) -> float:
+    """Inverse of :func:`db`."""
+    return 10.0 ** (value_db / 20.0)
+
+
+def undb10(value_db: float) -> float:
+    """Inverse of :func:`db10`."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def dbm_from_vrms(
+    vrms: float, reference_ohms: float = DEFAULT_REFERENCE_OHMS
+) -> float:
+    """Power of an RMS voltage across ``reference_ohms``, in dBm."""
+    if vrms <= 0.0:
+        raise ValueError(f"vrms must be > 0, got {vrms}")
+    power_watts = vrms * vrms / reference_ohms
+    return 10.0 * math.log10(power_watts / 1e-3)
+
+
+def vrms_from_dbm(
+    power_dbm: float, reference_ohms: float = DEFAULT_REFERENCE_OHMS
+) -> float:
+    """RMS voltage across ``reference_ohms`` carrying ``power_dbm``."""
+    power_watts = 1e-3 * 10.0 ** (power_dbm / 10.0)
+    return math.sqrt(power_watts * reference_ohms)
+
+
+def iip3_dbm_from_series(
+    g1: float, g3: float, reference_ohms: float = DEFAULT_REFERENCE_OHMS
+) -> float:
+    """Input third-order intercept from power-series coefficients, in dBm.
+
+    The input amplitude at the intercept is ``sqrt(4/3 · |g1/g3|)`` (peak);
+    the returned power uses the RMS value of that sinusoidal amplitude.
+    """
+    if g1 == 0.0 or g3 == 0.0:
+        raise ValueError("g1 and g3 must be nonzero for a finite IIP3")
+    amplitude_peak = math.sqrt(4.0 / 3.0 * abs(g1 / g3))
+    return dbm_from_vrms(amplitude_peak / math.sqrt(2.0), reference_ohms)
+
+
+def input_p1db_dbm_from_series(
+    g1: float, g3: float, reference_ohms: float = DEFAULT_REFERENCE_OHMS
+) -> float:
+    """Input-referred 1 dB compression point from the power series, in dBm.
+
+    Compression requires ``g3`` to oppose ``g1``; for same-sign coefficients
+    (expansion) the magnitude is still used, matching the conventional
+    ``A_1dB = sqrt(0.145·|g1/g3|)`` definition.
+    """
+    if g1 == 0.0 or g3 == 0.0:
+        raise ValueError("g1 and g3 must be nonzero for a finite P1dB")
+    amplitude_peak = math.sqrt(0.145 * abs(g1 / g3))
+    return dbm_from_vrms(amplitude_peak / math.sqrt(2.0), reference_ohms)
+
+
+def noise_figure_db(noise_factor: float) -> float:
+    """Noise figure in dB from a linear noise factor (must be ≥ 1)."""
+    if noise_factor < 1.0:
+        # Round-off can land a hair under unity; clamp but reject real
+        # violations which indicate an analysis bug.
+        if noise_factor < 1.0 - 1e-9:
+            raise ValueError(
+                f"noise factor must be >= 1, got {noise_factor}"
+            )
+        noise_factor = 1.0
+    return 10.0 * math.log10(noise_factor)

@@ -1,0 +1,393 @@
+"""Tunable 2.4 GHz down-conversion mixer (paper Section 4.2).
+
+Topology: double-balanced Gilbert cell. A differential transconductor pair
+converts the RF voltage to current; a hard-switched quad commutates it at
+the LO rate; two *tunable load resistors* — thermometer resistor banks that
+step through 32 codes — set the conversion gain. A fixed mirror biases the
+tail, an LO buffer chain sets the switching swing, and source followers
+drive the IF output.
+
+Because the Gilbert cell is periodically time-varying, metrics use the
+standard hard-switching approximations instead of a single AC solve (the
+textbook Terrovitis/Meyer treatment):
+
+* conversion gain ``Gc = (2/π)·gm·R_L,eff`` degraded by finite switching
+  (LO swing) and quad threshold mismatch, times the IF-follower gain;
+* SSB noise figure from the explicit output noise budget — source and
+  termination, transconductor drains, switching quad (``4kTγ·I_tail·2/(π·V_LO)``
+  per side), load resistors and IF followers;
+* input 1 dB compression from the transconductor power series.
+
+Every quantity above is a function of device small-signal parameters and
+resistor values, so all 1303 process variables (the paper's count) act
+through physical paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.base import TunableCircuit, peripheral_padding
+from repro.circuits.dacs import FixedCurrentMirror, SwitchedResistorBank
+from repro.circuits.devices import (
+    BOLTZMANN,
+    ROOM_TEMPERATURE,
+    Mosfet,
+    MosfetParameters,
+    Passive,
+)
+from repro.circuits.knobs import KnobConfiguration, TuningKnob, enumerate_states
+from repro.circuits.metrics import (
+    dbm_from_vrms,
+    input_p1db_dbm_from_series,
+    noise_figure_db,
+    vrms_from_dbm,
+)
+from repro.variation.process import ProcessModel, ProcessSample
+from repro.variation.parameters import VariationKind
+
+__all__ = ["TunableMixer"]
+
+#: The paper's variable count for this example.
+PAPER_N_VARIABLES = 1303
+
+
+def _largest_divisor_at_most_sqrt(n: int) -> int:
+    """Largest divisor of ``n`` not exceeding √n (for knob factoring)."""
+    best = 1
+    for candidate in range(2, int(math.isqrt(n)) + 1):
+        if n % candidate == 0:
+            best = candidate
+    return best
+
+
+class TunableMixer(TunableCircuit):
+    """Tunable double-balanced Gilbert-cell mixer at 2.4 GHz.
+
+    Parameters
+    ----------
+    n_states:
+        Number of knob configurations (the paper uses 32). The load banks
+        carry ``n_states − 1`` switchable legs each.
+    n_variables:
+        Total normalized variable count (paper: 1303); ``None`` disables
+        peripheral padding.
+    source_ohms:
+        RF source resistance.
+    lo_swing:
+        Nominal single-ended LO amplitude at the quad gates, volts.
+    knob_layout:
+        ``"shared"`` (default): one code drives both load banks together —
+        states stay perfectly ordered for the AR(1) prior.
+        ``"independent"``: the two load resistors are separate knobs (the
+        literal reading of the paper's "two tunable load resistors"); the
+        states enumerate the code cross-product and a deliberate left/right
+        imbalance costs conversion gain, so the state ordering is only
+        *approximately* AR(1) — the regime the paper's eq. 32 comment
+        ("often a good approximation, even though not highly accurate")
+        describes.
+    """
+
+    METRICS: Tuple[str, ...] = ("nf_db", "gain_db", "i1db_dbm")
+
+    def __init__(
+        self,
+        n_states: int = 32,
+        n_variables: Optional[int] = PAPER_N_VARIABLES,
+        source_ohms: float = 50.0,
+        lo_swing: float = 0.4,
+        knob_layout: str = "shared",
+    ) -> None:
+        if n_states < 2:
+            raise ValueError(f"n_states must be >= 2, got {n_states}")
+        if knob_layout not in ("shared", "independent"):
+            raise ValueError(
+                "knob_layout must be 'shared' or 'independent', "
+                f"got {knob_layout!r}"
+            )
+        self.knob_layout = knob_layout
+        if lo_swing <= 0.0:
+            raise ValueError("lo_swing must be > 0")
+        self._rs = source_ohms
+        self._lo_swing_nominal = lo_swing
+        #: RMS IF swing at which the output stage clips, volts.
+        self._output_headroom = 0.35
+
+        # Gilbert core -----------------------------------------------------
+        rf_params = MosfetParameters(width_um=40.0, length_um=0.03)
+        quad_params = MosfetParameters(width_um=30.0, length_um=0.03)
+        self.rf_pair = (Mosfet("MRF1", rf_params), Mosfet("MRF2", rf_params))
+        self.quad = tuple(
+            Mosfet(f"MSW{i}", quad_params) for i in range(1, 5)
+        )
+        self.tail = FixedCurrentMirror("TAIL", 250e-6, ratio=16.0)
+
+        # Tunable loads. Shared layout: both banks carry the full leg count
+        # and step together. Independent layout: the state space factors
+        # into (left codes × right codes) with per-bank leg counts sized so
+        # the cross-product covers n_states.
+        if knob_layout == "shared":
+            left_legs = right_legs = n_states - 1
+        else:
+            left_codes = _largest_divisor_at_most_sqrt(n_states)
+            right_codes = n_states // left_codes
+            left_legs = left_codes - 1 if left_codes > 1 else 1
+            right_legs = right_codes - 1 if right_codes > 1 else 1
+            self._left_codes, self._right_codes = left_codes, right_codes
+        self.load_left = SwitchedResistorBank(
+            "RLL", n_legs=max(left_legs, 1), base_ohms=900.0,
+            leg_ohms=12000.0 if knob_layout == "shared" else 4000.0,
+        )
+        self.load_right = SwitchedResistorBank(
+            "RLR", n_legs=max(right_legs, 1), base_ohms=900.0,
+            leg_ohms=12000.0 if knob_layout == "shared" else 4000.0,
+        )
+
+        # LO buffer chain (sets the actual switching swing).
+        lo_params = MosfetParameters(width_um=24.0, length_um=0.03)
+        self.lo_buffer = tuple(
+            Mosfet(f"MLO{i}", lo_params) for i in range(1, 5)
+        )
+        self._lo_gm_nominal = self._lo_buffer_gm(None)
+
+        # IF source followers + their bias devices.
+        if_params = MosfetParameters(width_um=32.0, length_um=0.03)
+        self.if_buffer = tuple(
+            Mosfet(f"MIF{i}", if_params) for i in range(1, 5)
+        )
+        self.rif = Passive("RIF", "resistor", 400.0, 0.03)
+
+        # Input network & ESD.
+        self.rterm = Passive("RTERM", "resistor", 60.0, 0.03)
+        self.cac_in = Passive("CACI", "capacitor", 2e-12, 0.03)
+        self.cac_out = Passive("CACO", "capacitor", 2e-12, 0.03)
+        self.esd = tuple(Mosfet(f"MESD{i}", quad_params) for i in range(1, 5))
+
+        self._passives: Tuple[Passive, ...] = (
+            self.rif,
+            self.rterm,
+            self.cac_in,
+            self.cac_out,
+        )
+
+        declarations = []
+        for fet in (*self.rf_pair, *self.quad, *self.lo_buffer,
+                    *self.if_buffer, *self.esd):
+            declarations.append(fet.variation())
+        declarations.extend(self.tail.device_variations())
+        declarations.extend(self.load_left.device_variations())
+        declarations.extend(self.load_right.device_variations())
+        declarations.extend(p.variation() for p in self._passives)
+
+        if n_variables is not None:
+            from repro.variation.parameters import GLOBAL_PARAMETER_SET
+
+            current = len(GLOBAL_PARAMETER_SET) + sum(
+                len(d.specs) for d in declarations
+            )
+            declarations.extend(
+                peripheral_padding("MIXPER", n_variables, current)
+            )
+
+        self._process_model = ProcessModel(declarations)
+        if n_variables is not None:
+            assert self._process_model.n_variables == n_variables
+
+        if knob_layout == "shared":
+            knob = TuningKnob(
+                "load_code", tuple(float(code) for code in range(n_states))
+            )
+            self._states = tuple(enumerate_states([knob]))
+        else:
+            left = TuningKnob(
+                "left_code",
+                tuple(float(code) for code in range(self._left_codes)),
+            )
+            right = TuningKnob(
+                "right_code",
+                tuple(float(code) for code in range(self._right_codes)),
+            )
+            self._states = tuple(enumerate_states([left, right]))
+
+    # ------------------------------------------------------------------
+    # TunableCircuit interface
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Circuit identifier."""
+        return "mixer"
+
+    @property
+    def process_model(self) -> ProcessModel:
+        """The circuit's full variation space."""
+        return self._process_model
+
+    @property
+    def states(self) -> Tuple[KnobConfiguration, ...]:
+        """Ordered knob configurations."""
+        return self._states
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Performances of interest."""
+        return self.METRICS
+
+    # ------------------------------------------------------------------
+    # sub-circuit helpers
+    # ------------------------------------------------------------------
+    def _lo_buffer_gm(self, sample: Optional[ProcessSample]) -> float:
+        """Geometric-mean transconductance of the LO buffer chain."""
+        product = 1.0
+        for fet in self.lo_buffer:
+            product *= fet.small_signal(1.0e-3, sample).gm
+        return product ** (1.0 / len(self.lo_buffer))
+
+    def lo_swing(self, sample: Optional[ProcessSample]) -> float:
+        """Actual LO amplitude at the quad gates.
+
+        The buffer runs near clipping, so the swing responds only weakly
+        (square-root-compressed) to its drive strength.
+        """
+        gm_ratio = self._lo_buffer_gm(sample) / self._lo_gm_nominal
+        return self._lo_swing_nominal * math.sqrt(max(gm_ratio, 1e-3))
+
+    def load_resistances(
+        self, state: KnobConfiguration, sample: Optional[ProcessSample]
+    ) -> Tuple[float, float]:
+        """(left, right) effective load resistances at ``state``."""
+        if self.knob_layout == "shared":
+            code = int(state.values["load_code"])
+            left_code = right_code = code
+        else:
+            left_code = int(state.values["left_code"])
+            right_code = int(state.values["right_code"])
+        return (
+            self.load_left.resistance(left_code, sample),
+            self.load_right.resistance(right_code, sample),
+        )
+
+    def load_resistance(
+        self, state: KnobConfiguration, sample: Optional[ProcessSample]
+    ) -> float:
+        """Average effective load resistance of the two banks at ``state``."""
+        left, right = self.load_resistances(state, sample)
+        return 0.5 * (left + right)
+
+    def _quad_imbalance(self, sample: Optional[ProcessSample]) -> float:
+        """Gain degradation factor from quad threshold mismatch.
+
+        A threshold offset δ within a switching pair shifts the commutation
+        instant by δ/V_LO of an LO quarter-period, costing conversion gain
+        to second order: factor ≈ 1 − (δ₁² + δ₂²)/(2·V_LO²).
+        """
+        if sample is None:
+            return 1.0
+        v_lo = self.lo_swing(sample)
+        d1 = sample.deviation(
+            self.quad[0].name, VariationKind.VTH
+        ) - sample.deviation(self.quad[1].name, VariationKind.VTH)
+        d2 = sample.deviation(
+            self.quad[2].name, VariationKind.VTH
+        ) - sample.deviation(self.quad[3].name, VariationKind.VTH)
+        factor = 1.0 - (d1 * d1 + d2 * d2) / (2.0 * v_lo * v_lo)
+        return max(factor, 0.1)
+
+    def _if_followers(self, sample: Optional[ProcessSample]):
+        """Small-signal models of the two output source followers."""
+        return [
+            fet.small_signal(1.5e-3, sample) for fet in self.if_buffer[:2]
+        ]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, sample: ProcessSample, state: KnobConfiguration
+    ) -> Dict[str, float]:
+        """One 'transistor-level simulation' of this mixer."""
+        tail_current = self.tail.current(sample)
+        half_tail = 0.5 * tail_current
+        ss_rf = [fet.small_signal(half_tail, sample) for fet in self.rf_pair]
+        gm_rf = 0.5 * (ss_rf[0].gm + ss_rf[1].gm)
+
+        r_left, r_right = self.load_resistances(state, sample)
+        r_load = 0.5 * (r_left + r_right)
+        # A differential load imbalance converts part of the signal to
+        # common mode: second-order gain loss.
+        imbalance = (r_left - r_right) / (r_left + r_right)
+        balance_factor = max(1.0 - imbalance * imbalance, 0.1)
+        v_lo = self.lo_swing(sample)
+
+        # Finite-switching degradation: the quad spends a fraction of each
+        # period in the balanced region ∝ Vov_sw/V_LO.
+        vov_sw = self.quad[0].solve_vov_for_current(half_tail, sample)
+        switching = max(1.0 - vov_sw / (math.pi * v_lo), 0.2)
+
+        eta = self.rterm.value(sample) / (self._rs + self.rterm.value(sample))
+        conversion_gm = (2.0 / math.pi) * gm_rf * switching
+        conversion_gm *= self._quad_imbalance(sample) * balance_factor
+        rif = self.rif.value(sample)
+        ss_if = self._if_followers(sample)
+        a_if = 0.5 * sum(
+            ss.gm * rif / (1.0 + ss.gm * rif) for ss in ss_if
+        )
+        gain = eta * conversion_gm * r_load * a_if
+        if gain <= 0.0:
+            raise ArithmeticError("mixer conversion gain is non-positive")
+        gain_db = 20.0 * math.log10(gain)
+
+        # ---------------- noise budget (output-referred, V²/Hz) ----------
+        four_kt = 4.0 * BOLTZMANN * ROOM_TEMPERATURE
+        gc_rl = conversion_gm * r_load
+        # Source noise through the termination divider.
+        source_out = four_kt * self._rs * (eta * gc_rl) ** 2
+        # Termination resistor: its Norton current sees Rs ∥ Rterm at the gate.
+        r_par = (
+            self._rs
+            * self.rterm.value(sample)
+            / (self._rs + self.rterm.value(sample))
+        )
+        term_out = four_kt / self.rterm.value(sample) * (r_par * gc_rl) ** 2
+        # Transconductor drains: commutation folds noise with the same 2/π.
+        gm_noise = sum(ss.drain_noise_psd for ss in ss_rf)
+        transconductor_out = gm_noise * ((2.0 / math.pi) * r_load) ** 2 * 0.5
+        # Switching quad: Terrovitis-Meyer average conductance 2·I/(π·V_LO).
+        quad_gamma = self.quad[0].params.gamma_noise
+        quad_conductance = 2.0 * tail_current / (math.pi * v_lo)
+        quad_out = 2.0 * four_kt * quad_gamma * quad_conductance * r_load**2
+        # Loads.
+        load_out = 2.0 * four_kt * r_load
+        # IF followers: drain noise current over the follower output
+        # impedance 1/(gm + 1/Rif).
+        if_out = sum(
+            ss.drain_noise_psd / (ss.gm + 1.0 / rif) ** 2 for ss in ss_if
+        )
+
+        total = (
+            (source_out + term_out + transconductor_out + quad_out + load_out)
+            * a_if**2
+            + if_out
+        )
+        # SSB measurement doubles the noise relative to the signal band.
+        noise_factor = 2.0 * total / (source_out * a_if**2)
+        nf_db = noise_figure_db(noise_factor)
+
+        # ---------------- compression ------------------------------------
+        # Two mechanisms combine: (i) the transconductor's own power-series
+        # compression (vgs = η·vin/2 per device), and (ii) output clipping
+        # when the IF swing approaches the supply headroom — which is what
+        # couples I1dBCP to the tunable load. The composite input 1 dB
+        # point adds the mechanisms in 1/A² (dominant-pole style), the
+        # usual cascade-compression approximation.
+        g1 = gm_rf
+        g3 = 0.5 * (ss_rf[0].gm3 + ss_rf[1].gm3)
+        drive = 0.5 * eta
+        a_device = vrms_from_dbm(
+            input_p1db_dbm_from_series(g1, g3, self._rs), self._rs
+        ) / drive
+        a_clip = 0.89 * self._output_headroom / gain
+        a_total = 1.0 / math.sqrt(1.0 / a_device**2 + 1.0 / a_clip**2)
+        i1db_dbm = dbm_from_vrms(a_total, self._rs)
+
+        return {"nf_db": nf_db, "gain_db": gain_db, "i1db_dbm": i1db_dbm}

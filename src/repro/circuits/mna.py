@@ -1,0 +1,411 @@
+"""Modified nodal analysis (MNA) for small-signal AC circuits.
+
+A ``Circuit`` is a bag of linear elements between named nodes; node ``"0"``
+is ground. ``solve(frequency)`` assembles the complex admittance system
+
+    Y(jω) · v = i
+
+and returns an ``AcSolution`` with node voltages. Voltage sources are
+handled with auxiliary branch-current unknowns (the "modified" part of MNA).
+
+Elements supported: resistor, capacitor, inductor, VCCS (voltage-controlled
+current source, the small-signal transconductance), independent AC current
+source, independent AC voltage source. This covers every small-signal
+equivalent used by the LNA/mixer models and is easy to extend.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Circuit", "AcSolution"]
+
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class _Resistor:
+    name: str
+    n1: str
+    n2: str
+    ohms: float
+
+
+@dataclass(frozen=True)
+class _Capacitor:
+    name: str
+    n1: str
+    n2: str
+    farads: float
+
+
+@dataclass(frozen=True)
+class _Inductor:
+    name: str
+    n1: str
+    n2: str
+    henries: float
+
+
+@dataclass(frozen=True)
+class _Vccs:
+    """Current ``gm·(v_cp − v_cn)`` flowing from ``out_p`` into ``out_n``."""
+
+    name: str
+    out_p: str
+    out_n: str
+    ctrl_p: str
+    ctrl_n: str
+    gm: float
+
+
+@dataclass(frozen=True)
+class _CurrentSource:
+    """AC current ``amps`` flowing out of ``n1`` into ``n2`` through the source."""
+
+    name: str
+    n1: str
+    n2: str
+    amps: complex
+
+
+@dataclass(frozen=True)
+class _VoltageSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    volts: complex
+
+
+class Circuit:
+    """A small-signal AC circuit assembled element by element."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, int] = {}
+        self._resistors: List[_Resistor] = []
+        self._capacitors: List[_Capacitor] = []
+        self._inductors: List[_Inductor] = []
+        self._vccs: List[_Vccs] = []
+        self._isources: List[_CurrentSource] = []
+        self._vsources: List[_VoltageSource] = []
+        self._names: set = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _register(self, name: str) -> None:
+        if not name:
+            raise ValueError("element name must be non-empty")
+        if name in self._names:
+            raise ValueError(f"duplicate element name {name!r}")
+        self._names.add(name)
+
+    def _node(self, name: str) -> int:
+        """Intern a node name; ground maps to -1."""
+        if name == GROUND:
+            return -1
+        if name not in self._nodes:
+            self._nodes[name] = len(self._nodes)
+        return self._nodes[name]
+
+    def add_resistor(self, name: str, n1: str, n2: str, ohms: float) -> None:
+        """Add a resistor of ``ohms`` between ``n1`` and ``n2``."""
+        self._register(name)
+        if ohms <= 0.0:
+            raise ValueError(f"resistor {name!r} must have ohms > 0")
+        self._node(n1), self._node(n2)
+        self._resistors.append(_Resistor(name, n1, n2, ohms))
+
+    def add_capacitor(self, name: str, n1: str, n2: str, farads: float) -> None:
+        """Add a capacitor of ``farads`` between ``n1`` and ``n2``."""
+        self._register(name)
+        if farads <= 0.0:
+            raise ValueError(f"capacitor {name!r} must have farads > 0")
+        self._node(n1), self._node(n2)
+        self._capacitors.append(_Capacitor(name, n1, n2, farads))
+
+    def add_inductor(self, name: str, n1: str, n2: str, henries: float) -> None:
+        """Add an inductor of ``henries`` between ``n1`` and ``n2``."""
+        self._register(name)
+        if henries <= 0.0:
+            raise ValueError(f"inductor {name!r} must have henries > 0")
+        self._node(n1), self._node(n2)
+        self._inductors.append(_Inductor(name, n1, n2, henries))
+
+    def add_vccs(
+        self,
+        name: str,
+        out_p: str,
+        out_n: str,
+        ctrl_p: str,
+        ctrl_n: str,
+        gm: float,
+    ) -> None:
+        """Add a transconductance: current gm·v(ctrl) from out_p to out_n."""
+        self._register(name)
+        for node in (out_p, out_n, ctrl_p, ctrl_n):
+            self._node(node)
+        self._vccs.append(_Vccs(name, out_p, out_n, ctrl_p, ctrl_n, gm))
+
+    def add_current_source(
+        self, name: str, n1: str, n2: str, amps: complex
+    ) -> None:
+        """Add an AC current source driving ``amps`` from n1 into n2."""
+        self._register(name)
+        self._node(n1), self._node(n2)
+        self._isources.append(_CurrentSource(name, n1, n2, complex(amps)))
+
+    def add_voltage_source(
+        self, name: str, n_plus: str, n_minus: str, volts: complex
+    ) -> None:
+        """Add an AC voltage source of ``volts`` between n_plus and n_minus."""
+        self._register(name)
+        self._node(n_plus), self._node(n_minus)
+        self._vsources.append(
+            _VoltageSource(name, n_plus, n_minus, complex(volts))
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """Non-ground node names, in internal order."""
+        return tuple(
+            sorted(self._nodes, key=lambda node: self._nodes[node])
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # assembly / solve
+    # ------------------------------------------------------------------
+    def _assemble(self, frequency_hz: float):
+        if frequency_hz < 0.0:
+            raise ValueError(f"frequency must be >= 0, got {frequency_hz}")
+        omega = 2.0 * math.pi * frequency_hz
+        n = len(self._nodes)
+        n_aux = len(self._vsources)
+        size = n + n_aux
+        matrix = np.zeros((size, size), dtype=complex)
+        rhs = np.zeros(size, dtype=complex)
+
+        def stamp_admittance(n1: str, n2: str, y: complex) -> None:
+            i, j = self._nodes.get(n1, -1), self._nodes.get(n2, -1)
+            if n1 == GROUND:
+                i = -1
+            if n2 == GROUND:
+                j = -1
+            if i >= 0:
+                matrix[i, i] += y
+            if j >= 0:
+                matrix[j, j] += y
+            if i >= 0 and j >= 0:
+                matrix[i, j] -= y
+                matrix[j, i] -= y
+
+        for r in self._resistors:
+            stamp_admittance(r.n1, r.n2, 1.0 / r.ohms)
+        for c in self._capacitors:
+            stamp_admittance(c.n1, c.n2, 1j * omega * c.farads)
+        for ind in self._inductors:
+            if omega == 0.0:
+                # DC: an ideal inductor is a short; approximate with a tiny
+                # series resistance to keep the system nonsingular.
+                stamp_admittance(ind.n1, ind.n2, 1.0 / 1e-6)
+            else:
+                stamp_admittance(ind.n1, ind.n2, 1.0 / (1j * omega * ind.henries))
+
+        for g in self._vccs:
+            rows = [
+                (g.out_p, +1.0),
+                (g.out_n, -1.0),
+            ]
+            cols = [
+                (g.ctrl_p, +1.0),
+                (g.ctrl_n, -1.0),
+            ]
+            for row_node, row_sign in rows:
+                if row_node == GROUND:
+                    continue
+                i = self._nodes[row_node]
+                for col_node, col_sign in cols:
+                    if col_node == GROUND:
+                        continue
+                    j = self._nodes[col_node]
+                    matrix[i, j] += row_sign * col_sign * g.gm
+
+        for src in self._isources:
+            # Current flows out of n1, through the source, into n2: KCL sees
+            # an injection of +amps at n2 and −amps at n1.
+            if src.n1 != GROUND:
+                rhs[self._nodes[src.n1]] -= src.amps
+            if src.n2 != GROUND:
+                rhs[self._nodes[src.n2]] += src.amps
+
+        for k, src in enumerate(self._vsources):
+            row = n + k
+            if src.n_plus != GROUND:
+                i = self._nodes[src.n_plus]
+                matrix[i, row] += 1.0
+                matrix[row, i] += 1.0
+            if src.n_minus != GROUND:
+                j = self._nodes[src.n_minus]
+                matrix[j, row] -= 1.0
+                matrix[row, j] -= 1.0
+            rhs[row] = src.volts
+
+        return matrix, rhs
+
+    def solve(self, frequency_hz: float) -> "AcSolution":
+        """Solve the AC system at one frequency."""
+        matrix, rhs = self._assemble(frequency_hz)
+        if matrix.shape[0] == 0:
+            raise ValueError("circuit has no non-ground nodes")
+        try:
+            solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as error:
+            raise ValueError(
+                f"singular MNA system at {frequency_hz} Hz — is every node "
+                "connected to ground through some element?"
+            ) from error
+        n = len(self._nodes)
+        return AcSolution(
+            frequency_hz=frequency_hz,
+            node_index=dict(self._nodes),
+            voltages=solution[:n],
+            source_currents={
+                src.name: solution[n + k]
+                for k, src in enumerate(self._vsources)
+            },
+        )
+
+    def solve_with_current_injection(
+        self, frequency_hz: float, node_from: str, node_to: str
+    ) -> "AcSolution":
+        """Solve with all sources plus a unit test current injection.
+
+        Used by the noise analysis to compute transfer functions from an
+        arbitrary element location to the output. The injection drives 1 A
+        from ``node_from`` into ``node_to`` (both may be ground).
+        """
+        matrix, rhs = self._assemble(frequency_hz)
+        if node_from != GROUND:
+            if node_from not in self._nodes:
+                raise KeyError(f"unknown node {node_from!r}")
+            rhs[self._nodes[node_from]] -= 1.0
+        if node_to != GROUND:
+            if node_to not in self._nodes:
+                raise KeyError(f"unknown node {node_to!r}")
+            rhs[self._nodes[node_to]] += 1.0
+        solution = np.linalg.solve(matrix, rhs)
+        n = len(self._nodes)
+        return AcSolution(
+            frequency_hz=frequency_hz,
+            node_index=dict(self._nodes),
+            voltages=solution[:n],
+            source_currents={
+                src.name: solution[n + k]
+                for k, src in enumerate(self._vsources)
+            },
+        )
+
+    def frequency_response(
+        self,
+        frequencies_hz,
+        node_plus: str,
+        node_minus: str = GROUND,
+    ) -> np.ndarray:
+        """Complex response of a node (pair) over a frequency list.
+
+        Solves the circuit with its own sources at every frequency and
+        returns ``v(node_plus) − v(node_minus)`` as a complex array —
+        the AC sweep of a classic simulator.
+        """
+        frequencies = np.asarray(frequencies_hz, dtype=float)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise ValueError("frequencies_hz must be a non-empty 1-D array")
+        response = np.empty(frequencies.size, dtype=complex)
+        for index, frequency in enumerate(frequencies):
+            solution = self.solve(float(frequency))
+            response[index] = solution.voltage_between(node_plus, node_minus)
+        return response
+
+    def solve_injections(
+        self,
+        frequency_hz: float,
+        injections: "List[Tuple[str, str]]",
+    ) -> List["AcSolution"]:
+        """Solve many unit-current injections with one factorization.
+
+        ``injections`` is a list of ``(node_from, node_to)`` pairs; each
+        yields an ``AcSolution`` for 1 A driven out of ``node_from`` into
+        ``node_to`` (independent sources stay active in all of them). Much
+        faster than repeated :meth:`solve_with_current_injection` because the
+        MNA matrix is factorized once.
+        """
+        matrix, base_rhs = self._assemble(frequency_hz)
+        rhs = np.tile(base_rhs[:, None], (1, len(injections)))
+        for column, (node_from, node_to) in enumerate(injections):
+            for node, sign in ((node_from, -1.0), (node_to, +1.0)):
+                if node == GROUND:
+                    continue
+                if node not in self._nodes:
+                    raise KeyError(f"unknown node {node!r}")
+                rhs[self._nodes[node], column] += sign
+        solutions = np.linalg.solve(matrix, rhs)
+        n = len(self._nodes)
+        node_index = dict(self._nodes)
+        return [
+            AcSolution(
+                frequency_hz=frequency_hz,
+                node_index=node_index,
+                voltages=solutions[:n, column],
+                source_currents={
+                    src.name: solutions[n + k, column]
+                    for k, src in enumerate(self._vsources)
+                },
+            )
+            for column in range(len(injections))
+        ]
+
+
+@dataclass
+class AcSolution:
+    """Result of one AC solve: complex node voltages at one frequency."""
+
+    frequency_hz: float
+    node_index: Dict[str, int]
+    voltages: np.ndarray
+    source_currents: Dict[str, complex] = field(default_factory=dict)
+
+    def voltage(self, node: str) -> complex:
+        """Complex voltage of ``node`` (ground returns 0)."""
+        if node == GROUND:
+            return 0.0 + 0.0j
+        if node not in self.node_index:
+            raise KeyError(f"unknown node {node!r}")
+        return complex(self.voltages[self.node_index[node]])
+
+    def voltage_between(self, n_plus: str, n_minus: str) -> complex:
+        """Complex differential voltage ``v(n_plus) − v(n_minus)``."""
+        return self.voltage(n_plus) - self.voltage(n_minus)
+
+    def magnitude_db(self, node: str) -> float:
+        """Node voltage magnitude in dBV."""
+        magnitude = abs(self.voltage(node))
+        if magnitude <= 0.0:
+            raise ValueError(f"node {node!r} voltage is zero")
+        return 20.0 * math.log10(magnitude)
+
+    def phase_deg(self, node: str) -> float:
+        """Node voltage phase in degrees."""
+        return math.degrees(cmath.phase(self.voltage(node)))

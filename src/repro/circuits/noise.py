@@ -1,0 +1,193 @@
+"""Linear noise analysis on top of the MNA solver.
+
+Each physical noise generator is represented as a current source between two
+nodes with a one-sided PSD in A²/Hz (Norton form; a resistor's ``4kT/R``, a
+MOSFET drain's ``4kTγgm``, a gate resistance's ``4kT/Rg`` converted through
+the local transconductance, ...). Since generators are uncorrelated, each is
+injected separately with unit amplitude, the transfer ``H(jω)`` to the
+designated output is read off, and powers add:
+
+    S_out(ω) = Σ_sources |H_s(jω)|² · S_s
+
+The noise factor is then the classic ratio
+
+    F = S_out,total / S_out,due-to-source-resistance
+
+evaluated at the operating frequency. The circuit handed to the analysis
+must contain the *zero-valued* input excitation (so the source impedance is
+in place but silent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuits.metrics import noise_figure_db
+from repro.circuits.mna import Circuit
+
+__all__ = ["NoiseSource", "NoiseContribution", "NoiseAnalysis"]
+
+
+@dataclass(frozen=True)
+class NoiseSource:
+    """One uncorrelated noise generator in Norton (current) form.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"M1.drain"``).
+    node_from / node_to:
+        The injection nodes: the unit test current flows out of
+        ``node_from`` into ``node_to``.
+    psd_a2_per_hz:
+        One-sided current PSD in A²/Hz.
+    """
+
+    name: str
+    node_from: str
+    node_to: str
+    psd_a2_per_hz: float
+
+    def __post_init__(self) -> None:
+        if self.psd_a2_per_hz < 0.0:
+            raise ValueError(
+                f"noise PSD must be >= 0, got {self.psd_a2_per_hz}"
+            )
+
+
+@dataclass(frozen=True)
+class NoiseContribution:
+    """Output-referred contribution of one generator."""
+
+    name: str
+    input_psd: float
+    transfer_mag_squared: float
+
+    @property
+    def output_psd(self) -> float:
+        """Contribution to the output voltage PSD, V²/Hz."""
+        return self.input_psd * self.transfer_mag_squared
+
+
+class NoiseAnalysis:
+    """Noise solve for one circuit and one differential output.
+
+    Parameters
+    ----------
+    circuit:
+        The small-signal circuit with all independent sources set to zero
+        amplitude (their impedances stay in place).
+    output_plus / output_minus:
+        Output nodes; single-ended outputs use ground for the minus node.
+    """
+
+    def __init__(
+        self, circuit: Circuit, output_plus: str, output_minus: str = "0"
+    ) -> None:
+        self._circuit = circuit
+        self._out_p = output_plus
+        self._out_n = output_minus
+
+    def contributions(
+        self, frequency_hz: float, sources: Sequence[NoiseSource]
+    ) -> List[NoiseContribution]:
+        """Per-generator output contributions at one frequency."""
+        if not sources:
+            raise ValueError("at least one noise source is required")
+        solutions = self._circuit.solve_injections(
+            frequency_hz,
+            [(source.node_from, source.node_to) for source in sources],
+        )
+        results: List[NoiseContribution] = []
+        for source, solution in zip(sources, solutions):
+            transfer = solution.voltage_between(self._out_p, self._out_n)
+            results.append(
+                NoiseContribution(
+                    name=source.name,
+                    input_psd=source.psd_a2_per_hz,
+                    transfer_mag_squared=abs(transfer) ** 2,
+                )
+            )
+        return results
+
+    def output_psd(
+        self, frequency_hz: float, sources: Sequence[NoiseSource]
+    ) -> float:
+        """Total output voltage PSD, V²/Hz."""
+        return sum(
+            c.output_psd for c in self.contributions(frequency_hz, sources)
+        )
+
+    def noise_factor(
+        self,
+        frequency_hz: float,
+        sources: Sequence[NoiseSource],
+        reference: str,
+    ) -> float:
+        """Noise factor F relative to the generator named ``reference``.
+
+        ``reference`` must name the source-resistance generator; its output
+        contribution is the denominator of F.
+        """
+        contributions = self.contributions(frequency_hz, sources)
+        by_name: Dict[str, NoiseContribution] = {
+            c.name: c for c in contributions
+        }
+        if reference not in by_name:
+            raise KeyError(
+                f"reference source {reference!r} not among "
+                f"{sorted(by_name)}"
+            )
+        reference_psd = by_name[reference].output_psd
+        if reference_psd <= 0.0:
+            raise ValueError(
+                "reference source contributes zero output noise; check the "
+                "output nodes and source impedance"
+            )
+        total = sum(c.output_psd for c in contributions)
+        return total / reference_psd
+
+    def noise_figure_db(
+        self,
+        frequency_hz: float,
+        sources: Sequence[NoiseSource],
+        reference: str,
+    ) -> float:
+        """Noise figure in dB (see :meth:`noise_factor`)."""
+        return noise_figure_db(
+            self.noise_factor(frequency_hz, sources, reference)
+        )
+
+    def budget_report(
+        self,
+        frequency_hz: float,
+        sources: Sequence[NoiseSource],
+        reference: str,
+    ) -> str:
+        """Human-readable noise budget, largest contributor first.
+
+        The classic designer's table: each generator's share of the total
+        output noise, plus the resulting noise figure against
+        ``reference``.
+        """
+        contributions = self.contributions(frequency_hz, sources)
+        total = sum(c.output_psd for c in contributions)
+        if total <= 0.0:
+            raise ValueError("total output noise is zero")
+        ranked = sorted(
+            contributions, key=lambda c: c.output_psd, reverse=True
+        )
+        lines = [
+            f"noise budget at {frequency_hz / 1e9:.3f} GHz "
+            f"(output PSD {total:.3e} V²/Hz)",
+            f"{'source':<14}{'V²/Hz':>12}{'share':>9}",
+        ]
+        for c in ranked:
+            lines.append(
+                f"{c.name:<14}{c.output_psd:>12.3e}"
+                f"{c.output_psd / total:>8.1%}"
+            )
+        nf = self.noise_figure_db(frequency_hz, sources, reference)
+        lines.append(f"noise figure vs {reference}: {nf:.3f} dB")
+        return "\n".join(lines)

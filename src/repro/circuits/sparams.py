@@ -1,0 +1,123 @@
+"""Two-port S-parameter extraction from MNA circuits.
+
+Builds on the AC solver: a circuit builder provides the two-port's inner
+network; this module terminates both ports in the reference impedance,
+excites each port in turn, and converts the resulting port voltages into
+the scattering matrix using the standard wave definitions
+
+    a_i = (V_i + Z0·I_i) / (2·√Z0),   b_i = (V_i − Z0·I_i) / (2·√Z0)
+
+With port j driven by a source of open-circuit voltage 2·√Z0 (so the
+incident wave is a_j = 1) and the other port terminated, S_ij = b_i
+directly. This is exactly how a circuit simulator's ``SP`` analysis works.
+
+Use :class:`TwoPortTestbench` with a builder callback that stamps the DUT
+between the named port nodes.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.circuits.mna import Circuit
+
+__all__ = ["SParameters", "TwoPortTestbench"]
+
+
+@dataclass(frozen=True)
+class SParameters:
+    """One frequency point of a two-port scattering matrix."""
+
+    frequency_hz: float
+    s11: complex
+    s21: complex
+    s12: complex
+    s22: complex
+
+    def magnitude_db(self, name: str) -> float:
+        """|S_xy| in dB for ``name`` in {"s11","s21","s12","s22"}."""
+        value = getattr(self, name)
+        magnitude = abs(value)
+        if magnitude <= 0.0:
+            return -math.inf
+        return 20.0 * math.log10(magnitude)
+
+    @property
+    def is_reciprocal(self) -> bool:
+        """True when S21 ≈ S12 (passive reciprocal networks)."""
+        scale = max(abs(self.s21), abs(self.s12), 1e-30)
+        return abs(self.s21 - self.s12) / scale < 1e-6
+
+    @property
+    def is_passive(self) -> bool:
+        """True when no port reflects/transmits more power than incident."""
+        row1 = abs(self.s11) ** 2 + abs(self.s12) ** 2
+        row2 = abs(self.s21) ** 2 + abs(self.s22) ** 2
+        return row1 <= 1.0 + 1e-9 and row2 <= 1.0 + 1e-9
+
+
+class TwoPortTestbench:
+    """S-parameter testbench around a user-provided network builder.
+
+    Parameters
+    ----------
+    builder:
+        Callback ``builder(circuit, port1, port2)`` stamping the DUT
+        between the two (single-ended) port nodes and ground.
+    z0:
+        Reference impedance of both ports.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[[Circuit, str, str], None],
+        z0: float = 50.0,
+    ) -> None:
+        if z0 <= 0.0:
+            raise ValueError(f"z0 must be > 0, got {z0}")
+        self._builder = builder
+        self.z0 = z0
+
+    def _solve_driven(self, frequency_hz: float, driven_port: int):
+        """Solve with unit incident wave at ``driven_port`` (1 or 2)."""
+        circuit = Circuit()
+        amplitude = 2.0 * math.sqrt(self.z0)  # a = 1 at the driven port
+        if driven_port == 1:
+            circuit.add_voltage_source("VS1", "src1", "0", amplitude)
+            circuit.add_resistor("RT1", "src1", "p1", self.z0)
+            circuit.add_resistor("RT2", "p2", "0", self.z0)
+        else:
+            circuit.add_voltage_source("VS2", "src2", "0", amplitude)
+            circuit.add_resistor("RT2", "src2", "p2", self.z0)
+            circuit.add_resistor("RT1", "p1", "0", self.z0)
+        self._builder(circuit, "p1", "p2")
+        return circuit.solve(frequency_hz)
+
+    def at(self, frequency_hz: float) -> SParameters:
+        """Scattering matrix at one frequency."""
+        root_z0 = math.sqrt(self.z0)
+        # Drive port 1: b1 = v1/√Z0 − a1, b2 = v2/√Z0 (port 2 matched).
+        sol1 = self._solve_driven(frequency_hz, 1)
+        v1 = sol1.voltage("p1")
+        v2 = sol1.voltage("p2")
+        s11 = v1 / root_z0 - 1.0
+        s21 = v2 / root_z0
+        # Drive port 2.
+        sol2 = self._solve_driven(frequency_hz, 2)
+        s22 = sol2.voltage("p2") / root_z0 - 1.0
+        s12 = sol2.voltage("p1") / root_z0
+        return SParameters(
+            frequency_hz=frequency_hz, s11=s11, s21=s21, s12=s12, s22=s22
+        )
+
+    def sweep(self, frequencies_hz: Sequence[float]) -> list:
+        """Scattering matrices over a frequency list."""
+        frequencies = np.asarray(frequencies_hz, dtype=float)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise ValueError("frequencies_hz must be a non-empty 1-D array")
+        return [self.at(float(f)) for f in frequencies]

@@ -1,0 +1,91 @@
+"""Two-port/one-port RF network helpers.
+
+Small utilities on top of the MNA solver: reflection coefficients and
+return loss from computed impedances, impedance↔reflection conversion, and
+the standard power-gain definitions. Used by the LNA's input-match
+diagnostics and available to users building their own testbenches.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+__all__ = [
+    "reflection_coefficient",
+    "impedance_from_reflection",
+    "return_loss_db",
+    "vswr",
+    "mismatch_loss_db",
+    "transducer_gain_db",
+]
+
+DEFAULT_Z0 = 50.0
+
+
+def reflection_coefficient(
+    impedance: complex, z0: float = DEFAULT_Z0
+) -> complex:
+    """Γ = (Z − Z0)/(Z + Z0)."""
+    if z0 <= 0.0:
+        raise ValueError(f"z0 must be > 0, got {z0}")
+    impedance = complex(impedance)
+    denominator = impedance + z0
+    if denominator == 0:
+        raise ValueError("impedance equals -z0; reflection undefined")
+    return (impedance - z0) / denominator
+
+
+def impedance_from_reflection(
+    gamma: complex, z0: float = DEFAULT_Z0
+) -> complex:
+    """Inverse of :func:`reflection_coefficient`."""
+    gamma = complex(gamma)
+    if abs(1.0 - gamma) < 1e-15:
+        raise ValueError("reflection of +1 corresponds to infinite impedance")
+    return z0 * (1.0 + gamma) / (1.0 - gamma)
+
+
+def return_loss_db(impedance: complex, z0: float = DEFAULT_Z0) -> float:
+    """Return loss −20·log10|Γ| in dB (positive for any real match)."""
+    magnitude = abs(reflection_coefficient(impedance, z0))
+    if magnitude <= 0.0:
+        return math.inf
+    return -20.0 * math.log10(magnitude)
+
+
+def vswr(impedance: complex, z0: float = DEFAULT_Z0) -> float:
+    """Voltage standing-wave ratio (1 for a perfect match)."""
+    magnitude = abs(reflection_coefficient(impedance, z0))
+    if magnitude >= 1.0:
+        return math.inf
+    return (1.0 + magnitude) / (1.0 - magnitude)
+
+
+def mismatch_loss_db(impedance: complex, z0: float = DEFAULT_Z0) -> float:
+    """Power lost to input mismatch: −10·log10(1 − |Γ|²)."""
+    magnitude = abs(reflection_coefficient(impedance, z0))
+    if magnitude >= 1.0:
+        return math.inf
+    return -10.0 * math.log10(1.0 - magnitude * magnitude)
+
+
+def transducer_gain_db(
+    v_out_rms: float,
+    r_load: float,
+    v_available_rms: float,
+    r_source: float,
+) -> float:
+    """Transducer power gain: delivered load power over available power."""
+    for name, value in (
+        ("v_out_rms", v_out_rms),
+        ("r_load", r_load),
+        ("v_available_rms", v_available_rms),
+        ("r_source", r_source),
+    ):
+        if value <= 0.0:
+            raise ValueError(f"{name} must be > 0, got {value}")
+    p_load = v_out_rms * v_out_rms / r_load
+    p_available = v_available_rms * v_available_rms / (4.0 * r_source)
+    return 10.0 * math.log10(p_load / p_available)

@@ -1,0 +1,195 @@
+"""Tunable LC voltage-controlled oscillator (extra example circuit).
+
+The paper's introduction names phase noise as the canonical analog/RF
+performance to model; this VCO provides it as a third tunable circuit for
+the examples and tests (the evaluation section itself only uses the LNA and
+mixer). Topology: NMOS cross-coupled pair across an LC tank, tail-current
+mirror, and a thermometer switched-capacitor bank as the frequency-tuning
+knob — the standard band-select arrangement.
+
+Metrics per (process sample, knob state):
+
+* ``freq_ghz`` — oscillation frequency ``1/(2π√(L·C_tot))`` with the
+  enabled bank capacitors (each carrying its own mismatch) plus the pair's
+  parasitics;
+* ``pnoise_dbc`` — phase noise at a fixed offset from Leeson's equation
+  with the device excess-noise factor and the current-limited amplitude;
+* ``power_mw`` — tail current × supply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.circuits.base import TunableCircuit, peripheral_padding
+from repro.circuits.dacs import FixedCurrentMirror
+from repro.circuits.devices import (
+    BOLTZMANN,
+    ROOM_TEMPERATURE,
+    Mosfet,
+    MosfetParameters,
+    Passive,
+)
+from repro.circuits.knobs import KnobConfiguration, TuningKnob, enumerate_states
+from repro.variation.process import ProcessModel, ProcessSample
+from repro.variation.parameters import VariationKind
+
+__all__ = ["TunableVCO"]
+
+
+class TunableVCO(TunableCircuit):
+    """Tunable 5 GHz-class LC VCO with a switched-capacitor band knob.
+
+    Parameters
+    ----------
+    n_states:
+        Number of knob configurations (bank codes 0..n_states−1).
+    n_variables:
+        Optional exact variable count via peripheral padding; ``None``
+        keeps the natural (unpadded) space.
+    offset_hz:
+        Phase-noise offset frequency (default 1 MHz).
+    supply_volts:
+        Supply for the power metric and the amplitude clip.
+    """
+
+    METRICS: Tuple[str, ...] = ("freq_ghz", "pnoise_dbc", "power_mw")
+
+    def __init__(
+        self,
+        n_states: int = 16,
+        n_variables: Optional[int] = None,
+        offset_hz: float = 1e6,
+        supply_volts: float = 1.0,
+    ) -> None:
+        if n_states < 2:
+            raise ValueError(f"n_states must be >= 2, got {n_states}")
+        if offset_hz <= 0.0:
+            raise ValueError("offset_hz must be > 0")
+        self._offset = offset_hz
+        self._vdd = supply_volts
+
+        pair_params = MosfetParameters(width_um=30.0, length_um=0.03)
+        self.pair = (Mosfet("MXC1", pair_params), Mosfet("MXC2", pair_params))
+        self.tail = FixedCurrentMirror("VTAIL", 250e-6, ratio=12.0)
+
+        self.tank_l = Passive("LTANK", "inductor", 0.8e-9, 0.02)
+        self.tank_c = Passive("CTANK", "capacitor", 0.9e-12, 0.02)
+        #: Tank quality factor resistance (parallel loss at resonance).
+        self.tank_rp = Passive("RPTANK", "resistor", 400.0, 0.05)
+
+        unit_c = 45e-15
+        self.bank_caps = tuple(
+            Passive(f"CB{i}", "capacitor", unit_c, 0.02)
+            for i in range(n_states - 1)
+        )
+        switch_params = MosfetParameters(width_um=10.0, length_um=0.03)
+        self.bank_switches = tuple(
+            Mosfet(f"MSWB{i}", switch_params) for i in range(n_states - 1)
+        )
+
+        declarations = [fet.variation() for fet in self.pair]
+        declarations.extend(self.tail.device_variations())
+        declarations.extend(
+            p.variation()
+            for p in (self.tank_l, self.tank_c, self.tank_rp)
+        )
+        declarations.extend(c.variation() for c in self.bank_caps)
+        declarations.extend(s.variation() for s in self.bank_switches)
+
+        if n_variables is not None:
+            from repro.variation.parameters import GLOBAL_PARAMETER_SET
+
+            current = len(GLOBAL_PARAMETER_SET) + sum(
+                len(d.specs) for d in declarations
+            )
+            declarations.extend(
+                peripheral_padding("VCOPER", n_variables, current)
+            )
+        self._process_model = ProcessModel(declarations)
+        if n_variables is not None:
+            assert self._process_model.n_variables == n_variables
+
+        knob = TuningKnob(
+            "band_code", tuple(float(code) for code in range(n_states))
+        )
+        self._states = tuple(enumerate_states([knob]))
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Circuit identifier."""
+        return "vco"
+
+    @property
+    def process_model(self) -> ProcessModel:
+        """The circuit's full variation space."""
+        return self._process_model
+
+    @property
+    def states(self) -> Tuple[KnobConfiguration, ...]:
+        """Ordered knob configurations."""
+        return self._states
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Performances of interest."""
+        return self.METRICS
+
+    # ------------------------------------------------------------------
+    def tank_capacitance(
+        self, state: KnobConfiguration, sample: Optional[ProcessSample]
+    ) -> float:
+        """Total tank capacitance at ``state`` (farads)."""
+        code = int(state.values["band_code"])
+        total = self.tank_c.value(sample)
+        for index in range(code):
+            total += self.bank_caps[index].value(sample)
+        # Cross-coupled pair parasitics load the tank.
+        half_tail = 0.5 * self.tail.current(sample)
+        for fet in self.pair:
+            ss = fet.small_signal(max(half_tail, 1e-5), sample)
+            total += ss.cgs + 4.0 * ss.cgd  # Miller-doubled, both sides
+        return total
+
+    def evaluate(
+        self, sample: ProcessSample, state: KnobConfiguration
+    ) -> Dict[str, float]:
+        """One 'transistor-level simulation' of this VCO."""
+        tail_current = self.tail.current(sample)
+        inductance = self.tank_l.value(sample)
+        capacitance = self.tank_capacitance(state, sample)
+
+        omega = 1.0 / math.sqrt(inductance * capacitance)
+        freq_ghz = omega / (2.0 * math.pi) / 1e9
+
+        # Current-limited amplitude, clipped by the supply headroom.
+        r_parallel = self.tank_rp.value(sample)
+        amplitude = (2.0 / math.pi) * tail_current * r_parallel
+        amplitude = min(amplitude, 0.8 * self._vdd)
+        if amplitude <= 0.0:
+            raise ArithmeticError("VCO failed to start (zero amplitude)")
+
+        # Leeson with the pair's excess noise: F = 1 + γ (conservative).
+        quality = r_parallel / (omega * inductance)
+        gamma = self.pair[0].params.gamma_noise
+        noise_factor = 1.0 + gamma
+        signal_power = 0.5 * amplitude * amplitude / r_parallel
+        f0 = omega / (2.0 * math.pi)
+        leeson = (
+            2.0
+            * noise_factor
+            * BOLTZMANN
+            * ROOM_TEMPERATURE
+            / signal_power
+            * (1.0 + (f0 / (2.0 * quality * self._offset)) ** 2)
+        )
+        pnoise_dbc = 10.0 * math.log10(leeson)
+
+        power_mw = tail_current * self._vdd * 1e3
+        return {
+            "freq_ghz": freq_ghz,
+            "pnoise_dbc": pnoise_dbc,
+            "power_mw": power_mw,
+        }

@@ -1,0 +1,163 @@
+"""Command-line interface for the reproduction harness.
+
+    python -m repro table1 [--scale small|medium|paper] [--seed N]
+    python -m repro table2
+    python -m repro fig2 [--metric nf_db|gain_db|iip3_dbm]
+    python -m repro fig3 [--metric nf_db|gain_db|i1db_dbm]
+    python -m repro all
+    python -m repro info
+
+Output is the paper-style text tables; `reproduce_paper.py` in examples/
+offers the same through a script, and the benchmark suite wraps the same
+entry points with assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import __version__
+from repro.evaluation.report import (
+    format_comparison_table,
+    format_sweep_table,
+)
+from repro.paper import (
+    METRIC_LABELS,
+    SCALES,
+    resolve_scale,
+    run_cost_table,
+    run_figure_sweep,
+)
+
+__all__ = ["main"]
+
+
+def _print_table(circuit: str, title: str, scale, seed: int) -> None:
+    results = run_cost_table(circuit, scale, seed=seed)
+    print(format_comparison_table(
+        f"{title} — {circuit.upper()} (scale: {scale.name})",
+        [results["somp"], results["cbmf"]],
+        METRIC_LABELS,
+    ))
+    ratio = (
+        results["somp"].cost.total_hours / results["cbmf"].cost.total_hours
+    )
+    print(f"overall cost reduction: {ratio:.2f}x")
+
+
+def _print_figure(
+    circuit: str, title: str, scale, seed: int, metric: Optional[str]
+) -> None:
+    try:
+        sweep = run_figure_sweep(
+            circuit,
+            scale,
+            seed=seed,
+            metrics=(metric,) if metric else None,
+        )
+    except KeyError as error:
+        raise SystemExit(f"unknown metric: {error}") from error
+    for name in (metric,) if metric else sweep.metric_names:
+        print(format_sweep_table(
+            title, sweep, name, METRIC_LABELS.get(name)
+        ))
+        print()
+
+
+def _cmd_info(args) -> None:
+    print(f"repro {__version__} — C-BMF (DAC 2016) reproduction")
+    print(f"scales: {', '.join(sorted(SCALES))}")
+    scale = resolve_scale(args.scale)
+    print(
+        f"active scale: {scale.name} "
+        f"(K={scale.n_states}, test {scale.n_test_per_state}/state, "
+        f"pool {scale.pool_per_state}/state)"
+    )
+    from repro.evaluation.methods import available_methods
+
+    print(f"methods: {', '.join(available_methods())}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the C-BMF paper's tables and figures.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument(
+            "--scale", default=None, choices=sorted(SCALES),
+            help="experiment size (default: REPRO_SCALE env or 'small')",
+        )
+        p.add_argument("--seed", type=int, default=2016)
+
+    for name, help_text in (
+        ("table1", "Table 1: LNA error and cost"),
+        ("table2", "Table 2: mixer error and cost"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+
+    for name, help_text in (
+        ("fig2", "Figure 2(b)-(d): LNA error vs samples"),
+        ("fig3", "Figure 3(b)-(d): mixer error vs samples"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+        p.add_argument(
+            "--metric", default=None,
+            help="limit to one metric (default: all panels)",
+        )
+
+    p = sub.add_parser("all", help="every table and figure")
+    common(p)
+
+    p = sub.add_parser("info", help="version, scales, methods")
+    common(p)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        _cmd_info(args)
+        return 0
+
+    scale = resolve_scale(args.scale)
+    started = time.perf_counter()
+    if args.command == "table1":
+        _print_table("lna", "Table 1", scale, args.seed)
+    elif args.command == "table2":
+        _print_table("mixer", "Table 2", scale, args.seed)
+    elif args.command == "fig2":
+        _print_figure(
+            "lna", "Figure 2 — tunable LNA", scale, args.seed, args.metric
+        )
+    elif args.command == "fig3":
+        _print_figure(
+            "mixer", "Figure 3 — tunable mixer", scale, args.seed,
+            args.metric,
+        )
+    elif args.command == "all":
+        _print_figure(
+            "lna", "Figure 2 — tunable LNA", scale, args.seed, None
+        )
+        _print_table("lna", "Table 1", scale, args.seed)
+        print()
+        _print_figure(
+            "mixer", "Figure 3 — tunable mixer", scale, args.seed, None
+        )
+        _print_table("mixer", "Table 2", scale, args.seed)
+    print(f"\n[{time.perf_counter() - started:.0f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

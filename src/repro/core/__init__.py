@@ -1,0 +1,45 @@
+"""Correlated Bayesian Model Fusion — the paper's core contribution.
+
+``CBMF`` is the user-facing estimator. The submodules factor the method the
+same way Section 3 of the paper does:
+
+* ``prior`` — the unified correlated prior (eq. 6-11) and the AR(1)
+  parameterization of the cross-state correlation matrix (eq. 32);
+* ``posterior`` — MAP estimation in the dual space (eq. 19-22) and the
+  marginal likelihood (eq. 25);
+* ``somp_init`` — the modified S-OMP + cross-validation hyper-parameter
+  initializer (Algorithm 1, steps 1-17);
+* ``em`` — the EM hyper-parameter refinement (eq. 29-31, steps 18-20);
+* ``clustering`` — the state-clustering extension sketched in the paper's
+  conclusion for mutually-different states.
+"""
+
+from repro.core.base import MultiStateRegressor
+from repro.core.cbmf import CBMF
+from repro.core.clustering import ClusteredCBMF, cluster_states
+from repro.core.em import EmConfig, EmTrace
+from repro.core.frozen import FrozenModel
+from repro.core.posterior import PosteriorResult, compute_posterior
+from repro.core.predictive import PosteriorPredictor
+from repro.core.prior import CorrelatedPrior, ar1_correlation
+from repro.core.results import FitReport
+from repro.core.somp_init import InitConfig, InitResult, somp_initialize
+
+__all__ = [
+    "MultiStateRegressor",
+    "CBMF",
+    "ClusteredCBMF",
+    "cluster_states",
+    "EmConfig",
+    "EmTrace",
+    "FrozenModel",
+    "PosteriorResult",
+    "PosteriorPredictor",
+    "compute_posterior",
+    "CorrelatedPrior",
+    "ar1_correlation",
+    "FitReport",
+    "InitConfig",
+    "InitResult",
+    "somp_initialize",
+]

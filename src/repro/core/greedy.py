@@ -1,0 +1,100 @@
+"""Shared greedy basis selection (the S-OMP scan, paper eq. 33-34).
+
+Both the classic S-OMP baseline and the modified S-OMP initializer of
+C-BMF use the same selection rule — pick the basis with the largest summed
+residual correlation across states — and differ only in how coefficients
+are solved on the growing support. The solver is injected as a callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import validate_multistate
+
+__all__ = ["select_shared_support", "CoefficientSolver"]
+
+#: Solves coefficients on column-restricted designs; returns (p, K) matrix.
+CoefficientSolver = Callable[
+    [List[np.ndarray], List[np.ndarray]], np.ndarray
+]
+
+
+def select_shared_support(
+    designs: Sequence[np.ndarray],
+    targets: Sequence[np.ndarray],
+    n_select: int,
+    solver: CoefficientSolver,
+    on_step: Optional[Callable[[List[int], np.ndarray], None]] = None,
+    aggregate: str = "l1",
+) -> Tuple[List[int], np.ndarray]:
+    """Greedy shared-template selection (Algorithm 1, steps 5-11).
+
+    Parameters
+    ----------
+    designs, targets:
+        Per-state design matrices and target vectors.
+    n_select:
+        Number of basis functions θ to pick.
+    solver:
+        Callback solving coefficients on the currently-selected columns;
+        receives the column-restricted designs (selection order) and the
+        original targets, returns a (p, K) coefficient matrix.
+    on_step:
+        Optional hook called after every iteration with the support so far
+        and its coefficients — the initializer uses it to score
+        intermediate support sizes without re-running the scan.
+    aggregate:
+        How per-state residual correlations combine across states:
+        ``"l1"`` — ``Σ_k |ξ_{k,m}|`` (the paper's eq. 33);
+        ``"l2"`` — ``Σ_k ξ_{k,m}²`` (the S-OMP variant of Tropp et al.).
+        Both rank identically when one state dominates; ℓ2 favours bases
+        that are very strong in a few states over uniformly-weak ones.
+
+    Returns
+    -------
+    (support, coefficients):
+        Selected basis indices (in selection order) and the final (θ, K)
+        coefficient matrix.
+    """
+    designs, targets = validate_multistate(designs, targets)
+    if aggregate not in ("l1", "l2"):
+        raise ValueError(
+            f"aggregate must be 'l1' or 'l2', got {aggregate!r}"
+        )
+    n_basis = designs[0].shape[1]
+    if not 0 < n_select <= n_basis:
+        raise ValueError(
+            f"n_select must be in 1..{n_basis}, got {n_select}"
+        )
+
+    support: List[int] = []
+    residuals = [target.copy() for target in targets]
+    coefficients = np.zeros((0, len(designs)))
+    for _ in range(n_select):
+        # ξ_{k,m} = b_{k,m}ᵀ Res_k, aggregated over states (eq. 33).
+        score = np.zeros(n_basis)
+        for design, residual in zip(designs, residuals):
+            xi = design.T @ residual
+            score += np.abs(xi) if aggregate == "l1" else xi * xi
+        score[support] = -np.inf
+        chosen = int(np.argmax(score))
+        support.append(chosen)
+
+        sub_designs = [design[:, support] for design in designs]
+        coefficients = solver(sub_designs, targets)
+        if coefficients.shape != (len(support), len(designs)):
+            raise AssertionError(
+                f"solver returned shape {coefficients.shape}, expected "
+                f"{(len(support), len(designs))}"
+            )
+        # Res_k = y_k − B_k(Θ)·α_k (eq. 34).
+        residuals = [
+            target - sub @ coefficients[:, k]
+            for k, (sub, target) in enumerate(zip(sub_designs, targets))
+        ]
+        if on_step is not None:
+            on_step(list(support), coefficients)
+    return support, coefficients

@@ -1,0 +1,61 @@
+"""Fit diagnostics returned by the C-BMF estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.em import EmTrace
+from repro.core.somp_init import InitResult
+
+__all__ = ["FitReport"]
+
+
+@dataclass
+class FitReport:
+    """Everything a user needs to audit one C-BMF fit.
+
+    Attributes
+    ----------
+    init:
+        The S-OMP/cross-validation seed (Algorithm 1 steps 1-17).
+    em:
+        EM iteration trace (steps 18-20).
+    n_active:
+        Basis functions with non-negligible λ after EM.
+    noise_std:
+        Learned observation noise σ0, in original target units.
+    init_seconds / em_seconds / total_seconds:
+        Wall-clock cost of the fitting stages (the paper's "fitting cost").
+    """
+
+    init: InitResult
+    em: EmTrace
+    n_active: int
+    noise_std: float
+    init_seconds: float
+    em_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total fitting time."""
+        return self.init_seconds + self.em_seconds
+
+    def summary(self) -> str:
+        """One-paragraph human-readable fit summary."""
+        lines = [
+            "C-BMF fit report:",
+            (
+                f"  init: r0={self.init.r0:g}, sigma0={self.init.sigma0:g}, "
+                f"theta={self.init.n_basis} "
+                f"({self.init_seconds:.2f}s)"
+            ),
+            (
+                f"  EM: {self.em.n_iterations} iterations, "
+                f"converged={self.em.converged}, "
+                f"active bases={self.n_active} ({self.em_seconds:.2f}s)"
+            ),
+            f"  noise std (original units): {self.noise_std:.4g}",
+            f"  total fitting time: {self.total_seconds:.2f}s",
+        ]
+        return "\n".join(lines)

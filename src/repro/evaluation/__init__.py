@@ -1,0 +1,26 @@
+"""Evaluation harness: the paper's error metric, experiments and sweeps."""
+
+from repro.evaluation.error import modeling_error_percent, rmse
+from repro.evaluation.experiment import MethodResult, ModelingExperiment
+from repro.evaluation.methods import available_methods, make_estimator
+from repro.evaluation.plotting import ascii_chart, sweep_chart
+from repro.evaluation.repetition import RepeatedResult, repeat_experiment
+from repro.evaluation.report import format_sweep_table, format_comparison_table
+from repro.evaluation.sweep import SweepResult, sample_count_sweep
+
+__all__ = [
+    "modeling_error_percent",
+    "rmse",
+    "MethodResult",
+    "ModelingExperiment",
+    "available_methods",
+    "make_estimator",
+    "ascii_chart",
+    "sweep_chart",
+    "RepeatedResult",
+    "repeat_experiment",
+    "format_sweep_table",
+    "format_comparison_table",
+    "SweepResult",
+    "sample_count_sweep",
+]

@@ -1,0 +1,150 @@
+"""One modeling experiment: dataset in, per-metric errors and costs out.
+
+``ModelingExperiment`` is the engine behind every table and figure of the
+reproduction: it basis-expands a training and a testing dataset once, then
+fits any registered estimator per performance metric, scoring with the
+paper's relative modeling error and accounting cost with a ``CostModel``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.basis.dictionary import BasisDictionary
+from repro.core.base import MultiStateRegressor
+from repro.evaluation.error import modeling_error_percent
+from repro.evaluation.methods import make_estimator
+from repro.simulate.cost import CostModel, ModelingCost
+from repro.simulate.dataset import Dataset
+from repro.utils.rng import SeedLike
+
+__all__ = ["MethodResult", "ModelingExperiment"]
+
+
+@dataclass
+class MethodResult:
+    """Outcome of fitting one method on one training set."""
+
+    method: str
+    n_train_total: int
+    #: metric → modeling error, percent.
+    errors: Dict[str, float] = field(default_factory=dict)
+    #: metric → fitting wall-clock, seconds.
+    fit_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Cost breakdown (simulation + total fitting), when a CostModel is set.
+    cost: Optional[ModelingCost] = None
+
+    @property
+    def total_fit_seconds(self) -> float:
+        """Fitting time summed over metrics (the paper's fitting cost)."""
+        return float(sum(self.fit_seconds.values()))
+
+
+class ModelingExperiment:
+    """Fit-and-score harness over a fixed train/test pair.
+
+    Parameters
+    ----------
+    train / test:
+        Datasets with identical state counts and metric lists. The test
+        set plays the paper's role of 50 held-out samples per state.
+    basis:
+        Basis dictionary shared by all states (the paper uses linear).
+    cost_model:
+        Optional per-sample simulation cost for the cost rows of the
+        tables.
+    """
+
+    def __init__(
+        self,
+        train: Dataset,
+        test: Dataset,
+        basis: BasisDictionary,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if train.n_states != test.n_states:
+            raise ValueError(
+                f"train has {train.n_states} states, test has "
+                f"{test.n_states}"
+            )
+        if train.metric_names != test.metric_names:
+            raise ValueError(
+                "train and test datasets disagree on metrics: "
+                f"{train.metric_names} vs {test.metric_names}"
+            )
+        if basis.n_variables != train.n_variables:
+            raise ValueError(
+                f"basis expects {basis.n_variables} variables, dataset has "
+                f"{train.n_variables}"
+            )
+        self.train = train
+        self.test = test
+        self.basis = basis
+        self.cost_model = cost_model
+        self._train_designs = basis.expand_states(train.inputs())
+        self._test_designs = basis.expand_states(test.inputs())
+
+    # ------------------------------------------------------------------
+    @property
+    def metric_names(self):
+        """Metrics scored by :meth:`run`."""
+        return self.train.metric_names
+
+    def run(
+        self,
+        method: Union[str, MultiStateRegressor],
+        metrics: Optional[Sequence[str]] = None,
+        seed: SeedLike = None,
+    ) -> MethodResult:
+        """Fit ``method`` on every requested metric and score it.
+
+        ``method`` is a registry name (a fresh estimator per metric) or an
+        estimator instance (then only one metric may be requested, since
+        fitting overwrites its state).
+        """
+        requested = tuple(metrics) if metrics is not None \
+            else self.train.metric_names
+        for metric in requested:
+            if metric not in self.train.metric_names:
+                raise KeyError(
+                    f"unknown metric {metric!r}; dataset has "
+                    f"{self.train.metric_names}"
+                )
+        if isinstance(method, MultiStateRegressor) and len(requested) > 1:
+            raise ValueError(
+                "pass a registry name to score multiple metrics; an "
+                "estimator instance can only fit one"
+            )
+
+        name = method if isinstance(method, str) else type(method).__name__
+        result = MethodResult(
+            method=name, n_train_total=self.train.n_samples_total
+        )
+        for metric in requested:
+            estimator = (
+                make_estimator(method, seed)
+                if isinstance(method, str)
+                else method
+            )
+            targets = self.train.targets(metric)
+            started = time.perf_counter()
+            estimator.fit(self._train_designs, targets)
+            result.fit_seconds[metric] = time.perf_counter() - started
+
+            predictions = [
+                estimator.predict(design, k)
+                for k, design in enumerate(self._test_designs)
+            ]
+            result.errors[metric] = modeling_error_percent(
+                predictions, self.test.targets(metric)
+            )
+
+        if self.cost_model is not None:
+            result.cost = self.cost_model.cost(
+                self.train.n_samples_total, result.total_fit_seconds
+            )
+        return result

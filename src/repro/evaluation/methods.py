@@ -1,0 +1,43 @@
+"""Estimator registry used by experiments, sweeps and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.baselines import (
+    GroupLasso,
+    LeastSquares,
+    OMP,
+    Ridge,
+    SOMP,
+    UncorrelatedBMF,
+)
+from repro.core import CBMF, ClusteredCBMF, MultiStateRegressor
+from repro.utils.rng import SeedLike
+
+__all__ = ["available_methods", "make_estimator"]
+
+_FACTORIES: Dict[str, Callable[[SeedLike], MultiStateRegressor]] = {
+    "ls": lambda seed: LeastSquares(),
+    "ridge": lambda seed: Ridge(alpha=1.0),
+    "omp": lambda seed: OMP(seed=seed),
+    "somp": lambda seed: SOMP(seed=seed),
+    "group_lasso": lambda seed: GroupLasso(seed=seed),
+    "bmf": lambda seed: UncorrelatedBMF(seed=seed),
+    "cbmf": lambda seed: CBMF(seed=seed),
+    "clustered_cbmf": lambda seed: ClusteredCBMF(seed=seed),
+}
+
+
+def available_methods() -> Tuple[str, ...]:
+    """Registered method names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_estimator(name: str, seed: SeedLike = None) -> MultiStateRegressor:
+    """Instantiate a registered estimator with default configuration."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown method {name!r}; available: {available_methods()}"
+        )
+    return _FACTORIES[name](seed)

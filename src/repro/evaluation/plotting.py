@@ -1,0 +1,120 @@
+"""Terminal plots for sweep results (no plotting libraries required).
+
+The paper's figures are log-y error-vs-samples curves; these helpers
+render the same series as aligned ASCII charts so the benchmark output and
+the CLI show the *shape* directly in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.sweep import SweepResult
+
+__all__ = ["ascii_chart", "sweep_chart"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 10,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render named series as an aligned ASCII line chart.
+
+    Each series is drawn with its own marker on a shared (optionally
+    log-scaled) y-grid; the x axis is labelled with ``x_labels``.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError(
+            "every series must match the x_labels length "
+            f"({len(x_labels)}); got lengths {sorted(lengths)}"
+        )
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height}")
+
+    def transform(value: float) -> float:
+        if log_y:
+            if value <= 0.0:
+                raise ValueError("log-scale chart needs positive values")
+            return math.log10(value)
+        return value
+
+    all_values = [
+        transform(v) for values in series.values() for v in values
+    ]
+    lo, hi = min(all_values), max(all_values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    markers = "ox+*#@"
+    columns = len(x_labels)
+    width = max(6, max(len(label) for label in x_labels) + 2)
+    grid = [[" "] * (columns * width) for _ in range(height)]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for column, value in enumerate(values):
+            level = (transform(value) - lo) / (hi - lo)
+            row = height - 1 - int(round(level * (height - 1)))
+            position = column * width + width // 2
+            # Overlapping points from different series render as '*'.
+            occupied = grid[row][position]
+            grid[row][position] = (
+                marker if occupied in (" ", marker) else "*"
+            )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = 10**hi if log_y else hi
+    y_bottom = 10**lo if log_y else lo
+    for row_index, row in enumerate(grid):
+        prefix = "  "
+        if row_index == 0:
+            prefix = f"{y_top:>7.3g} " if not log_y else f"{y_top:>7.3g} "
+            prefix = prefix[:8]
+        elif row_index == height - 1:
+            prefix = f"{y_bottom:>7.3g} "[:8]
+        lines.append(f"{prefix:<8}|" + "".join(row))
+    axis = "".join(f"{label:^{width}}" for label in x_labels)
+    lines.append(" " * 8 + "+" + "-" * (columns * width))
+    lines.append(" " * 9 + axis)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    sweep: SweepResult,
+    metric: str,
+    metric_label: Optional[str] = None,
+    height: int = 10,
+) -> str:
+    """One figure panel of a sweep as a log-y ASCII chart."""
+    series = {
+        method: sweep.errors(method, metric)
+        for method in sorted(sweep.results)
+    }
+    labels = [str(total) for total in sweep.n_total_grid()]
+    return ascii_chart(
+        series,
+        labels,
+        height=height,
+        log_y=True,
+        title=(
+            f"{sweep.circuit_name}: modeling error for "
+            f"{metric_label or metric} (%) vs training samples"
+        ),
+    )

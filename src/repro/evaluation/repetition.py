@@ -1,0 +1,114 @@
+"""Multi-seed repetition: error bars for the modeling experiments.
+
+A single train/test draw gives one noisy error number; the paper's curves
+are likewise single realizations. ``repeat_experiment`` re-simulates the
+dataset under several seeds and reports mean ± std per method/metric —
+the honest way to claim "method A beats method B" on a synthetic substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.basis.polynomial import LinearBasis
+from repro.circuits.base import TunableCircuit
+from repro.evaluation.experiment import ModelingExperiment
+from repro.simulate.montecarlo import MonteCarloEngine
+from repro.utils.validation import check_integer
+
+__all__ = ["RepeatedResult", "repeat_experiment"]
+
+
+@dataclass
+class RepeatedResult:
+    """Aggregated errors over repeated dataset realizations."""
+
+    methods: Tuple[str, ...]
+    metric_names: Tuple[str, ...]
+    n_repetitions: int
+    #: (method, metric) → list of per-repetition errors (percent).
+    samples: Dict[Tuple[str, str], List[float]] = field(default_factory=dict)
+
+    def mean(self, method: str, metric: str) -> float:
+        """Mean error over repetitions, percent."""
+        return float(np.mean(self.samples[(method, metric)]))
+
+    def std(self, method: str, metric: str) -> float:
+        """Std of the error over repetitions, percent."""
+        return float(np.std(self.samples[(method, metric)]))
+
+    def wins(self, challenger: str, incumbent: str, metric: str) -> int:
+        """Repetitions where ``challenger`` strictly beat ``incumbent``."""
+        a = self.samples[(challenger, metric)]
+        b = self.samples[(incumbent, metric)]
+        return int(sum(x < y for x, y in zip(a, b)))
+
+    def format(self) -> str:
+        """Text table: mean ± std per method/metric."""
+        width = 18
+        header = f"{'metric':<12}" + "".join(
+            f"{m:>{width}}" for m in self.methods
+        )
+        lines = [
+            f"errors over {self.n_repetitions} repetitions (mean ± std, %)",
+            header,
+        ]
+        for metric in self.metric_names:
+            cells = "".join(
+                f"{self.mean(m, metric):>10.3f} ±{self.std(m, metric):5.3f}"
+                for m in self.methods
+            )
+            lines.append(f"{metric:<12}" + cells)
+        return "\n".join(lines)
+
+
+def repeat_experiment(
+    circuit: TunableCircuit,
+    methods: Sequence[str],
+    n_train_per_state: int,
+    n_test_per_state: int,
+    n_repetitions: int = 5,
+    base_seed: int = 0,
+    metrics: Sequence[str] = None,
+) -> RepeatedResult:
+    """Run the fit-and-score experiment under ``n_repetitions`` dataset seeds.
+
+    Each repetition draws a fresh train+test dataset from the circuit (seed
+    ``base_seed + r``), fits every method, and scores the paper's modeling
+    error. Deterministic given ``base_seed``.
+    """
+    n_train_per_state = check_integer(
+        n_train_per_state, "n_train_per_state", minimum=2
+    )
+    n_test_per_state = check_integer(
+        n_test_per_state, "n_test_per_state", minimum=1
+    )
+    n_repetitions = check_integer(n_repetitions, "n_repetitions", minimum=1)
+    if not methods:
+        raise ValueError("at least one method is required")
+    metric_names = tuple(metrics) if metrics else circuit.metric_names
+
+    basis = LinearBasis(circuit.n_variables)
+    result = RepeatedResult(
+        methods=tuple(methods),
+        metric_names=metric_names,
+        n_repetitions=n_repetitions,
+    )
+    for method in methods:
+        for metric in metric_names:
+            result.samples[(method, metric)] = []
+
+    for repetition in range(n_repetitions):
+        seed = base_seed + repetition
+        engine = MonteCarloEngine(circuit, seed=seed)
+        data = engine.run(n_train_per_state + n_test_per_state)
+        train, test = data.split(n_train_per_state)
+        experiment = ModelingExperiment(train, test, basis)
+        for method in methods:
+            run = experiment.run(method, metrics=metric_names, seed=seed)
+            for metric in metric_names:
+                result.samples[(method, metric)].append(run.errors[metric])
+    return result

@@ -1,0 +1,93 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.evaluation.experiment import MethodResult
+from repro.evaluation.sweep import SweepResult
+
+__all__ = ["format_comparison_table", "format_sweep_table"]
+
+
+def format_comparison_table(
+    title: str,
+    results: Sequence[MethodResult],
+    metric_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a paper-style cost/error comparison (Tables 1 and 2).
+
+    One column per method; rows are training-sample counts, per-metric
+    modeling errors, then the cost breakdown when available.
+    """
+    if not results:
+        raise ValueError("at least one result is required")
+    metric_labels = metric_labels or {}
+    metrics = list(results[0].errors)
+    width = max(18, max(len(r.method) for r in results) + 2)
+
+    def row(label: str, cells: Sequence[str]) -> str:
+        return (
+            f"{label:<34}"
+            + "".join(f"{cell:>{width}}" for cell in cells)
+        )
+
+    lines = [title, "=" * (34 + width * len(results))]
+    lines.append(row("", [r.method for r in results]))
+    lines.append(
+        row(
+            "Number of training samples",
+            [str(r.n_train_total) for r in results],
+        )
+    )
+    for metric in metrics:
+        label = metric_labels.get(metric, metric)
+        lines.append(
+            row(
+                f"Modeling error for {label}",
+                [f"{r.errors[metric]:.3f}%" for r in results],
+            )
+        )
+    if all(r.cost is not None for r in results):
+        lines.append(
+            row(
+                "Simulation cost (Hours)",
+                [f"{r.cost.simulation_hours:.2f}" for r in results],
+            )
+        )
+        lines.append(
+            row(
+                "Fitting cost (Sec.)",
+                [f"{r.cost.fitting_seconds:.2f}" for r in results],
+            )
+        )
+        lines.append(
+            row(
+                "Overall modeling cost (Hours)",
+                [f"{r.cost.total_hours:.2f}" for r in results],
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_sweep_table(
+    title: str,
+    sweep: SweepResult,
+    metric: str,
+    metric_label: Optional[str] = None,
+) -> str:
+    """Render one figure panel (error vs. samples) as a text table."""
+    label = metric_label or metric
+    methods = sorted(sweep.results)
+    header = f"{'samples(total)':>16}" + "".join(
+        f"{m:>16}" for m in methods
+    )
+    lines = [f"{title} — modeling error for {label} (%)", header]
+    totals = sweep.n_total_grid()
+    for index, total in enumerate(totals):
+        cells = "".join(
+            f"{sweep.results[m][index].errors[metric]:>15.3f}%"
+            for m in methods
+        )
+        lines.append(f"{total:>16}" + cells)
+    return "\n".join(lines)

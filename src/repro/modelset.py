@@ -1,0 +1,144 @@
+"""PerformanceModelSet: every metric of a circuit behind one handle.
+
+The estimators model one metric at a time (as in the paper); real flows
+need all of them — NF *and* gain *and* IIP3 — plus the basis bookkeeping.
+``PerformanceModelSet`` fits one estimator per metric from a dataset,
+predicts dictionaries of metrics, freezes/saves the whole set, and plugs
+directly into the yield/tuning applications.
+
+    models = PerformanceModelSet.fit_dataset(train, method="cbmf", seed=0)
+    models.predict(x, state=3)           # {"nf_db": ..., "gain_db": ...}
+    models.save_dir("models/")           # one npz per metric
+    YieldEstimator(models.as_mapping(), models.basis)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.basis.dictionary import BasisDictionary
+from repro.basis.polynomial import LinearBasis
+from repro.core.base import MultiStateRegressor
+from repro.core.frozen import FrozenModel
+from repro.evaluation.methods import make_estimator
+from repro.simulate.dataset import Dataset
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_matrix
+
+__all__ = ["PerformanceModelSet"]
+
+
+class PerformanceModelSet:
+    """A fitted estimator per metric, sharing one basis dictionary."""
+
+    def __init__(
+        self,
+        models: Mapping[str, MultiStateRegressor],
+        basis: BasisDictionary,
+    ) -> None:
+        if not models:
+            raise ValueError("at least one metric model is required")
+        states = {model.n_states for model in models.values()}
+        if len(states) != 1:
+            raise ValueError(
+                f"models disagree on the state count: {sorted(states)}"
+            )
+        self._models: Dict[str, MultiStateRegressor] = dict(models)
+        self.basis = basis
+        self.n_states = states.pop()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit_dataset(
+        cls,
+        train: Dataset,
+        method: str = "cbmf",
+        basis: Optional[BasisDictionary] = None,
+        metrics: Optional[Sequence[str]] = None,
+        seed: SeedLike = None,
+    ) -> "PerformanceModelSet":
+        """Fit one registry estimator per metric of a training dataset."""
+        basis = basis or LinearBasis(train.n_variables)
+        metric_names = tuple(metrics) if metrics else train.metric_names
+        designs = basis.expand_states(train.inputs())
+        models: Dict[str, MultiStateRegressor] = {}
+        for metric in metric_names:
+            estimator = make_estimator(method, seed)
+            estimator.fit(designs, train.targets(metric))
+            models[metric] = estimator
+        return cls(models, basis)
+
+    # ------------------------------------------------------------------
+    @property
+    def metric_names(self):
+        """Fitted metrics, sorted."""
+        return tuple(sorted(self._models))
+
+    def model(self, metric: str) -> MultiStateRegressor:
+        """The estimator of one metric."""
+        if metric not in self._models:
+            raise KeyError(
+                f"no model for {metric!r}; have {self.metric_names}"
+            )
+        return self._models[metric]
+
+    def as_mapping(self) -> Dict[str, MultiStateRegressor]:
+        """Plain dict view (for YieldEstimator / TuningPolicy)."""
+        return dict(self._models)
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, state: int) -> Dict[str, np.ndarray]:
+        """All metrics for raw samples ``x`` (n × n_variables) at a state."""
+        x = check_matrix(x, "x", shape=(None, self.basis.n_variables))
+        design = self.basis.expand(x)
+        return {
+            metric: model.predict(design, state)
+            for metric, model in self._models.items()
+        }
+
+    def predict_point(self, x: np.ndarray, state: int) -> Dict[str, float]:
+        """All metrics for a single sample vector."""
+        x = np.asarray(x, dtype=float)
+        results = self.predict(x[None, :], state)
+        return {metric: float(v[0]) for metric, v in results.items()}
+
+    # ------------------------------------------------------------------
+    def freeze(self) -> Dict[str, FrozenModel]:
+        """Frozen (coefficient-only) snapshot of every metric model."""
+        return {
+            metric: FrozenModel.from_estimator(
+                model, metric=metric, basis_names=self.basis.names
+            )
+            for metric, model in self._models.items()
+        }
+
+    def save_dir(self, directory) -> None:
+        """Save one ``<metric>.npz`` per metric into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for metric, frozen in self.freeze().items():
+            frozen.save(directory / f"{metric}.npz")
+
+    @classmethod
+    def load_dir(
+        cls, directory, basis: BasisDictionary
+    ) -> "PerformanceModelSet":
+        """Load every ``*.npz`` in ``directory`` as frozen metric models."""
+        directory = Path(directory)
+        models: Dict[str, MultiStateRegressor] = {}
+        for path in sorted(directory.glob("*.npz")):
+            frozen = FrozenModel.load(path)
+            metric = frozen.metric or path.stem
+            models[metric] = frozen
+        if not models:
+            raise FileNotFoundError(f"no .npz models under {directory}")
+        return cls(models, basis)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PerformanceModelSet(metrics={list(self.metric_names)}, "
+            f"K={self.n_states})"
+        )

@@ -1,0 +1,263 @@
+"""Canonical configurations of the paper's experiments, with scale presets.
+
+Every table/figure of the reproduction runs through this module so that the
+examples, the benchmarks and EXPERIMENTS.md all agree on workloads.
+
+Scales
+------
+The paper's full scale (32 states, 1264/1303 variables, 1120-sample S-OMP
+runs) takes minutes of simulation plus minutes of fitting. Three presets
+trade fidelity for turnaround; all preserve the *shape* of the result
+(C-BMF under S-OMP at every budget, ≥2× fewer samples at equal error):
+
+* ``small``  — 6 states, natural variable count, for unit/CI runs;
+* ``medium`` — 16 states, natural variable count, benchmark default;
+* ``paper``  — 32 states, 1264/1303 variables, the full reproduction.
+
+Select with the ``REPRO_SCALE`` environment variable or explicitly.
+Datasets are cached under ``.cache/datasets`` keyed by circuit/scale/seed,
+because the synthetic 'simulator' — while ~10⁴× faster than SPICE — is
+still the slowest part of a full sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.basis.polynomial import LinearBasis
+from repro.circuits.base import TunableCircuit
+from repro.circuits.lna import TunableLNA
+from repro.circuits.mixer import TunableMixer
+from repro.evaluation.experiment import MethodResult, ModelingExperiment
+from repro.evaluation.sweep import SweepResult, sample_count_sweep
+from repro.simulate.cost import CostModel, LNA_COST_MODEL, MIXER_COST_MODEL
+from repro.simulate.dataset import Dataset
+from repro.simulate.montecarlo import MonteCarloEngine
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "resolve_scale",
+    "build_circuit",
+    "load_or_simulate",
+    "run_cost_table",
+    "run_figure_sweep",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "METRIC_LABELS",
+]
+
+#: Default on-disk dataset cache.
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[2] / ".cache" / "datasets"
+
+#: The paper's Table 1 numbers (LNA), for EXPERIMENTS.md comparisons.
+PAPER_TABLE1 = {
+    "somp": {
+        "n_samples": 1120,
+        "nf_db": 0.316,
+        "gain_db": 0.577,
+        "iip3_dbm": 2.738,
+        "overall_hours": 2.72,
+    },
+    "cbmf": {
+        "n_samples": 480,
+        "nf_db": 0.285,
+        "gain_db": 0.566,
+        "iip3_dbm": 2.497,
+        "overall_hours": 1.25,
+    },
+}
+
+#: The paper's Table 2 numbers (mixer).
+PAPER_TABLE2 = {
+    "somp": {
+        "n_samples": 1120,
+        "nf_db": 0.173,
+        "gain_db": 2.758,
+        "i1db_dbm": 2.401,
+        "overall_hours": 17.20,
+    },
+    "cbmf": {
+        "n_samples": 480,
+        "nf_db": 0.166,
+        "gain_db": 2.569,
+        "i1db_dbm": 2.340,
+        "overall_hours": 7.48,
+    },
+}
+
+#: Pretty labels for report rendering.
+METRIC_LABELS = {
+    "nf_db": "NF",
+    "gain_db": "VG",
+    "iip3_dbm": "IIP3",
+    "i1db_dbm": "I1dBCP",
+}
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One preset of the experiment size."""
+
+    name: str
+    n_states: int
+    #: None → the circuit's natural (unpadded) variable count.
+    n_variables_lna: Optional[int]
+    n_variables_mixer: Optional[int]
+    #: Held-out samples per state (paper: 50).
+    n_test_per_state: int
+    #: Training-pool samples per state (max of the sweep grid).
+    pool_per_state: int
+    #: Per-state training budgets for the figure sweeps.
+    sweep_grid: Tuple[int, ...]
+    #: Per-state budgets of the table comparison: (S-OMP, C-BMF).
+    table_somp_per_state: int
+    table_cbmf_per_state: int
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "small": ExperimentScale(
+        name="small",
+        n_states=6,
+        n_variables_lna=None,
+        n_variables_mixer=None,
+        n_test_per_state=20,
+        pool_per_state=40,
+        sweep_grid=(10, 20, 40),
+        table_somp_per_state=35,
+        table_cbmf_per_state=15,
+    ),
+    "medium": ExperimentScale(
+        name="medium",
+        n_states=16,
+        n_variables_lna=None,
+        n_variables_mixer=None,
+        n_test_per_state=30,
+        pool_per_state=40,
+        sweep_grid=(8, 12, 16, 24, 35),
+        table_somp_per_state=35,
+        table_cbmf_per_state=15,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        n_states=32,
+        n_variables_lna=1264,
+        n_variables_mixer=1303,
+        n_test_per_state=50,
+        pool_per_state=35,
+        sweep_grid=(10, 15, 20, 25, 30, 35),
+        table_somp_per_state=35,  # × 32 states = 1120 samples
+        table_cbmf_per_state=15,  # × 32 states = 480 samples
+    ),
+}
+
+
+def resolve_scale(scale: Optional[str] = None) -> ExperimentScale:
+    """Pick a scale: explicit argument > REPRO_SCALE env > 'small'."""
+    name = scale or os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise KeyError(
+            f"unknown scale {name!r}; available: {sorted(SCALES)}"
+        )
+    return SCALES[name]
+
+
+def build_circuit(circuit_name: str, scale: ExperimentScale) -> TunableCircuit:
+    """Instantiate the LNA or mixer at the requested scale."""
+    if circuit_name == "lna":
+        return TunableLNA(
+            n_states=scale.n_states, n_variables=scale.n_variables_lna
+        )
+    if circuit_name == "mixer":
+        return TunableMixer(
+            n_states=scale.n_states, n_variables=scale.n_variables_mixer
+        )
+    raise KeyError(
+        f"unknown circuit {circuit_name!r}; expected 'lna' or 'mixer'"
+    )
+
+
+def cost_model_for(circuit_name: str) -> CostModel:
+    """Per-sample simulation cost calibrated to the paper's tables."""
+    return LNA_COST_MODEL if circuit_name == "lna" else MIXER_COST_MODEL
+
+
+def load_or_simulate(
+    circuit_name: str,
+    scale: ExperimentScale,
+    seed: int = 2016,
+    cache_dir: Optional[Path] = None,
+) -> Tuple[Dataset, Dataset]:
+    """(training pool, test set) for one circuit/scale, cached on disk."""
+    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{circuit_name}_{scale.name}_seed{seed}"
+    pool_path = cache_dir / f"{stem}_pool.npz"
+    test_path = cache_dir / f"{stem}_test.npz"
+    if pool_path.exists() and test_path.exists():
+        return Dataset.load(pool_path), Dataset.load(test_path)
+
+    circuit = build_circuit(circuit_name, scale)
+    engine = MonteCarloEngine(circuit, seed=seed)
+    total = scale.pool_per_state + scale.n_test_per_state
+    everything = engine.run(total)
+    pool, test = everything.split(scale.pool_per_state)
+    pool.save(pool_path)
+    test.save(test_path)
+    return pool, test
+
+
+def run_cost_table(
+    circuit_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 2016,
+) -> Dict[str, MethodResult]:
+    """Regenerate Table 1 (lna) or Table 2 (mixer): S-OMP vs C-BMF.
+
+    S-OMP runs at the paper's large budget, C-BMF at the small one; the
+    claim under test is that the errors match while the cost differs ~2.3×.
+    """
+    scale = scale or resolve_scale()
+    pool, test = load_or_simulate(circuit_name, scale, seed)
+    basis = LinearBasis(pool.n_variables)
+    cost = cost_model_for(circuit_name)
+
+    results: Dict[str, MethodResult] = {}
+    for method, per_state in (
+        ("somp", scale.table_somp_per_state),
+        ("cbmf", scale.table_cbmf_per_state),
+    ):
+        train = pool.head(min(per_state, min(pool.n_samples_per_state)))
+        experiment = ModelingExperiment(train, test, basis, cost)
+        results[method] = experiment.run(method, seed=seed)
+    return results
+
+
+def run_figure_sweep(
+    circuit_name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 2016,
+    methods: Tuple[str, ...] = ("somp", "cbmf"),
+    metrics: Optional[Tuple[str, ...]] = None,
+) -> SweepResult:
+    """Regenerate the figure panels: error vs. samples per metric.
+
+    ``metrics`` restricts the fitted metrics (one figure panel) — the full
+    sweep fits every metric at every budget, which is the expensive part.
+    """
+    scale = scale or resolve_scale()
+    pool, test = load_or_simulate(circuit_name, scale, seed)
+    basis = LinearBasis(pool.n_variables)
+    return sample_count_sweep(
+        pool,
+        test,
+        basis,
+        methods,
+        scale.sweep_grid,
+        cost_model=cost_model_for(circuit_name),
+        seed=seed,
+        metrics=metrics,
+    )

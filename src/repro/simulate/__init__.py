@@ -1,0 +1,18 @@
+"""Monte Carlo 'simulation' layer.
+
+Plays the role of the paper's transistor-level SPICE Monte Carlo: draws
+process samples, evaluates a tunable circuit over its states, and accounts
+for the (simulated) simulation cost.
+"""
+
+from repro.simulate.cost import CostModel, ModelingCost
+from repro.simulate.dataset import Dataset, StateData
+from repro.simulate.montecarlo import MonteCarloEngine
+
+__all__ = [
+    "CostModel",
+    "ModelingCost",
+    "Dataset",
+    "StateData",
+    "MonteCarloEngine",
+]

@@ -1,0 +1,146 @@
+"""Stable dense linear algebra used throughout the Bayesian machinery.
+
+Everything here operates on symmetric positive (semi-)definite matrices: the
+prior covariance blocks ``λ_m R``, the dual-space Gram matrix
+``C = σ0² I + D A Dᵀ`` and the posterior covariance blocks. Cholesky
+factorizations are used wherever possible; a small diagonal jitter is added
+automatically when a matrix is only semi-definite due to round-off.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import linalg as sla
+
+__all__ = [
+    "cholesky_factor",
+    "cholesky_solve",
+    "solve_psd",
+    "log_det_psd",
+    "inv_psd",
+    "nearest_psd",
+    "is_psd",
+    "woodbury_inverse_apply",
+    "quadratic_form",
+    "symmetrize",
+]
+
+#: Relative jitter ladder tried when a Cholesky factorization fails.
+_JITTERS = (0.0, 1e-12, 1e-10, 1e-8, 1e-6)
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(A + Aᵀ)/2`` of a square matrix."""
+    return 0.5 * (matrix + matrix.T)
+
+
+def cholesky_factor(matrix: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of a PSD matrix, adding jitter if needed.
+
+    Raises ``np.linalg.LinAlgError`` if the matrix is not PSD even after the
+    largest jitter in the ladder.
+    """
+    matrix = symmetrize(np.asarray(matrix, dtype=float))
+    scale = max(float(np.trace(matrix)) / max(matrix.shape[0], 1), 1e-300)
+    for jitter in _JITTERS:
+        try:
+            return np.linalg.cholesky(
+                matrix + (jitter * scale) * np.eye(matrix.shape[0])
+            )
+        except np.linalg.LinAlgError:
+            continue
+    raise np.linalg.LinAlgError(
+        "matrix is not positive definite even after jitter"
+    )
+
+
+def cholesky_solve(factor: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L Lᵀ x = rhs`` given the lower Cholesky factor ``L``."""
+    return sla.cho_solve((factor, True), rhs, check_finite=False)
+
+
+def solve_psd(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = rhs`` for PSD ``A`` via Cholesky with jitter fallback."""
+    return cholesky_solve(cholesky_factor(matrix), rhs)
+
+
+def inv_psd(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of a PSD matrix via Cholesky."""
+    factor = cholesky_factor(matrix)
+    identity = np.eye(matrix.shape[0])
+    return cholesky_solve(factor, identity)
+
+
+def log_det_psd(matrix: np.ndarray) -> float:
+    """Log-determinant of a PSD matrix via Cholesky."""
+    factor = cholesky_factor(matrix)
+    return 2.0 * float(np.sum(np.log(np.diag(factor))))
+
+
+def is_psd(matrix: np.ndarray, *, tol: float = 1e-10) -> bool:
+    """True when all eigenvalues of the symmetrized matrix are ≥ ``-tol``."""
+    eigenvalues = np.linalg.eigvalsh(symmetrize(np.asarray(matrix, float)))
+    scale = max(abs(eigenvalues).max(), 1.0)
+    return bool(eigenvalues.min() >= -tol * scale)
+
+
+def nearest_psd(matrix: np.ndarray, *, floor: float = 0.0) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone by eigenvalue clipping.
+
+    ``floor`` optionally lower-bounds the eigenvalues (useful to keep the
+    learned correlation matrix ``R`` strictly positive definite during EM).
+    """
+    sym = symmetrize(np.asarray(matrix, dtype=float))
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    clipped = np.maximum(eigenvalues, floor)
+    return symmetrize((eigenvectors * clipped) @ eigenvectors.T)
+
+
+def woodbury_inverse_apply(
+    noise_var: float,
+    design: np.ndarray,
+    prior_chol: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Apply ``(σ² I + D A Dᵀ)⁻¹`` to ``rhs`` without forming the n×n inverse.
+
+    ``design`` is the n×p matrix ``D`` and ``prior_chol`` the lower Cholesky
+    factor of the p×p prior covariance ``A``. Uses the Woodbury identity
+
+    ``(σ²I + DADᵀ)⁻¹ = σ⁻²I − σ⁻²DL (σ²I + LᵀDᵀDL)⁻¹ LᵀDᵀ σ⁻²``
+
+    with ``A = L Lᵀ``. Efficient when p < n; for p ≥ n the caller should form
+    the n×n matrix directly (the dual-space path used by the posterior).
+    """
+    if noise_var <= 0.0:
+        raise ValueError(f"noise_var must be > 0, got {noise_var}")
+    scaled = design @ prior_chol  # n × p
+    p = scaled.shape[1]
+    inner = noise_var * np.eye(p) + scaled.T @ scaled
+    correction = scaled @ solve_psd(inner, scaled.T @ rhs)
+    return (rhs - correction) / noise_var
+
+
+def quadratic_form(matrix: np.ndarray, vector: np.ndarray) -> float:
+    """``vᵀ A⁻¹ v`` for PSD ``A`` computed through a Cholesky solve."""
+    factor = cholesky_factor(matrix)
+    half = sla.solve_triangular(
+        factor, vector, lower=True, check_finite=False
+    )
+    return float(half @ half)
+
+
+def split_blocks(matrix: np.ndarray, block: int) -> Tuple[np.ndarray, ...]:
+    """Split a (q·block)×(q·block) matrix into its q diagonal blocks."""
+    size = matrix.shape[0]
+    if size % block != 0:
+        raise ValueError(
+            f"matrix size {size} is not a multiple of block size {block}"
+        )
+    count = size // block
+    return tuple(
+        matrix[i * block : (i + 1) * block, i * block : (i + 1) * block]
+        for i in range(count)
+    )

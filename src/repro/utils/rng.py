@@ -1,0 +1,44 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the package accepts either an integer seed,
+``None`` (fresh entropy) or an existing ``numpy.random.Generator``. These
+helpers normalize that and spawn statistically independent child generators
+for parallel structures (e.g. one generator per knob state).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators", "SeedLike"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalize ``seed`` into a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        "seed must be None, an int, or a numpy Generator, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent child generators from one seed.
+
+    Uses ``SeedSequence.spawn`` semantics so children are independent no
+    matter how many are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    parent = as_generator(seed)
+    return [
+        np.random.default_rng(child)
+        for child in parent.bit_generator.seed_seq.spawn(count)
+    ]

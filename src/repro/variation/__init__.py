@@ -1,0 +1,37 @@
+"""Synthetic process-variation substrate.
+
+Replaces the paper's proprietary 32nm SOI CMOS statistical models with a
+transparent equivalent: a set of *inter-die* (global) variables shared by all
+devices plus *local mismatch* variables per device whose magnitudes follow
+the Pelgrom model. Every variable is carried in normalized N(0,1) form in a
+flat vector ``x`` — exactly the modeling space the paper's estimators see.
+"""
+
+from repro.variation.mismatch import PelgromCoefficients, mismatch_sigma
+from repro.variation.parameters import (
+    GLOBAL_PARAMETER_SET,
+    ParameterSpec,
+    VariationKind,
+)
+from repro.variation.process import (
+    DeviceVariation,
+    ProcessModel,
+    ProcessSample,
+)
+from repro.variation.sampling import (
+    latin_hypercube,
+    standard_normal_samples,
+)
+
+__all__ = [
+    "PelgromCoefficients",
+    "mismatch_sigma",
+    "ParameterSpec",
+    "VariationKind",
+    "GLOBAL_PARAMETER_SET",
+    "DeviceVariation",
+    "ProcessModel",
+    "ProcessSample",
+    "latin_hypercube",
+    "standard_normal_samples",
+]

@@ -1,0 +1,88 @@
+"""Pelgrom-model local-mismatch magnitudes.
+
+Local (within-die) mismatch of MOS parameters scales inversely with the
+square root of gate area: ``σ(ΔP) = A_P / sqrt(W·L)`` (Pelgrom et al.,
+JSSC 1989). The coefficients below are representative of a 32nm-class
+process; they set *relative* importance between small bias devices and large
+RF devices, which is what shapes the sparsity pattern the estimators exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.variation.parameters import ParameterSpec, VariationKind
+
+__all__ = ["PelgromCoefficients", "mismatch_sigma", "mosfet_mismatch_specs"]
+
+
+@dataclass(frozen=True)
+class PelgromCoefficients:
+    """Area-scaling coefficients ``A_P`` (units: quantity · µm).
+
+    ``sigma = A_P / sqrt(area_um2)`` with ``area_um2 = W·L`` in µm².
+    """
+
+    #: Threshold voltage, V·µm. ~1.5-3 mV·µm at 32nm.
+    a_vth: float = 2.5e-3
+    #: Relative current factor β, fraction·µm.
+    a_beta: float = 0.010
+    #: Relative gate length, fraction·µm.
+    a_length: float = 0.008
+    #: Relative overlap capacitances, fraction·µm.
+    a_cap: float = 0.012
+    #: Relative series resistance, fraction·µm.
+    a_rds: float = 0.020
+
+    def __post_init__(self) -> None:
+        for name in ("a_vth", "a_beta", "a_length", "a_cap", "a_rds"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be > 0")
+
+
+#: Default coefficients for the synthetic process.
+DEFAULT_COEFFICIENTS = PelgromCoefficients()
+
+
+def mismatch_sigma(coefficient: float, width_um: float, length_um: float) -> float:
+    """One Pelgrom sigma: ``A_P / sqrt(W·L)`` for geometry in µm."""
+    if width_um <= 0.0 or length_um <= 0.0:
+        raise ValueError(
+            f"device geometry must be positive, got W={width_um} L={length_um}"
+        )
+    return coefficient / math.sqrt(width_um * length_um)
+
+
+def mosfet_mismatch_specs(
+    width_um: float,
+    length_um: float,
+    coefficients: PelgromCoefficients = DEFAULT_COEFFICIENTS,
+) -> tuple:
+    """Local-mismatch parameter set of one MOSFET.
+
+    Returns the tuple of ``ParameterSpec`` covering the four mismatch
+    channels carried per transistor: ΔVTH, Δβ, ΔL and ΔRds. Capacitance
+    mismatch is folded into the CGS/CGD kinds.
+    """
+    area = (width_um, length_um)
+    return (
+        ParameterSpec(
+            VariationKind.VTH, mismatch_sigma(coefficients.a_vth, *area)
+        ),
+        ParameterSpec(
+            VariationKind.BETA, mismatch_sigma(coefficients.a_beta, *area)
+        ),
+        ParameterSpec(
+            VariationKind.LENGTH, mismatch_sigma(coefficients.a_length, *area)
+        ),
+        ParameterSpec(
+            VariationKind.CGS, mismatch_sigma(coefficients.a_cap, *area)
+        ),
+        ParameterSpec(
+            VariationKind.CGD, mismatch_sigma(coefficients.a_cap, *area)
+        ),
+        ParameterSpec(
+            VariationKind.RDS, mismatch_sigma(coefficients.a_rds, *area)
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Typed declarations of device-level variation parameters.
+
+A *variation kind* names a physical quantity that varies (threshold voltage,
+mobility, sheet resistance, ...). A ``ParameterSpec`` attaches a standard
+deviation to a kind for one device (local mismatch) or for the whole die
+(inter-die). All deviations are either absolute (e.g. ΔVTH in volts) or
+relative (dimensionless multipliers around 1.0), recorded in ``unit``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["VariationKind", "ParameterSpec", "GLOBAL_PARAMETER_SET"]
+
+
+class VariationKind(str, enum.Enum):
+    """Physical quantity affected by process variation."""
+
+    #: MOSFET threshold-voltage shift, volts.
+    VTH = "vth"
+    #: Relative carrier-mobility / current-factor deviation (β = μCox·W/L).
+    BETA = "beta"
+    #: Relative gate-length deviation.
+    LENGTH = "length"
+    #: Relative gate-oxide-thickness deviation.
+    TOX = "tox"
+    #: Relative gate-overlap/fringe capacitance deviation.
+    CGS = "cgs"
+    #: Relative drain-overlap capacitance deviation.
+    CGD = "cgd"
+    #: Relative source/drain series-resistance deviation.
+    RDS = "rds"
+    #: Relative poly/diffusion sheet-resistance deviation (resistors).
+    RSHEET = "rsheet"
+    #: Relative MIM/MOM capacitor density deviation.
+    CDENS = "cdens"
+    #: Relative inductor/interconnect inductance deviation.
+    LIND = "lind"
+    #: Relative interconnect RC deviation.
+    RCWIRE = "rcwire"
+    #: Relative substrate-network conductance deviation.
+    GSUB = "gsub"
+
+    def is_relative(self) -> bool:
+        """True for dimensionless multiplicative deviations."""
+        return self is not VariationKind.VTH
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One variation parameter: a kind plus its 1-sigma magnitude.
+
+    Attributes
+    ----------
+    kind:
+        The physical quantity that varies.
+    sigma:
+        Standard deviation of the deviation. Volts for ``VTH``; a
+        dimensionless fraction for relative kinds.
+    """
+
+    kind: VariationKind
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError(
+                f"sigma must be >= 0, got {self.sigma} for {self.kind}"
+            )
+
+    @property
+    def unit(self) -> str:
+        """Unit string of the deviation ('V' or 'rel')."""
+        return "V" if self.kind is VariationKind.VTH else "rel"
+
+
+#: Default inter-die variable set for the synthetic 32nm-class process.
+#: Magnitudes follow the usual advanced-node ballpark: tens of millivolts of
+#: global VTH shift, a few percent on geometry/films, 5-10% on passives.
+GLOBAL_PARAMETER_SET: Tuple[ParameterSpec, ...] = (
+    ParameterSpec(VariationKind.VTH, 0.020),
+    ParameterSpec(VariationKind.BETA, 0.04),
+    ParameterSpec(VariationKind.LENGTH, 0.02),
+    ParameterSpec(VariationKind.TOX, 0.015),
+    ParameterSpec(VariationKind.CGS, 0.03),
+    ParameterSpec(VariationKind.CGD, 0.03),
+    ParameterSpec(VariationKind.RDS, 0.05),
+    ParameterSpec(VariationKind.RSHEET, 0.08),
+    ParameterSpec(VariationKind.CDENS, 0.05),
+    ParameterSpec(VariationKind.LIND, 0.02),
+    ParameterSpec(VariationKind.RCWIRE, 0.06),
+    ParameterSpec(VariationKind.GSUB, 0.10),
+)

@@ -1,0 +1,206 @@
+"""The process model: global inter-die variables plus per-device mismatch.
+
+``ProcessModel`` owns the full list of normalized variation variables of a
+circuit and defines the flat vector ``x`` the performance models are fitted
+against. Variable ordering is deterministic:
+
+1. the inter-die (global) parameters, in declaration order;
+2. for each device in declaration order, its local-mismatch parameters.
+
+``realize(x)`` turns one normalized sample into physical deviations. For a
+device ``d`` and kind ``p`` the total deviation is::
+
+    Δp(d) = σ_global(p) · x_global(p) + σ_local(d, p) · x_local(d, p)
+
+i.e. all devices ride the same die-level shift and add their own mismatch —
+the standard decomposition used by foundry statistical models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+from repro.variation.parameters import (
+    GLOBAL_PARAMETER_SET,
+    ParameterSpec,
+    VariationKind,
+)
+
+__all__ = ["DeviceVariation", "ProcessModel", "ProcessSample"]
+
+
+@dataclass(frozen=True)
+class DeviceVariation:
+    """Local-mismatch declaration of a single device instance.
+
+    Attributes
+    ----------
+    device:
+        Unique instance name (e.g. ``"M1"``, ``"RL_left"``).
+    specs:
+        The mismatch parameters this device carries.
+    """
+
+    device: str
+    specs: Tuple[ParameterSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.device:
+            raise ValueError("device name must be non-empty")
+        kinds = [spec.kind for spec in self.specs]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError(
+                f"device {self.device!r} declares a duplicate variation kind"
+            )
+
+
+class ProcessModel:
+    """Full variation space of one circuit.
+
+    Parameters
+    ----------
+    devices:
+        Per-device mismatch declarations; order fixes the ``x`` layout.
+    global_specs:
+        Inter-die parameters shared by every device. Defaults to the
+        synthetic 32nm-class set.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceVariation],
+        global_specs: Sequence[ParameterSpec] = GLOBAL_PARAMETER_SET,
+    ) -> None:
+        self._globals: Tuple[ParameterSpec, ...] = tuple(global_specs)
+        self._devices: Tuple[DeviceVariation, ...] = tuple(devices)
+
+        names = [dev.device for dev in self._devices]
+        if len(names) != len(set(names)):
+            raise ValueError("device names must be unique")
+        global_kinds = [spec.kind for spec in self._globals]
+        if len(global_kinds) != len(set(global_kinds)):
+            raise ValueError("global parameter kinds must be unique")
+
+        self._global_index: Dict[VariationKind, int] = {
+            spec.kind: i for i, spec in enumerate(self._globals)
+        }
+        self._local_index: Dict[Tuple[str, VariationKind], int] = {}
+        self._local_sigma: Dict[Tuple[str, VariationKind], float] = {}
+        self._names: List[str] = [
+            f"global.{spec.kind.value}" for spec in self._globals
+        ]
+        offset = len(self._globals)
+        for dev in self._devices:
+            for spec in dev.specs:
+                self._local_index[(dev.device, spec.kind)] = offset
+                self._local_sigma[(dev.device, spec.kind)] = spec.sigma
+                self._names.append(f"{dev.device}.{spec.kind.value}")
+                offset += 1
+        self._n_variables = offset
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Total number of normalized N(0,1) variables."""
+        return self._n_variables
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Flat variable names, in ``x`` order."""
+        return tuple(self._names)
+
+    @property
+    def devices(self) -> Tuple[DeviceVariation, ...]:
+        """Per-device declarations, in ``x`` order."""
+        return self._devices
+
+    @property
+    def global_specs(self) -> Tuple[ParameterSpec, ...]:
+        """Inter-die parameters, in ``x`` order."""
+        return self._globals
+
+    def global_variable_index(self, kind: VariationKind) -> Optional[int]:
+        """Index of the global variable of ``kind``, or None if absent."""
+        return self._global_index.get(kind)
+
+    def local_variable_index(
+        self, device: str, kind: VariationKind
+    ) -> Optional[int]:
+        """Index of a device's local variable of ``kind``, or None."""
+        return self._local_index.get((device, kind))
+
+    def local_sigma(self, device: str, kind: VariationKind) -> float:
+        """Mismatch sigma for ``(device, kind)``; KeyError if undeclared."""
+        return self._local_sigma[(device, kind)]
+
+    # ------------------------------------------------------------------
+    # realization
+    # ------------------------------------------------------------------
+    def realize(self, x: np.ndarray) -> "ProcessSample":
+        """Bind one normalized sample vector to this model."""
+        x = check_vector(x, "x", length=self._n_variables)
+        return ProcessSample(self, x)
+
+    def realize_batch(self, samples: np.ndarray) -> List["ProcessSample"]:
+        """Bind a batch of samples (rows) to this model."""
+        samples = check_matrix(samples, "samples", shape=(None, self._n_variables))
+        return [ProcessSample(self, row) for row in samples]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessModel(n_variables={self._n_variables}, "
+            f"n_devices={len(self._devices)}, "
+            f"n_globals={len(self._globals)})"
+        )
+
+
+class ProcessSample:
+    """One realized process sample: physical deviations per device/kind."""
+
+    def __init__(self, model: ProcessModel, x: np.ndarray) -> None:
+        self._model = model
+        self._x = np.asarray(x, dtype=float)
+
+    @property
+    def x(self) -> np.ndarray:
+        """The normalized variable vector (read-only view)."""
+        view = self._x.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def model(self) -> ProcessModel:
+        """The owning process model."""
+        return self._model
+
+    def deviation(self, device: str, kind: VariationKind) -> float:
+        """Total physical deviation of ``kind`` for ``device``.
+
+        Combines the die-level shift (if a global of this kind exists) and
+        the device's own mismatch (if declared). A device with no local
+        declaration of this kind still sees the global shift.
+        """
+        total = 0.0
+        gi = self._model.global_variable_index(kind)
+        if gi is not None:
+            total += self._model.global_specs[gi].sigma * self._x[gi]
+        li = self._model.local_variable_index(device, kind)
+        if li is not None:
+            total += self._model.local_sigma(device, kind) * self._x[li]
+        return total
+
+    def relative(self, device: str, kind: VariationKind) -> float:
+        """Multiplicative factor ``1 + Δ`` for a relative kind.
+
+        The factor is clipped to a minimum of 0.05 so extreme tail samples
+        cannot produce non-physical negative resistances/capacitances.
+        """
+        if not kind.is_relative():
+            raise ValueError(f"{kind} is an absolute kind; use deviation()")
+        return max(1.0 + self.deviation(device, kind), 0.05)

@@ -1,0 +1,71 @@
+"""Tests for uncertainty-driven adaptive sampling."""
+
+import numpy as np
+import pytest
+
+from repro.applications.adaptive_sampling import AdaptiveSampler
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+
+FAST_INIT = InitConfig(
+    r0_grid=(0.0, 0.8), sigma0_grid=(0.1, 0.3), n_basis_grid=(5, 10),
+    n_folds=4,
+)
+FAST_EM = EmConfig(max_iterations=10)
+
+
+def make_sampler(circuit, **overrides):
+    defaults = dict(
+        metric="gain_db",
+        target_percent=1.0,
+        batch_per_state=4,
+        initial_per_state=8,
+        max_rounds=3,
+        n_probe=16,
+        seed=0,
+        init_config=FAST_INIT,
+        em_config=FAST_EM,
+    )
+    defaults.update(overrides)
+    return AdaptiveSampler(circuit, **defaults)
+
+
+class TestAdaptiveSampler:
+    def test_runs_and_accumulates(self, tiny_lna):
+        result = make_sampler(tiny_lna, target_percent=1e-6).run()
+        # Impossible target → runs all rounds, budget grows each round.
+        assert not result.converged
+        assert len(result.rounds) == 3
+        budgets = [r.n_samples_total for r in result.rounds]
+        assert budgets == sorted(budgets)
+        assert budgets[1] - budgets[0] == 4 * tiny_lna.n_states
+        assert result.n_samples_total == budgets[-1]
+
+    def test_converges_on_loose_target(self, tiny_lna):
+        result = make_sampler(tiny_lna, target_percent=50.0).run()
+        assert result.converged
+        assert len(result.rounds) == 1
+
+    def test_predicted_error_decreases(self, tiny_lna):
+        result = make_sampler(tiny_lna, target_percent=1e-6).run()
+        errors = [r.predicted_error_percent for r in result.rounds]
+        assert errors[-1] < errors[0]
+
+    def test_model_usable(self, tiny_lna):
+        result = make_sampler(tiny_lna, max_rounds=1).run()
+        from repro.basis.polynomial import LinearBasis
+
+        basis = LinearBasis(tiny_lna.n_variables)
+        x = np.random.default_rng(0).standard_normal(
+            (5, tiny_lna.n_variables)
+        )
+        prediction = result.model.predict(basis.expand(x), 0)
+        assert prediction.shape == (5,)
+
+    def test_rejects_unknown_metric(self, tiny_lna):
+        with pytest.raises(KeyError, match="metric"):
+            AdaptiveSampler(tiny_lna, "phase_noise")
+
+    def test_rejects_bad_target(self, tiny_lna):
+        with pytest.raises(ValueError):
+            AdaptiveSampler(tiny_lna, "gain_db", target_percent=0.0)

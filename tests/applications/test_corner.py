@@ -1,0 +1,100 @@
+"""Tests for worst-case corner extraction."""
+
+import numpy as np
+import pytest
+
+from repro.applications.corner_extraction import extract_worst_case_corner
+from repro.basis.polynomial import LinearBasis, QuadraticBasis
+from repro.baselines.least_squares import Ridge
+
+
+def fitted_linear_model(seed=0, n_vars=6, n_states=2):
+    rng = np.random.default_rng(seed)
+    basis = LinearBasis(n_vars)
+    coef = rng.standard_normal((n_states, n_vars + 1))
+    designs, targets = [], []
+    for k in range(n_states):
+        x = rng.standard_normal((50, n_vars))
+        design = basis.expand(x)
+        designs.append(design)
+        targets.append(design @ coef[k])
+    model = Ridge(alpha=1e-8).fit(designs, targets)
+    return model, basis, coef
+
+
+class TestLinearClosedForm:
+    def test_corner_on_budget_sphere(self):
+        model, basis, _ = fitted_linear_model()
+        corner = extract_worst_case_corner(model, basis, 0, sigma_budget=3.0)
+        assert corner.sigma_norm == pytest.approx(3.0)
+
+    def test_max_corner_aligns_with_gradient(self):
+        model, basis, coef = fitted_linear_model()
+        corner = extract_worst_case_corner(model, basis, 0, direction="max")
+        weights = coef[0][1:]
+        cosine = corner.x @ weights / (
+            np.linalg.norm(corner.x) * np.linalg.norm(weights)
+        )
+        assert cosine == pytest.approx(1.0, abs=1e-6)
+
+    def test_max_beats_random_points(self):
+        model, basis, _ = fitted_linear_model(1)
+        corner = extract_worst_case_corner(
+            model, basis, 0, sigma_budget=3.0, direction="max"
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            x = rng.standard_normal(basis.n_variables)
+            x *= 3.0 / np.linalg.norm(x)
+            value = float(
+                model.predict(basis.expand(x[None, :]), 0)[0]
+            )
+            assert value <= corner.value + 1e-9
+
+    def test_min_is_negative_of_max_direction(self):
+        model, basis, _ = fitted_linear_model(3)
+        maximum = extract_worst_case_corner(model, basis, 0, direction="max")
+        minimum = extract_worst_case_corner(model, basis, 0, direction="min")
+        assert np.allclose(maximum.x, -minimum.x)
+        assert minimum.value < maximum.value
+
+    def test_per_state_corners_differ(self):
+        model, basis, _ = fitted_linear_model(4)
+        a = extract_worst_case_corner(model, basis, 0)
+        b = extract_worst_case_corner(model, basis, 1)
+        assert not np.allclose(a.x, b.x)
+
+    def test_zero_gradient_stays_at_origin(self):
+        basis = LinearBasis(4)
+        model = Ridge(alpha=1.0)
+        model.coef_ = np.zeros((1, 5))
+        corner = extract_worst_case_corner(model, basis, 0)
+        assert corner.sigma_norm == 0.0
+
+    def test_rejects_bad_direction(self):
+        model, basis, _ = fitted_linear_model(5)
+        with pytest.raises(ValueError, match="direction"):
+            extract_worst_case_corner(model, basis, 0, direction="sideways")
+
+    def test_rejects_bad_budget(self):
+        model, basis, _ = fitted_linear_model(6)
+        with pytest.raises(ValueError):
+            extract_worst_case_corner(model, basis, 0, sigma_budget=0.0)
+
+
+class TestNonlinearRefinement:
+    def test_quadratic_model_corner_inside_budget(self):
+        rng = np.random.default_rng(7)
+        basis = QuadraticBasis(3)
+        x = rng.standard_normal((80, 3))
+        design = basis.expand(x)
+        target = design @ rng.standard_normal(basis.n_basis)
+        model = Ridge(alpha=1e-6).fit([design], [target])
+        corner = extract_worst_case_corner(
+            model, basis, 0, sigma_budget=2.0, refine_steps=20
+        )
+        assert corner.sigma_norm <= 2.0 + 1e-9
+        origin_value = float(
+            model.predict(basis.expand(np.zeros((1, 3))), 0)[0]
+        )
+        assert corner.value >= origin_value

@@ -1,0 +1,127 @@
+"""Tests for yield estimation."""
+
+import numpy as np
+import pytest
+
+from repro.applications.yield_estimation import (
+    Specification,
+    YieldEstimator,
+    monte_carlo_yield,
+)
+from repro.baselines.somp import SOMP
+from repro.basis.polynomial import LinearBasis
+
+
+class TestSpecification:
+    def test_max_spec(self):
+        spec = Specification("nf_db", 3.0, "max")
+        assert spec.passes(np.array([2.0, 3.0, 4.0])).tolist() == [
+            True,
+            True,
+            False,
+        ]
+
+    def test_min_spec(self):
+        spec = Specification("gain_db", 15.0, "min")
+        assert spec.passes(np.array([14.0, 16.0])).tolist() == [False, True]
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            Specification("nf_db", 3.0, "between")
+
+
+@pytest.fixture(scope="module")
+def fitted_models(lna_dataset):
+    train, _ = lna_dataset.split(30)
+    basis = LinearBasis(lna_dataset.n_variables)
+    designs = basis.expand_states(train.inputs())
+    models = {}
+    for metric in lna_dataset.metric_names:
+        models[metric] = SOMP(n_select=20, seed=0).fit(
+            designs, train.targets(metric)
+        )
+    return models, basis
+
+
+class TestYieldEstimator:
+    def test_state_yields_in_unit_interval(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        specs = [Specification("nf_db", 1.6, "max")]
+        yields = estimator.state_yields(specs, n_samples=2000, seed=0)
+        assert yields.shape == (estimator.n_states,)
+        assert np.all((0.0 <= yields) & (yields <= 1.0))
+
+    def test_loose_spec_full_yield(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        specs = [Specification("nf_db", 100.0, "max")]
+        yields = estimator.state_yields(specs, n_samples=500, seed=1)
+        assert np.allclose(yields, 1.0)
+
+    def test_impossible_spec_zero_yield(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        specs = [Specification("gain_db", 1000.0, "min")]
+        yields = estimator.state_yields(specs, n_samples=500, seed=2)
+        assert np.allclose(yields, 0.0)
+
+    def test_tunable_yield_at_least_best_state(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        specs = [
+            Specification("nf_db", 1.55, "max"),
+            Specification("gain_db", 24.0, "min"),
+        ]
+        fixed = estimator.state_yields(specs, n_samples=3000, seed=3)
+        tunable = estimator.tunable_yield(specs, n_samples=3000, seed=3)
+        assert tunable >= fixed.max() - 1e-12
+
+    def test_tighter_spec_lowers_yield(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        loose = estimator.state_yields(
+            [Specification("nf_db", 2.0, "max")], 2000, seed=4
+        )
+        tight = estimator.state_yields(
+            [Specification("nf_db", 1.4, "max")], 2000, seed=4
+        )
+        assert np.all(tight <= loose + 1e-12)
+
+    def test_unknown_metric_rejected(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        with pytest.raises(KeyError):
+            estimator.state_yields(
+                [Specification("zzz", 1.0, "max")], 100
+            )
+
+    def test_empty_specs_rejected(self, fitted_models):
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        with pytest.raises(ValueError, match="at least one"):
+            estimator.state_yields([], 100)
+
+    def test_model_yield_matches_direct_mc(self, fitted_models, tiny_lna):
+        """Model-based yield should track the simulator's own yield."""
+        models, basis = fitted_models
+        estimator = YieldEstimator(models, basis)
+        spec = Specification("gain_db", 24.0, "min")
+        model_yield = estimator.state_yields([spec], 4000, seed=5)[0]
+        direct = monte_carlo_yield(tiny_lna, 0, [spec], 300, seed=5)
+        assert abs(model_yield - direct) < 0.15
+
+
+class TestMonteCarloYield:
+    def test_bounds(self, tiny_lna):
+        spec = Specification("nf_db", 100.0, "max")
+        assert monte_carlo_yield(tiny_lna, 0, [spec], 20, seed=0) == 1.0
+
+    def test_state_range_checked(self, tiny_lna):
+        spec = Specification("nf_db", 3.0, "max")
+        with pytest.raises(IndexError):
+            monte_carlo_yield(tiny_lna, 99, [spec], 10)
+
+    def test_empty_specs_rejected(self, tiny_lna):
+        with pytest.raises(ValueError):
+            monte_carlo_yield(tiny_lna, 0, [], 10)

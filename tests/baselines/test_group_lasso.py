@@ -1,0 +1,102 @@
+"""Tests for the group-lasso baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.group_lasso import GroupLasso, _group_soft_threshold
+from repro.baselines.least_squares import LeastSquares
+
+
+def shared_problem(seed=0, n_states=3, n_basis=25, n=30):
+    rng = np.random.default_rng(seed)
+    support = [4, 11, 19]
+    designs, targets = [], []
+    coefs = np.zeros((n_states, n_basis))
+    for k in range(n_states):
+        coefs[k, support] = rng.uniform(1.0, 2.0, 3)
+        design = rng.standard_normal((n, n_basis))
+        designs.append(design)
+        targets.append(design @ coefs[k] + 0.02 * rng.standard_normal(n))
+    return designs, targets, support, coefs
+
+
+class TestGroupSoftThreshold:
+    def test_zeroes_small_groups(self):
+        coef = np.array([[0.1, 0.1], [3.0, 4.0]])
+        out = _group_soft_threshold(coef, 1.0)
+        assert np.allclose(out[0], 0.0)
+        assert np.linalg.norm(out[1]) == pytest.approx(4.0)  # 5 − 1
+
+    def test_preserves_direction(self):
+        coef = np.array([[3.0, 4.0]])
+        out = _group_soft_threshold(coef, 1.0)
+        assert out[0, 1] / out[0, 0] == pytest.approx(4.0 / 3.0)
+
+    def test_zero_threshold_identity(self):
+        coef = np.random.default_rng(0).standard_normal((4, 3))
+        assert np.allclose(_group_soft_threshold(coef, 0.0), coef)
+
+
+class TestGroupLasso:
+    def test_penalty_max_zeroes_solution(self):
+        designs, targets, _, _ = shared_problem()
+        lam_max = GroupLasso.penalty_max(designs, targets)
+        model = GroupLasso(penalty=lam_max * 1.001).fit(designs, targets)
+        assert np.allclose(model.coef_, 0.0, atol=1e-8)
+
+    def test_small_penalty_approaches_least_squares(self):
+        designs, targets, _, _ = shared_problem(1)
+        lam_max = GroupLasso.penalty_max(designs, targets)
+        model = GroupLasso(
+            penalty=lam_max * 1e-6, max_iterations=3000, tolerance=1e-14
+        ).fit(designs, targets)
+        ls = LeastSquares().fit(designs, targets)
+        assert np.allclose(model.coef_, ls.coef_, atol=0.02)
+
+    def test_group_sparsity_pattern_shared(self):
+        """Zero groups are zero in *every* state simultaneously."""
+        designs, targets, support, _ = shared_problem(2)
+        lam_max = GroupLasso.penalty_max(designs, targets)
+        model = GroupLasso(penalty=0.2 * lam_max).fit(designs, targets)
+        norms = np.linalg.norm(model.coef_, axis=0)
+        active = set(np.flatnonzero(norms > 1e-8))
+        assert set(support).issubset(active)
+        # Per-column: either all states zero or the group survives jointly.
+        for m in range(model.coef_.shape[1]):
+            column = model.coef_[:, m]
+            assert np.all(column == 0.0) or np.linalg.norm(column) > 1e-8
+
+    def test_cv_mode_runs(self):
+        designs, targets, support, _ = shared_problem(3)
+        model = GroupLasso(
+            penalty="cv", penalty_grid=(0.3, 0.03), n_folds=3, seed=0
+        ).fit(designs, targets)
+        assert model.penalty_used_ > 0.0
+        active = set(np.flatnonzero(np.linalg.norm(model.coef_, axis=0)))
+        assert set(support).issubset(active)
+
+    def test_objective_decreases(self):
+        """More FISTA iterations cannot worsen the training objective."""
+        designs, targets, _, _ = shared_problem(4)
+        lam = 0.1 * GroupLasso.penalty_max(designs, targets)
+
+        def objective(coef):
+            value = lam * np.sum(np.linalg.norm(coef, axis=0))
+            for k, (d, t) in enumerate(zip(designs, targets)):
+                r = d @ coef[k] - t
+                value += 0.5 * float(r @ r)
+            return value
+
+        short = GroupLasso(penalty=lam, max_iterations=5).fit(
+            designs, targets
+        )
+        long = GroupLasso(penalty=lam, max_iterations=400).fit(
+            designs, targets
+        )
+        assert objective(long.coef_) <= objective(short.coef_) + 1e-6
+
+    def test_rejects_bad_penalty(self):
+        with pytest.raises(ValueError):
+            GroupLasso(penalty=0.0)
+        with pytest.raises(ValueError, match="cv"):
+            GroupLasso(penalty="auto")

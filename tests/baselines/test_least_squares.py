@@ -1,0 +1,79 @@
+"""Tests for per-state least squares and ridge."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.least_squares import LeastSquares, Ridge
+
+
+def exact_problem(seed=0, n_states=3, n_basis=5, n=20):
+    rng = np.random.default_rng(seed)
+    coef = rng.standard_normal((n_states, n_basis))
+    designs = [rng.standard_normal((n, n_basis)) for _ in range(n_states)]
+    targets = [d @ coef[k] for k, d in enumerate(designs)]
+    return designs, targets, coef
+
+
+class TestLeastSquares:
+    def test_exact_recovery_noiseless(self):
+        designs, targets, coef = exact_problem()
+        model = LeastSquares().fit(designs, targets)
+        assert np.allclose(model.coef_, coef, atol=1e-9)
+
+    def test_predict(self):
+        designs, targets, _ = exact_problem(1)
+        model = LeastSquares().fit(designs, targets)
+        assert np.allclose(model.predict(designs[1], 1), targets[1])
+
+    def test_states_independent(self):
+        """Changing one state's data must not move another's fit."""
+        designs, targets, _ = exact_problem(2)
+        base = LeastSquares().fit(designs, targets).coef_
+        targets2 = list(targets)
+        targets2[0] = targets2[0] + 100.0
+        other = LeastSquares().fit(designs, targets2).coef_
+        assert np.allclose(base[1:], other[1:])
+        assert not np.allclose(base[0], other[0])
+
+    def test_underdetermined_returns_min_norm(self):
+        rng = np.random.default_rng(3)
+        design = rng.standard_normal((4, 10))
+        target = rng.standard_normal(4)
+        model = LeastSquares().fit([design], [target])
+        # Min-norm solution interpolates the training data.
+        assert np.allclose(design @ model.coef_[0], target, atol=1e-9)
+
+    def test_n_states_property(self):
+        designs, targets, _ = exact_problem(4)
+        model = LeastSquares().fit(designs, targets)
+        assert model.n_states == 3
+        assert model.n_basis == 5
+
+
+class TestRidge:
+    def test_matches_closed_form(self):
+        designs, targets, _ = exact_problem(5)
+        alpha = 2.0
+        model = Ridge(alpha=alpha).fit(designs, targets)
+        for k, (design, target) in enumerate(zip(designs, targets)):
+            expected = np.linalg.solve(
+                design.T @ design + alpha * np.eye(5), design.T @ target
+            )
+            assert np.allclose(model.coef_[k], expected)
+
+    def test_shrinks_toward_zero(self):
+        designs, targets, _ = exact_problem(6)
+        weak = Ridge(alpha=1e-6).fit(designs, targets).coef_
+        strong = Ridge(alpha=1e6).fit(designs, targets).coef_
+        assert np.linalg.norm(strong) < 1e-3 * np.linalg.norm(weak)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=0.0)
+
+    def test_handles_underdetermined(self):
+        rng = np.random.default_rng(7)
+        design = rng.standard_normal((3, 12))
+        target = rng.standard_normal(3)
+        model = Ridge(alpha=0.5).fit([design], [target])
+        assert np.all(np.isfinite(model.coef_))

@@ -1,0 +1,80 @@
+"""Tests for per-state OMP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.omp import OMP, omp_select
+
+
+def sparse_problem(seed=0, n_states=3, n_basis=40, n=25):
+    rng = np.random.default_rng(seed)
+    supports = [
+        sorted(rng.choice(n_basis, 3, replace=False)) for _ in range(n_states)
+    ]
+    designs, targets = [], []
+    for k in range(n_states):
+        coef = np.zeros(n_basis)
+        coef[supports[k]] = rng.uniform(1.0, 3.0, 3)
+        design = rng.standard_normal((n, n_basis))
+        designs.append(design)
+        targets.append(design @ coef + 0.01 * rng.standard_normal(n))
+    return designs, targets, supports
+
+
+class TestOmpSelect:
+    def test_recovers_support(self):
+        designs, targets, supports = sparse_problem()
+        support, _ = omp_select(designs[0], targets[0], 3)
+        assert sorted(support) == supports[0]
+
+    def test_rejects_bad_size(self):
+        designs, targets, _ = sparse_problem()
+        with pytest.raises(ValueError):
+            omp_select(designs[0], targets[0], 0)
+        with pytest.raises(ValueError):
+            omp_select(designs[0], targets[0], 999)
+
+    def test_no_duplicates(self):
+        designs, targets, _ = sparse_problem(1)
+        support, _ = omp_select(designs[0], targets[0], 10)
+        assert len(set(support)) == 10
+
+
+class TestOMP:
+    def test_fixed_size_recovery(self):
+        designs, targets, supports = sparse_problem(2)
+        model = OMP(n_select=3).fit(designs, targets)
+        for k in range(3):
+            found = sorted(np.flatnonzero(model.coef_[k]))
+            assert found == supports[k]
+
+    def test_states_can_have_different_supports(self):
+        designs, targets, supports = sparse_problem(3)
+        model = OMP(n_select=3).fit(designs, targets)
+        assert model.supports_ is not None
+        assert sorted(model.supports_[0]) == supports[0]
+        assert sorted(model.supports_[1]) == supports[1]
+
+    def test_cv_mode_runs(self):
+        designs, targets, supports = sparse_problem(4)
+        model = OMP(n_select="cv", n_select_grid=(3, 6), seed=0).fit(
+            designs, targets
+        )
+        for k in range(3):
+            found = set(np.flatnonzero(model.coef_[k]))
+            assert set(supports[k]).issubset(found)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="cv"):
+            OMP(n_select="auto")
+
+    def test_rejects_bad_grid_types(self):
+        with pytest.raises(TypeError):
+            OMP(n_select=2.5)
+
+    def test_size_capped_by_samples(self):
+        rng = np.random.default_rng(5)
+        design = rng.standard_normal((4, 20))
+        target = rng.standard_normal(4)
+        model = OMP(n_select=10).fit([design], [target])
+        assert np.count_nonzero(model.coef_[0]) <= 4

@@ -1,0 +1,80 @@
+"""Tests for the S-OMP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.omp import OMP
+from repro.baselines.somp import SOMP
+
+
+def shared_problem(seed=0, n_states=4, n_basis=50, n=22):
+    rng = np.random.default_rng(seed)
+    support = sorted(rng.choice(n_basis, 4, replace=False))
+    designs, targets = [], []
+    coefs = np.zeros((n_states, n_basis))
+    for k in range(n_states):
+        coefs[k, support] = rng.uniform(1.0, 3.0, 4) * rng.choice([-1, 1], 4)
+        design = rng.standard_normal((n, n_basis))
+        designs.append(design)
+        targets.append(design @ coefs[k] + 0.02 * rng.standard_normal(n))
+    return designs, targets, support, coefs
+
+
+class TestSOMP:
+    def test_recovers_shared_support(self):
+        designs, targets, support, _ = shared_problem()
+        model = SOMP(n_select=4).fit(designs, targets)
+        assert sorted(model.support_order_) == support
+
+    def test_support_identical_across_states(self):
+        designs, targets, _, _ = shared_problem(1)
+        model = SOMP(n_select=5).fit(designs, targets)
+        patterns = [set(np.flatnonzero(row)) for row in model.coef_]
+        for pattern in patterns[1:]:
+            assert pattern <= patterns[0] | pattern  # same template
+            assert np.flatnonzero(model.coef_[0]).size == 5
+
+    def test_magnitudes_fit_per_state(self):
+        designs, targets, support, coefs = shared_problem(2)
+        model = SOMP(n_select=4).fit(designs, targets)
+        assert np.allclose(
+            model.coef_[:, support], coefs[:, support], atol=0.05
+        )
+
+    def test_cv_mode_selects_reasonable_size(self):
+        designs, targets, support, _ = shared_problem(3)
+        model = SOMP(n_select="cv", n_select_grid=(2, 4, 8), seed=0).fit(
+            designs, targets
+        )
+        assert model.n_select_used_ in (4, 8)
+        found = set(model.support_order_)
+        assert set(support).issubset(found)
+
+    def test_shared_template_beats_per_state_omp_at_low_n(self):
+        """Pooling the selection across states is S-OMP's whole point."""
+        designs, targets, support, coefs = shared_problem(4, n=7)
+        test_rng = np.random.default_rng(99)
+        test_designs = [
+            test_rng.standard_normal((200, 50)) for _ in range(4)
+        ]
+        test_targets = [d @ coefs[k] for k, d in enumerate(test_designs)]
+
+        def error(model):
+            total = 0.0
+            for k in range(4):
+                p = model.predict(test_designs[k], k)
+                total += float(np.mean((p - test_targets[k]) ** 2))
+            return total
+
+        somp = SOMP(n_select=4).fit(designs, targets)
+        omp = OMP(n_select=4).fit(designs, targets)
+        assert error(somp) < error(omp)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="cv"):
+            SOMP(n_select="auto")
+
+    def test_size_capped(self):
+        designs, targets, _, _ = shared_problem(5, n=6)
+        model = SOMP(n_select=50).fit(designs, targets)
+        assert model.n_select_used_ <= 6

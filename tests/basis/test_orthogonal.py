@@ -1,0 +1,114 @@
+"""Tests for the normalized Hermite basis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.basis.orthogonal import HermiteBasis, hermite_normalized
+from repro.basis.polynomial import LinearBasis
+
+
+class TestHermiteNormalized:
+    def test_degree_zero_is_one(self):
+        assert np.allclose(hermite_normalized(np.array([3.0]), 0), 1.0)
+
+    def test_degree_one_is_identity(self):
+        x = np.array([-1.5, 0.0, 2.0])
+        assert np.allclose(hermite_normalized(x, 1), x)
+
+    def test_degree_two_value(self):
+        assert hermite_normalized(np.array([2.0]), 2)[0] == pytest.approx(
+            3.0 / math.sqrt(2.0)
+        )
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            hermite_normalized(np.array([1.0]), 5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(degree=st.integers(1, 4))
+    def test_property_orthonormal_under_standard_normal(self, degree):
+        """E[ĥ_d²] = 1 and E[ĥ_d ĥ_d'] = 0 under N(0,1)."""
+        rng = np.random.default_rng(degree)
+        x = rng.standard_normal(400_000)
+        h_d = hermite_normalized(x, degree)
+        assert np.mean(h_d * h_d) == pytest.approx(1.0, abs=0.05)
+        for other in range(degree):
+            h_o = hermite_normalized(x, other)
+            assert abs(np.mean(h_d * h_o)) < 0.05
+
+
+class TestHermiteBasis:
+    def test_column_count(self):
+        assert HermiteBasis(5, degree=3).n_basis == 1 + 3 * 5
+
+    def test_names_grouped_by_degree(self):
+        basis = HermiteBasis(2, degree=2)
+        assert basis.names == (
+            "1", "He1(x1)", "He1(x2)", "He2(x1)", "He2(x2)"
+        )
+
+    def test_degree_one_matches_linear_basis(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((10, 4))
+        hermite = HermiteBasis(4, degree=1).expand(x)
+        linear = LinearBasis(4).expand(x)
+        assert np.allclose(hermite, linear)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            HermiteBasis(3, degree=0)
+
+    def test_columns_nearly_uncorrelated(self):
+        """Empirical Gram of the non-constant columns ≈ identity."""
+        rng = np.random.default_rng(1)
+        basis = HermiteBasis(3, degree=3)
+        design = basis.expand(rng.standard_normal((100_000, 3)))
+        gram = design.T @ design / design.shape[0]
+        assert np.allclose(gram, np.eye(basis.n_basis), atol=0.05)
+
+    def test_better_conditioning_than_raw_monomials(self):
+        """At degree 2 the Hermite design is better conditioned than the
+        raw-square design on the same samples."""
+        from repro.basis.polynomial import QuadraticBasis
+
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((400, 6))
+        hermite = HermiteBasis(6, degree=2).expand(x)
+        raw = np.hstack([np.ones((400, 1)), x, x * x])  # uncentered squares
+        cond_h = np.linalg.cond(hermite)
+        cond_raw = np.linalg.cond(raw)
+        assert cond_h < cond_raw
+
+    def test_usable_by_estimators(self):
+        """End-to-end: C-BMF on a Hermite-expanded quadratic truth."""
+        from repro.core.cbmf import CBMF
+        from repro.core.em import EmConfig
+        from repro.core.somp_init import InitConfig
+
+        rng = np.random.default_rng(3)
+        n_states, n_vars, n = 3, 10, 30
+        basis = HermiteBasis(n_vars, degree=2)
+        coef = np.zeros(basis.n_basis)
+        coef[0], coef[2], coef[1 + n_vars + 4] = 5.0, 2.0, 1.5
+        designs, targets = [], []
+        for k in range(n_states):
+            x = rng.standard_normal((n, n_vars))
+            design = basis.expand(x)
+            designs.append(design)
+            targets.append(
+                design @ (coef * (1 + 0.1 * k))
+                + 0.02 * rng.standard_normal(n)
+            )
+        model = CBMF(
+            init_config=InitConfig(
+                r0_grid=(0.9,), sigma0_grid=(0.1,), n_basis_grid=(4,),
+                n_folds=3,
+            ),
+            em_config=EmConfig(max_iterations=10),
+            seed=0,
+        ).fit(designs, targets)
+        residual = model.predict(designs[0], 0) - targets[0]
+        assert np.sqrt(np.mean(residual**2)) < 0.5

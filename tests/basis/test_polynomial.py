@@ -1,0 +1,112 @@
+"""Tests for polynomial basis dictionaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.basis.polynomial import CrossTermBasis, LinearBasis, QuadraticBasis
+
+
+class TestLinearBasis:
+    def test_n_basis(self):
+        assert LinearBasis(5).n_basis == 6
+
+    def test_names(self):
+        basis = LinearBasis(2)
+        assert basis.names == ("1", "x1", "x2")
+
+    def test_expansion_values(self):
+        basis = LinearBasis(2)
+        x = np.array([[3.0, -1.0]])
+        design = basis.expand(x)
+        assert np.allclose(design, [[1.0, 3.0, -1.0]])
+
+    def test_expand_states(self):
+        basis = LinearBasis(3)
+        designs = basis.expand_states([np.zeros((2, 3)), np.ones((4, 3))])
+        assert designs[0].shape == (2, 4)
+        assert designs[1].shape == (4, 4)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            LinearBasis(3).expand(np.zeros((2, 4)))
+
+    def test_rejects_zero_variables(self):
+        with pytest.raises(ValueError):
+            LinearBasis(0)
+
+
+class TestQuadraticBasis:
+    def test_n_basis(self):
+        assert QuadraticBasis(4).n_basis == 9
+
+    def test_centered_squares(self):
+        basis = QuadraticBasis(1)
+        design = basis.expand(np.array([[2.0]]))
+        assert np.allclose(design, [[1.0, 2.0, 3.0]])  # x²−1 = 3
+
+    def test_square_columns_zero_mean_under_normal(self):
+        rng = np.random.default_rng(0)
+        basis = QuadraticBasis(2)
+        design = basis.expand(rng.standard_normal((50_000, 2)))
+        square_columns = design[:, 3:]
+        assert np.all(np.abs(square_columns.mean(axis=0)) < 0.05)
+
+
+class TestCrossTermBasis:
+    def test_names_and_values(self):
+        basis = CrossTermBasis(3, pairs=[(0, 2)])
+        assert basis.names[-1] == "x1*x3"
+        design = basis.expand(np.array([[2.0, 5.0, 4.0]]))
+        assert design[0, -1] == pytest.approx(8.0)
+
+    def test_with_squares(self):
+        basis = CrossTermBasis(2, pairs=[(0, 1)], include_squares=True)
+        assert basis.n_basis == 1 + 2 + 2 + 1
+
+    def test_rejects_out_of_range_pair(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CrossTermBasis(2, pairs=[(0, 5)])
+
+    def test_rejects_square_pair(self):
+        with pytest.raises(ValueError, match="square"):
+            CrossTermBasis(3, pairs=[(1, 1)])
+
+    def test_rejects_duplicate_pairs(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CrossTermBasis(3, pairs=[(0, 1), (1, 0)])
+
+    def test_empty_pairs_is_linear(self):
+        basis = CrossTermBasis(3, pairs=[])
+        linear = LinearBasis(3)
+        x = np.random.default_rng(1).standard_normal((4, 3))
+        assert np.allclose(basis.expand(x), linear.expand(x))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_vars=st.integers(1, 6),
+    n_samples=st.integers(1, 10),
+)
+def test_property_linearity_of_linear_basis(seed, n_vars, n_samples):
+    """Linear basis commutes with affine input combinations (ex intercept)."""
+    rng = np.random.default_rng(seed)
+    basis = LinearBasis(n_vars)
+    a = rng.standard_normal((n_samples, n_vars))
+    b = rng.standard_normal((n_samples, n_vars))
+    lhs = basis.expand(a + b)
+    rhs = basis.expand(a) + basis.expand(b)
+    # Intercept column doubles on the right; all others match.
+    assert np.allclose(lhs[:, 1:], rhs[:, 1:])
+    assert np.allclose(rhs[:, 0], 2.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n_vars=st.integers(1, 5))
+def test_property_expansion_shape(seed, n_vars):
+    rng = np.random.default_rng(seed)
+    for basis in (LinearBasis(n_vars), QuadraticBasis(n_vars)):
+        x = rng.standard_normal((7, n_vars))
+        assert basis.expand(x).shape == (7, basis.n_basis)
+        assert len(basis.names) == basis.n_basis

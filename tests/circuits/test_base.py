@@ -1,0 +1,94 @@
+"""Tests for the tunable-circuit scaffolding (base helpers, padding)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.base import peripheral_padding
+from repro.variation.parameters import GLOBAL_PARAMETER_SET
+from repro.variation.process import ProcessModel
+
+
+class TestPeripheralPadding:
+    def test_exact_fill_with_cells_and_wires(self):
+        declarations = peripheral_padding("PAD", 100, 60)
+        total = sum(len(d.specs) for d in declarations)
+        assert total == 40
+        # 4 nine-parameter cells + 4 single-parameter wires.
+        cells = [d for d in declarations if "cell" in d.device]
+        wires = [d for d in declarations if "wire" in d.device]
+        assert len(cells) == 4 and len(wires) == 4
+
+    def test_zero_padding(self):
+        assert peripheral_padding("PAD", 50, 50) == []
+
+    def test_overshoot_rejected(self):
+        with pytest.raises(ValueError, match="more than"):
+            peripheral_padding("PAD", 10, 20)
+
+    def test_unique_device_names(self):
+        declarations = peripheral_padding("PAD", 200, 0)
+        names = [d.device for d in declarations]
+        assert len(names) == len(set(names))
+
+    def test_usable_in_process_model(self):
+        declarations = peripheral_padding("PAD", 64, 12)
+        model = ProcessModel(declarations, GLOBAL_PARAMETER_SET)
+        assert model.n_variables == 12 + 52
+
+
+class TestCircuitHelpers:
+    def test_evaluate_x_equals_evaluate(self, tiny_lna):
+        x = np.random.default_rng(0).standard_normal(tiny_lna.n_variables)
+        via_x = tiny_lna.evaluate_x(x, tiny_lna.states[0])
+        via_sample = tiny_lna.evaluate(
+            tiny_lna.process_model.realize(x), tiny_lna.states[0]
+        )
+        assert via_x == via_sample
+
+    def test_nominal_is_zero_sample(self, tiny_lna):
+        nominal = tiny_lna.nominal(tiny_lna.states[1])
+        zero = tiny_lna.evaluate_x(
+            np.zeros(tiny_lna.n_variables), tiny_lna.states[1]
+        )
+        assert nominal == zero
+
+    def test_counts(self, tiny_lna):
+        assert tiny_lna.n_states == len(tiny_lna.states)
+        assert tiny_lna.n_variables == tiny_lna.process_model.n_variables
+
+
+class TestMixerSubmodels:
+    def test_lo_swing_responds_to_buffer_strength(self, tiny_mixer):
+        from repro.variation.parameters import VariationKind
+
+        names = tiny_mixer.process_model.variable_names
+        x = np.zeros(tiny_mixer.n_variables)
+        x[names.index("MLO1.beta")] = 3.0
+        sample = tiny_mixer.process_model.realize(x)
+        assert tiny_mixer.lo_swing(sample) != pytest.approx(
+            tiny_mixer.lo_swing(None), abs=1e-9
+        )
+
+    def test_lo_swing_compressed_response(self, tiny_mixer):
+        """The buffer clips: swing moves less than drive strength."""
+        names = tiny_mixer.process_model.variable_names
+        x = np.zeros(tiny_mixer.n_variables)
+        for i in range(1, 5):
+            x[names.index(f"MLO{i}.beta")] = 2.0
+        sample = tiny_mixer.process_model.realize(x)
+        gm_ratio = (
+            tiny_mixer._lo_buffer_gm(sample) / tiny_mixer._lo_gm_nominal
+        )
+        swing_ratio = tiny_mixer.lo_swing(sample) / tiny_mixer.lo_swing(None)
+        assert 1.0 < swing_ratio < gm_ratio
+
+    def test_quad_imbalance_is_one_nominal(self, tiny_mixer):
+        assert tiny_mixer._quad_imbalance(None) == 1.0
+
+    def test_quad_imbalance_below_one_with_mismatch(self, tiny_mixer):
+        names = tiny_mixer.process_model.variable_names
+        x = np.zeros(tiny_mixer.n_variables)
+        x[names.index("MSW1.vth")] = 4.0
+        sample = tiny_mixer.process_model.realize(x)
+        factor = tiny_mixer._quad_imbalance(sample)
+        assert 0.1 <= factor < 1.0

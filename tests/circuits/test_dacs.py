@@ -1,0 +1,131 @@
+"""Tests for the tuning DACs (current mirror and resistor bank)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.dacs import (
+    CurrentMirrorDac,
+    FixedCurrentMirror,
+    SwitchedResistorBank,
+)
+from repro.variation.parameters import VariationKind
+from repro.variation.process import ProcessModel
+
+
+class TestCurrentMirrorDac:
+    def test_nominal_monotone_in_code(self):
+        dac = CurrentMirrorDac("B", n_cells=8)
+        currents = dac.nominal_currents()
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_code_range_enforced(self):
+        dac = CurrentMirrorDac("B", n_cells=4)
+        with pytest.raises(IndexError):
+            dac.current(4)
+        with pytest.raises(IndexError):
+            dac.current(-1)
+
+    def test_current_scale_milliamp(self):
+        dac = CurrentMirrorDac("B", n_cells=32)
+        assert 1e-3 < dac.current(0) < 5e-3
+        assert dac.current(31) > 2 * dac.current(0)
+
+    def test_global_vth_cancels_in_mirror(self):
+        """Mirror currents track the reference: die-level ΔVTH cancels."""
+        dac = CurrentMirrorDac("B", n_cells=4)
+        model = ProcessModel(dac.device_variations())
+        x = np.zeros(model.n_variables)
+        x[model.global_variable_index(VariationKind.VTH)] = 3.0
+        shifted = dac.current(3, model.realize(x))
+        nominal = dac.current(3)
+        assert shifted == pytest.approx(nominal, rel=1e-9)
+
+    def test_cell_mismatch_moves_only_enabled_codes(self):
+        dac = CurrentMirrorDac("B", n_cells=4)
+        model = ProcessModel(dac.device_variations())
+        x = np.zeros(model.n_variables)
+        # Perturb cell 2's threshold: codes 0 and 1 (cells 0..1 enabled at
+        # code 1) are unaffected; code 2 and above shift.
+        x[model.local_variable_index("B_m2", VariationKind.VTH)] = 3.0
+        sample = model.realize(x)
+        assert dac.current(1, sample) == pytest.approx(
+            dac.current(1), rel=1e-12
+        )
+        assert dac.current(2, sample) != pytest.approx(
+            dac.current(2), rel=1e-6
+        )
+
+    def test_switch_resistance_reduces_cell_current(self):
+        lossless = CurrentMirrorDac("A", n_cells=4, switch_r_on=1e-6)
+        lossy = CurrentMirrorDac("B", n_cells=4, switch_r_on=200.0)
+        delta_lossless = lossless.current(3) - lossless.current(0)
+        delta_lossy = lossy.current(3) - lossy.current(0)
+        assert delta_lossy < delta_lossless
+
+    def test_transistor_inventory(self):
+        dac = CurrentMirrorDac("B", n_cells=5)
+        # ref + base + 4 groups of 5
+        assert len(dac.transistors()) == 2 + 4 * 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CurrentMirrorDac("B", n_cells=1)
+        with pytest.raises(ValueError):
+            CurrentMirrorDac("B", reference_current=0.0)
+
+
+class TestFixedCurrentMirror:
+    def test_nominal_ratio(self):
+        mirror = FixedCurrentMirror("T", 250e-6, ratio=8.0)
+        assert mirror.current() == pytest.approx(8 * 250e-6, rel=0.05)
+
+    def test_mismatch_moves_current(self):
+        mirror = FixedCurrentMirror("T", 250e-6, ratio=4.0)
+        model = ProcessModel(mirror.device_variations())
+        x = np.zeros(model.n_variables)
+        x[model.local_variable_index("T_out", VariationKind.VTH)] = 2.0
+        assert mirror.current(model.realize(x)) != pytest.approx(
+            mirror.current(), rel=1e-6
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FixedCurrentMirror("T", 0.0)
+        with pytest.raises(ValueError):
+            FixedCurrentMirror("T", 1e-3, ratio=-1.0)
+
+
+class TestSwitchedResistorBank:
+    def test_monotone_decreasing_with_code(self):
+        bank = SwitchedResistorBank("L", 5, base_ohms=1000.0, leg_ohms=5000.0)
+        values = [bank.resistance(code) for code in range(6)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_code_zero_is_base(self):
+        bank = SwitchedResistorBank("L", 3, base_ohms=900.0, leg_ohms=5e3)
+        assert bank.resistance(0) == pytest.approx(900.0)
+
+    def test_full_code_parallel_formula(self):
+        bank = SwitchedResistorBank(
+            "L", 2, base_ohms=1000.0, leg_ohms=1000.0, switch_r_on=0.0
+        )
+        # This constructor forbids r_on=0? Use tiny instead.
+        bank.switch_r_on = 1e-9
+        expected = 1.0 / (1 / 1000.0 + 2 / 1000.0)
+        assert bank.resistance(2) == pytest.approx(expected, rel=1e-6)
+
+    def test_mismatch_moves_resistance(self):
+        bank = SwitchedResistorBank("L", 3, base_ohms=900.0, leg_ohms=5e3)
+        model = ProcessModel(bank.device_variations())
+        x = np.zeros(model.n_variables)
+        x[model.local_variable_index("L_rbase", VariationKind.RSHEET)] = 1.0
+        assert bank.resistance(0, model.realize(x)) > bank.resistance(0)
+
+    def test_code_range(self):
+        bank = SwitchedResistorBank("L", 3, base_ohms=900.0, leg_ohms=5e3)
+        with pytest.raises(IndexError):
+            bank.resistance(4)
+
+    def test_rejects_zero_legs(self):
+        with pytest.raises(ValueError):
+            SwitchedResistorBank("L", 0, base_ohms=900.0, leg_ohms=5e3)

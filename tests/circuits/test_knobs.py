@@ -1,0 +1,64 @@
+"""Tests for tuning-knob enumeration."""
+
+import pytest
+
+from repro.circuits.knobs import KnobConfiguration, TuningKnob, enumerate_states
+
+
+class TestTuningKnob:
+    def test_value_lookup(self):
+        knob = TuningKnob("bias", (1.0, 2.0, 3.0))
+        assert knob.value(1) == 2.0
+        assert knob.n_codes == 3
+
+    def test_out_of_range(self):
+        knob = TuningKnob("bias", (1.0, 2.0))
+        with pytest.raises(IndexError):
+            knob.value(2)
+        with pytest.raises(IndexError):
+            knob.value(-1)
+
+    def test_needs_two_settings(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            TuningKnob("bias", (1.0,))
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TuningKnob("", (1.0, 2.0))
+
+
+class TestEnumerateStates:
+    def test_single_knob_order(self):
+        knob = TuningKnob("a", (10.0, 20.0, 30.0))
+        states = enumerate_states([knob])
+        assert [s.index for s in states] == [0, 1, 2]
+        assert [s.values["a"] for s in states] == [10.0, 20.0, 30.0]
+
+    def test_two_knob_cross_product(self):
+        a = TuningKnob("a", (0.0, 1.0))
+        b = TuningKnob("b", (0.0, 1.0, 2.0))
+        states = enumerate_states([a, b])
+        assert len(states) == 6
+        # First knob slowest: codes (0,0),(0,1),(0,2),(1,0)...
+        assert states[0].codes == (0, 0)
+        assert states[2].codes == (0, 2)
+        assert states[3].codes == (1, 0)
+
+    def test_adjacent_states_differ_by_one_step(self):
+        a = TuningKnob("a", tuple(float(i) for i in range(4)))
+        states = enumerate_states([a])
+        for s1, s2 in zip(states, states[1:]):
+            assert s2.codes[0] - s1.codes[0] == 1
+
+    def test_duplicate_knob_names_rejected(self):
+        a = TuningKnob("a", (0.0, 1.0))
+        with pytest.raises(ValueError, match="unique"):
+            enumerate_states([a, a])
+
+    def test_empty_knob_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            enumerate_states([])
+
+    def test_str(self):
+        state = KnobConfiguration(0, (1,), {"bias": 2.0})
+        assert "bias=2" in str(state)

@@ -1,0 +1,115 @@
+"""Tests for the tunable LNA circuit model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.lna import PAPER_N_VARIABLES, TunableLNA
+
+
+@pytest.fixture(scope="module")
+def lna():
+    return TunableLNA(n_states=4, n_variables=None)
+
+
+class TestConstruction:
+    def test_paper_variable_count(self):
+        assert TunableLNA().n_variables == PAPER_N_VARIABLES == 1264
+
+    def test_paper_state_count(self):
+        assert TunableLNA().n_states == 32
+
+    def test_natural_count_without_padding(self, lna):
+        assert lna.n_variables < PAPER_N_VARIABLES
+        assert lna.n_variables > 100
+
+    def test_metrics(self, lna):
+        assert lna.metric_names == ("nf_db", "gain_db", "iip3_dbm")
+
+    def test_rejects_single_state(self):
+        with pytest.raises(ValueError):
+            TunableLNA(n_states=1)
+
+    def test_name(self, lna):
+        assert lna.name == "lna"
+
+
+class TestNominalBehaviour:
+    def test_metrics_in_plausible_rf_ranges(self, lna):
+        for state in lna.states:
+            values = lna.nominal(state)
+            assert 0.5 < values["nf_db"] < 6.0
+            assert 10.0 < values["gain_db"] < 35.0
+            assert -20.0 < values["iip3_dbm"] < 15.0
+
+    def test_bias_current_monotone_in_state(self, lna):
+        currents = [lna.bias_current(state) for state in lna.states]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_neighboring_states_are_similar(self, lna):
+        """Adjacent knob codes produce closer metrics than distant ones."""
+        g = [lna.nominal(s)["gain_db"] for s in lna.states]
+        assert abs(g[1] - g[0]) < abs(g[-1] - g[0])
+
+    def test_deterministic(self, lna):
+        x = np.random.default_rng(0).standard_normal(lna.n_variables)
+        a = lna.evaluate_x(x, lna.states[2])
+        b = lna.evaluate_x(x, lna.states[2])
+        assert a == b
+
+
+class TestProcessResponse:
+    def test_variation_moves_metrics(self, lna):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(lna.n_variables)
+        nominal = lna.nominal(lna.states[1])
+        shifted = lna.evaluate_x(x, lna.states[1])
+        assert shifted["gain_db"] != pytest.approx(
+            nominal["gain_db"], abs=1e-6
+        )
+
+    def test_response_roughly_linear_for_small_x(self, lna):
+        """Half the perturbation ≈ half the metric shift (linear regime)."""
+        rng = np.random.default_rng(2)
+        x = 0.5 * rng.standard_normal(lna.n_variables)
+        state = lna.states[1]
+        base = lna.nominal(state)["gain_db"]
+        full = lna.evaluate_x(x, state)["gain_db"] - base
+        half = lna.evaluate_x(0.5 * x, state)["gain_db"] - base
+        assert half == pytest.approx(0.5 * full, rel=0.25)
+
+    def test_padding_variables_have_no_effect(self):
+        """Peripheral variables exist but do not move the metrics."""
+        lna = TunableLNA(n_states=2, n_variables=400)
+        x = np.zeros(400)
+        base = lna.evaluate_x(x, lna.states[0])
+        names = lna.process_model.variable_names
+        pad_index = next(
+            i for i, n in enumerate(names) if n.startswith("LNAPER")
+        )
+        x[pad_index] = 3.0
+        shifted = lna.evaluate_x(x, lna.states[0])
+        assert shifted == base
+
+    def test_core_vth_variable_has_effect(self, lna):
+        names = lna.process_model.variable_names
+        index = names.index("M1.vth")
+        x = np.zeros(lna.n_variables)
+        x[index] = 3.0
+        base = lna.nominal(lna.states[0])
+        shifted = lna.evaluate_x(x, lna.states[0])
+        assert shifted["gain_db"] != pytest.approx(
+            base["gain_db"], abs=1e-9
+        )
+
+    def test_variation_scale_subpercent_errors_feasible(self, lna):
+        """Metric spread across MC should be small relative to the mean
+        (the paper's sub-percent modeling errors presuppose this)."""
+        rng = np.random.default_rng(3)
+        values = [
+            lna.evaluate_x(
+                rng.standard_normal(lna.n_variables), lna.states[0]
+            )["nf_db"]
+            for _ in range(40)
+        ]
+        spread = np.std(values) / abs(np.mean(values))
+        assert spread < 0.2

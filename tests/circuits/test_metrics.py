@@ -1,0 +1,89 @@
+"""Tests for RF metric math."""
+
+import math
+
+import pytest
+
+from repro.circuits import metrics
+
+
+class TestDbConversions:
+    def test_db_of_ten(self):
+        assert metrics.db(10.0) == pytest.approx(20.0)
+
+    def test_db10_of_ten(self):
+        assert metrics.db10(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip_db(self):
+        assert metrics.undb(metrics.db(3.7)) == pytest.approx(3.7)
+
+    def test_roundtrip_db10(self):
+        assert metrics.undb10(metrics.db10(0.42)) == pytest.approx(0.42)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            metrics.db(0.0)
+        with pytest.raises(ValueError):
+            metrics.db10(-1.0)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_reference(self):
+        """0 dBm into 50 Ω is ~223.6 mV RMS."""
+        vrms = metrics.vrms_from_dbm(0.0)
+        assert vrms == pytest.approx(math.sqrt(1e-3 * 50.0))
+
+    def test_roundtrip(self):
+        assert metrics.dbm_from_vrms(
+            metrics.vrms_from_dbm(-7.3)
+        ) == pytest.approx(-7.3)
+
+    def test_custom_reference(self):
+        v50 = metrics.vrms_from_dbm(0.0, 50.0)
+        v100 = metrics.vrms_from_dbm(0.0, 100.0)
+        assert v100 == pytest.approx(v50 * math.sqrt(2.0))
+
+    def test_rejects_nonpositive_vrms(self):
+        with pytest.raises(ValueError):
+            metrics.dbm_from_vrms(0.0)
+
+
+class TestInterceptPoints:
+    def test_iip3_known_value(self):
+        """g1=1, g3=1 → A_peak = sqrt(4/3)."""
+        expected = metrics.dbm_from_vrms(math.sqrt(4.0 / 3.0 / 2.0))
+        assert metrics.iip3_dbm_from_series(1.0, 1.0) == pytest.approx(
+            expected
+        )
+
+    def test_iip3_improves_with_smaller_g3(self):
+        assert metrics.iip3_dbm_from_series(
+            1.0, 0.01
+        ) > metrics.iip3_dbm_from_series(1.0, 1.0)
+
+    def test_p1db_below_iip3(self):
+        """Rule of thumb: P1dB ≈ IIP3 − 9.6 dB."""
+        iip3 = metrics.iip3_dbm_from_series(1.0, 0.1)
+        p1db = metrics.input_p1db_dbm_from_series(1.0, 0.1)
+        assert iip3 - p1db == pytest.approx(9.636, abs=0.05)
+
+    def test_rejects_zero_coefficients(self):
+        with pytest.raises(ValueError):
+            metrics.iip3_dbm_from_series(0.0, 1.0)
+        with pytest.raises(ValueError):
+            metrics.input_p1db_dbm_from_series(1.0, 0.0)
+
+
+class TestNoiseFigure:
+    def test_unity_factor(self):
+        assert metrics.noise_figure_db(1.0) == 0.0
+
+    def test_factor_two_is_3db(self):
+        assert metrics.noise_figure_db(2.0) == pytest.approx(3.0103, abs=1e-3)
+
+    def test_tiny_roundoff_clamped(self):
+        assert metrics.noise_figure_db(1.0 - 1e-12) == 0.0
+
+    def test_real_violation_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            metrics.noise_figure_db(0.5)

@@ -1,0 +1,188 @@
+"""Tests for the tunable mixer circuit model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mixer import PAPER_N_VARIABLES, TunableMixer
+
+
+@pytest.fixture(scope="module")
+def mixer():
+    return TunableMixer(n_states=4, n_variables=None)
+
+
+class TestConstruction:
+    def test_paper_variable_count(self):
+        assert TunableMixer().n_variables == PAPER_N_VARIABLES == 1303
+
+    def test_paper_state_count(self):
+        assert TunableMixer().n_states == 32
+
+    def test_metrics(self, mixer):
+        assert mixer.metric_names == ("nf_db", "gain_db", "i1db_dbm")
+
+    def test_name(self, mixer):
+        assert mixer.name == "mixer"
+
+    def test_rejects_bad_lo_swing(self):
+        with pytest.raises(ValueError):
+            TunableMixer(lo_swing=0.0)
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ValueError, match="knob_layout"):
+            TunableMixer(knob_layout="diagonal")
+
+
+class TestIndependentLayout:
+    @pytest.fixture(scope="class")
+    def mixer2(self):
+        return TunableMixer(
+            n_states=32, n_variables=None, knob_layout="independent"
+        )
+
+    def test_cross_product_states(self, mixer2):
+        assert mixer2.n_states == 32
+        codes = {(s.values["left_code"], s.values["right_code"])
+                 for s in mixer2.states}
+        assert len(codes) == 32
+
+    def test_two_knobs_per_state(self, mixer2):
+        assert set(mixer2.states[0].values) == {"left_code", "right_code"}
+
+    def test_imbalance_costs_gain(self, mixer2):
+        """Equal average load, different split: imbalanced loses gain."""
+        by_codes = {
+            (int(s.values["left_code"]), int(s.values["right_code"])): s
+            for s in mixer2.states
+        }
+        balanced = by_codes[(1, 2)]
+        imbalanced = by_codes[(0, 7)]
+        rb = mixer2.load_resistances(balanced, None)
+        ri = mixer2.load_resistances(imbalanced, None)
+        # Compare at (roughly) matched average load.
+        gain_balanced = mixer2.nominal(balanced)["gain_db"]
+        gain_imbalanced = mixer2.nominal(imbalanced)["gain_db"]
+        avg_b, avg_i = sum(rb) / 2, sum(ri) / 2
+        # Normalize the load difference out: gain ∝ 20·log10(R_avg).
+        import math
+
+        adjusted = gain_imbalanced - 20 * math.log10(avg_i / avg_b)
+        assert adjusted < gain_balanced
+
+    def test_per_bank_codes_respected(self, mixer2):
+        state = mixer2.states[9]
+        left, right = mixer2.load_resistances(state, None)
+        assert left == mixer2.load_left.resistance(
+            int(state.values["left_code"]), None
+        )
+        assert right == mixer2.load_right.resistance(
+            int(state.values["right_code"]), None
+        )
+
+    def test_modellable(self, mixer2):
+        """The 2-D knob space still fits with the AR(1)-seeded prior."""
+        from repro.basis.polynomial import LinearBasis
+        from repro.core.cbmf import CBMF
+        from repro.evaluation.error import modeling_error_percent
+        from repro.simulate.montecarlo import MonteCarloEngine
+
+        small = TunableMixer(
+            n_states=8, n_variables=None, knob_layout="independent"
+        )
+        data = MonteCarloEngine(small, seed=4).run(30)
+        train, test = data.split(15)
+        basis = LinearBasis(small.n_variables)
+        model = CBMF(seed=0).fit(
+            basis.expand_states(train.inputs()), train.targets("gain_db")
+        )
+        predictions = [
+            model.predict(basis.expand(test.states[k].x), k)
+            for k in range(small.n_states)
+        ]
+        error = modeling_error_percent(predictions, test.targets("gain_db"))
+        assert error < 5.0
+
+
+class TestNominalBehaviour:
+    def test_metrics_in_plausible_ranges(self, mixer):
+        for state in mixer.states:
+            values = mixer.nominal(state)
+            assert 5.0 < values["nf_db"] < 20.0
+            assert 5.0 < values["gain_db"] < 30.0
+            assert -40.0 < values["i1db_dbm"] < 5.0
+
+    def test_load_resistance_monotone_decreasing(self, mixer):
+        loads = [
+            mixer.load_resistance(state, None) for state in mixer.states
+        ]
+        assert all(b < a for a, b in zip(loads, loads[1:]))
+
+    def test_gain_follows_load(self, mixer):
+        """Lower load resistance → lower conversion gain."""
+        gains = [mixer.nominal(s)["gain_db"] for s in mixer.states]
+        assert all(b < a for a, b in zip(gains, gains[1:]))
+
+    def test_compression_improves_as_gain_drops(self, mixer):
+        i1db = [mixer.nominal(s)["i1db_dbm"] for s in mixer.states]
+        assert i1db[-1] > i1db[0]
+
+    def test_gain_compression_tradeoff_consistent(self, mixer):
+        """Output-clipping model: gain + I1dB moves less than gain alone."""
+        g = [mixer.nominal(s)["gain_db"] for s in mixer.states]
+        p = [mixer.nominal(s)["i1db_dbm"] for s in mixer.states]
+        gain_span = abs(g[-1] - g[0])
+        sum_span = abs((g[-1] + p[-1]) - (g[0] + p[0]))
+        assert sum_span < gain_span
+
+
+class TestProcessResponse:
+    def test_deterministic(self, mixer):
+        x = np.random.default_rng(0).standard_normal(mixer.n_variables)
+        assert mixer.evaluate_x(x, mixer.states[1]) == mixer.evaluate_x(
+            x, mixer.states[1]
+        )
+
+    def test_variation_moves_metrics(self, mixer):
+        x = np.random.default_rng(1).standard_normal(mixer.n_variables)
+        nominal = mixer.nominal(mixer.states[0])
+        shifted = mixer.evaluate_x(x, mixer.states[0])
+        assert shifted["nf_db"] != pytest.approx(nominal["nf_db"], abs=1e-9)
+
+    def test_quad_mismatch_degrades_gain(self, mixer):
+        names = mixer.process_model.variable_names
+        index = names.index("MSW1.vth")
+        x = np.zeros(mixer.n_variables)
+        x[index] = 4.0
+        degraded = mixer.evaluate_x(x, mixer.states[0])["gain_db"]
+        nominal = mixer.nominal(mixer.states[0])["gain_db"]
+        assert degraded < nominal
+
+    def test_load_mismatch_moves_gain(self, mixer):
+        names = mixer.process_model.variable_names
+        index = names.index("RLL_rbase.rsheet")
+        x = np.zeros(mixer.n_variables)
+        x[index] = 2.0
+        shifted = mixer.evaluate_x(x, mixer.states[0])["gain_db"]
+        assert shifted != pytest.approx(
+            mixer.nominal(mixer.states[0])["gain_db"], abs=1e-9
+        )
+
+    def test_padding_has_no_effect(self):
+        mixer = TunableMixer(n_states=2, n_variables=600)
+        names = mixer.process_model.variable_names
+        pad_index = next(
+            i for i, n in enumerate(names) if n.startswith("MIXPER")
+        )
+        x = np.zeros(600)
+        base = mixer.evaluate_x(x, mixer.states[0])
+        x[pad_index] = 3.0
+        assert mixer.evaluate_x(x, mixer.states[0]) == base
+
+    def test_response_roughly_linear_for_small_x(self, mixer):
+        rng = np.random.default_rng(4)
+        x = 0.5 * rng.standard_normal(mixer.n_variables)
+        state = mixer.states[2]
+        base = mixer.nominal(state)["gain_db"]
+        full = mixer.evaluate_x(x, state)["gain_db"] - base
+        half = mixer.evaluate_x(0.5 * x, state)["gain_db"] - base
+        assert half == pytest.approx(0.5 * full, rel=0.25)

@@ -1,0 +1,234 @@
+"""Tests for the MNA AC solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.mna import Circuit
+
+
+def divider() -> Circuit:
+    c = Circuit()
+    c.add_voltage_source("V", "a", "0", 1.0)
+    c.add_resistor("R1", "a", "b", 100.0)
+    c.add_resistor("R2", "b", "0", 300.0)
+    return c
+
+
+class TestConstruction:
+    def test_duplicate_element_names_rejected(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_capacitor("R1", "a", "0", 1e-12)
+
+    def test_nonpositive_values_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_resistor("R", "a", "0", 0.0)
+        with pytest.raises(ValueError):
+            c.add_capacitor("C", "a", "0", -1e-12)
+        with pytest.raises(ValueError):
+            c.add_inductor("L", "a", "0", 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Circuit().add_resistor("", "a", "0", 1.0)
+
+    def test_node_names(self):
+        c = divider()
+        assert set(c.node_names) == {"a", "b"}
+        assert c.n_nodes == 2
+
+    def test_empty_circuit_unsolvable(self):
+        with pytest.raises(ValueError, match="no non-ground"):
+            Circuit().solve(1.0)
+
+
+class TestDcAndAc:
+    def test_voltage_divider(self):
+        sol = divider().solve(0.0)
+        assert sol.voltage("b") == pytest.approx(0.75)
+
+    def test_source_current(self):
+        sol = divider().solve(0.0)
+        # 1 V over 400 Ω total.
+        assert abs(sol.source_currents["V"]) == pytest.approx(1.0 / 400.0)
+
+    def test_rc_corner_frequency(self):
+        c = Circuit()
+        c.add_voltage_source("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "out", 1_000.0)
+        c.add_capacitor("C", "out", "0", 1e-9)
+        f_corner = 1.0 / (2 * np.pi * 1_000.0 * 1e-9)
+        sol = c.solve(f_corner)
+        assert abs(sol.voltage("out")) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-9
+        )
+        assert sol.phase_deg("out") == pytest.approx(-45.0, abs=1e-6)
+
+    def test_lc_resonance(self):
+        """Parallel RLC driven by a current source peaks at resonance."""
+        c = Circuit()
+        c.add_current_source("I", "0", "t", 1.0)
+        c.add_resistor("R", "t", "0", 500.0)
+        c.add_inductor("L", "t", "0", 10e-9)
+        c.add_capacitor("C", "t", "0", 1e-12)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(10e-9 * 1e-12))
+        at_f0 = abs(c.solve(f0).voltage("t"))
+        below = abs(c.solve(0.5 * f0).voltage("t"))
+        above = abs(c.solve(2.0 * f0).voltage("t"))
+        assert at_f0 == pytest.approx(500.0, rel=1e-6)  # tank = R at ω0
+        assert at_f0 > below and at_f0 > above
+
+    def test_vccs_amplifier(self):
+        """Common-source stage: gain = −gm·RL."""
+        c = Circuit()
+        c.add_voltage_source("V", "g", "0", 1.0)
+        c.add_vccs("GM", "d", "0", "g", "0", 0.01)
+        c.add_resistor("RL", "d", "0", 1_000.0)
+        sol = c.solve(0.0)
+        assert sol.voltage("d").real == pytest.approx(-10.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            divider().solve(-1.0)
+
+    def test_floating_node_is_singular(self):
+        c = Circuit()
+        c.add_current_source("I", "0", "a", 1.0)
+        c.add_capacitor("C", "b", "c", 1e-12)  # floating island
+        with pytest.raises(ValueError, match="singular"):
+            c.solve(1e9)
+
+    def test_magnitude_db(self):
+        sol = divider().solve(0.0)
+        assert sol.magnitude_db("b") == pytest.approx(
+            20 * np.log10(0.75)
+        )
+
+    def test_unknown_node_raises(self):
+        sol = divider().solve(0.0)
+        with pytest.raises(KeyError):
+            sol.voltage("zz")
+
+    def test_ground_voltage_is_zero(self):
+        assert divider().solve(0.0).voltage("0") == 0.0
+
+
+class TestFrequencyResponse:
+    def test_rc_rolloff_20db_per_decade(self):
+        c = Circuit()
+        c.add_voltage_source("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "out", 1_000.0)
+        c.add_capacitor("C", "out", "0", 1e-9)
+        f_corner = 1.0 / (2 * np.pi * 1_000.0 * 1e-9)
+        freqs = np.array([10 * f_corner, 100 * f_corner])
+        response = c.frequency_response(freqs, "out")
+        ratio_db = 20 * np.log10(abs(response[0]) / abs(response[1]))
+        assert ratio_db == pytest.approx(20.0, abs=0.1)
+
+    def test_tank_peaks_at_resonance(self):
+        c = Circuit()
+        c.add_current_source("I", "0", "t", 1.0)
+        c.add_resistor("R", "t", "0", 1_000.0)
+        c.add_inductor("L", "t", "0", 5e-9)
+        c.add_capacitor("C", "t", "0", 2e-12)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(5e-9 * 2e-12))
+        freqs = np.linspace(0.5 * f0, 1.5 * f0, 41)
+        response = np.abs(c.frequency_response(freqs, "t"))
+        peak_index = int(np.argmax(response))
+        assert freqs[peak_index] == pytest.approx(f0, rel=0.03)
+
+    def test_differential_response(self):
+        sol = divider().solve(0.0)
+        c = divider()
+        response = c.frequency_response(np.array([0.0]), "a", "b")
+        assert response[0] == pytest.approx(
+            sol.voltage("a") - sol.voltage("b")
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            divider().frequency_response(np.array([]), "a")
+
+
+class TestInjection:
+    def test_injection_matches_current_source(self):
+        """Unit injection == adding an explicit 1 A source."""
+        base = Circuit()
+        base.add_resistor("R1", "a", "0", 50.0)
+        base.add_resistor("R2", "a", "b", 100.0)
+        base.add_resistor("R3", "b", "0", 200.0)
+        inj = base.solve_with_current_injection(0.0, "0", "b")
+
+        explicit = Circuit()
+        explicit.add_resistor("R1", "a", "0", 50.0)
+        explicit.add_resistor("R2", "a", "b", 100.0)
+        explicit.add_resistor("R3", "b", "0", 200.0)
+        explicit.add_current_source("I", "0", "b", 1.0)
+        direct = explicit.solve(0.0)
+        assert inj.voltage("b") == pytest.approx(direct.voltage("b"))
+        assert inj.voltage("a") == pytest.approx(direct.voltage("a"))
+
+    def test_solve_injections_batch_matches_single(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "0", 50.0)
+        c.add_resistor("R2", "a", "b", 100.0)
+        c.add_capacitor("C", "b", "0", 1e-12)
+        pairs = [("0", "a"), ("a", "b"), ("0", "b")]
+        batch = c.solve_injections(1e9, pairs)
+        for pair, sol in zip(pairs, batch):
+            single = c.solve_with_current_injection(1e9, *pair)
+            assert np.allclose(sol.voltages, single.voltages)
+
+    def test_unknown_injection_node(self):
+        c = divider()
+        with pytest.raises(KeyError):
+            c.solve_with_current_injection(0.0, "zz", "0")
+
+    def test_reciprocity(self):
+        """A reciprocal (RLC-only) network: v_j from i_i equals v_i from i_j."""
+        c = Circuit()
+        c.add_resistor("R1", "a", "b", 70.0)
+        c.add_resistor("R2", "b", "0", 110.0)
+        c.add_capacitor("C1", "a", "0", 2e-12)
+        c.add_inductor("L1", "b", "c", 3e-9)
+        c.add_resistor("R3", "c", "0", 45.0)
+        f = 1.1e9
+        v_c_from_a = c.solve_with_current_injection(f, "0", "a").voltage("c")
+        v_a_from_c = c.solve_with_current_injection(f, "0", "c").voltage("a")
+        assert v_c_from_a == pytest.approx(v_a_from_c)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    r1=st.floats(10.0, 1e4),
+    r2=st.floats(10.0, 1e4),
+    volts=st.floats(0.1, 10.0),
+)
+def test_property_divider_formula(r1, r2, volts):
+    c = Circuit()
+    c.add_voltage_source("V", "a", "0", volts)
+    c.add_resistor("R1", "a", "b", r1)
+    c.add_resistor("R2", "b", "0", r2)
+    sol = c.solve(0.0)
+    assert sol.voltage("b").real == pytest.approx(
+        volts * r2 / (r1 + r2), rel=1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.floats(0.1, 10.0))
+def test_property_source_linearity(scale):
+    """Scaling the source scales every node voltage (linear network)."""
+    def build(amplitude):
+        c = Circuit()
+        c.add_voltage_source("V", "in", "0", amplitude)
+        c.add_resistor("R", "in", "out", 1_000.0)
+        c.add_capacitor("C", "out", "0", 1e-9)
+        return c.solve(2e5).voltage("out")
+
+    base = build(1.0)
+    scaled = build(scale)
+    assert scaled == pytest.approx(scale * base, rel=1e-9)

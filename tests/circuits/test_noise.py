@@ -1,0 +1,157 @@
+"""Tests for the linear noise analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.devices import BOLTZMANN, ROOM_TEMPERATURE
+from repro.circuits.mna import Circuit
+from repro.circuits.noise import NoiseAnalysis, NoiseSource
+
+FOUR_KT = 4.0 * BOLTZMANN * ROOM_TEMPERATURE
+
+
+def resistive_divider_noise(rs: float, rl: float):
+    """Source resistor + load resistor to ground; output across RL."""
+    c = Circuit()
+    c.add_resistor("RS", "in", "out", rs)
+    c.add_resistor("RL", "out", "0", rl)
+    # Input node driven by silent source → short 'in' to ground through RS:
+    # here 'in' is grounded by making RS go to ground directly.
+    c2 = Circuit()
+    c2.add_resistor("RS", "out", "0", rs)
+    c2.add_resistor("RL", "out", "0", rl)
+    sources = [
+        NoiseSource("RS", "0", "out", FOUR_KT / rs),
+        NoiseSource("RL", "0", "out", FOUR_KT / rl),
+    ]
+    return c2, sources
+
+
+class TestNoiseSource:
+    def test_rejects_negative_psd(self):
+        with pytest.raises(ValueError):
+            NoiseSource("X", "a", "0", -1.0)
+
+    def test_contribution_output_psd(self):
+        from repro.circuits.noise import NoiseContribution
+
+        c = NoiseContribution("X", input_psd=2.0, transfer_mag_squared=3.0)
+        assert c.output_psd == 6.0
+
+
+class TestResistiveAttenuatorNoise:
+    def test_matched_attenuator_noise_factor(self):
+        """A resistive divider's noise factor equals its attenuation.
+
+        For Rs with shunt RL: F = 1 + Rs/RL (available-gain argument;
+        here computed from voltage transfers, which agrees because both
+        generators see the same output impedance).
+        """
+        rs, rl = 50.0, 150.0
+        circuit, sources = resistive_divider_noise(rs, rl)
+        analysis = NoiseAnalysis(circuit, "out")
+        factor = analysis.noise_factor(1e6, sources, "RS")
+        assert factor == pytest.approx(1.0 + rs / rl, rel=1e-9)
+
+    def test_noise_figure_db(self):
+        circuit, sources = resistive_divider_noise(50.0, 50.0)
+        analysis = NoiseAnalysis(circuit, "out")
+        nf = analysis.noise_figure_db(1e6, sources, "RS")
+        assert nf == pytest.approx(3.0103, abs=1e-3)
+
+    def test_output_psd_is_4ktr_parallel(self):
+        """Total output noise of resistors to ground = 4kT·R_parallel."""
+        rs, rl = 80.0, 120.0
+        circuit, sources = resistive_divider_noise(rs, rl)
+        analysis = NoiseAnalysis(circuit, "out")
+        parallel = rs * rl / (rs + rl)
+        assert analysis.output_psd(1e3, sources) == pytest.approx(
+            FOUR_KT * parallel, rel=1e-9
+        )
+
+
+class TestErrors:
+    def test_unknown_reference(self):
+        circuit, sources = resistive_divider_noise(50.0, 50.0)
+        analysis = NoiseAnalysis(circuit, "out")
+        with pytest.raises(KeyError, match="nope"):
+            analysis.noise_factor(1e6, sources, "nope")
+
+    def test_empty_sources(self):
+        circuit, _ = resistive_divider_noise(50.0, 50.0)
+        with pytest.raises(ValueError, match="at least one"):
+            NoiseAnalysis(circuit, "out").contributions(1e6, [])
+
+    def test_zero_reference_contribution(self):
+        """Reference that does not couple to the output is rejected."""
+        c = Circuit()
+        c.add_resistor("R1", "a", "0", 100.0)
+        c.add_resistor("R2", "b", "0", 100.0)  # isolated from 'a'
+        sources = [
+            NoiseSource("REF", "0", "b", FOUR_KT / 100.0),
+            NoiseSource("R1", "0", "a", FOUR_KT / 100.0),
+        ]
+        analysis = NoiseAnalysis(c, "a")
+        with pytest.raises(ValueError, match="zero output noise"):
+            analysis.noise_factor(1e6, sources, "REF")
+
+
+class TestBudgetReport:
+    def test_contains_all_sources_and_nf(self):
+        circuit, sources = resistive_divider_noise(50.0, 150.0)
+        analysis = NoiseAnalysis(circuit, "out")
+        report = analysis.budget_report(1e6, sources, "RS")
+        assert "RS" in report and "RL" in report
+        assert "noise figure vs RS" in report
+        assert "100" not in report.split("share")[0]  # header sane
+
+    def test_sorted_by_contribution(self):
+        circuit, sources = resistive_divider_noise(50.0, 500.0)
+        analysis = NoiseAnalysis(circuit, "out")
+        report = analysis.budget_report(1e6, sources, "RS")
+        lines = report.splitlines()
+        # RS (larger Norton current into the same impedance) ranks first.
+        assert lines[2].startswith("RS")
+
+    def test_shares_sum_to_one(self):
+        circuit, sources = resistive_divider_noise(70.0, 130.0)
+        analysis = NoiseAnalysis(circuit, "out")
+        contributions = analysis.contributions(1e6, sources)
+        total = sum(c.output_psd for c in contributions)
+        shares = [c.output_psd / total for c in contributions]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_lna_budget_text(self, tiny_lna):
+        report = tiny_lna.noise_budget(tiny_lna.states[0])
+        assert "RS" in report
+        assert "M1.drain" in report
+        assert "noise figure" in report
+
+
+class TestAmplifierNoise:
+    def test_ideal_amplifier_adds_no_noise(self):
+        """Noiseless VCCS after the source: F = 1."""
+        c = Circuit()
+        c.add_resistor("RS", "g", "0", 50.0)
+        c.add_vccs("GM", "d", "0", "g", "0", 0.02)
+        c.add_resistor("RL", "d", "0", 1_000.0)
+        sources = [NoiseSource("RS", "0", "g", FOUR_KT / 50.0)]
+        analysis = NoiseAnalysis(c, "d")
+        assert analysis.noise_factor(1e6, sources, "RS") == pytest.approx(1.0)
+
+    def test_drain_noise_raises_factor_textbook(self):
+        """CS stage: F = 1 + γ/(gm·Rs)."""
+        gm, rs, gamma = 0.02, 50.0, 1.3
+        c = Circuit()
+        c.add_resistor("RS", "g", "0", rs)
+        c.add_vccs("GM", "d", "0", "g", "0", gm)
+        c.add_resistor("RL", "d", "0", 1_000.0)
+        sources = [
+            NoiseSource("RS", "0", "g", FOUR_KT / rs),
+            NoiseSource("M.drain", "d", "0", FOUR_KT * gamma * gm),
+        ]
+        analysis = NoiseAnalysis(c, "d")
+        expected = 1.0 + gamma / (gm * rs)
+        assert analysis.noise_factor(1e6, sources, "RS") == pytest.approx(
+            expected, rel=1e-9
+        )

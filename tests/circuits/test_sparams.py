@@ -1,0 +1,109 @@
+"""Tests for two-port S-parameter extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.sparams import SParameters, TwoPortTestbench
+
+Z0 = 50.0
+
+
+def thru(circuit, p1, p2):
+    circuit.add_resistor("RTHRU", p1, p2, 1e-6)
+
+
+def series_resistor(value):
+    def build(circuit, p1, p2):
+        circuit.add_resistor("RSER", p1, p2, value)
+
+    return build
+
+
+def shunt_resistor(value):
+    def build(circuit, p1, p2):
+        circuit.add_resistor("RTHRU", p1, p2, 1e-6)
+        circuit.add_resistor("RSH", p1, "0", value)
+
+    return build
+
+
+class TestKnownNetworks:
+    def test_thru(self):
+        s = TwoPortTestbench(thru).at(1e9)
+        assert abs(s.s11) < 1e-4
+        assert s.s21 == pytest.approx(1.0, abs=1e-4)
+        assert s.is_reciprocal
+
+    def test_series_resistor_formulas(self):
+        r = 100.0
+        s = TwoPortTestbench(series_resistor(r)).at(1e6)
+        assert s.s11.real == pytest.approx(r / (r + 2 * Z0), rel=1e-9)
+        assert s.s21.real == pytest.approx(2 * Z0 / (r + 2 * Z0), rel=1e-9)
+        assert s.s22 == pytest.approx(s.s11)
+
+    def test_shunt_resistor_formulas(self):
+        r = 100.0
+        y = 1.0 / r
+        s = TwoPortTestbench(shunt_resistor(r)).at(1e6)
+        expected_s11 = -y * Z0 / (2.0 + y * Z0)
+        expected_s21 = 2.0 / (2.0 + y * Z0)
+        assert s.s11.real == pytest.approx(expected_s11, abs=1e-6)
+        assert s.s21.real == pytest.approx(expected_s21, abs=1e-6)
+
+    def test_matched_pi_attenuator(self):
+        """A 6 dB matched pi pad: S11 ≈ 0, |S21| ≈ −6 dB."""
+        # Standard 6 dB pad values for 50 Ω: R_shunt=150.48, R_series=37.35.
+        def build(circuit, p1, p2):
+            circuit.add_resistor("RP1", p1, "0", 150.48)
+            circuit.add_resistor("RS", p1, p2, 37.35)
+            circuit.add_resistor("RP2", p2, "0", 150.48)
+
+        s = TwoPortTestbench(build).at(1e6)
+        assert abs(s.s11) < 0.01
+        assert s.magnitude_db("s21") == pytest.approx(-6.0, abs=0.05)
+
+    def test_rc_lowpass_rolls_off(self):
+        def build(circuit, p1, p2):
+            circuit.add_resistor("R", p1, p2, 100.0)
+            circuit.add_capacitor("C", p2, "0", 10e-12)
+
+        bench = TwoPortTestbench(build)
+        low = bench.at(1e6).magnitude_db("s21")
+        high = bench.at(5e9).magnitude_db("s21")
+        assert high < low - 10.0
+
+    def test_reciprocity_and_passivity_rlc(self):
+        def build(circuit, p1, p2):
+            circuit.add_inductor("L", p1, p2, 3e-9)
+            circuit.add_capacitor("C", p2, "0", 1e-12)
+            circuit.add_resistor("R", p2, "0", 200.0)
+
+        for f in (0.5e9, 1e9, 3e9):
+            s = TwoPortTestbench(build).at(f)
+            assert s.is_reciprocal
+            assert s.is_passive
+
+    def test_active_network_not_passive(self):
+        """A transconductor two-port amplifies: |S21| > 1."""
+        def build(circuit, p1, p2):
+            circuit.add_vccs("GM", p2, "0", p1, "0", 0.1)
+            circuit.add_resistor("RIN", p1, "0", 1e4)
+
+        s = TwoPortTestbench(build).at(1e6)
+        assert abs(s.s21) > 1.0
+        assert not s.is_passive
+        assert not s.is_reciprocal
+
+    def test_sweep(self):
+        bench = TwoPortTestbench(thru)
+        points = bench.sweep(np.array([1e6, 1e9]))
+        assert len(points) == 2
+        assert points[0].frequency_hz == 1e6
+
+    def test_rejects_bad_z0_and_empty_sweep(self):
+        with pytest.raises(ValueError):
+            TwoPortTestbench(thru, z0=0.0)
+        with pytest.raises(ValueError):
+            TwoPortTestbench(thru).sweep([])

@@ -1,0 +1,113 @@
+"""Tests for the tunable VCO example circuit."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.vco import TunableVCO
+
+
+@pytest.fixture(scope="module")
+def vco():
+    return TunableVCO(n_states=8)
+
+
+class TestConstruction:
+    def test_states_and_metrics(self, vco):
+        assert vco.n_states == 8
+        assert vco.metric_names == ("freq_ghz", "pnoise_dbc", "power_mw")
+        assert vco.name == "vco"
+
+    def test_padding_to_exact_count(self):
+        vco = TunableVCO(n_states=4, n_variables=300)
+        assert vco.n_variables == 300
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TunableVCO(n_states=1)
+        with pytest.raises(ValueError):
+            TunableVCO(offset_hz=0.0)
+
+
+class TestNominal:
+    def test_frequency_in_band(self, vco):
+        for state in vco.states:
+            values = vco.nominal(state)
+            assert 2.0 < values["freq_ghz"] < 8.0
+
+    def test_frequency_monotone_decreasing_with_code(self, vco):
+        """More bank capacitance → lower frequency."""
+        freqs = [vco.nominal(s)["freq_ghz"] for s in vco.states]
+        assert all(b < a for a, b in zip(freqs, freqs[1:]))
+
+    def test_phase_noise_plausible(self, vco):
+        for state in vco.states:
+            pn = vco.nominal(state)["pnoise_dbc"]
+            assert -140.0 < pn < -80.0  # dBc/Hz at 1 MHz
+
+    def test_power_plausible(self, vco):
+        power = vco.nominal(vco.states[0])["power_mw"]
+        assert 0.5 < power < 20.0
+
+    def test_tank_capacitance_grows_with_code(self, vco):
+        c0 = vco.tank_capacitance(vco.states[0], None)
+        c7 = vco.tank_capacitance(vco.states[7], None)
+        assert c7 > c0
+
+
+class TestProcessResponse:
+    def test_variation_moves_frequency(self, vco):
+        x = np.random.default_rng(0).standard_normal(vco.n_variables)
+        shifted = vco.evaluate_x(x, vco.states[2])
+        nominal = vco.nominal(vco.states[2])
+        assert shifted["freq_ghz"] != pytest.approx(
+            nominal["freq_ghz"], abs=1e-9
+        )
+
+    def test_bank_cap_mismatch_state_selective(self, vco):
+        """Cap 5's mismatch moves codes > 5 but not code 0."""
+        names = vco.process_model.variable_names
+        index = names.index("CB5.cdens")
+        x = np.zeros(vco.n_variables)
+        x[index] = 3.0
+        sample_metrics0 = vco.evaluate_x(x, vco.states[0])
+        assert sample_metrics0 == vco.nominal(vco.states[0])
+        sample_metrics7 = vco.evaluate_x(x, vco.states[7])
+        assert sample_metrics7["freq_ghz"] != pytest.approx(
+            vco.nominal(vco.states[7])["freq_ghz"], abs=1e-12
+        )
+
+    def test_tail_mismatch_moves_power_and_noise(self, vco):
+        names = vco.process_model.variable_names
+        index = names.index("VTAIL_out.vth")
+        x = np.zeros(vco.n_variables)
+        x[index] = 2.0
+        shifted = vco.evaluate_x(x, vco.states[0])
+        nominal = vco.nominal(vco.states[0])
+        assert shifted["power_mw"] != pytest.approx(
+            nominal["power_mw"], abs=1e-12
+        )
+        assert shifted["pnoise_dbc"] != pytest.approx(
+            nominal["pnoise_dbc"], abs=1e-12
+        )
+
+    def test_modellable_end_to_end(self, vco):
+        """C-BMF fits VCO frequency to sub-percent error."""
+        from repro.basis.polynomial import LinearBasis
+        from repro.core.cbmf import CBMF
+        from repro.evaluation.error import modeling_error_percent
+        from repro.simulate.montecarlo import MonteCarloEngine
+
+        data = MonteCarloEngine(vco, seed=5).run(30)
+        train, test = data.split(15)
+        basis = LinearBasis(vco.n_variables)
+        model = CBMF(seed=0).fit(
+            basis.expand_states(train.inputs()), train.targets("freq_ghz")
+        )
+        predictions = [
+            model.predict(basis.expand(test.states[k].x), k)
+            for k in range(vco.n_states)
+        ]
+        error = modeling_error_percent(
+            predictions, test.targets("freq_ghz")
+        )
+        assert error < 1.0

@@ -1,0 +1,110 @@
+"""Shared fixtures: tiny circuits, cached datasets, synthetic problems.
+
+Session-scoped fixtures cache the expensive pieces (circuit Monte Carlo)
+so the several-hundred-test suite stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.circuits.lna import TunableLNA
+from repro.circuits.mixer import TunableMixer
+from repro.simulate.dataset import Dataset
+from repro.simulate.montecarlo import MonteCarloEngine
+
+
+@dataclass
+class SyntheticProblem:
+    """A multi-state sparse linear problem with known ground truth."""
+
+    coef: np.ndarray  # (K, M) true coefficients
+    support: np.ndarray  # true active basis indices
+    correlation: np.ndarray  # (K, K) cross-state correlation used
+    noise_std: float
+    rng: np.random.Generator
+
+    @property
+    def n_states(self) -> int:
+        return self.coef.shape[0]
+
+    @property
+    def n_basis(self) -> int:
+        return self.coef.shape[1]
+
+    def sample(
+        self, n_per_state: int
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Draw per-state designs (intercept + gaussian columns) and targets."""
+        designs, targets = [], []
+        for k in range(self.n_states):
+            design = self.rng.standard_normal((n_per_state, self.n_basis))
+            design[:, 0] = 1.0
+            noise = self.noise_std * self.rng.standard_normal(n_per_state)
+            designs.append(design)
+            targets.append(design @ self.coef[k] + noise)
+        return designs, targets
+
+
+def make_synthetic(
+    seed: int = 0,
+    n_states: int = 8,
+    n_basis: int = 60,
+    n_support: int = 5,
+    r0: float = 0.9,
+    noise_std: float = 0.05,
+    intercept: float = 4.0,
+) -> SyntheticProblem:
+    """Build a correlated sparse ground truth (shared template)."""
+    rng = np.random.default_rng(seed)
+    support = rng.choice(np.arange(1, n_basis), n_support, replace=False)
+    indexes = np.arange(n_states)
+    correlation = r0 ** np.abs(indexes[:, None] - indexes[None, :])
+    chol = np.linalg.cholesky(correlation)
+    coef = np.zeros((n_states, n_basis))
+    coef[:, 0] = intercept
+    for m in support:
+        coef[:, m] = (chol @ rng.standard_normal(n_states)) * rng.uniform(
+            0.5, 2.0
+        )
+    return SyntheticProblem(
+        coef=coef,
+        support=np.sort(support),
+        correlation=correlation,
+        noise_std=noise_std,
+        rng=rng,
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_problem() -> SyntheticProblem:
+    """Default synthetic correlated-sparse problem."""
+    return make_synthetic()
+
+
+@pytest.fixture(scope="session")
+def tiny_lna() -> TunableLNA:
+    """6-state LNA without peripheral padding (fast)."""
+    return TunableLNA(n_states=6, n_variables=None)
+
+
+@pytest.fixture(scope="session")
+def tiny_mixer() -> TunableMixer:
+    """6-state mixer without peripheral padding (fast)."""
+    return TunableMixer(n_states=6, n_variables=None)
+
+
+@pytest.fixture(scope="session")
+def lna_dataset(tiny_lna) -> Dataset:
+    """40 samples/state of the tiny LNA (split by tests as needed)."""
+    return MonteCarloEngine(tiny_lna, seed=123).run(40)
+
+
+@pytest.fixture(scope="session")
+def mixer_dataset(tiny_mixer) -> Dataset:
+    """40 samples/state of the tiny mixer."""
+    return MonteCarloEngine(tiny_mixer, seed=321).run(40)

@@ -1,0 +1,146 @@
+"""Tests for the end-to-end C-BMF estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+
+from tests.conftest import make_synthetic
+
+FAST_INIT = InitConfig(
+    r0_grid=(0.0, 0.9), sigma0_grid=(0.1,), n_basis_grid=(4, 8), n_folds=3
+)
+FAST_EM = EmConfig(max_iterations=20)
+
+
+def fit_fast(designs, targets, seed=0):
+    return CBMF(init_config=FAST_INIT, em_config=FAST_EM, seed=seed).fit(
+        designs, targets
+    )
+
+
+class TestFit:
+    def test_coefficient_recovery(self):
+        problem = make_synthetic(seed=1, n_basis=40, n_support=4)
+        designs, targets = problem.sample(20)
+        model = fit_fast(designs, targets)
+        assert np.allclose(model.coef_, problem.coef, atol=0.25)
+
+    def test_prediction_beats_noise_floor(self):
+        problem = make_synthetic(seed=2, n_basis=40, n_support=4)
+        designs, targets = problem.sample(20)
+        model = fit_fast(designs, targets)
+        test_d, test_t = problem.sample(100)
+        for k in range(problem.n_states):
+            prediction = model.predict(test_d[k], k)
+            rmse = np.sqrt(np.mean((prediction - test_t[k]) ** 2))
+            assert rmse < 5 * problem.noise_std
+
+    def test_intercept_absorbed_when_column_exists(self):
+        problem = make_synthetic(seed=3, intercept=10.0)
+        designs, targets = problem.sample(25)
+        model = fit_fast(designs, targets)
+        assert np.allclose(model.offsets_, 0.0)
+        assert np.allclose(model.coef_[:, 0], 10.0, atol=0.5)
+
+    def test_offsets_used_without_intercept_column(self):
+        """Strip the intercept column: per-state offsets must carry means."""
+        problem = make_synthetic(seed=4, intercept=0.0, n_basis=30)
+        designs, targets = problem.sample(20)
+        shifted = [t + 7.5 for t in targets]
+        stripped = [d[:, 1:] for d in designs]
+        model = fit_fast(stripped, shifted)
+        # Offsets carry each state's training mean (≈ 7.5 up to the sample
+        # mean of the signal part).
+        assert np.allclose(model.offsets_, 7.5, atol=2.0)
+        assert np.any(model.offsets_ != 0.0)
+        prediction = model.predict(stripped[0], 0)
+        assert abs(np.mean(prediction) - np.mean(shifted[0])) < 1.0
+
+    def test_report_populated(self):
+        problem = make_synthetic(seed=5)
+        designs, targets = problem.sample(15)
+        model = fit_fast(designs, targets)
+        report = model.report_
+        assert report.total_seconds > 0.0
+        assert report.n_active >= 1
+        assert report.em.n_iterations >= 1
+        assert "C-BMF fit report" in report.summary()
+        assert model.noise_std_ > 0.0
+
+    def test_learned_correlation_positive_for_correlated_truth(self):
+        problem = make_synthetic(seed=6, r0=0.95)
+        designs, targets = problem.sample(12)
+        model = fit_fast(designs, targets)
+        r = model.prior_.correlation
+        assert r[0, 1] > 0.2
+
+    def test_support_property(self):
+        problem = make_synthetic(seed=7)
+        designs, targets = problem.sample(20)
+        model = fit_fast(designs, targets)
+        assert set(problem.support).issubset(set(model.support_))
+
+
+class TestPredictValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CBMF().predict(np.zeros((1, 3)), 0)
+
+    def test_predict_state_range(self):
+        problem = make_synthetic(seed=8)
+        designs, targets = problem.sample(15)
+        model = fit_fast(designs, targets)
+        with pytest.raises(IndexError):
+            model.predict(designs[0], 99)
+
+    def test_predict_width_checked(self):
+        problem = make_synthetic(seed=9)
+        designs, targets = problem.sample(15)
+        model = fit_fast(designs, targets)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 3)), 0)
+
+    def test_predict_states_wrapper(self):
+        problem = make_synthetic(seed=10)
+        designs, targets = problem.sample(15)
+        model = fit_fast(designs, targets)
+        predictions = model.predict_states(designs)
+        assert len(predictions) == problem.n_states
+        assert predictions[0].shape == (15,)
+
+
+class TestAgainstBaselines:
+    def test_beats_somp_at_low_budget(self):
+        """The paper's core claim on its own turf: correlated truth,
+        few samples — C-BMF under S-OMP."""
+        from repro.baselines.somp import SOMP
+
+        problem = make_synthetic(
+            seed=11, n_states=10, n_basis=80, n_support=6, r0=0.95
+        )
+        designs, targets = problem.sample(10)
+        test_d, test_t = problem.sample(200)
+
+        def error(model):
+            num = den = 0.0
+            for k in range(problem.n_states):
+                p = model.predict(test_d[k], k)
+                num += float(np.sum((p - test_t[k]) ** 2))
+                den += float(np.sum((test_t[k] - test_t[k].mean()) ** 2))
+            return np.sqrt(num / den)
+
+        cbmf = CBMF(
+            init_config=InitConfig(
+                r0_grid=(0.0, 0.9), sigma0_grid=(0.05, 0.2),
+                n_basis_grid=(4, 8, 16), n_folds=4,
+            ),
+            em_config=FAST_EM,
+            seed=0,
+        ).fit(designs, targets)
+        somp = SOMP(
+            seed=0, n_select_grid=(4, 8, 16), n_folds=4
+        ).fit(designs, targets)
+        assert error(cbmf) < error(somp)

@@ -1,0 +1,114 @@
+"""Edge-case hardening tests for the C-BMF estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+
+TINY_INIT = InitConfig(
+    r0_grid=(0.5,), sigma0_grid=(0.1,), n_basis_grid=(2,), n_folds=2
+)
+TINY_EM = EmConfig(max_iterations=4)
+
+
+def fit_tiny(designs, targets):
+    return CBMF(init_config=TINY_INIT, em_config=TINY_EM, seed=0).fit(
+        designs, targets
+    )
+
+
+class TestDegenerateInputs:
+    def test_single_state(self):
+        rng = np.random.default_rng(0)
+        design = rng.standard_normal((12, 8))
+        design[:, 0] = 1.0
+        target = design @ np.array([1.0, 2.0, 0, 0, 0, 0, 0, 0])
+        model = fit_tiny([design], [target])
+        assert model.coef_.shape == (1, 8)
+        prediction = model.predict(design, 0)
+        assert np.allclose(prediction, target, atol=0.5)
+
+    def test_constant_targets(self):
+        """Zero-variance targets must not crash (scale guard)."""
+        rng = np.random.default_rng(1)
+        designs = [rng.standard_normal((8, 5)) for _ in range(2)]
+        for d in designs:
+            d[:, 0] = 1.0
+        targets = [np.full(8, 3.0) for _ in range(2)]
+        model = fit_tiny(designs, targets)
+        prediction = model.predict(designs[0], 0)
+        assert np.allclose(prediction, 3.0, atol=0.2)
+
+    def test_two_samples_per_state(self):
+        rng = np.random.default_rng(2)
+        designs = [rng.standard_normal((2, 4)) for _ in range(3)]
+        targets = [rng.standard_normal(2) for _ in range(3)]
+        model = fit_tiny(designs, targets)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_very_noisy_targets(self):
+        rng = np.random.default_rng(3)
+        designs = [rng.standard_normal((10, 6)) for _ in range(2)]
+        targets = [100.0 * rng.standard_normal(10) for _ in range(2)]
+        model = fit_tiny(designs, targets)
+        assert np.all(np.isfinite(model.coef_))
+        assert model.noise_std_ > 1.0
+
+    def test_huge_target_scale(self):
+        """Standardization keeps 1e9-scale targets numerically sane."""
+        rng = np.random.default_rng(4)
+        designs = [rng.standard_normal((10, 5)) for _ in range(2)]
+        for d in designs:
+            d[:, 0] = 1.0
+        coef = np.array([2.4e9, 1e7, 0.0, 0.0, 0.0])
+        targets = [d @ coef + 1e5 * rng.standard_normal(10) for d in designs]
+        model = fit_tiny(designs, targets)
+        prediction = model.predict(designs[0], 0)
+        assert np.allclose(prediction, targets[0], rtol=0.05)
+
+    def test_single_basis_column(self):
+        rng = np.random.default_rng(5)
+        designs = [np.ones((6, 1)) for _ in range(2)]
+        targets = [np.full(6, 4.0), np.full(6, 5.0)]
+        config = InitConfig(
+            r0_grid=(0.5,), sigma0_grid=(0.1,), n_basis_grid=(1,), n_folds=2
+        )
+        model = CBMF(init_config=config, em_config=TINY_EM, seed=0).fit(
+            designs, targets
+        )
+        assert model.predict(designs[0], 0)[0] == pytest.approx(4.0, abs=0.6)
+        assert model.predict(designs[1], 1)[0] == pytest.approx(5.0, abs=0.6)
+
+    def test_rejects_nan_targets(self):
+        designs = [np.ones((4, 2))]
+        targets = [np.array([1.0, np.nan, 2.0, 3.0])]
+        with pytest.raises(ValueError, match="non-finite"):
+            fit_tiny(designs, targets)
+
+    def test_rejects_empty_states(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fit_tiny([], [])
+
+    def test_mismatched_basis_width_rejected(self):
+        rng = np.random.default_rng(6)
+        designs = [rng.standard_normal((5, 3)), rng.standard_normal((5, 4))]
+        targets = [rng.standard_normal(5) for _ in range(2)]
+        with pytest.raises(ValueError, match="basis columns"):
+            fit_tiny(designs, targets)
+
+    def test_many_states_few_samples(self):
+        """K >> N_k: the fusion regime — must stay finite and sane."""
+        rng = np.random.default_rng(7)
+        coef = np.zeros(10)
+        coef[2] = 1.5
+        designs, targets = [], []
+        for k in range(20):
+            d = rng.standard_normal((3, 10))
+            designs.append(d)
+            targets.append(d @ coef + 0.01 * rng.standard_normal(3))
+        model = fit_tiny(designs, targets)
+        assert np.all(np.isfinite(model.coef_))
+        # The shared coefficient should be recovered by pooling.
+        assert np.mean(model.coef_[:, 2]) == pytest.approx(1.5, abs=0.4)

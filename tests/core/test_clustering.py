@@ -1,0 +1,137 @@
+"""Tests for the state-clustering extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ClusteredCBMF, cluster_states, state_signatures
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+
+FAST_INIT = InitConfig(
+    r0_grid=(0.0, 0.9), sigma0_grid=(0.1,), n_basis_grid=(4,), n_folds=3
+)
+FAST_EM = EmConfig(max_iterations=15)
+
+
+def two_family_truth(seed=0, n_per_family=4, n_basis=40):
+    """Two mutually-different state families with disjoint templates."""
+    rng = np.random.default_rng(seed)
+    support_a = [3, 10, 20]
+    support_b = [7, 15, 30]
+    n_states = 2 * n_per_family
+    truth = np.zeros((n_states, n_basis))
+    for k in range(n_states):
+        support = support_a if k < n_per_family else support_b
+        for m in support:
+            truth[k, m] = rng.uniform(1.0, 2.0)
+    labels = np.array([0] * n_per_family + [1] * n_per_family)
+    return truth, labels, rng
+
+
+def sample_from_truth(truth, rng, n):
+    designs, targets = [], []
+    for k in range(truth.shape[0]):
+        design = rng.standard_normal((n, truth.shape[1]))
+        design[:, 0] = 1.0
+        designs.append(design)
+        targets.append(design @ truth[k] + 0.05 * rng.standard_normal(n))
+    return designs, targets
+
+
+def two_family_problem(seed=0, n_per_family=4, n_basis=40, n=18):
+    truth, labels, rng = two_family_truth(seed, n_per_family, n_basis)
+    designs, targets = sample_from_truth(truth, rng, n)
+    return designs, targets, labels
+
+
+class TestClusterStates:
+    def test_recovers_two_families(self):
+        designs, targets, truth = two_family_problem()
+        labels = cluster_states(designs, targets, 2)
+        # Same partition up to label permutation.
+        same = np.all(labels == truth) or np.all(labels == 1 - truth)
+        assert same
+
+    def test_single_cluster_trivial(self):
+        designs, targets, _ = two_family_problem()
+        labels = cluster_states(designs, targets, 1)
+        assert np.all(labels == 0)
+
+    def test_rejects_too_many_clusters(self):
+        designs, targets, _ = two_family_problem(n_per_family=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            cluster_states(designs, targets, 99)
+
+    def test_rejects_bad_ridge(self):
+        designs, targets, _ = two_family_problem()
+        with pytest.raises(ValueError, match="ridge"):
+            cluster_states(designs, targets, 2, ridge=0.0)
+
+    def test_signature_shape(self):
+        designs, targets, _ = two_family_problem()
+        features = state_signatures(designs, targets)
+        assert features.shape[0] == len(designs)
+        assert 2 <= features.shape[1] <= designs[0].shape[1]
+
+    def test_ridge_signature_shape(self):
+        designs, targets, _ = two_family_problem()
+        features = state_signatures(designs, targets, kind="ridge")
+        assert features.shape == (len(designs), designs[0].shape[1])
+
+    def test_rejects_unknown_kind(self):
+        designs, targets, _ = two_family_problem()
+        with pytest.raises(ValueError, match="kind"):
+            state_signatures(designs, targets, kind="pca")
+
+
+class TestClusteredCBMF:
+    def test_fits_and_predicts(self):
+        designs, targets, _ = two_family_problem(seed=1)
+        model = ClusteredCBMF(
+            n_clusters=2,
+            init_config=FAST_INIT,
+            em_config=FAST_EM,
+            seed=0,
+        ).fit(designs, targets)
+        assert model.coef_.shape == (len(designs), designs[0].shape[1])
+        assert len(model.models_) == 2
+        prediction = model.predict(designs[0], 0)
+        assert prediction.shape == (designs[0].shape[0],)
+
+    def test_beats_single_cluster_on_mixed_states(self):
+        """When families are mutually different, clustering first wins —
+        the scenario the paper's conclusion calls out."""
+        truth, _, rng = two_family_truth(seed=2)
+        designs, targets = sample_from_truth(truth, rng, 12)
+        test_designs, test_targets = sample_from_truth(truth, rng, 100)
+
+        def error(model):
+            num = den = 0.0
+            for k in range(len(designs)):
+                p = model.predict(test_designs[k], k)
+                num += float(np.sum((p - test_targets[k]) ** 2))
+                den += float(np.sum(test_targets[k] ** 2))
+            return np.sqrt(num / den)
+
+        clustered = ClusteredCBMF(
+            n_clusters=2, init_config=FAST_INIT, em_config=FAST_EM, seed=0
+        ).fit(designs, targets)
+        single = ClusteredCBMF(
+            n_clusters=1, init_config=FAST_INIT, em_config=FAST_EM, seed=0
+        ).fit(designs, targets)
+        assert error(clustered) < error(single)
+
+    def test_labels_exposed(self):
+        designs, targets, truth = two_family_problem(seed=3)
+        model = ClusteredCBMF(
+            n_clusters=2, init_config=FAST_INIT, em_config=FAST_EM, seed=0
+        ).fit(designs, targets)
+        assert model.labels_.shape == (len(designs),)
+
+    def test_single_state_cluster_handled(self):
+        """A cluster containing one state must still fit (K=1 C-BMF)."""
+        designs, targets, _ = two_family_problem(seed=4, n_per_family=1, n=20)
+        model = ClusteredCBMF(
+            n_clusters=2, init_config=FAST_INIT, em_config=FAST_EM, seed=0
+        ).fit(designs, targets)
+        assert model.coef_.shape[0] == 2

@@ -1,0 +1,94 @@
+"""Tests for the shared greedy selection scan."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import select_shared_support
+
+
+def least_squares_solver(sub_designs, targets):
+    columns = []
+    for design, target in zip(sub_designs, targets):
+        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+        columns.append(solution)
+    return np.column_stack(columns)
+
+
+def shared_sparse_problem(seed=0, n_states=4, n_basis=30, n=20):
+    rng = np.random.default_rng(seed)
+    support = [3, 11, 17]
+    designs = [rng.standard_normal((n, n_basis)) for _ in range(n_states)]
+    targets = []
+    for k, design in enumerate(designs):
+        coef = np.zeros(n_basis)
+        for m in support:
+            coef[m] = rng.uniform(1.0, 3.0) * (1 if k % 2 else -1)
+        targets.append(design @ coef + 0.01 * rng.standard_normal(n))
+    return designs, targets, support
+
+
+class TestSelection:
+    def test_recovers_shared_support(self):
+        designs, targets, support = shared_sparse_problem()
+        found, _ = select_shared_support(
+            designs, targets, 3, least_squares_solver
+        )
+        assert sorted(found) == sorted(support)
+
+    def test_no_duplicate_selection(self):
+        designs, targets, _ = shared_sparse_problem(1)
+        found, _ = select_shared_support(
+            designs, targets, 10, least_squares_solver
+        )
+        assert len(found) == len(set(found)) == 10
+
+    def test_coefficients_shape(self):
+        designs, targets, _ = shared_sparse_problem(2)
+        _, coefficients = select_shared_support(
+            designs, targets, 5, least_squares_solver
+        )
+        assert coefficients.shape == (5, len(designs))
+
+    def test_on_step_called_every_iteration(self):
+        designs, targets, _ = shared_sparse_problem(3)
+        sizes = []
+        select_shared_support(
+            designs,
+            targets,
+            4,
+            least_squares_solver,
+            on_step=lambda support, coef: sizes.append(len(support)),
+        )
+        assert sizes == [1, 2, 3, 4]
+
+    def test_residual_decreases(self):
+        designs, targets, _ = shared_sparse_problem(4)
+        norms = []
+
+        def track(support, coefficients):
+            total = 0.0
+            for k, design in enumerate(designs):
+                r = targets[k] - design[:, support] @ coefficients[:, k]
+                total += float(r @ r)
+            norms.append(total)
+
+        select_shared_support(
+            designs, targets, 6, least_squares_solver, on_step=track
+        )
+        assert all(b <= a + 1e-9 for a, b in zip(norms, norms[1:]))
+
+    def test_rejects_bad_n_select(self):
+        designs, targets, _ = shared_sparse_problem(5)
+        with pytest.raises(ValueError):
+            select_shared_support(designs, targets, 0, least_squares_solver)
+        with pytest.raises(ValueError):
+            select_shared_support(
+                designs, targets, 999, least_squares_solver
+            )
+
+    def test_solver_shape_validated(self):
+        designs, targets, _ = shared_sparse_problem(6)
+        with pytest.raises(AssertionError, match="solver"):
+            select_shared_support(
+                designs, targets, 2, lambda d, t: np.zeros((1, 1))
+            )

@@ -1,0 +1,109 @@
+"""Tests for the correlated prior and the AR(1) parameterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prior import CorrelatedPrior, ar1_correlation
+from repro.utils.linalg import is_psd
+
+
+class TestAr1Correlation:
+    def test_unit_diagonal(self):
+        r = ar1_correlation(5, 0.7)
+        assert np.allclose(np.diag(r), 1.0)
+
+    def test_decay_structure(self):
+        r = ar1_correlation(4, 0.5)
+        assert r[0, 1] == pytest.approx(0.5)
+        assert r[0, 3] == pytest.approx(0.125)
+
+    def test_symmetric(self):
+        r = ar1_correlation(6, 0.9)
+        assert np.allclose(r, r.T)
+
+    def test_zero_r0_is_identity(self):
+        assert np.allclose(ar1_correlation(4, 0.0), np.eye(4))
+
+    def test_rejects_r0_of_one(self):
+        with pytest.raises(ValueError):
+            ar1_correlation(3, 1.0)
+
+    def test_rejects_negative_r0(self):
+        with pytest.raises(ValueError):
+            ar1_correlation(3, -0.1)
+
+    def test_single_state(self):
+        assert ar1_correlation(1, 0.5).shape == (1, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 12), r0=st.floats(0.0, 0.99))
+    def test_property_always_psd(self, n, r0):
+        assert is_psd(ar1_correlation(n, r0))
+
+
+class TestCorrelatedPrior:
+    def test_shapes(self):
+        prior = CorrelatedPrior(np.ones(5), ar1_correlation(3, 0.5))
+        assert prior.n_basis == 5
+        assert prior.n_states == 3
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CorrelatedPrior(np.array([-1.0]), np.eye(2))
+
+    def test_rejects_non_psd_correlation(self):
+        with pytest.raises(ValueError, match="PSD"):
+            CorrelatedPrior(np.ones(2), np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_block_covariance(self):
+        prior = CorrelatedPrior(
+            np.array([2.0, 0.5]), ar1_correlation(3, 0.5)
+        )
+        assert np.allclose(
+            prior.block_covariance(0), 2.0 * ar1_correlation(3, 0.5)
+        )
+        with pytest.raises(IndexError):
+            prior.block_covariance(2)
+
+    def test_full_covariance_block_diagonal(self):
+        prior = CorrelatedPrior(np.array([1.0, 3.0]), ar1_correlation(2, 0.5))
+        full = prior.full_covariance()
+        assert full.shape == (4, 4)
+        assert np.allclose(full[:2, :2], prior.block_covariance(0))
+        assert np.allclose(full[2:, 2:], prior.block_covariance(1))
+        assert np.allclose(full[:2, 2:], 0.0)
+
+    def test_active_set(self):
+        prior = CorrelatedPrior(
+            np.array([1.0, 1e-9, 0.5]), np.eye(2)
+        )
+        assert list(prior.active_set()) == [0, 2]
+
+    def test_active_set_all_zero(self):
+        prior = CorrelatedPrior(np.zeros(3), np.eye(2))
+        assert prior.active_set().size == 0
+
+    def test_from_support(self):
+        prior = CorrelatedPrior.from_support(
+            n_basis=6, n_states=4, active=np.array([1, 3]), r0=0.8
+        )
+        assert prior.lambdas[1] == 1.0
+        assert prior.lambdas[0] == pytest.approx(1e-5)
+        assert np.allclose(prior.correlation, ar1_correlation(4, 0.8))
+
+    def test_from_support_rejects_bad_indices(self):
+        with pytest.raises(ValueError, match="active"):
+            CorrelatedPrior.from_support(4, 2, np.array([5]), 0.5)
+
+    def test_normalized_preserves_product(self):
+        rng = np.random.default_rng(0)
+        root = rng.standard_normal((3, 5))
+        correlation = root @ root.T
+        prior = CorrelatedPrior(np.array([1.0, 2.0]), correlation)
+        normalized = prior.normalized()
+        assert np.mean(np.diag(normalized.correlation)) == pytest.approx(1.0)
+        for m in range(2):
+            assert np.allclose(
+                normalized.block_covariance(m), prior.block_covariance(m)
+            )

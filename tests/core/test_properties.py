@@ -1,0 +1,130 @@
+"""Cross-cutting property tests of the Bayesian core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.posterior import compute_posterior
+from repro.core.prior import CorrelatedPrior, ar1_correlation
+from repro.core.somp_init import InitConfig
+
+
+def random_problem(seed, n_states=4, n_basis=7, n=9):
+    rng = np.random.default_rng(seed)
+    designs = [rng.standard_normal((n, n_basis)) for _ in range(n_states)]
+    targets = [rng.standard_normal(n) for _ in range(n_states)]
+    prior = CorrelatedPrior(
+        rng.uniform(0.2, 1.5, n_basis), ar1_correlation(n_states, 0.6)
+    )
+    return designs, targets, prior
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_posterior_equivariant_under_state_permutation(seed):
+    """Permuting states (data + R rows/cols) permutes the MAP solution."""
+    designs, targets, prior = random_problem(seed)
+    n_states = len(designs)
+    rng = np.random.default_rng(seed + 1)
+    perm = rng.permutation(n_states)
+
+    base = compute_posterior(designs, targets, prior, 0.3, want_blocks=False)
+
+    permuted_prior = CorrelatedPrior(
+        prior.lambdas, prior.correlation[np.ix_(perm, perm)]
+    )
+    permuted = compute_posterior(
+        [designs[p] for p in perm],
+        [targets[p] for p in perm],
+        permuted_prior,
+        0.3,
+        want_blocks=False,
+    )
+    assert np.allclose(permuted.mean, base.mean[:, perm], atol=1e-9)
+    assert permuted.nll == pytest.approx(base.nll, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000), scale=st.floats(0.1, 10.0))
+def test_posterior_scales_with_targets(seed, scale):
+    """y → c·y with σ0² → c²σ0², λ → c²λ gives mean → c·mean."""
+    designs, targets, prior = random_problem(seed)
+    base = compute_posterior(designs, targets, prior, 0.3, want_blocks=False)
+    scaled_prior = CorrelatedPrior(
+        prior.lambdas * scale**2, prior.correlation
+    )
+    scaled = compute_posterior(
+        designs,
+        [t * scale for t in targets],
+        scaled_prior,
+        0.3 * scale**2,
+        want_blocks=False,
+    )
+    assert np.allclose(scaled.mean, base.mean * scale, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_posterior_invariant_under_basis_permutation(seed):
+    """Permuting basis columns (and λ) permutes the coefficient rows."""
+    designs, targets, prior = random_problem(seed)
+    n_basis = prior.n_basis
+    perm = np.random.default_rng(seed + 2).permutation(n_basis)
+
+    base = compute_posterior(designs, targets, prior, 0.3, want_blocks=False)
+    permuted = compute_posterior(
+        [d[:, perm] for d in designs],
+        targets,
+        CorrelatedPrior(prior.lambdas[perm], prior.correlation),
+        0.3,
+        want_blocks=False,
+    )
+    assert np.allclose(permuted.mean, base.mean[perm], atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 10), r0=st.floats(0.05, 0.95))
+def test_ar1_inverse_is_tridiagonal(n, r0):
+    """The AR(1) correlation's inverse is tridiagonal — the Markov
+    property of the state chain encoded by eq. 32."""
+    inverse = np.linalg.inv(ar1_correlation(n, r0))
+    off = np.triu(inverse, k=2)
+    assert np.allclose(off, 0.0, atol=1e-8)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 100), shift=st.floats(-50.0, 50.0))
+def test_cbmf_equivariant_under_target_shift(seed, shift):
+    """Adding a constant to every target shifts predictions by the same
+    constant (the intercept/standardization path is exact)."""
+    rng = np.random.default_rng(seed)
+    n_states, n_basis, n = 3, 20, 12
+    coef = np.zeros((n_states, n_basis))
+    coef[:, 3] = 2.0
+    designs, targets = [], []
+    for k in range(n_states):
+        design = rng.standard_normal((n, n_basis))
+        design[:, 0] = 1.0
+        designs.append(design)
+        targets.append(design @ coef[k] + 0.01 * rng.standard_normal(n))
+
+    config = InitConfig(
+        r0_grid=(0.5,), sigma0_grid=(0.1,), n_basis_grid=(3,), n_folds=3
+    )
+    em = EmConfig(max_iterations=5)
+    base = CBMF(init_config=config, em_config=em, seed=0).fit(
+        designs, targets
+    )
+    shifted = CBMF(init_config=config, em_config=em, seed=0).fit(
+        designs, [t + shift for t in targets]
+    )
+    query = rng.standard_normal((6, n_basis))
+    query[:, 0] = 1.0
+    for k in range(n_states):
+        assert np.allclose(
+            shifted.predict(query, k),
+            base.predict(query, k) + shift,
+            atol=1e-6,
+        )

@@ -1,0 +1,129 @@
+"""Tests for the modified S-OMP hyper-parameter initializer."""
+
+import numpy as np
+import pytest
+
+from repro.core.somp_init import InitConfig, somp_initialize
+
+
+def problem(seed=0, n_states=5, n_basis=50, n=16, r0=0.9, noise=0.05):
+    rng = np.random.default_rng(seed)
+    support = np.array([4, 18, 33])
+    correlation = r0 ** np.abs(
+        np.subtract.outer(np.arange(n_states), np.arange(n_states))
+    )
+    chol = np.linalg.cholesky(correlation)
+    coef = np.zeros((n_states, n_basis))
+    for m in support:
+        coef[:, m] = chol @ rng.standard_normal(n_states) * 2.0
+    designs = [rng.standard_normal((n, n_basis)) for _ in range(n_states)]
+    targets = [
+        d @ coef[k] + noise * rng.standard_normal(n)
+        for k, d in enumerate(designs)
+    ]
+    return designs, targets, support
+
+
+class TestInitConfig:
+    def test_defaults_valid(self):
+        InitConfig()
+
+    def test_rejects_empty_grids(self):
+        with pytest.raises(ValueError):
+            InitConfig(r0_grid=())
+
+    def test_rejects_bad_r0(self):
+        with pytest.raises(ValueError):
+            InitConfig(r0_grid=(1.0,))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            InitConfig(sigma0_grid=(0.0,))
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            InitConfig(n_basis_grid=(0,))
+
+    def test_rejects_single_fold(self):
+        with pytest.raises(ValueError):
+            InitConfig(n_folds=1)
+
+
+class TestInitializer:
+    def test_finds_true_support(self):
+        designs, targets, support = problem()
+        config = InitConfig(n_basis_grid=(3, 6, 12))
+        result = somp_initialize(designs, targets, config, seed=0)
+        assert set(support).issubset(set(result.support))
+
+    def test_chosen_values_come_from_grid(self):
+        designs, targets, _ = problem(1)
+        config = InitConfig(
+            r0_grid=(0.2, 0.8), sigma0_grid=(0.1, 0.3), n_basis_grid=(3, 8)
+        )
+        result = somp_initialize(designs, targets, config, seed=0)
+        assert result.r0 in config.r0_grid
+        assert result.sigma0 in config.sigma0_grid
+        assert result.n_basis in config.n_basis_grid
+
+    def test_prior_encodes_support(self):
+        designs, targets, _ = problem(2)
+        result = somp_initialize(designs, targets, seed=1)
+        lam = result.prior.lambdas
+        for m in result.support:
+            assert lam[m] == 1.0
+        inactive = np.setdiff1d(np.arange(lam.size), result.support)
+        assert np.allclose(lam[inactive], 1e-5)
+
+    def test_noise_var_is_sigma_squared(self):
+        designs, targets, _ = problem(3)
+        result = somp_initialize(designs, targets, seed=2)
+        assert result.noise_var == pytest.approx(result.sigma0**2)
+
+    def test_cv_errors_recorded(self):
+        designs, targets, _ = problem(4)
+        config = InitConfig(
+            r0_grid=(0.5,), sigma0_grid=(0.1,), n_basis_grid=(3, 6)
+        )
+        result = somp_initialize(designs, targets, config, seed=3)
+        assert len(result.cv_errors) == 2
+        for error in result.cv_errors.values():
+            assert error > 0.0
+
+    def test_correlated_truth_prefers_high_r0(self):
+        """With strongly correlated coefficients and few samples, CV should
+        not pick the uncorrelated end of the grid."""
+        designs, targets, _ = problem(
+            5, n_states=8, n=6, r0=0.98, noise=0.2
+        )
+        config = InitConfig(
+            r0_grid=(0.0, 0.95), sigma0_grid=(0.1,), n_basis_grid=(3,),
+            n_folds=3,
+        )
+        result = somp_initialize(designs, targets, config, seed=5)
+        key_low = (0.0, 0.1, 3)
+        key_high = (0.95, 0.1, 3)
+        assert result.cv_errors[key_high] <= result.cv_errors[key_low]
+
+    def test_deterministic_given_seed(self):
+        designs, targets, _ = problem(6)
+        a = somp_initialize(designs, targets, seed=7)
+        b = somp_initialize(designs, targets, seed=7)
+        assert a.support == b.support
+        assert a.r0 == b.r0 and a.sigma0 == b.sigma0
+
+    def test_theta_capped_by_dictionary_size(self):
+        designs, targets, _ = problem(7, n=6)
+        config = InitConfig(n_basis_grid=(2, 4, 1000), n_folds=3)
+        result = somp_initialize(designs, targets, config, seed=8)
+        assert len(result.support) <= designs[0].shape[1]
+
+    def test_support_may_exceed_sample_count(self):
+        """The Bayesian solve is well-posed for θ > N (unlike LS)."""
+        designs, targets, _ = problem(8, n=5)
+        config = InitConfig(
+            r0_grid=(0.5,), sigma0_grid=(0.1,), n_basis_grid=(9,),
+            n_folds=3,
+        )
+        result = somp_initialize(designs, targets, config, seed=9)
+        assert len(result.support) == 9

@@ -1,0 +1,76 @@
+"""Tests for warm-start fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+
+from tests.conftest import make_synthetic
+
+FAST_INIT = InitConfig(
+    r0_grid=(0.0, 0.9), sigma0_grid=(0.1,), n_basis_grid=(4, 8), n_folds=4
+)
+FAST_EM = EmConfig(max_iterations=12)
+
+
+class TestWarmStart:
+    def test_requires_fitted_source(self):
+        with pytest.raises(ValueError, match="fitted"):
+            CBMF(warm_start=CBMF())
+
+    def test_skips_initializer(self):
+        problem = make_synthetic(seed=0)
+        designs, targets = problem.sample(15)
+        cold = CBMF(init_config=FAST_INIT, em_config=FAST_EM, seed=0).fit(
+            designs, targets
+        )
+        warm = CBMF(em_config=FAST_EM, warm_start=cold).fit(
+            designs, targets
+        )
+        # The warm init records no CV grid search ...
+        assert warm.report_.init.cv_errors == {}
+        # ... and is much cheaper than the cold one.
+        assert warm.report_.init_seconds < cold.report_.init_seconds
+
+    def test_accuracy_comparable_to_cold(self):
+        problem = make_synthetic(seed=1)
+        designs, targets = problem.sample(12)
+        test_d, test_t = problem.sample(150)
+        cold = CBMF(init_config=FAST_INIT, em_config=FAST_EM, seed=0).fit(
+            designs, targets
+        )
+        more_d, more_t = problem.sample(12)
+        grown_d = [np.vstack([a, b]) for a, b in zip(designs, more_d)]
+        grown_t = [np.concatenate([a, b]) for a, b in zip(targets, more_t)]
+        warm = CBMF(em_config=FAST_EM, warm_start=cold).fit(
+            grown_d, grown_t
+        )
+        cold2 = CBMF(init_config=FAST_INIT, em_config=FAST_EM, seed=0).fit(
+            grown_d, grown_t
+        )
+
+        def error(model):
+            num = den = 0.0
+            for k in range(problem.n_states):
+                p = model.predict(test_d[k], k)
+                num += float(np.sum((p - test_t[k]) ** 2))
+                den += float(np.sum(test_t[k] ** 2))
+            return np.sqrt(num / den)
+
+        assert error(warm) < 1.3 * error(cold2)
+        # More data must not hurt relative to the first-round model.
+        assert error(warm) < 1.2 * error(cold)
+
+    def test_layout_mismatch_rejected(self):
+        problem = make_synthetic(seed=2)
+        designs, targets = problem.sample(12)
+        cold = CBMF(init_config=FAST_INIT, em_config=FAST_EM, seed=0).fit(
+            designs, targets
+        )
+        narrower = [d[:, :-2] for d in designs]
+        with pytest.raises(ValueError, match="bases"):
+            CBMF(warm_start=cold).fit(narrower, targets)
+        with pytest.raises(ValueError, match="states"):
+            CBMF(warm_start=cold).fit(designs[:-1], targets[:-1])

@@ -1,0 +1,150 @@
+"""Tests for the modeling-error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.error import (
+    modeling_error_percent,
+    nrmse_by_std,
+    per_state_errors,
+    rmse,
+)
+
+
+class TestRmse:
+    def test_zero_for_perfect(self):
+        truth = [np.array([1.0, 2.0]), np.array([3.0])]
+        assert rmse(truth, truth) == 0.0
+
+    def test_known_value(self):
+        predictions = [np.array([1.0, 1.0])]
+        truths = [np.array([0.0, 2.0])]
+        assert rmse(predictions, truths) == pytest.approx(1.0)
+
+    def test_pools_across_states(self):
+        predictions = [np.array([1.0]), np.array([0.0, 0.0, 0.0])]
+        truths = [np.array([3.0]), np.array([0.0, 0.0, 0.0])]
+        # (4 + 0)/4 = 1 → sqrt = 1
+        assert rmse(predictions, truths) == pytest.approx(1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([np.zeros(2)], [np.zeros(3)])
+
+    def test_rejects_state_count_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            rmse([np.zeros(2)], [np.zeros(2), np.zeros(2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            rmse([], [])
+
+
+class TestModelingErrorPercent:
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        truths = [rng.uniform(1.0, 2.0, 50)]
+        predictions = [truths[0] + 0.01]
+        a = modeling_error_percent(predictions, truths)
+        b = modeling_error_percent(
+            [p * 10 for p in predictions], [t * 10 for t in truths]
+        )
+        assert a == pytest.approx(b)
+
+    def test_known_value(self):
+        truths = [np.full(10, 2.0)]
+        predictions = [np.full(10, 2.02)]
+        # RMSE 0.02 over mean |y| 2.0 → 1 %.
+        assert modeling_error_percent(predictions, truths) == pytest.approx(
+            1.0
+        )
+
+    def test_rejects_zero_magnitude(self):
+        with pytest.raises(ValueError, match="zero"):
+            modeling_error_percent([np.zeros(3)], [np.zeros(3)])
+
+    def test_paper_scale_sanity(self):
+        """A model explaining a 2 dB metric to ±0.006 dB is ≈0.3 % — the
+        order the paper reports for NF."""
+        rng = np.random.default_rng(1)
+        truths = [2.0 + 0.05 * rng.standard_normal(500)]
+        predictions = [truths[0] + 0.006 * rng.standard_normal(500)]
+        error = modeling_error_percent(predictions, truths)
+        assert 0.2 < error < 0.4
+
+
+class TestPerStateErrors:
+    def test_shape_and_values(self):
+        truths = [np.full(10, 2.0), np.full(10, 4.0)]
+        predictions = [truths[0] + 0.02, truths[1] + 0.04]
+        errors = per_state_errors(predictions, truths)
+        assert errors.shape == (2,)
+        assert errors[0] == pytest.approx(1.0)
+        assert errors[1] == pytest.approx(1.0)
+
+    def test_identifies_bad_state(self):
+        truths = [np.full(10, 2.0), np.full(10, 2.0)]
+        predictions = [truths[0] + 0.02, truths[1] + 0.4]
+        errors = per_state_errors(predictions, truths)
+        assert errors[1] > 10 * errors[0]
+
+    def test_pooled_between_min_and_max(self):
+        rng = np.random.default_rng(0)
+        truths = [2.0 + 0.1 * rng.standard_normal(30) for _ in range(3)]
+        predictions = [t + 0.03 * rng.standard_normal(30) for t in truths]
+        per_state = per_state_errors(predictions, truths)
+        pooled = modeling_error_percent(predictions, truths)
+        assert per_state.min() <= pooled <= per_state.max()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            per_state_errors([], [])
+
+
+class TestGreedyAggregate:
+    def test_l2_variant_recovers_support(self):
+        from repro.core.greedy import select_shared_support
+
+        rng = np.random.default_rng(1)
+        support = [3, 11, 17]
+        designs, targets = [], []
+        for k in range(4):
+            coef = np.zeros(30)
+            coef[support] = rng.uniform(1.0, 3.0, 3)
+            d = rng.standard_normal((20, 30))
+            designs.append(d)
+            targets.append(d @ coef + 0.01 * rng.standard_normal(20))
+
+        def ls(sub, tg):
+            return np.column_stack(
+                [np.linalg.lstsq(s, t, rcond=None)[0]
+                 for s, t in zip(sub, tg)]
+            )
+
+        found, _ = select_shared_support(
+            designs, targets, 3, ls, aggregate="l2"
+        )
+        assert sorted(found) == support
+
+    def test_rejects_unknown_aggregate(self):
+        from repro.core.greedy import select_shared_support
+
+        with pytest.raises(ValueError, match="aggregate"):
+            select_shared_support(
+                [np.ones((3, 2))], [np.ones(3)], 1, lambda a, b: None,
+                aggregate="max",
+            )
+
+
+class TestNrmseByStd:
+    def test_mean_prediction_scores_one(self):
+        rng = np.random.default_rng(2)
+        truth = rng.standard_normal(10_000)
+        predictions = [np.full_like(truth, truth.mean())]
+        assert nrmse_by_std(predictions, [truth]) == pytest.approx(
+            1.0, abs=0.02
+        )
+
+    def test_rejects_constant_truth(self):
+        with pytest.raises(ValueError, match="variance"):
+            nrmse_by_std([np.ones(3)], [np.ones(3)])

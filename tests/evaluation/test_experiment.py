@@ -1,0 +1,86 @@
+"""Tests for the modeling-experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.basis.polynomial import LinearBasis
+from repro.baselines.least_squares import Ridge
+from repro.evaluation.experiment import ModelingExperiment
+from repro.simulate.cost import CostModel
+
+
+@pytest.fixture(scope="module")
+def split(lna_dataset):
+    return lna_dataset.split(25)
+
+
+@pytest.fixture(scope="module")
+def experiment(split, lna_dataset):
+    train, test = split
+    return ModelingExperiment(
+        train, test, LinearBasis(lna_dataset.n_variables), CostModel(8.74)
+    )
+
+
+class TestConstruction:
+    def test_rejects_metric_mismatch(self, split):
+        train, test = split
+        import copy
+
+        bad = copy.copy(test)
+        bad.metric_names = ("zzz",)
+        with pytest.raises(ValueError, match="metrics"):
+            ModelingExperiment(train, bad, LinearBasis(train.n_variables))
+
+    def test_rejects_basis_mismatch(self, split):
+        train, test = split
+        with pytest.raises(ValueError, match="variables"):
+            ModelingExperiment(train, test, LinearBasis(3))
+
+
+class TestRun:
+    def test_registry_method_all_metrics(self, experiment):
+        result = experiment.run("ridge", seed=0)
+        assert set(result.errors) == set(experiment.metric_names)
+        for error in result.errors.values():
+            # Plain ridge at N << M can exceed 100 % on near-zero-mean
+            # metrics (IIP3 in dBm); just require a finite positive score.
+            assert 0.0 < error < 1000.0
+        assert result.n_train_total == experiment.train.n_samples_total
+
+    def test_fit_seconds_recorded(self, experiment):
+        result = experiment.run("ls")
+        assert all(t >= 0.0 for t in result.fit_seconds.values())
+        assert result.total_fit_seconds == pytest.approx(
+            sum(result.fit_seconds.values())
+        )
+
+    def test_cost_attached(self, experiment):
+        result = experiment.run("ridge")
+        assert result.cost is not None
+        assert result.cost.simulation_seconds == pytest.approx(
+            8.74 * experiment.train.n_samples_total
+        )
+
+    def test_metric_subset(self, experiment):
+        result = experiment.run("ridge", metrics=("gain_db",))
+        assert list(result.errors) == ["gain_db"]
+
+    def test_unknown_metric_rejected(self, experiment):
+        with pytest.raises(KeyError, match="unknown metric"):
+            experiment.run("ridge", metrics=("zzz",))
+
+    def test_estimator_instance_single_metric(self, experiment):
+        result = experiment.run(Ridge(alpha=2.0), metrics=("nf_db",))
+        assert result.method == "Ridge"
+        assert "nf_db" in result.errors
+
+    def test_estimator_instance_multi_metric_rejected(self, experiment):
+        with pytest.raises(ValueError, match="registry name"):
+            experiment.run(Ridge())
+
+    def test_somp_beats_plain_ridge_here(self, experiment):
+        """Sanity: sparse methods beat dense ridge at N << M."""
+        ridge = experiment.run("ridge", metrics=("gain_db",), seed=0)
+        somp = experiment.run("somp", metrics=("gain_db",), seed=0)
+        assert somp.errors["gain_db"] < ridge.errors["gain_db"]

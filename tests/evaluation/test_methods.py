@@ -1,0 +1,46 @@
+"""Tests for the estimator registry."""
+
+import pytest
+
+from repro.baselines import SOMP
+from repro.core import CBMF, MultiStateRegressor
+from repro.evaluation.methods import available_methods, make_estimator
+
+
+class TestRegistry:
+    def test_expected_methods_present(self):
+        methods = available_methods()
+        for name in (
+            "ls",
+            "ridge",
+            "omp",
+            "somp",
+            "group_lasso",
+            "bmf",
+            "cbmf",
+            "clustered_cbmf",
+        ):
+            assert name in methods
+
+    def test_sorted(self):
+        methods = available_methods()
+        assert list(methods) == sorted(methods)
+
+    def test_instantiation_types(self):
+        assert isinstance(make_estimator("cbmf"), CBMF)
+        assert isinstance(make_estimator("somp"), SOMP)
+
+    def test_every_method_is_estimator(self):
+        for name in available_methods():
+            assert isinstance(make_estimator(name), MultiStateRegressor)
+
+    def test_fresh_instance_each_call(self):
+        assert make_estimator("cbmf") is not make_estimator("cbmf")
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError, match="unknown method"):
+            make_estimator("magic")
+
+    def test_seed_forwarded(self):
+        model = make_estimator("cbmf", seed=42)
+        assert model.seed == 42

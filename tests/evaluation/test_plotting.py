@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.evaluation.experiment import MethodResult
+from repro.evaluation.plotting import ascii_chart, sweep_chart
+from repro.evaluation.sweep import SweepResult
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"cbmf": [1.0, 0.5], "somp": [2.0, 1.0]},
+            ["100", "200"],
+        )
+        assert "o=cbmf" in chart and "x=somp" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_title_rendered(self):
+        chart = ascii_chart({"a": [1.0]}, ["10"], title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_lower_error_plots_lower(self):
+        chart = ascii_chart(
+            {"good": [0.1, 0.1], "bad": [10.0, 10.0]},
+            ["1", "2"],
+            height=5,
+        )
+        lines = chart.splitlines()
+        # 'bad' is marker 'o'? sorted: bad < good → bad=o, good=x.
+        row_of = {}
+        for index, line in enumerate(lines):
+            if "o" in line and "=" not in line:
+                row_of["bad"] = index
+            if "x" in line and "=" not in line:
+                row_of["good"] = index
+        assert row_of["bad"] < row_of["good"]  # higher error = higher row
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_chart({"a": [0.0]}, ["1"])
+
+    def test_linear_scale_allows_zero(self):
+        chart = ascii_chart({"a": [0.0, 1.0]}, ["1", "2"], log_y=False)
+        assert "a" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ascii_chart({"a": [1.0, 2.0]}, ["1"])
+
+    def test_min_height(self):
+        with pytest.raises(ValueError, match="height"):
+            ascii_chart({"a": [1.0]}, ["1"], height=2)
+
+    def test_flat_series_handled(self):
+        chart = ascii_chart({"a": [1.0, 1.0, 1.0]}, ["1", "2", "3"])
+        assert "a" in chart
+
+
+class TestSweepChart:
+    def test_renders_sweep(self):
+        points = {
+            "somp": [
+                MethodResult("somp", 100, errors={"nf_db": 3.0}),
+                MethodResult("somp", 200, errors={"nf_db": 1.5}),
+            ],
+            "cbmf": [
+                MethodResult("cbmf", 100, errors={"nf_db": 1.2}),
+                MethodResult("cbmf", 200, errors={"nf_db": 0.9}),
+            ],
+        }
+        sweep = SweepResult(
+            circuit_name="lna",
+            metric_names=("nf_db",),
+            n_per_state_grid=(10, 20),
+            results=points,
+        )
+        chart = sweep_chart(sweep, "nf_db", "NF")
+        assert "lna" in chart and "NF" in chart
+        assert "100" in chart and "200" in chart

@@ -1,0 +1,68 @@
+"""Tests for multi-seed repetition."""
+
+import pytest
+
+from repro.evaluation.repetition import repeat_experiment
+
+
+@pytest.fixture(scope="module")
+def repeated(tiny_lna):
+    return repeat_experiment(
+        tiny_lna,
+        methods=("somp", "ridge"),
+        n_train_per_state=12,
+        n_test_per_state=15,
+        n_repetitions=3,
+        base_seed=100,
+        metrics=("gain_db",),
+    )
+
+
+class TestRepeatExperiment:
+    def test_sample_counts(self, repeated):
+        assert repeated.n_repetitions == 3
+        assert len(repeated.samples[("somp", "gain_db")]) == 3
+
+    def test_statistics(self, repeated):
+        mean = repeated.mean("somp", "gain_db")
+        std = repeated.std("somp", "gain_db")
+        assert mean > 0.0
+        assert std >= 0.0
+
+    def test_repetitions_differ(self, repeated):
+        values = repeated.samples[("somp", "gain_db")]
+        assert len(set(values)) > 1  # different dataset seeds
+
+    def test_wins_counting(self, repeated):
+        wins = repeated.wins("somp", "ridge", "gain_db")
+        losses = repeated.wins("ridge", "somp", "gain_db")
+        assert 0 <= wins <= 3
+        assert wins + losses <= 3
+
+    def test_somp_dominates_ridge(self, repeated):
+        """Sparse fitting wins at N << M in every repetition."""
+        assert repeated.wins("somp", "ridge", "gain_db") == 3
+
+    def test_format(self, repeated):
+        text = repeated.format()
+        assert "3 repetitions" in text
+        assert "gain_db" in text
+        assert "±" in text
+
+    def test_deterministic(self, tiny_lna, repeated):
+        again = repeat_experiment(
+            tiny_lna,
+            methods=("somp", "ridge"),
+            n_train_per_state=12,
+            n_test_per_state=15,
+            n_repetitions=3,
+            base_seed=100,
+            metrics=("gain_db",),
+        )
+        assert again.samples == repeated.samples
+
+    def test_validation(self, tiny_lna):
+        with pytest.raises(ValueError, match="method"):
+            repeat_experiment(tiny_lna, (), 10, 10)
+        with pytest.raises(ValueError):
+            repeat_experiment(tiny_lna, ("somp",), 1, 10)

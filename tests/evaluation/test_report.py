@@ -1,0 +1,75 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.evaluation.experiment import MethodResult
+from repro.evaluation.report import (
+    format_comparison_table,
+    format_sweep_table,
+)
+from repro.evaluation.sweep import SweepResult
+from repro.simulate.cost import CostModel
+
+
+def fake_results():
+    somp = MethodResult(method="somp", n_train_total=1120)
+    somp.errors = {"nf_db": 0.316, "gain_db": 0.577}
+    somp.fit_seconds = {"nf_db": 0.5, "gain_db": 0.82}
+    somp.cost = CostModel(8.74).cost(1120, somp.total_fit_seconds)
+    cbmf = MethodResult(method="cbmf", n_train_total=480)
+    cbmf.errors = {"nf_db": 0.285, "gain_db": 0.566}
+    cbmf.fit_seconds = {"nf_db": 100.0, "gain_db": 110.0}
+    cbmf.cost = CostModel(8.74).cost(480, cbmf.total_fit_seconds)
+    return somp, cbmf
+
+
+class TestComparisonTable:
+    def test_contains_all_rows(self):
+        table = format_comparison_table("Table 1", fake_results())
+        assert "Number of training samples" in table
+        assert "Modeling error for nf_db" in table
+        assert "Simulation cost (Hours)" in table
+        assert "Overall modeling cost (Hours)" in table
+
+    def test_metric_labels_applied(self):
+        table = format_comparison_table(
+            "Table 1", fake_results(), {"nf_db": "NF"}
+        )
+        assert "Modeling error for NF" in table
+
+    def test_values_formatted(self):
+        table = format_comparison_table("Table 1", fake_results())
+        assert "0.316%" in table
+        assert "1120" in table and "480" in table
+
+    def test_cost_rows_skipped_without_cost_model(self):
+        somp, cbmf = fake_results()
+        somp.cost = None
+        table = format_comparison_table("T", (somp, cbmf))
+        assert "Simulation cost" not in table
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_comparison_table("T", [])
+
+
+class TestSweepTable:
+    def test_renders_series(self):
+        somp_points = [
+            MethodResult("somp", 160, errors={"nf_db": 2.0}),
+            MethodResult("somp", 320, errors={"nf_db": 1.0}),
+        ]
+        cbmf_points = [
+            MethodResult("cbmf", 160, errors={"nf_db": 1.5}),
+            MethodResult("cbmf", 320, errors={"nf_db": 0.8}),
+        ]
+        sweep = SweepResult(
+            circuit_name="lna",
+            metric_names=("nf_db",),
+            n_per_state_grid=(5, 10),
+            results={"somp": somp_points, "cbmf": cbmf_points},
+        )
+        table = format_sweep_table("Fig 2b", sweep, "nf_db", "NF")
+        assert "Fig 2b" in table and "NF" in table
+        assert "160" in table and "320" in table
+        assert "2.000%" in table and "0.800%" in table

@@ -1,0 +1,80 @@
+"""Tests for sample-count sweeps."""
+
+import pytest
+
+from repro.basis.polynomial import LinearBasis
+from repro.evaluation.sweep import sample_count_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(lna_dataset):
+    pool, test = lna_dataset.split(25)
+    return sample_count_sweep(
+        pool,
+        test,
+        LinearBasis(lna_dataset.n_variables),
+        methods=("ls", "somp"),
+        n_per_state_grid=(8, 16, 25),
+        seed=0,
+        metrics=("gain_db",),
+    )
+
+
+class TestSweep:
+    def test_grid_recorded(self, sweep):
+        assert sweep.n_per_state_grid == (8, 16, 25)
+
+    def test_all_methods_present(self, sweep):
+        assert set(sweep.results) == {"ls", "somp"}
+        for method in sweep.results:
+            assert len(sweep.results[method]) == 3
+
+    def test_totals_scale_with_states(self, sweep, lna_dataset):
+        totals = sweep.n_total_grid()
+        assert totals == [
+            n * lna_dataset.n_states for n in (8, 16, 25)
+        ]
+
+    def test_errors_series(self, sweep):
+        series = sweep.errors("somp", "gain_db")
+        assert len(series) == 3
+        assert all(e > 0 for e in series)
+
+    def test_somp_error_decreases_with_samples(self, sweep):
+        series = sweep.errors("somp", "gain_db")
+        assert series[-1] < series[0]
+
+    def test_samples_to_reach(self, sweep):
+        series = sweep.errors("somp", "gain_db")
+        budget = sweep.samples_to_reach("somp", "gain_db", series[-1])
+        assert budget == sweep.n_total_grid()[-1] or budget is not None
+
+    def test_samples_to_reach_unreachable(self, sweep):
+        assert sweep.samples_to_reach("somp", "gain_db", 0.0) is None
+
+    def test_unknown_method_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.errors("nope", "gain_db")
+
+
+class TestSweepValidation:
+    def test_rejects_empty_grid(self, lna_dataset):
+        pool, test = lna_dataset.split(25)
+        with pytest.raises(ValueError, match="non-empty"):
+            sample_count_sweep(
+                pool, test, LinearBasis(pool.n_variables), ("ls",), ()
+            )
+
+    def test_rejects_oversized_grid(self, lna_dataset):
+        pool, test = lna_dataset.split(25)
+        with pytest.raises(ValueError, match="pool has"):
+            sample_count_sweep(
+                pool, test, LinearBasis(pool.n_variables), ("ls",), (999,)
+            )
+
+    def test_rejects_no_methods(self, lna_dataset):
+        pool, test = lna_dataset.split(25)
+        with pytest.raises(ValueError, match="method"):
+            sample_count_sweep(
+                pool, test, LinearBasis(pool.n_variables), (), (5,)
+            )

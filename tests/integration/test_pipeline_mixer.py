@@ -1,0 +1,45 @@
+"""Integration: the mixer pipeline (paper Section 4.2 shape)."""
+
+import pytest
+
+from repro.basis.polynomial import LinearBasis
+from repro.evaluation.experiment import ModelingExperiment
+from repro.simulate.cost import MIXER_COST_MODEL
+
+
+@pytest.fixture(scope="module")
+def harness(mixer_dataset):
+    pool, test = mixer_dataset.split(25)
+    basis = LinearBasis(mixer_dataset.n_variables)
+    return pool, test, basis
+
+
+class TestMixerPipeline:
+    def test_cbmf_matches_somp_with_fewer_samples(self, harness):
+        pool, test, basis = harness
+        somp = ModelingExperiment(pool.head(24), test, basis).run(
+            "somp", seed=0
+        )
+        cbmf = ModelingExperiment(pool.head(12), test, basis).run(
+            "cbmf", seed=0
+        )
+        for metric in pool.metric_names:
+            assert cbmf.errors[metric] < 2.0 * somp.errors[metric]
+
+    def test_all_metrics_modellable(self, harness):
+        pool, test, basis = harness
+        result = ModelingExperiment(pool.head(20), test, basis).run(
+            "cbmf", seed=0
+        )
+        for metric, error in result.errors.items():
+            assert error < 10.0, metric
+
+    def test_cost_reduction(self, harness):
+        pool, test, basis = harness
+        somp = ModelingExperiment(
+            pool.head(25), test, basis, MIXER_COST_MODEL
+        ).run("somp", metrics=("nf_db",), seed=0)
+        cbmf = ModelingExperiment(
+            pool.head(10), test, basis, MIXER_COST_MODEL
+        ).run("cbmf", metrics=("nf_db",), seed=0)
+        assert somp.cost.total_hours / cbmf.cost.total_hours > 1.5

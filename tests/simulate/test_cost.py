@@ -1,0 +1,62 @@
+"""Tests for the modeling-cost model."""
+
+import pytest
+
+from repro.simulate.cost import (
+    CostModel,
+    LNA_COST_MODEL,
+    MIXER_COST_MODEL,
+    ModelingCost,
+)
+
+
+class TestCostModel:
+    def test_simulation_cost_scales_with_samples(self):
+        model = CostModel(10.0)
+        cost = model.cost(360, fitting_seconds=0.0)
+        assert cost.simulation_hours == pytest.approx(1.0)
+
+    def test_total_includes_fitting(self):
+        model = CostModel(1.0)
+        cost = model.cost(3600, fitting_seconds=1800.0)
+        assert cost.total_hours == pytest.approx(1.5)
+
+    def test_zero_samples(self):
+        cost = CostModel(5.0).cost(0, fitting_seconds=2.0)
+        assert cost.simulation_seconds == 0.0
+        assert cost.total_seconds == 2.0
+
+    def test_rejects_negative_fitting(self):
+        with pytest.raises(ValueError):
+            CostModel(1.0).cost(10, fitting_seconds=-1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            CostModel(0.0)
+
+
+class TestPaperCalibration:
+    def test_lna_matches_table1(self):
+        """1120 samples → 2.72 simulated hours (paper Table 1)."""
+        cost = LNA_COST_MODEL.cost(1120, fitting_seconds=0.0)
+        assert cost.simulation_hours == pytest.approx(2.72, abs=0.01)
+
+    def test_mixer_matches_table2(self):
+        cost = MIXER_COST_MODEL.cost(1120, fitting_seconds=0.0)
+        assert cost.simulation_hours == pytest.approx(17.20, abs=0.01)
+
+    def test_cbmf_budget_halves_cost(self):
+        """480 samples at the LNA rate ≈ the paper's 1.16 hours."""
+        cost = LNA_COST_MODEL.cost(480, fitting_seconds=316.0)
+        assert cost.simulation_hours == pytest.approx(1.17, abs=0.01)
+        assert cost.total_hours == pytest.approx(1.25, abs=0.01)
+
+
+class TestModelingCost:
+    def test_properties(self):
+        cost = ModelingCost(
+            n_samples=10, simulation_seconds=7200.0, fitting_seconds=3600.0
+        )
+        assert cost.simulation_hours == 2.0
+        assert cost.total_seconds == 10800.0
+        assert cost.total_hours == 3.0

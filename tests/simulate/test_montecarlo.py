@@ -1,0 +1,77 @@
+"""Tests for the Monte Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.montecarlo import MonteCarloEngine
+
+
+class TestRun:
+    def test_shapes(self, tiny_lna):
+        data = MonteCarloEngine(tiny_lna, seed=0).run(5)
+        assert data.n_states == tiny_lna.n_states
+        assert data.n_samples_per_state == (5,) * tiny_lna.n_states
+        assert data.n_variables == tiny_lna.n_variables
+        assert data.metric_names == tiny_lna.metric_names
+
+    def test_reproducible_with_seed(self, tiny_lna):
+        a = MonteCarloEngine(tiny_lna, seed=9).run(3)
+        b = MonteCarloEngine(tiny_lna, seed=9).run(3)
+        for sa, sb in zip(a.states, b.states):
+            assert np.allclose(sa.x, sb.x)
+            assert np.allclose(sa.y["gain_db"], sb.y["gain_db"])
+
+    def test_different_seeds_differ(self, tiny_lna):
+        a = MonteCarloEngine(tiny_lna, seed=1).run(3)
+        b = MonteCarloEngine(tiny_lna, seed=2).run(3)
+        assert not np.allclose(a.states[0].x, b.states[0].x)
+
+    def test_states_get_independent_samples(self, tiny_lna):
+        data = MonteCarloEngine(tiny_lna, seed=3).run(4)
+        assert not np.allclose(data.states[0].x, data.states[1].x)
+
+    def test_shared_samples_mode(self, tiny_lna):
+        data = MonteCarloEngine(tiny_lna, seed=4).run(
+            4, shared_samples=True
+        )
+        assert np.allclose(data.states[0].x, data.states[1].x)
+        # Same die, different knob → metrics still differ by state.
+        assert not np.allclose(
+            data.states[0].y["gain_db"], data.states[-1].y["gain_db"]
+        )
+
+    def test_targets_are_circuit_outputs(self, tiny_lna):
+        data = MonteCarloEngine(tiny_lna, seed=5).run(2)
+        state = tiny_lna.states[1]
+        expected = tiny_lna.evaluate_x(data.states[1].x[0], state)
+        assert data.states[1].y["nf_db"][0] == pytest.approx(
+            expected["nf_db"]
+        )
+
+    def test_rejects_zero_samples(self, tiny_lna):
+        with pytest.raises(ValueError):
+            MonteCarloEngine(tiny_lna).run(0)
+
+    def test_lhs_sampler_stratified(self, tiny_lna):
+        from scipy import stats
+
+        data = MonteCarloEngine(tiny_lna, seed=7, sampler="lhs").run(16)
+        uniforms = stats.norm.cdf(data.states[0].x[:, 0])
+        bins = np.floor(uniforms * 16).astype(int)
+        assert sorted(bins) == list(range(16))
+
+    def test_lhs_reproducible(self, tiny_lna):
+        a = MonteCarloEngine(tiny_lna, seed=8, sampler="lhs").run(4)
+        b = MonteCarloEngine(tiny_lna, seed=8, sampler="lhs").run(4)
+        assert np.allclose(a.states[0].x, b.states[0].x)
+
+    def test_unknown_sampler_rejected(self, tiny_lna):
+        with pytest.raises(ValueError, match="sampler"):
+            MonteCarloEngine(tiny_lna, sampler="sobol")
+
+    def test_progress_callback(self, tiny_lna):
+        seen = []
+        MonteCarloEngine(tiny_lna, seed=6).run(
+            2, progress=lambda index, total: seen.append((index, total))
+        )
+        assert len(seen) == tiny_lna.n_states

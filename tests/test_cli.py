@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.seed == 2016
+        assert args.scale is None
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])
+
+    def test_fig_metric_flag(self):
+        args = build_parser().parse_args(["fig2", "--metric", "nf_db"])
+        assert args.metric == "nf_db"
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+    def test_all_command_parses(self):
+        args = build_parser().parse_args(["all", "--scale", "medium"])
+        assert args.command == "all"
+        assert args.scale == "medium"
+
+    def test_table2_and_fig3_parse(self):
+        assert build_parser().parse_args(["table2"]).command == "table2"
+        args = build_parser().parse_args(
+            ["fig3", "--metric", "i1db_dbm", "--seed", "7"]
+        )
+        assert args.command == "fig3"
+        assert args.metric == "i1db_dbm"
+        assert args.seed == 7
+
+
+class TestInfo:
+    def test_info_output(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "C-BMF" in out
+        assert "small" in out and "paper" in out
+        assert "cbmf" in out
+
+
+class TestTableCommand:
+    def test_table1_small(self, capsys, tmp_path, monkeypatch):
+        import repro.paper as paper
+
+        monkeypatch.setattr(paper, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(["table1", "--scale", "small", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Modeling error for NF" in out
+        assert "cost reduction" in out
+
+    def test_fig2_single_metric(self, capsys, tmp_path, monkeypatch):
+        import repro.paper as paper
+
+        monkeypatch.setattr(paper, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(
+            ["fig2", "--scale", "small", "--seed", "5", "--metric", "nf_db"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "NF" in out
+
+    def test_fig2_unknown_metric(self, tmp_path, monkeypatch):
+        import repro.paper as paper
+
+        monkeypatch.setattr(paper, "DEFAULT_CACHE_DIR", tmp_path)
+        with pytest.raises(SystemExit, match="unknown metric"):
+            main(["fig2", "--scale", "small", "--metric", "zzz"])

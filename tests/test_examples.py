@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped example scripts actually run.
+
+Only the fast examples run here (the paper-reproduction script is covered
+by the benchmark suite at scale). Each is executed as a subprocess exactly
+as a user would run it, and its key output lines are checked.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_lna_noise_budget(self):
+        out = run_example("lna_noise_budget.py")
+        assert "noise budget" in out
+        assert "input match vs knob state" in out
+        assert "gain vs frequency" in out
+
+    def test_state_clustering(self):
+        out = run_example("state_clustering.py")
+        assert "inferred state clusters" in out
+        assert "Clustered C-BMF" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "C-BMF" in out and "S-OMP" in out
+        assert "sensitivities" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "reproduce_paper.py",
+            "yield_and_tuning.py",
+            "corner_extraction.py",
+            "state_clustering.py",
+            "adaptive_vco.py",
+            "lna_noise_budget.py",
+        ],
+    )
+    def test_example_compiles(self, name):
+        """Every shipped example at least byte-compiles."""
+        path = EXAMPLES_DIR / name
+        assert path.exists()
+        compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,58 @@
+"""Unit tests for the canonical experiment-configuration module."""
+
+import pytest
+
+from repro import paper
+from repro.simulate.cost import LNA_COST_MODEL, MIXER_COST_MODEL
+
+
+class TestCostModelFor:
+    def test_lna(self):
+        assert paper.cost_model_for("lna") is LNA_COST_MODEL
+
+    def test_mixer(self):
+        assert paper.cost_model_for("mixer") is MIXER_COST_MODEL
+
+
+class TestPaperConstants:
+    def test_table1_consistent_with_cost_model(self):
+        """The recorded paper numbers agree with the calibrated rate."""
+        somp = paper.PAPER_TABLE1["somp"]
+        cost = LNA_COST_MODEL.cost(somp["n_samples"], 1.32)
+        assert cost.simulation_hours == pytest.approx(2.72, abs=0.01)
+
+    def test_table2_consistent_with_cost_model(self):
+        cbmf = paper.PAPER_TABLE2["cbmf"]
+        cost = MIXER_COST_MODEL.cost(cbmf["n_samples"], 407.10)
+        assert cost.total_hours == pytest.approx(
+            cbmf["overall_hours"], abs=0.02
+        )
+
+    def test_headline_ratios_above_two(self):
+        for table in (paper.PAPER_TABLE1, paper.PAPER_TABLE2):
+            ratio = (
+                table["somp"]["overall_hours"]
+                / table["cbmf"]["overall_hours"]
+            )
+            assert ratio > 2.0
+
+    def test_metric_labels_cover_all_metrics(self):
+        for table in (paper.PAPER_TABLE1, paper.PAPER_TABLE2):
+            for entry in table.values():
+                for key in entry:
+                    if key.endswith(("_db", "_dbm")):
+                        assert key in paper.METRIC_LABELS
+
+
+class TestScaleDefinitions:
+    def test_sweep_grids_within_pool(self):
+        for scale in paper.SCALES.values():
+            assert max(scale.sweep_grid) <= scale.pool_per_state
+            assert scale.table_somp_per_state <= scale.pool_per_state
+            assert scale.table_cbmf_per_state <= scale.pool_per_state
+
+    def test_table_budgets_reflect_paper_ratio(self):
+        """Every scale keeps the ~2.33× sample-reduction ratio."""
+        for scale in paper.SCALES.values():
+            ratio = scale.table_somp_per_state / scale.table_cbmf_per_state
+            assert 2.0 <= ratio <= 2.5

@@ -1,0 +1,55 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_reproducible(self):
+        a = as_generator(42).standard_normal(4)
+        b = as_generator(42).standard_normal(4)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="seed"):
+            as_generator("seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_generators(7, 3)
+        draws = [g.standard_normal(8) for g in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible_from_same_seed(self):
+        a = [g.standard_normal(4) for g in spawn_generators(9, 2)]
+        b = [g.standard_normal(4) for g in spawn_generators(9, 2)]
+        for x, y in zip(a, b):
+            assert np.allclose(x, y)
+
+    def test_prefix_stability(self):
+        """The first children do not depend on how many are spawned."""
+        two = [g.standard_normal(4) for g in spawn_generators(11, 2)]
+        five = [g.standard_normal(4) for g in spawn_generators(11, 5)]
+        assert np.allclose(two[0], five[0])
+        assert np.allclose(two[1], five[1])

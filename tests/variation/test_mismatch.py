@@ -1,0 +1,71 @@
+"""Tests for Pelgrom mismatch scaling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variation.mismatch import (
+    PelgromCoefficients,
+    mismatch_sigma,
+    mosfet_mismatch_specs,
+)
+from repro.variation.parameters import VariationKind
+
+
+class TestMismatchSigma:
+    def test_inverse_sqrt_area(self):
+        small = mismatch_sigma(1.0, 1.0, 1.0)
+        large = mismatch_sigma(1.0, 4.0, 1.0)
+        assert large == pytest.approx(small / 2.0)
+
+    def test_rejects_zero_geometry(self):
+        with pytest.raises(ValueError, match="geometry"):
+            mismatch_sigma(1.0, 0.0, 1.0)
+
+    def test_exact_value(self):
+        assert mismatch_sigma(2.5e-3, 4.0, 0.25) == pytest.approx(2.5e-3)
+
+
+class TestPelgromCoefficients:
+    def test_defaults_positive(self):
+        coeffs = PelgromCoefficients()
+        assert coeffs.a_vth > 0 and coeffs.a_beta > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PelgromCoefficients(a_vth=0.0)
+
+
+class TestMosfetSpecs:
+    def test_covers_six_channels(self):
+        specs = mosfet_mismatch_specs(10.0, 0.03)
+        kinds = {spec.kind for spec in specs}
+        assert kinds == {
+            VariationKind.VTH,
+            VariationKind.BETA,
+            VariationKind.LENGTH,
+            VariationKind.CGS,
+            VariationKind.CGD,
+            VariationKind.RDS,
+        }
+
+    def test_small_device_has_more_mismatch(self):
+        small = mosfet_mismatch_specs(1.0, 0.03)
+        big = mosfet_mismatch_specs(100.0, 0.03)
+        for spec_small, spec_big in zip(small, big):
+            assert spec_small.sigma > spec_big.sigma
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        width=st.floats(0.1, 1000.0),
+        length=st.floats(0.02, 10.0),
+    )
+    def test_property_scaling_law(self, width, length):
+        """σ·sqrt(WL) is geometry-independent."""
+        specs = mosfet_mismatch_specs(width, length)
+        reference = mosfet_mismatch_specs(1.0, 1.0)
+        for spec, ref in zip(specs, reference):
+            assert spec.sigma * math.sqrt(width * length) == pytest.approx(
+                ref.sigma, rel=1e-9
+            )

@@ -1,0 +1,61 @@
+"""Tests for variation-parameter declarations."""
+
+import pytest
+
+from repro.variation.parameters import (
+    GLOBAL_PARAMETER_SET,
+    ParameterSpec,
+    VariationKind,
+)
+
+
+class TestVariationKind:
+    def test_vth_is_absolute(self):
+        assert not VariationKind.VTH.is_relative()
+
+    def test_everything_else_is_relative(self):
+        for kind in VariationKind:
+            if kind is not VariationKind.VTH:
+                assert kind.is_relative()
+
+    def test_values_are_unique(self):
+        values = [kind.value for kind in VariationKind]
+        assert len(values) == len(set(values))
+
+
+class TestParameterSpec:
+    def test_unit_for_vth(self):
+        assert ParameterSpec(VariationKind.VTH, 0.01).unit == "V"
+
+    def test_unit_for_relative(self):
+        assert ParameterSpec(VariationKind.BETA, 0.02).unit == "rel"
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            ParameterSpec(VariationKind.VTH, -0.1)
+
+    def test_zero_sigma_allowed(self):
+        assert ParameterSpec(VariationKind.VTH, 0.0).sigma == 0.0
+
+    def test_frozen(self):
+        spec = ParameterSpec(VariationKind.VTH, 0.01)
+        with pytest.raises(Exception):
+            spec.sigma = 0.2
+
+
+class TestGlobalSet:
+    def test_all_kinds_unique(self):
+        kinds = [spec.kind for spec in GLOBAL_PARAMETER_SET]
+        assert len(kinds) == len(set(kinds))
+
+    def test_magnitudes_sane(self):
+        for spec in GLOBAL_PARAMETER_SET:
+            assert 0.0 < spec.sigma < 0.5
+
+    def test_vth_in_millivolt_range(self):
+        vth = next(
+            spec
+            for spec in GLOBAL_PARAMETER_SET
+            if spec.kind is VariationKind.VTH
+        )
+        assert 0.005 <= vth.sigma <= 0.08

@@ -1,0 +1,153 @@
+"""Tests for the process model and sample realization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variation.parameters import ParameterSpec, VariationKind
+from repro.variation.process import DeviceVariation, ProcessModel
+
+
+def small_model() -> ProcessModel:
+    globals_ = (
+        ParameterSpec(VariationKind.VTH, 0.02),
+        ParameterSpec(VariationKind.BETA, 0.05),
+    )
+    devices = [
+        DeviceVariation(
+            "M1",
+            (
+                ParameterSpec(VariationKind.VTH, 0.003),
+                ParameterSpec(VariationKind.BETA, 0.01),
+            ),
+        ),
+        DeviceVariation(
+            "R1", (ParameterSpec(VariationKind.RSHEET, 0.02),)
+        ),
+    ]
+    return ProcessModel(devices, globals_)
+
+
+class TestConstruction:
+    def test_variable_count(self):
+        model = small_model()
+        assert model.n_variables == 2 + 2 + 1
+
+    def test_variable_names_order(self):
+        model = small_model()
+        assert model.variable_names == (
+            "global.vth",
+            "global.beta",
+            "M1.vth",
+            "M1.beta",
+            "R1.rsheet",
+        )
+
+    def test_rejects_duplicate_devices(self):
+        spec = (ParameterSpec(VariationKind.VTH, 0.01),)
+        with pytest.raises(ValueError, match="unique"):
+            ProcessModel(
+                [DeviceVariation("M1", spec), DeviceVariation("M1", spec)]
+            )
+
+    def test_rejects_duplicate_kind_in_device(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DeviceVariation(
+                "M1",
+                (
+                    ParameterSpec(VariationKind.VTH, 0.01),
+                    ParameterSpec(VariationKind.VTH, 0.02),
+                ),
+            )
+
+    def test_rejects_duplicate_global_kinds(self):
+        with pytest.raises(ValueError, match="unique"):
+            ProcessModel(
+                [],
+                (
+                    ParameterSpec(VariationKind.VTH, 0.01),
+                    ParameterSpec(VariationKind.VTH, 0.02),
+                ),
+            )
+
+    def test_rejects_empty_device_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DeviceVariation("", (ParameterSpec(VariationKind.VTH, 0.01),))
+
+    def test_index_lookup(self):
+        model = small_model()
+        assert model.global_variable_index(VariationKind.VTH) == 0
+        assert model.local_variable_index("M1", VariationKind.BETA) == 3
+        assert model.local_variable_index("R1", VariationKind.VTH) is None
+        assert model.global_variable_index(VariationKind.GSUB) is None
+
+
+class TestRealization:
+    def test_zero_sample_gives_zero_deviation(self):
+        model = small_model()
+        sample = model.realize(np.zeros(model.n_variables))
+        assert sample.deviation("M1", VariationKind.VTH) == 0.0
+        assert sample.relative("R1", VariationKind.RSHEET) == 1.0
+
+    def test_global_plus_local_composition(self):
+        model = small_model()
+        x = np.zeros(model.n_variables)
+        x[0] = 1.0  # global vth
+        x[2] = 2.0  # M1 local vth
+        sample = model.realize(x)
+        assert sample.deviation("M1", VariationKind.VTH) == pytest.approx(
+            0.02 * 1.0 + 0.003 * 2.0
+        )
+
+    def test_global_applies_to_undeclared_device(self):
+        model = small_model()
+        x = np.zeros(model.n_variables)
+        x[1] = 1.0  # global beta
+        sample = model.realize(x)
+        # R1 declares no beta mismatch but still sees the die-level shift.
+        assert sample.deviation("R1", VariationKind.BETA) == pytest.approx(
+            0.05
+        )
+
+    def test_relative_clipping(self):
+        model = small_model()
+        x = np.zeros(model.n_variables)
+        x[4] = -1000.0  # extreme tail on R1 rsheet
+        sample = model.realize(x)
+        assert sample.relative("R1", VariationKind.RSHEET) == 0.05
+
+    def test_relative_rejects_vth(self):
+        model = small_model()
+        sample = model.realize(np.zeros(model.n_variables))
+        with pytest.raises(ValueError, match="absolute"):
+            sample.relative("M1", VariationKind.VTH)
+
+    def test_wrong_length_rejected(self):
+        model = small_model()
+        with pytest.raises(ValueError, match="length"):
+            model.realize(np.zeros(3))
+
+    def test_x_readonly_view(self):
+        model = small_model()
+        sample = model.realize(np.zeros(model.n_variables))
+        with pytest.raises(ValueError):
+            sample.x[0] = 1.0
+
+    def test_realize_batch(self):
+        model = small_model()
+        batch = model.realize_batch(np.zeros((3, model.n_variables)))
+        assert len(batch) == 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_deviation_linear_in_x(self, seed):
+        """Deviations are linear: dev(a·x) = a·dev(x)."""
+        model = small_model()
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(model.n_variables)
+        s1 = model.realize(x)
+        s2 = model.realize(2.0 * x)
+        for device in ("M1", "R1"):
+            d1 = s1.deviation(device, VariationKind.VTH)
+            d2 = s2.deviation(device, VariationKind.VTH)
+            assert d2 == pytest.approx(2.0 * d1, abs=1e-12)

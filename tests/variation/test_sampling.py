@@ -1,0 +1,57 @@
+"""Tests for the variation-space samplers."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.variation.sampling import latin_hypercube, standard_normal_samples
+
+
+class TestStandardNormal:
+    def test_shape(self):
+        assert standard_normal_samples(5, 3, seed=0).shape == (5, 3)
+
+    def test_reproducible(self):
+        a = standard_normal_samples(4, 2, seed=1)
+        b = standard_normal_samples(4, 2, seed=1)
+        assert np.allclose(a, b)
+
+    def test_distribution_moments(self):
+        samples = standard_normal_samples(20_000, 2, seed=2)
+        assert abs(samples.mean()) < 0.03
+        assert abs(samples.std() - 1.0) < 0.03
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            standard_normal_samples(0, 3)
+
+    def test_rejects_noninteger(self):
+        with pytest.raises(TypeError):
+            standard_normal_samples(2.5, 3)
+
+
+class TestLatinHypercube:
+    def test_shape(self):
+        assert latin_hypercube(7, 4, seed=0).shape == (7, 4)
+
+    def test_reproducible(self):
+        assert np.allclose(
+            latin_hypercube(6, 3, seed=5), latin_hypercube(6, 3, seed=5)
+        )
+
+    def test_stratification(self):
+        """Each column has exactly one point per probability bin."""
+        n = 16
+        samples = latin_hypercube(n, 3, seed=3)
+        uniforms = stats.norm.cdf(samples)
+        for column in range(3):
+            bins = np.floor(uniforms[:, column] * n).astype(int)
+            assert sorted(bins) == list(range(n))
+
+    def test_better_mean_than_mc_typically(self):
+        """LHS column means are near zero by construction."""
+        samples = latin_hypercube(64, 5, seed=4)
+        assert np.all(np.abs(samples.mean(axis=0)) < 0.2)
+
+    def test_finite(self):
+        assert np.all(np.isfinite(latin_hypercube(3, 2, seed=6)))
