@@ -4,6 +4,10 @@ The paper approximates each performance as a linear combination of basis
 functions of the normalized process variables (eq. 1); its examples use
 linear bases (constant + first-order terms). Quadratic and selected
 cross-term dictionaries are provided for the nonlinear-metric examples.
+
+Every dictionary serializes to a JSON spec (``BasisDictionary.spec``)
+that :func:`basis_from_spec` inverts, so the serving registry can store
+a model together with the recipe to rebuild its basis.
 """
 
 from repro.basis.dictionary import BasisDictionary
@@ -20,4 +24,26 @@ __all__ = [
     "LinearBasis",
     "QuadraticBasis",
     "CrossTermBasis",
+    "basis_from_spec",
 ]
+
+
+def basis_from_spec(spec: dict) -> BasisDictionary:
+    """Rebuild a basis dictionary from a ``BasisDictionary.spec`` dict."""
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ValueError(f"not a basis spec: {spec!r}")
+    kind = spec["type"]
+    n_variables = int(spec["n_variables"])
+    if kind == "linear":
+        return LinearBasis(n_variables)
+    if kind == "quadratic":
+        return QuadraticBasis(n_variables)
+    if kind == "cross_term":
+        return CrossTermBasis(
+            n_variables,
+            pairs=[tuple(pair) for pair in spec["pairs"]],
+            include_squares=bool(spec.get("include_squares", False)),
+        )
+    if kind == "hermite":
+        return HermiteBasis(n_variables, degree=int(spec.get("degree", 2)))
+    raise ValueError(f"unknown basis spec type: {kind!r}")

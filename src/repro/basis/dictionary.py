@@ -54,6 +54,19 @@ class BasisDictionary(abc.ABC):
         """Expand the per-state input list into design matrices ``B_k``."""
         return [self.expand(x) for x in inputs]
 
+    def spec(self) -> dict:
+        """JSON-serializable reconstruction recipe for this dictionary.
+
+        The serving registry persists this alongside frozen coefficients
+        so a saved model can be reloaded without the caller re-supplying
+        the basis (``repro.basis.basis_from_spec`` inverts it). Subclasses
+        with constructor arguments beyond ``n_variables`` must override.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement spec(); it cannot "
+            "be persisted in a registry manifest"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(n_variables={self.n_variables}, "

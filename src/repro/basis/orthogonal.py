@@ -81,6 +81,14 @@ class HermiteBasis(BasisDictionary):
         """Basis-function names, in column order."""
         return self._names
 
+    def spec(self) -> dict:
+        """JSON-serializable reconstruction recipe."""
+        return {
+            "type": "hermite",
+            "n_variables": self.n_variables,
+            "degree": self.degree,
+        }
+
     def _expand(self, x: np.ndarray) -> np.ndarray:
         blocks = [np.ones((x.shape[0], 1))]
         for d in range(1, self.degree + 1):

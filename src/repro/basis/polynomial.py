@@ -30,6 +30,10 @@ class LinearBasis(BasisDictionary):
         """Basis-function names, in column order."""
         return self._names
 
+    def spec(self) -> dict:
+        """JSON-serializable reconstruction recipe."""
+        return {"type": "linear", "n_variables": self.n_variables}
+
     def _expand(self, x: np.ndarray) -> np.ndarray:
         return np.hstack([np.ones((x.shape[0], 1)), x])
 
@@ -54,6 +58,10 @@ class QuadraticBasis(BasisDictionary):
     def names(self) -> Tuple[str, ...]:
         """Basis-function names, in column order."""
         return self._names
+
+    def spec(self) -> dict:
+        """JSON-serializable reconstruction recipe."""
+        return {"type": "quadratic", "n_variables": self.n_variables}
 
     def _expand(self, x: np.ndarray) -> np.ndarray:
         return np.hstack(
@@ -108,6 +116,15 @@ class CrossTermBasis(BasisDictionary):
     def pairs(self) -> Tuple[Tuple[int, int], ...]:
         """The cross-term index pairs (0-based, sorted)."""
         return self._pairs
+
+    def spec(self) -> dict:
+        """JSON-serializable reconstruction recipe."""
+        return {
+            "type": "cross_term",
+            "n_variables": self.n_variables,
+            "pairs": [list(pair) for pair in self._pairs],
+            "include_squares": self._include_squares,
+        }
 
     def _expand(self, x: np.ndarray) -> np.ndarray:
         blocks = [np.ones((x.shape[0], 1)), x]

@@ -6,15 +6,20 @@
     python -m repro fig3 [--metric nf_db|gain_db|i1db_dbm]
     python -m repro all
     python -m repro info
+    python -m repro serve-bench [--requests N] [--batch-size B]
+    python -m repro registry list|push|get --root DIR ...
 
 Output is the paper-style text tables; `reproduce_paper.py` in examples/
 offers the same through a script, and the benchmark suite wraps the same
-entry points with assertions.
+entry points with assertions. ``serve-bench`` exercises the serving
+subsystem end-to-end (fit → registry push → micro-batched service) and
+``registry`` manages a model registry directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -81,6 +86,191 @@ def _cmd_info(args) -> None:
     print(f"methods: {', '.join(available_methods())}")
 
 
+def _cmd_serve_bench(args) -> int:
+    """Fit, push, then benchmark the serving path (single vs batched)."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.circuits.lna import TunableLNA
+    from repro.modelset import PerformanceModelSet
+    from repro.serving import (
+        BatchConfig,
+        CacheConfig,
+        ModelRegistry,
+        ModelService,
+        quantize_key,
+    )
+    from repro.simulate.montecarlo import MonteCarloEngine
+
+    rng = np.random.default_rng(args.seed)
+    lna = TunableLNA(n_states=args.states, n_variables=None)
+    print(
+        f"fitting {args.method} model set — LNA, K={args.states} states, "
+        f"{lna.n_variables} variables, {args.train}/state training samples"
+    )
+    data = MonteCarloEngine(lna, seed=args.seed).run(args.train + 6)
+    train, _ = data.split(args.train)
+    started = time.perf_counter()
+    models = PerformanceModelSet.fit_dataset(
+        train, method=args.method, seed=args.seed
+    )
+    print(f"fit {len(models.metric_names)} metrics "
+          f"in {time.perf_counter() - started:.2f}s")
+
+    cache = CacheConfig(capacity=args.cache_size)
+
+    def run(registry):
+        entry = registry.push("lna", models)
+        print(f"pushed {entry.key} -> {entry.path}")
+
+        n = args.requests
+        pool = rng.standard_normal((args.pool, lna.n_variables))
+        x = pool[rng.integers(0, args.pool, n)]
+        states = rng.integers(0, args.states, n)
+
+        def single_pass():
+            service = ModelService(
+                registry,
+                batch=BatchConfig(max_batch_size=1, flush_interval=0.0),
+                cache=cache,
+            )
+            service.load("lna@latest")
+            t0 = time.perf_counter()
+            for i in range(n):
+                service.predict("lna", x[i], states[i])
+            return time.perf_counter() - t0, service
+
+        def batched_pass():
+            service = ModelService(
+                registry,
+                batch=BatchConfig(max_batch_size=args.batch_size),
+                cache=cache,
+            )
+            service.load("lna@latest")
+            t0 = time.perf_counter()
+            results = service.predict_many("lna", x, states)
+            return time.perf_counter() - t0, service, results
+
+        single_pass()  # warm numpy/BLAS so the comparison is fair
+        batched_pass()
+        # Best-of-N: a shared box's scheduler noise dwarfs the effect
+        # being measured, and the minimum is the least-noisy estimator.
+        t_single = min(single_pass()[0] for _ in range(args.trials))
+        t_batch, service, results = batched_pass()
+        for _ in range(args.trials - 1):
+            t_again, _, _ = batched_pass()
+            t_batch = min(t_batch, t_again)
+
+        # Bit-identity: the engine computes one FrozenModel.predict per
+        # (state, deduplicated rows) group; mirror that exact call here.
+        frozen = models.freeze()
+        decimals = cache.decimals
+        worst = 0.0
+        identical = True
+        for state in range(args.states):
+            seen, rows, owners = {}, [], []
+            for i in range(n):
+                if states[i] != state:
+                    continue
+                key = quantize_key(x[i], state, decimals)
+                if key not in seen:
+                    seen[key] = len(rows)
+                    rows.append(i)
+                    owners.append([i])
+                else:
+                    owners[seen[key]].append(i)
+            if not rows:
+                continue
+            design = models.basis.expand(x[np.asarray(rows)])
+            for metric, model in frozen.items():
+                reference = model.predict(design, state)
+                for j, requesters in enumerate(owners):
+                    for i in requesters:
+                        diff = abs(
+                            results[i].values[metric] - reference[j]
+                        )
+                        worst = max(worst, diff)
+                        if diff != 0.0:
+                            identical = False
+        snapshot = service.metrics.snapshot()
+        print()
+        print(f"requests            {n} "
+              f"({args.pool} unique points x {args.states} states)")
+        print(f"single-request      {t_single:.3f}s "
+              f"({n / t_single:,.0f} req/s)")
+        print(f"micro-batched       {t_batch:.3f}s "
+              f"({n / t_batch:,.0f} req/s)")
+        print(f"speedup             {t_single / t_batch:.1f}x")
+        print(f"bit-identical       {identical} "
+              f"(max |diff| = {worst:.1e})")
+        print(f"cache hit rate      {snapshot['cache_hit_rate']:.1%}")
+        print(f"batches             {snapshot['batches']} "
+              f"(mean size {snapshot['mean_batch_size']:.0f})")
+        print(f"p50 / p95 latency   {snapshot['p50_latency_ms']:.4f} / "
+              f"{snapshot['p95_latency_ms']:.4f} ms")
+        return 0 if identical else 1
+
+    if args.registry:
+        return run(ModelRegistry(args.registry))
+    with tempfile.TemporaryDirectory() as tmp:
+        return run(ModelRegistry(tmp))
+
+
+def _cmd_registry(args) -> int:
+    """Registry maintenance: list entries, push artifacts, inspect keys."""
+    from pathlib import Path
+
+    from repro.core.frozen import FrozenModel
+    from repro.modelset import PerformanceModelSet
+    from repro.serving import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.root)
+    try:
+        if args.registry_command == "list":
+            entries = registry.list_entries()
+            if not entries:
+                print(f"(empty registry at {registry.root})")
+                return 0
+            print(f"{'KEY':<24} {'KIND':<9} {'K':>3} {'M':>5}  "
+                  f"{'CREATED':<20} METRICS")
+            for entry in entries:
+                manifest = entry.manifest
+                print(
+                    f"{entry.key:<24} {entry.kind:<9} "
+                    f"{manifest.get('n_states', '?'):>3} "
+                    f"{manifest.get('n_basis', '?'):>5}  "
+                    f"{manifest.get('created_at', '?'):<20} "
+                    f"{', '.join(entry.metrics)}"
+                )
+            return 0
+        if args.registry_command == "push":
+            source = Path(args.path)
+            if source.is_dir():
+                model = PerformanceModelSet.load_dir(source)
+            else:
+                model = FrozenModel.load(source)
+            entry = registry.push(args.name, model, version=args.set_version)
+            print(f"pushed {entry.key} -> {entry.path}")
+            return 0
+        # get
+        entry = registry.entry(args.key)
+        registry.load_models(entry.key)  # checksum verification
+        print(json.dumps(entry.manifest, indent=2, sort_keys=True))
+        if args.dest:
+            model = registry.load(entry.key)
+            if isinstance(model, FrozenModel):
+                dest = Path(args.dest)
+                dest.mkdir(parents=True, exist_ok=True)
+                model.save(dest / f"{model.metric or 'model'}.npz")
+            else:
+                model.save_dir(args.dest)
+            print(f"exported {entry.key} -> {args.dest}")
+        return 0
+    except (RegistryError, FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"registry error: {error}") from error
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the repro CLI."""
     parser = argparse.ArgumentParser(
@@ -120,6 +310,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="version, scales, methods")
     common(p)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="fit -> registry push -> serve: micro-batching benchmark",
+    )
+    p.add_argument("--requests", type=int, default=10_000,
+                   help="how many mixed-state requests to serve")
+    p.add_argument("--pool", type=int, default=2_000,
+                   help="unique sample points (repeats exercise the cache)")
+    p.add_argument("--states", type=int, default=4)
+    p.add_argument("--train", type=int, default=12,
+                   help="training samples per state")
+    p.add_argument("--method", default="cbmf",
+                   help="estimator to fit (default: cbmf)")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="engine max micro-batch size")
+    p.add_argument("--cache-size", type=int, default=16_384,
+                   help="LRU prediction-cache capacity (0 disables)")
+    p.add_argument("--registry", default=None,
+                   help="persist the registry here (default: temp dir)")
+    p.add_argument("--trials", type=int, default=3,
+                   help="timing trials per path (best-of-N)")
+    p.add_argument("--seed", type=int, default=2016)
+
+    p = sub.add_parser("registry", help="manage a model registry directory")
+    reg_sub = p.add_subparsers(dest="registry_command", required=True)
+    p_list = reg_sub.add_parser("list", help="list every name@version")
+    p_push = reg_sub.add_parser(
+        "push", help="push a model dir (save_dir) or frozen .npz"
+    )
+    p_push.add_argument("name", help="model name to push under")
+    p_push.add_argument("path", help="model directory or .npz file")
+    p_push.add_argument("--set-version", type=int, default=None,
+                        help="explicit version (default: auto-increment)")
+    p_get = reg_sub.add_parser(
+        "get", help="verify + print a key's manifest, optionally export"
+    )
+    p_get.add_argument("key", help="name, name@latest or name@vN")
+    p_get.add_argument("--dest", default=None,
+                       help="export the artifact to this directory")
+    for reg_parser in (p_list, p_push, p_get):
+        reg_parser.add_argument(
+            "--root", required=True, help="registry root directory"
+        )
     return parser
 
 
@@ -129,6 +363,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "info":
         _cmd_info(args)
         return 0
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
 
     scale = resolve_scale(args.scale)
     started = time.perf_counter()

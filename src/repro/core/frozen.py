@@ -111,6 +111,13 @@ class FrozenModel(MultiStateRegressor):
     def load(cls, path) -> "FrozenModel":
         """Load a model written by :meth:`save`."""
         with np.load(Path(path), allow_pickle=False) as data:
+            missing = [key for key in ("coef", "offsets") if key not in data]
+            if missing:
+                raise ValueError(
+                    f"{path} is not a FrozenModel archive: missing "
+                    f"key(s) {', '.join(missing)} "
+                    f"(found: {', '.join(sorted(data.files)) or 'none'})"
+                )
             basis_names = None
             if "basis_names" in data:
                 basis_names = tuple(str(n) for n in data["basis_names"])

@@ -46,6 +46,12 @@ class PerformanceModelSet:
             raise ValueError(
                 f"models disagree on the state count: {sorted(states)}"
             )
+        for metric, model in models.items():
+            if model.n_basis != basis.n_basis:
+                raise ValueError(
+                    f"model {metric!r} has {model.n_basis} coefficients "
+                    f"but the basis has {basis.n_basis} functions"
+                )
         self._models: Dict[str, MultiStateRegressor] = dict(models)
         self.basis = basis
         self.n_states = states.pop()
@@ -116,25 +122,42 @@ class PerformanceModelSet:
         }
 
     def save_dir(self, directory) -> None:
-        """Save one ``<metric>.npz`` per metric into ``directory``."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        for metric, frozen in self.freeze().items():
-            frozen.save(directory / f"{metric}.npz")
+        """Save one ``<metric>.npz`` per metric into ``directory``.
+
+        Routed through the serving registry's serialization: alongside
+        the npz files a ``manifest.json`` records the metric list, the
+        basis reconstruction spec and per-file sha256 checksums, so the
+        directory doubles as a registry artifact and reloads without
+        the caller re-supplying the basis.
+        """
+        from repro.serving.registry import write_model_dir
+
+        write_model_dir(directory, self.freeze(), basis=self.basis)
 
     @classmethod
     def load_dir(
-        cls, directory, basis: BasisDictionary
+        cls, directory, basis: Optional[BasisDictionary] = None
     ) -> "PerformanceModelSet":
-        """Load every ``*.npz`` in ``directory`` as frozen metric models."""
+        """Load the frozen metric models saved under ``directory``.
+
+        With a ``manifest.json`` present (written by :meth:`save_dir` or
+        a registry push), checksums are verified and the basis is
+        rebuilt from its stored spec — ``basis`` then only overrides it.
+        Directories of loose ``*.npz`` files (the pre-registry layout)
+        still load, but require an explicit ``basis``.
+        """
+        from repro.serving.registry import read_model_dir
+
         directory = Path(directory)
-        models: Dict[str, MultiStateRegressor] = {}
-        for path in sorted(directory.glob("*.npz")):
-            frozen = FrozenModel.load(path)
-            metric = frozen.metric or path.stem
-            models[metric] = frozen
+        models, manifest_basis, _ = read_model_dir(directory)
         if not models:
             raise FileNotFoundError(f"no .npz models under {directory}")
+        basis = basis if basis is not None else manifest_basis
+        if basis is None:
+            raise ValueError(
+                f"{directory} has no manifest with a basis spec; pass "
+                "the basis explicitly"
+            )
         return cls(models, basis)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,58 @@
+"""Model serving: versioned registry, micro-batching engine, service.
+
+A fitted performance model's life after ``fit`` lives here:
+
+* :class:`ModelRegistry` — versioned on-disk store of frozen models
+  (``name@vN`` keys, JSON manifests, sha256 integrity checks).
+* :class:`PredictionEngine` — coalesces single and bulk requests into
+  one vectorized matmul per (model, state) group, with an LRU cache on
+  quantized inputs.
+* :class:`ServingMetrics` — counters and latency quantiles behind a
+  ``snapshot()`` dict.
+* :class:`ModelService` — the thread-safe façade wiring the three
+  together, with graceful hot-swap of model versions under load.
+
+    registry = ModelRegistry("models/")
+    registry.push("lna", PerformanceModelSet.fit_dataset(train))
+    service = ModelService(registry)
+    service.load("lna@latest")
+    service.predict("lna", x, state=3).values   # {"nf_db": ..., ...}
+"""
+
+from repro.serving.engine import (
+    BatchConfig,
+    CacheConfig,
+    PredictionEngine,
+    ServedModel,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import (
+    ModelRegistry,
+    RegistryEntry,
+    RegistryError,
+    read_model_dir,
+    write_model_dir,
+)
+from repro.serving.requests import (
+    PredictionRequest,
+    PredictionResult,
+    quantize_key,
+)
+from repro.serving.service import ModelService
+
+__all__ = [
+    "BatchConfig",
+    "CacheConfig",
+    "ModelRegistry",
+    "ModelService",
+    "PredictionEngine",
+    "PredictionRequest",
+    "PredictionResult",
+    "RegistryEntry",
+    "RegistryError",
+    "ServedModel",
+    "ServingMetrics",
+    "quantize_key",
+    "read_model_dir",
+    "write_model_dir",
+]

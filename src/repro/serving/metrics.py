@@ -1,0 +1,127 @@
+"""Lightweight serving telemetry: counters, batch sizes, latency quantiles.
+
+``ServingMetrics`` is a thread-safe bag of counters the engine and
+service update on the hot path (a lock plus integer adds — cheap enough
+for a micro-benchmark loop) and a ``snapshot()`` that folds them into a
+plain dict: request/batch counts, cache hit rate, batch-size stats and
+p50/p95 latency. Latencies go into a bounded ring so a long-lived
+service cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["ServingMetrics"]
+
+
+class ServingMetrics:
+    """Thread-safe counters and histograms for the serving subsystem.
+
+    Parameters
+    ----------
+    latency_window:
+        How many of the most recent per-request latencies to keep for
+        the p50/p95 estimates (a sliding window, not a full history).
+    """
+
+    def __init__(self, latency_window: int = 10_000) -> None:
+        if latency_window < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {latency_window}"
+            )
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=latency_window)
+        self._requests = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batches = 0
+        self._batched_rows = 0
+        self._max_batch = 0
+        self._hot_swaps = 0
+
+    # ------------------------------------------------------------------
+    def record_request(
+        self, latency_s: float, cache_hit: bool, count: int = 1
+    ) -> None:
+        """Count ``count`` requests sharing one observed latency."""
+        with self._lock:
+            self._requests += count
+            if cache_hit:
+                self._cache_hits += count
+            else:
+                self._cache_misses += count
+            self._latencies.append(float(latency_s))
+
+    def record_batch(self, size: int) -> None:
+        """Count one coalesced matmul over ``size`` unique rows."""
+        with self._lock:
+            self._batches += 1
+            self._batched_rows += int(size)
+            self._max_batch = max(self._max_batch, int(size))
+
+    def record_hot_swap(self) -> None:
+        """Count one model-version swap."""
+        with self._lock:
+            self._hot_swaps += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        """Total requests served so far."""
+        with self._lock:
+            return self._requests
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests answered from the cache (or in-flight coalescing)."""
+        with self._lock:
+            return self._cache_hits
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered without a fresh matmul."""
+        with self._lock:
+            total = self._cache_hits + self._cache_misses
+            return self._cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """Fold every counter into one plain, JSON-friendly dict."""
+        with self._lock:
+            latencies = np.array(self._latencies, dtype=float)
+            batches = self._batches
+            out: Dict[str, Optional[float]] = {
+                "requests": self._requests,
+                "cache_hits": self._cache_hits,
+                "cache_misses": self._cache_misses,
+                "cache_hit_rate": (
+                    self._cache_hits
+                    / (self._cache_hits + self._cache_misses)
+                    if (self._cache_hits + self._cache_misses)
+                    else 0.0
+                ),
+                "batches": batches,
+                "batched_rows": self._batched_rows,
+                "mean_batch_size": (
+                    self._batched_rows / batches if batches else 0.0
+                ),
+                "max_batch_size": self._max_batch,
+                "hot_swaps": self._hot_swaps,
+            }
+        if latencies.size:
+            out["p50_latency_ms"] = float(
+                np.percentile(latencies, 50.0) * 1e3
+            )
+            out["p95_latency_ms"] = float(
+                np.percentile(latencies, 95.0) * 1e3
+            )
+        else:
+            out["p50_latency_ms"] = None
+            out["p95_latency_ms"] = None
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServingMetrics(requests={self.requests})"

@@ -1,0 +1,343 @@
+"""Versioned on-disk model registry with manifests and checksums.
+
+Layout — one directory per model name, one subdirectory per version::
+
+    <root>/
+      lna/
+        v1/
+          manifest.json        # kind, metrics, basis spec, sha256 per file
+          nf_db.npz            # one FrozenModel per metric
+          gain_db.npz
+        v2/ ...
+
+Artifacts are addressed by ``name@vN`` keys (``name`` or ``name@latest``
+resolve to the newest version). ``manifest.json`` records everything
+needed to rebuild and trust the artifact: the metric list, state/basis
+dimensions, the basis reconstruction spec (``BasisDictionary.spec``) and
+a sha256 checksum per file, verified on load so silent corruption or
+tampering raises :class:`RegistryError` instead of serving bad numbers.
+
+The module-level :func:`write_model_dir` / :func:`read_model_dir` are the
+shared serialization core: ``PerformanceModelSet.save_dir/load_dir`` and
+``ModelRegistry.push/load`` all route through them, so a registry version
+directory *is* a valid ``save_dir`` directory and vice versa.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.basis import BasisDictionary, basis_from_spec
+from repro.core.frozen import FrozenModel
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ModelRegistry",
+    "RegistryEntry",
+    "RegistryError",
+    "read_model_dir",
+    "write_model_dir",
+]
+
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_SCHEMA = 1
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class RegistryError(RuntimeError):
+    """A registry artifact is missing, malformed or fails verification."""
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Shared model-directory serialization (used by PerformanceModelSet too).
+# ----------------------------------------------------------------------
+def write_model_dir(
+    directory,
+    models: Mapping[str, FrozenModel],
+    basis: Optional[BasisDictionary] = None,
+    kind: str = "modelset",
+    extra: Optional[dict] = None,
+) -> dict:
+    """Write frozen models + ``manifest.json`` into ``directory``.
+
+    One ``<metric>.npz`` per model, then a manifest recording kind,
+    metrics, dimensions, the basis spec (when the basis provides one)
+    and a sha256 checksum per file. Returns the manifest dict.
+    """
+    if not models:
+        raise ValueError("at least one model is required")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files: Dict[str, str] = {}
+    for metric, frozen in sorted(models.items()):
+        filename = f"{metric}.npz"
+        frozen.save(directory / filename)
+        files[filename] = _sha256(directory / filename)
+    first = next(iter(models.values()))
+    basis_spec = None
+    if basis is not None:
+        try:
+            basis_spec = basis.spec()
+        except NotImplementedError:
+            basis_spec = None
+    manifest = {
+        "schema": _MANIFEST_SCHEMA,
+        "kind": kind,
+        "metrics": sorted(models),
+        "n_states": int(first.coef_.shape[0]),
+        "n_basis": int(first.coef_.shape[1]),
+        "basis": basis_spec,
+        "files": files,
+        "created_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+    }
+    if extra:
+        manifest.update(extra)
+    with open(directory / MANIFEST_NAME, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def read_model_dir(
+    directory, verify: bool = True
+) -> Tuple[Dict[str, FrozenModel], Optional[BasisDictionary], Optional[dict]]:
+    """Load every frozen model under ``directory``.
+
+    With a manifest present, loads exactly the manifest's file list,
+    verifies each sha256 checksum (unless ``verify=False``) and rebuilds
+    the basis from its stored spec. Without one (pre-registry layout),
+    falls back to globbing ``*.npz`` and returns ``basis=None``.
+    Returns ``(models, basis_or_None, manifest_or_None)``.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    models: Dict[str, FrozenModel] = {}
+    if manifest_path.exists():
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        for filename, expected in sorted(manifest.get("files", {}).items()):
+            path = directory / filename
+            if not path.exists():
+                raise RegistryError(
+                    f"manifest lists {filename} but it is missing "
+                    f"under {directory}"
+                )
+            if verify:
+                actual = _sha256(path)
+                if actual != expected:
+                    raise RegistryError(
+                        f"checksum mismatch for {path}: manifest says "
+                        f"{expected[:12]}…, file hashes to {actual[:12]}…"
+                    )
+            frozen = FrozenModel.load(path)
+            models[frozen.metric or path.stem] = frozen
+        basis = None
+        if manifest.get("basis") is not None:
+            basis = basis_from_spec(manifest["basis"])
+        return models, basis, manifest
+    for path in sorted(directory.glob("*.npz")):
+        frozen = FrozenModel.load(path)
+        models[frozen.metric or path.stem] = frozen
+    return models, None, None
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One resolved ``name@version`` artifact and its manifest."""
+
+    name: str
+    version: int
+    path: Path
+    manifest: dict
+
+    @property
+    def key(self) -> str:
+        """Canonical ``name@vN`` key of this entry."""
+        return f"{self.name}@v{self.version}"
+
+    @property
+    def kind(self) -> str:
+        """Artifact kind: ``"modelset"`` or ``"frozen"``."""
+        return str(self.manifest.get("kind", "modelset"))
+
+    @property
+    def metrics(self) -> Tuple[str, ...]:
+        """Metric names stored in this artifact."""
+        return tuple(self.manifest.get("metrics", ()))
+
+
+class ModelRegistry:
+    """Versioned store of frozen performance models under one root dir.
+
+    ``push`` accepts a fitted :class:`~repro.modelset.PerformanceModelSet`
+    or a single :class:`~repro.core.frozen.FrozenModel`; versions
+    auto-increment per name. ``load`` inverts it, verifying checksums.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- key handling ---------------------------------------------------
+    def resolve(self, key: str) -> Tuple[str, int]:
+        """Split ``name[@vN|@latest]`` into ``(name, version)``.
+
+        A bare name or ``@latest`` resolves to the newest version.
+        """
+        name, _, tag = str(key).partition("@")
+        if not _NAME_PATTERN.match(name):
+            raise RegistryError(f"invalid model name: {name!r}")
+        if tag in ("", "latest"):
+            return name, self.latest(name)
+        match = re.fullmatch(r"v?(\d+)", tag)
+        if not match:
+            raise RegistryError(
+                f"invalid version tag {tag!r} in key {key!r}; "
+                "expected 'vN', 'N' or 'latest'"
+            )
+        return name, int(match.group(1))
+
+    # -- queries --------------------------------------------------------
+    def list_models(self) -> List[str]:
+        """All model names with at least one pushed version."""
+        return sorted(
+            child.name
+            for child in self.root.iterdir()
+            if child.is_dir() and self.versions(child.name)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        """Sorted version numbers pushed under ``name``."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for child in model_dir.iterdir():
+            match = re.fullmatch(r"v(\d+)", child.name)
+            if match and (child / MANIFEST_NAME).exists():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self, name: str) -> int:
+        """Newest version number of ``name`` (raises if none pushed)."""
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"no versions of {name!r} in {self.root}")
+        return versions[-1]
+
+    def entry(self, key: str) -> RegistryEntry:
+        """Resolve a key and read its manifest (no artifact loading)."""
+        name, version = self.resolve(key)
+        path = self.root / name / f"v{version}"
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise RegistryError(f"no entry {name}@v{version} in {self.root}")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        return RegistryEntry(
+            name=name, version=version, path=path, manifest=manifest
+        )
+
+    def list_entries(self) -> List[RegistryEntry]:
+        """Every (name, version) entry in the registry, sorted."""
+        return [
+            self.entry(f"{name}@v{version}")
+            for name in self.list_models()
+            for version in self.versions(name)
+        ]
+
+    # -- write path -----------------------------------------------------
+    def push(self, name: str, model, version: Optional[int] = None) -> RegistryEntry:
+        """Store a model under ``name``, returning the new entry.
+
+        ``model`` is a ``PerformanceModelSet`` (kind ``modelset``, one
+        npz per metric plus the basis spec) or a ``FrozenModel`` (kind
+        ``frozen``, a single npz and no basis). Versions auto-increment;
+        an explicit ``version`` that already exists is refused.
+        """
+        if not _NAME_PATTERN.match(name):
+            raise RegistryError(f"invalid model name: {name!r}")
+        existing = self.versions(name)
+        if version is None:
+            version = (existing[-1] + 1) if existing else 1
+        elif version in existing:
+            raise RegistryError(
+                f"{name}@v{version} already exists; versions are immutable"
+            )
+        if isinstance(model, FrozenModel):
+            models = {model.metric or "value": model}
+            basis, kind = None, "frozen"
+        elif hasattr(model, "freeze") and hasattr(model, "basis"):
+            models, basis, kind = model.freeze(), model.basis, "modelset"
+        else:
+            raise TypeError(
+                "push expects a PerformanceModelSet or FrozenModel, "
+                f"got {type(model).__name__}"
+            )
+        path = self.root / name / f"v{version}"
+        if path.exists():
+            raise RegistryError(f"{path} already exists")
+        manifest = write_model_dir(
+            path,
+            models,
+            basis=basis,
+            kind=kind,
+            extra={"name": name, "version": int(version)},
+        )
+        return RegistryEntry(
+            name=name, version=int(version), path=path, manifest=manifest
+        )
+
+    # -- read path ------------------------------------------------------
+    def load_models(
+        self, key: str, verify: bool = True
+    ) -> Tuple[RegistryEntry, Dict[str, FrozenModel], Optional[BasisDictionary]]:
+        """Load an entry's frozen models (checksum-verified) and basis."""
+        entry = self.entry(key)
+        models, basis, _ = read_model_dir(entry.path, verify=verify)
+        if not models:
+            raise RegistryError(f"entry {entry.key} holds no models")
+        return entry, models, basis
+
+    def load(self, key: str, verify: bool = True):
+        """Load an artifact: a ``PerformanceModelSet`` or ``FrozenModel``.
+
+        ``modelset`` entries come back as a ``PerformanceModelSet``
+        (basis rebuilt from the manifest spec); ``frozen`` entries as
+        the bare ``FrozenModel``.
+        """
+        entry, models, basis = self.load_models(key, verify=verify)
+        if entry.kind == "frozen":
+            if len(models) != 1:
+                raise RegistryError(
+                    f"frozen entry {entry.key} holds {len(models)} models"
+                )
+            return next(iter(models.values()))
+        if basis is None:
+            raise RegistryError(
+                f"entry {entry.key} has no basis spec; cannot rebuild a "
+                "PerformanceModelSet (load_models() returns the raw parts)"
+            )
+        from repro.modelset import PerformanceModelSet
+
+        return PerformanceModelSet(models, basis)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelRegistry(root={str(self.root)!r})"

@@ -1,0 +1,57 @@
+"""Request/response types and cache-key quantization for the serving layer.
+
+A prediction request is a raw sample vector ``x`` plus a knob ``state``;
+the engine answers with one value per served metric. Cache keys quantize
+``x`` so that float noise below the configured resolution maps to the
+same bucket — two requests that agree to ``decimals`` digits share one
+cached prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["PredictionRequest", "PredictionResult", "quantize_key"]
+
+
+def quantize_key(x: np.ndarray, state: int, decimals: int) -> Tuple[int, bytes]:
+    """Hashable cache key for a request: the state plus quantized bytes.
+
+    ``np.round`` to ``decimals`` digits collapses sub-resolution float
+    noise (and signed zeros) into one bucket; ``tobytes`` then gives an
+    exact, hashable fingerprint of the rounded vector.
+    """
+    rounded = np.round(np.asarray(x, dtype=float), decimals) + 0.0
+    return (int(state), rounded.tobytes())
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One inference request: sample ``x`` at knob ``state`` of ``model``.
+
+    ``model`` names a registry entry served by the :class:`ModelService`;
+    the engine itself is handed the resolved model object and ignores it.
+    """
+
+    x: np.ndarray
+    state: int
+    model: str = ""
+
+
+@dataclass
+class PredictionResult:
+    """Engine answer for one request.
+
+    ``values`` maps metric name to the predicted float. ``cached`` is
+    True when the answer came from the LRU cache (or from coalescing
+    with an identical in-flight request) rather than a fresh matmul.
+    ``version`` records which model version produced the numbers, so
+    hot-swap tests can assert old-or-new atomicity.
+    """
+
+    values: Dict[str, float] = field(default_factory=dict)
+    cached: bool = False
+    version: int = 0

@@ -109,3 +109,15 @@ class TestRoundtrip:
         loaded = FrozenModel.load(path)
         assert loaded.basis_names is None
         assert loaded.metric == "nf"
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, weights=np.ones((2, 3)))
+        with pytest.raises(ValueError, match="coef"):
+            FrozenModel.load(path)
+
+    def test_load_names_each_missing_key(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(path, coef=np.ones((2, 3)))
+        with pytest.raises(ValueError, match="offsets"):
+            FrozenModel.load(path)

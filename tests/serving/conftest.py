@@ -1,0 +1,27 @@
+"""Shared serving-test fixtures: a small fitted model set + registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modelset import PerformanceModelSet
+from repro.serving import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def served_modelset(lna_dataset) -> PerformanceModelSet:
+    """A fast (S-OMP) model set over every LNA metric, 6 states."""
+    train, _ = lna_dataset.split(25)
+    return PerformanceModelSet.fit_dataset(train, method="somp", seed=0)
+
+
+@pytest.fixture()
+def registry(tmp_path) -> ModelRegistry:
+    """An empty registry rooted in a fresh temp directory."""
+    return ModelRegistry(tmp_path / "registry")
+
+
+@pytest.fixture()
+def pushed(registry, served_modelset):
+    """The model set pushed once as ``lna@v1``."""
+    return registry.push("lna", served_modelset)

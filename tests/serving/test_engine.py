@@ -1,0 +1,306 @@
+"""Tests for the micro-batching prediction engine and its LRU cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.basis.polynomial import LinearBasis
+from repro.core.frozen import FrozenModel
+from repro.serving import (
+    BatchConfig,
+    CacheConfig,
+    PredictionEngine,
+    ServedModel,
+)
+
+
+def make_served(
+    n_states=4, n_variables=6, seed=0, version=1, scale=1.0, name="lna"
+):
+    """A deterministic two-metric served model on a linear basis."""
+    rng = np.random.default_rng(seed)
+    basis = LinearBasis(n_variables)
+    models = {
+        metric: FrozenModel(
+            scale * rng.standard_normal((n_states, basis.n_basis)),
+            metric=metric,
+        )
+        for metric in ("nf_db", "gain_db")
+    }
+    return ServedModel(name, version, basis, models)
+
+
+def direct(served, x, state):
+    """Reference: FrozenModel.predict on the single-row design."""
+    design = served.basis.expand(np.asarray(x, dtype=float)[None, :])
+    return {
+        metric: float(served.predict_design(design, state)[metric][0])
+        for metric in served.metric_names
+    }
+
+
+class TestServedModel:
+    def test_state_count_consistency(self):
+        basis = LinearBasis(3)
+        with pytest.raises(ValueError, match="state count"):
+            ServedModel(
+                "m", 1, basis,
+                {
+                    "a": FrozenModel(np.ones((2, 4))),
+                    "b": FrozenModel(np.ones((3, 4))),
+                },
+            )
+
+    def test_basis_dimension_checked(self):
+        with pytest.raises(ValueError, match="basis"):
+            ServedModel(
+                "m", 1, LinearBasis(3), {"a": FrozenModel(np.ones((2, 9)))}
+            )
+
+    def test_requires_models(self):
+        with pytest.raises(ValueError):
+            ServedModel("m", 1, LinearBasis(3), {})
+
+
+class TestSingleRequests:
+    def test_matches_direct_prediction(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0)
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.standard_normal(6)
+            state = int(rng.integers(0, served.n_states))
+            result = engine.predict(served, x, state)
+            reference = direct(served, x, state)
+            for metric, value in reference.items():
+                assert result.values[metric] == pytest.approx(
+                    value, abs=1e-12
+                )
+            assert result.version == 1
+
+    def test_wrong_dimension_rejected(self):
+        served = make_served()
+        engine = PredictionEngine()
+        with pytest.raises(ValueError, match="variables"):
+            engine.predict(served, np.zeros(5), 0)
+
+    def test_bad_state_rejected(self):
+        served = make_served()
+        engine = PredictionEngine()
+        with pytest.raises(IndexError):
+            engine.predict(served, np.zeros(6), 99)
+
+    def test_batch_error_propagates_to_waiter(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0)
+        )
+        # Sneak past the early request check so the failure happens at
+        # flush time, inside the batch computation.
+        engine._check_request = lambda served, x, state: np.asarray(
+            x, dtype=float
+        )
+        with pytest.raises(ValueError):
+            engine.predict(served, np.zeros(3), 0)
+
+
+class TestMicroBatching:
+    def test_bulk_equals_one_by_one(self):
+        served = make_served(seed=3)
+        rng = np.random.default_rng(4)
+        n = 300
+        x = rng.standard_normal((n, 6))
+        states = rng.integers(0, served.n_states, n)
+
+        one_by_one = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0),
+            cache=CacheConfig(capacity=0),
+        )
+        singles = [
+            one_by_one.predict(served, x[i], states[i]) for i in range(n)
+        ]
+        bulk = PredictionEngine(cache=CacheConfig(capacity=0))
+        batched = bulk.predict_many(served, x, states)
+        for single, many in zip(singles, batched):
+            for metric in served.metric_names:
+                assert single.values[metric] == pytest.approx(
+                    many.values[metric], abs=1e-12
+                )
+
+    def test_one_matmul_per_state_group(self):
+        served = make_served()
+        engine = PredictionEngine(cache=CacheConfig(capacity=0))
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((40, 6))
+        states = np.repeat(np.arange(4), 10)
+        engine.predict_many(served, x, states)
+        snapshot = engine.metrics.snapshot()
+        assert snapshot["batches"] == 4
+        assert snapshot["mean_batch_size"] == 10
+
+    def test_queue_flushes_at_max_batch_size(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=4, flush_interval=30.0)
+        )
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((4, 6))
+        results = [None] * 4
+
+        def worker(i):
+            results[i] = engine.predict(served, x[i], 0)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            # Far below the 30s interval: only the size trigger can
+            # have answered these.
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        for i in range(4):
+            reference = direct(served, x[i], 0)
+            for metric, value in reference.items():
+                assert results[i].values[metric] == pytest.approx(
+                    value, abs=1e-12
+                )
+        assert engine.metrics.snapshot()["max_batch_size"] == 4
+
+    def test_identical_inflight_requests_coalesce(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=8, flush_interval=0.05)
+        )
+        x = np.ones(6)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            result = engine.predict(served, x, 1)
+            with lock:
+                results.append(result)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        values = {r.values["nf_db"] for r in results}
+        assert len(values) == 1
+        assert engine.metrics.snapshot()["requests"] == 4
+
+
+class TestCache:
+    def test_hit_accounting(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0)
+        )
+        x = np.linspace(-1.0, 1.0, 6)
+        first = engine.predict(served, x, 2)
+        second = engine.predict(served, x, 2)
+        assert not first.cached
+        assert second.cached
+        assert second.values == first.values
+        snapshot = engine.metrics.snapshot()
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["cache_misses"] == 1
+        assert snapshot["cache_hit_rate"] == 0.5
+
+    def test_distinct_states_are_distinct_entries(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0)
+        )
+        x = np.zeros(6)
+        engine.predict(served, x, 0)
+        result = engine.predict(served, x, 1)
+        assert not result.cached
+
+    def test_quantization_buckets_close_inputs(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0),
+            cache=CacheConfig(capacity=16, decimals=6),
+        )
+        x = np.full(6, 0.123456701)
+        engine.predict(served, x, 0)
+        nudged = engine.predict(served, x + 1e-10, 0)
+        assert nudged.cached
+
+    def test_lru_eviction(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0),
+            cache=CacheConfig(capacity=2),
+        )
+        a, b, c = np.zeros(6), np.ones(6), np.full(6, 2.0)
+        engine.predict(served, a, 0)
+        engine.predict(served, b, 0)
+        engine.predict(served, c, 0)  # evicts a
+        assert engine.cache_size == 2
+        assert not engine.predict(served, a, 0).cached
+
+    def test_capacity_zero_disables(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0),
+            cache=CacheConfig(capacity=0),
+        )
+        x = np.zeros(6)
+        engine.predict(served, x, 0)
+        assert not engine.predict(served, x, 0).cached
+        assert engine.cache_size == 0
+
+    def test_bulk_duplicate_rows_served_from_one_computation(self):
+        served = make_served()
+        engine = PredictionEngine()
+        x = np.tile(np.linspace(0.0, 1.0, 6), (5, 1))
+        results = engine.predict_many(served, x, [3] * 5)
+        assert not results[0].cached
+        assert all(result.cached for result in results[1:])
+        values = {result.values["gain_db"] for result in results}
+        assert len(values) == 1
+        assert engine.metrics.snapshot()["batches"] == 1
+
+    def test_invalidate_by_name(self):
+        served = make_served()
+        other = make_served(version=1, seed=9, name="other")
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0)
+        )
+        engine.predict(served, np.zeros(6), 0)
+        engine.predict(other, np.zeros(6), 0)
+        engine.invalidate("lna")
+        assert engine.cache_size == 1
+        assert not engine.predict(served, np.zeros(6), 0).cached
+        assert engine.predict(other, np.zeros(6), 0).cached
+
+    def test_version_qualifies_cache_key(self):
+        v1 = make_served(version=1)
+        v2 = make_served(version=2, seed=42)
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=0.0)
+        )
+        x = np.zeros(6)
+        r1 = engine.predict(v1, x, 0)
+        r2 = engine.predict(v2, x, 0)
+        assert not r2.cached
+        assert r1.values != r2.values
+
+
+class TestConfigValidation:
+    def test_batch_config(self):
+        with pytest.raises(ValueError):
+            BatchConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchConfig(flush_interval=-1.0)
+
+    def test_cache_config(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=-1)

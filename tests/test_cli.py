@@ -42,6 +42,32 @@ class TestParser:
         assert args.metric == "i1db_dbm"
         assert args.seed == 7
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.command == "serve-bench"
+        assert args.requests == 10_000
+        assert args.method == "cbmf"
+        assert args.batch_size == 64
+
+    def test_registry_subcommands_parse(self):
+        args = build_parser().parse_args(
+            ["registry", "list", "--root", "/tmp/r"]
+        )
+        assert (args.command, args.registry_command) == ("registry", "list")
+        args = build_parser().parse_args(
+            ["registry", "push", "lna", "some/dir", "--root", "/tmp/r"]
+        )
+        assert args.name == "lna" and args.path == "some/dir"
+        args = build_parser().parse_args(
+            ["registry", "get", "lna@v2", "--root", "/tmp/r",
+             "--dest", "out"]
+        )
+        assert args.key == "lna@v2" and args.dest == "out"
+
+    def test_registry_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry"])
+
 
 class TestInfo:
     def test_info_output(self, capsys):
@@ -80,3 +106,72 @@ class TestTableCommand:
         monkeypatch.setattr(paper, "DEFAULT_CACHE_DIR", tmp_path)
         with pytest.raises(SystemExit, match="unknown metric"):
             main(["fig2", "--scale", "small", "--metric", "zzz"])
+
+
+class TestServeBench:
+    def test_small_run(self, capsys):
+        # Tiny but complete: fit -> push -> serve -> verify bit-identity.
+        assert main([
+            "serve-bench", "--requests", "400", "--pool", "80",
+            "--states", "3", "--train", "10", "--method", "somp",
+            "--trials", "1", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pushed lna@v1" in out
+        assert "bit-identical       True" in out
+        assert "cache hit rate" in out
+        assert "speedup" in out
+
+
+class TestRegistryCommands:
+    @pytest.fixture()
+    def model_dir(self, tmp_path, lna_dataset):
+        from repro.modelset import PerformanceModelSet
+
+        train, _ = lna_dataset.split(20)
+        models = PerformanceModelSet.fit_dataset(
+            train, method="somp", seed=0
+        )
+        directory = tmp_path / "models"
+        models.save_dir(directory)
+        return directory
+
+    def test_push_list_get_roundtrip(self, capsys, tmp_path, model_dir):
+        root = str(tmp_path / "registry")
+        assert main(
+            ["registry", "push", "lna", str(model_dir), "--root", root]
+        ) == 0
+        assert "pushed lna@v1" in capsys.readouterr().out
+
+        assert main(["registry", "list", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "lna@v1" in out and "modelset" in out
+
+        dest = tmp_path / "export"
+        assert main(
+            ["registry", "get", "lna@latest", "--root", root,
+             "--dest", str(dest)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "modelset"' in out
+        assert (dest / "manifest.json").exists()
+
+    def test_push_frozen_npz(self, capsys, tmp_path, model_dir):
+        root = str(tmp_path / "registry")
+        npz = next(model_dir.glob("*.npz"))
+        assert main(
+            ["registry", "push", "solo", str(npz), "--root", root]
+        ) == 0
+        assert main(["registry", "list", "--root", root]) == 0
+        assert "frozen" in capsys.readouterr().out
+
+    def test_get_unknown_key_fails_cleanly(self, tmp_path):
+        root = str(tmp_path / "registry")
+        with pytest.raises(SystemExit, match="registry error"):
+            main(["registry", "get", "ghost", "--root", root])
+
+    def test_empty_list(self, capsys, tmp_path):
+        assert main(
+            ["registry", "list", "--root", str(tmp_path / "registry")]
+        ) == 0
+        assert "empty registry" in capsys.readouterr().out

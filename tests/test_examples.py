@@ -42,6 +42,12 @@ class TestExamples:
         assert "C-BMF" in out and "S-OMP" in out
         assert "sensitivities" in out
 
+    def test_serving_demo(self):
+        out = run_example("serving_demo.py")
+        assert "lna@v1" in out and "lna@v2" in out
+        assert "hot-swapped to version 2" in out
+        assert "cache hit rate" in out
+
     @pytest.mark.parametrize(
         "name",
         [
@@ -52,6 +58,7 @@ class TestExamples:
             "state_clustering.py",
             "adaptive_vco.py",
             "lna_noise_budget.py",
+            "serving_demo.py",
         ],
     )
     def test_example_compiles(self, name):
