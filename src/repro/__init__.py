@@ -21,9 +21,16 @@ Quick start::
 Subpackages: ``core`` (the C-BMF method), ``baselines`` (S-OMP and friends),
 ``circuits``/``variation``/``simulate`` (the synthetic silicon substrate),
 ``basis``, ``evaluation`` (the paper's experiments), ``applications``
-(yield / corners / tuning).
+(yield / corners / tuning), ``active`` (uncertainty-aware sample
+acquisition), ``serving`` (registry + model serving).
 """
 
+from repro.active import (
+    ActiveFitConfig,
+    ActiveFitLoop,
+    CircuitOracle,
+    StoppingRule,
+)
 from repro.baselines import (
     GroupLasso,
     LeastSquares,
@@ -67,5 +74,9 @@ __all__ = [
     "CostModel",
     "Dataset",
     "MonteCarloEngine",
+    "ActiveFitConfig",
+    "ActiveFitLoop",
+    "CircuitOracle",
+    "StoppingRule",
     "__version__",
 ]

@@ -1,0 +1,53 @@
+"""Active-learning acquisition subsystem.
+
+Closes the loop the paper leaves open: C-BMF makes every simulation sample
+worth more, this package decides *which* samples to buy. Acquisition
+strategies score candidate points with the model's posterior-predictive
+uncertainty (:mod:`repro.active.acquisition`), ``ActiveFitLoop`` drives
+budgeted fit → score → simulate rounds with warm-started refits and
+crash-resumable checkpoints (:mod:`repro.active.loop`), oracles adapt
+circuits and synthetic ground truths to the loop
+(:mod:`repro.active.oracle`), and the round history serializes/renders for
+reports (:mod:`repro.active.history`).
+"""
+
+from repro.active.acquisition import (
+    AcquisitionStrategy,
+    CorrelationAwareAllocation,
+    CostWeightedVariance,
+    RandomAcquisition,
+    VarianceAcquisition,
+)
+from repro.active.history import FitHistory, RoundRecord
+from repro.active.loop import (
+    ActiveFitConfig,
+    ActiveFitLoop,
+    ActiveFitResult,
+    StoppingRule,
+    push_result,
+)
+from repro.active.oracle import (
+    CircuitOracle,
+    Oracle,
+    SyntheticOracle,
+    linearized_surrogate,
+)
+
+__all__ = [
+    "AcquisitionStrategy",
+    "ActiveFitConfig",
+    "ActiveFitLoop",
+    "ActiveFitResult",
+    "CircuitOracle",
+    "CorrelationAwareAllocation",
+    "CostWeightedVariance",
+    "FitHistory",
+    "Oracle",
+    "RandomAcquisition",
+    "RoundRecord",
+    "StoppingRule",
+    "SyntheticOracle",
+    "VarianceAcquisition",
+    "linearized_surrogate",
+    "push_result",
+]

@@ -1,0 +1,320 @@
+"""Acquisition strategies: where the next simulation samples buy the most.
+
+Every strategy answers the same question: given a fitted C-BMF model and a
+pool of candidate points per knob state, which ``n_select`` points (across
+*all* states jointly) should the next simulation batch spend its budget on?
+
+The uncertainty-driven strategies score candidates with the model's
+posterior-predictive variance (``PosteriorPredictor.predict_std``), whose
+kernel ``R[k, s]·φᵀΛφ`` already carries the cross-state correlation — a
+sample in state k lowers the uncertainty of its correlated neighbours, so
+maximizing variance reduction in one state is automatically aware of what
+the other states already know. Batch selection is *fantasy-conditioned*:
+after each greedy pick the predictor is conditioned on the pick
+(:meth:`~repro.core.predictive.PosteriorPredictor.augmented` — exact,
+because the predictive variance does not depend on the unknown target), so
+the remaining picks avoid redundancy within the batch.
+
+A configurable exploration fraction keeps a slice of every batch random.
+Warm-started refits can inherit an over-confident prior from early rounds;
+pure variance-chasing under a wrong support then keeps sampling where the
+wrong model is unsure, never where it is wrong. The random slice feeds the
+EM refinement evidence it did not ask for, which is what breaks those
+lock-ins.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.basis.dictionary import BasisDictionary
+from repro.core.cbmf import CBMF
+from repro.simulate.cost import CostModel
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "AcquisitionStrategy",
+    "CorrelationAwareAllocation",
+    "CostWeightedVariance",
+    "RandomAcquisition",
+    "VarianceAcquisition",
+]
+
+
+def _validate_pool(
+    model: CBMF, candidates: Sequence[np.ndarray], n_select: int
+) -> None:
+    expected = getattr(model, "n_states", None)
+    if expected is not None and len(candidates) != expected:
+        raise ValueError(
+            f"expected {expected} candidate pools (one per model state), "
+            f"got {len(candidates)}"
+        )
+    pool_total = sum(c.shape[0] for c in candidates)
+    if n_select > pool_total:
+        raise ValueError(
+            f"cannot select {n_select} from a pool of {pool_total}"
+        )
+
+
+class AcquisitionStrategy(abc.ABC):
+    """Base class: rank candidate points for the next simulation batch."""
+
+    #: Registry name of the strategy (recorded in histories/manifests).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        model: CBMF,
+        basis: BasisDictionary,
+        candidates: Sequence[np.ndarray],
+        n_select: int,
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
+        """Pick ``n_select`` candidates across all states.
+
+        Parameters
+        ----------
+        model:
+            The current round's fitted estimator.
+        basis:
+            Dictionary used to expand raw candidates into design rows.
+        candidates:
+            One raw candidate matrix (n_cand × n_variables) per state.
+        n_select:
+            Total picks this round, across all states jointly.
+        rng:
+            Generator for any stochastic tie-breaking/exploration.
+
+        Returns
+        -------
+        One integer index array per state (possibly empty), summing to
+        ``n_select``.
+        """
+
+    def describe(self) -> dict:
+        """Metadata recorded in histories and registry manifests."""
+        return {"strategy": self.name}
+
+
+class RandomAcquisition(AcquisitionStrategy):
+    """Uniform baseline: spread the batch evenly, pick at random.
+
+    This is the paper's fixed-N Monte Carlo collection, recast as an
+    incremental loop — the A/B control every uncertainty-driven strategy
+    must beat on a samples-at-matched-error basis.
+    """
+
+    name = "random"
+
+    def select(self, model, basis, candidates, n_select, rng):
+        """Evenly allocate across states, uniform picks within each."""
+        rng = as_generator(rng)
+        n_states = len(candidates)
+        _validate_pool(model, candidates, n_select)
+        allocation = np.full(n_states, n_select // n_states, dtype=int)
+        extra = rng.permutation(n_states)[: n_select % n_states]
+        allocation[extra] += 1
+        picks = []
+        for k, pool in enumerate(candidates):
+            count = min(int(allocation[k]), pool.shape[0])
+            picks.append(
+                np.sort(rng.choice(pool.shape[0], count, replace=False))
+            )
+        shortfall = n_select - sum(p.size for p in picks)
+        while shortfall > 0:  # pools smaller than the even split
+            k = int(rng.integers(n_states))
+            remaining = np.setdiff1d(
+                np.arange(candidates[k].shape[0]), picks[k]
+            )
+            if remaining.size:
+                picks[k] = np.sort(
+                    np.append(picks[k], rng.choice(remaining))
+                )
+                shortfall -= 1
+        return picks
+
+
+class VarianceAcquisition(AcquisitionStrategy):
+    """Greedy posterior-variance maximization, fantasy-conditioned.
+
+    Each pick takes the (state, candidate) pair with the highest latent
+    predictive variance, then conditions the predictor on the pick before
+    scoring the next one — a submodular-greedy batch that never spends
+    two samples on the same unknown. ``explore_fraction`` of every batch
+    is drawn uniformly instead (see the module docstring for why).
+    """
+
+    name = "variance"
+
+    def __init__(self, explore_fraction: float = 0.25) -> None:
+        if not 0.0 <= explore_fraction < 1.0:
+            raise ValueError(
+                f"explore_fraction must be in [0, 1), got {explore_fraction}"
+            )
+        self.explore_fraction = explore_fraction
+
+    def describe(self) -> dict:
+        """Name plus the exploration fraction."""
+        return {
+            "strategy": self.name,
+            "explore_fraction": self.explore_fraction,
+        }
+
+    # -- scoring hook ---------------------------------------------------
+    def _state_weight(self, state: int) -> float:
+        """Multiplier applied to state ``state``'s variance scores."""
+        return 1.0
+
+    def select(self, model, basis, candidates, n_select, rng):
+        """Greedy fantasy-conditioned picks plus an exploration slice."""
+        rng = as_generator(rng)
+        n_states = len(candidates)
+        _validate_pool(model, candidates, n_select)
+        designs = [basis.expand(pool) for pool in candidates]
+        chosen: List[List[int]] = [[] for _ in range(n_states)]
+        n_explore = int(round(n_select * self.explore_fraction))
+        n_greedy = n_select - n_explore
+
+        predictor = model.predictor
+        for _ in range(n_greedy):
+            best_score, best_state, best_index = -np.inf, -1, -1
+            for k in range(n_states):
+                if not designs[k].shape[0]:
+                    continue
+                std = predictor.predict_std(designs[k], k)
+                score = self._state_weight(k) * std**2
+                if chosen[k]:
+                    score[np.asarray(chosen[k], dtype=int)] = -np.inf
+                index = int(np.argmax(score))
+                if score[index] > best_score:
+                    best_score = float(score[index])
+                    best_state, best_index = k, index
+            if best_state < 0:
+                break
+            chosen[best_state].append(best_index)
+            predictor = predictor.augmented(
+                designs[best_state][best_index : best_index + 1], best_state
+            )
+
+        for _ in range(n_explore):
+            open_states = [
+                k
+                for k in range(n_states)
+                if len(chosen[k]) < candidates[k].shape[0]
+            ]
+            if not open_states:
+                break
+            k = int(rng.choice(open_states))
+            remaining = np.setdiff1d(
+                np.arange(candidates[k].shape[0]), chosen[k]
+            )
+            chosen[k].append(int(rng.choice(remaining)))
+
+        return [
+            np.sort(np.asarray(indices, dtype=int)) for indices in chosen
+        ]
+
+
+class CostWeightedVariance(VarianceAcquisition):
+    """Variance per simulation dollar: scores divided by per-state cost.
+
+    When knob states differ in simulation price (longer transient for
+    high-gain states, harmonic balance only for some), the right greedy
+    objective is uncertainty reduction *per second*. ``state_costs``
+    gives the relative price of each state — a plain sequence, or a
+    :class:`~repro.simulate.cost.CostModel` per state whose
+    ``seconds_per_sample`` is used. Uniform costs reduce this strategy to
+    plain :class:`VarianceAcquisition`.
+    """
+
+    name = "cost_weighted"
+
+    def __init__(
+        self,
+        state_costs: Sequence[Union[float, CostModel]],
+        explore_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(explore_fraction=explore_fraction)
+        costs = [
+            float(c.seconds_per_sample) if isinstance(c, CostModel)
+            else float(c)
+            for c in state_costs
+        ]
+        if not costs or any(c <= 0.0 for c in costs):
+            raise ValueError(
+                f"state_costs must be positive, got {costs}"
+            )
+        self.state_costs = costs
+
+    def describe(self) -> dict:
+        """Name, exploration fraction, and the per-state cost vector."""
+        payload = super().describe()
+        payload["state_costs"] = list(self.state_costs)
+        return payload
+
+    def _state_weight(self, state: int) -> float:
+        """Inverse simulation price of the state."""
+        return 1.0 / self.state_costs[state]
+
+
+class CorrelationAwareAllocation(AcquisitionStrategy):
+    """Split the batch across states by uncertainty mass, then pick top-σ.
+
+    A two-phase alternative to the joint greedy: first allocate the round
+    budget across the K states proportionally to each state's mean
+    posterior-predictive variance over its candidate pool (states whose
+    uncertainty is already covered by correlated neighbours get small
+    shares — the correlation matrix R enters through ``predict_std``),
+    then take the highest-variance candidates within each state. Cheaper
+    than fantasy-greedy (K predict_std calls total) and a good fit when
+    per-state batches must be dispatched to parallel simulators.
+    """
+
+    name = "correlation"
+
+    def select(self, model, basis, candidates, n_select, rng):
+        """Variance-mass allocation, then per-state top-variance picks."""
+        rng = as_generator(rng)
+        n_states = len(candidates)
+        _validate_pool(model, candidates, n_select)
+        designs = [basis.expand(pool) for pool in candidates]
+        variances = [
+            model.predict_std(designs[k], k) ** 2 for k in range(n_states)
+        ]
+        mass = np.array([float(np.mean(v)) for v in variances])
+        if not np.all(np.isfinite(mass)) or mass.sum() <= 0.0:
+            mass = np.ones(n_states)
+        shares = mass / mass.sum() * n_select
+        allocation = np.floor(shares).astype(int)
+        remainder = np.argsort(-(shares - allocation))
+        for k in remainder[: n_select - int(allocation.sum())]:
+            allocation[k] += 1
+        # clip to pool sizes, handing overflow to the next-hungriest state
+        order = list(np.argsort(-shares))
+        for _ in range(n_states):
+            overflow = 0
+            for k in range(n_states):
+                cap = candidates[k].shape[0]
+                if allocation[k] > cap:
+                    overflow += allocation[k] - cap
+                    allocation[k] = cap
+            if not overflow:
+                break
+            for k in order:
+                room = candidates[k].shape[0] - allocation[k]
+                if room > 0:
+                    added = min(room, overflow)
+                    allocation[k] += added
+                    overflow -= added
+                if not overflow:
+                    break
+        picks = []
+        for k in range(n_states):
+            top = np.argsort(-variances[k])[: allocation[k]]
+            picks.append(np.sort(top.astype(int)))
+        return picks

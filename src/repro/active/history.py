@@ -1,0 +1,156 @@
+"""Round-by-round record of an active-learning fit.
+
+One :class:`RoundRecord` per loop round — samples spent so far (total and
+per state), the holdout error the round's refit achieved, which refit path
+produced it (warm, cold, or warm rescued by a cold restart) and the wall
+time — collected into a :class:`FitHistory` that serializes to JSON for
+checkpoints and renders through
+:func:`repro.evaluation.report.format_active_history`. The determinism
+contract of the whole subsystem is stated in terms of this object: two
+runs with identical configuration and seed produce byte-identical
+``to_json()`` payloads (modulo wall-clock fields).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["FitHistory", "RoundRecord"]
+
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one round of the loop spent and what it bought."""
+
+    round_index: int
+    n_samples_total: int
+    n_samples_per_state: Tuple[int, ...]
+    n_added_per_state: Tuple[int, ...]
+    holdout_rmse: float
+    best_rmse: float
+    noise_std: float
+    refit: str
+    wall_seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "round_index": int(self.round_index),
+            "n_samples_total": int(self.n_samples_total),
+            "n_samples_per_state": list(self.n_samples_per_state),
+            "n_added_per_state": list(self.n_added_per_state),
+            "holdout_rmse": float(self.holdout_rmse),
+            "best_rmse": float(self.best_rmse),
+            "noise_std": float(self.noise_std),
+            "refit": str(self.refit),
+            "wall_seconds": float(self.wall_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            round_index=int(payload["round_index"]),
+            n_samples_total=int(payload["n_samples_total"]),
+            n_samples_per_state=tuple(
+                int(n) for n in payload["n_samples_per_state"]
+            ),
+            n_added_per_state=tuple(
+                int(n) for n in payload["n_added_per_state"]
+            ),
+            holdout_rmse=float(payload["holdout_rmse"]),
+            best_rmse=float(payload["best_rmse"]),
+            noise_std=float(payload["noise_std"]),
+            refit=str(payload["refit"]),
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+
+
+@dataclass
+class FitHistory:
+    """Every round of one active-learning run, in order."""
+
+    strategy: str
+    metric: str
+    rounds: List[RoundRecord] = field(default_factory=list)
+    stop_reason: Optional[str] = None
+
+    def append(self, record: RoundRecord) -> None:
+        """Add the next round (indices must arrive in order)."""
+        if record.round_index != len(self.rounds):
+            raise ValueError(
+                f"expected round {len(self.rounds)}, "
+                f"got {record.round_index}"
+            )
+        self.rounds.append(record)
+
+    @property
+    def n_rounds(self) -> int:
+        """Rounds completed so far."""
+        return len(self.rounds)
+
+    @property
+    def total_samples(self) -> int:
+        """Simulation samples spent up to the last round."""
+        return self.rounds[-1].n_samples_total if self.rounds else 0
+
+    @property
+    def best_rmse(self) -> float:
+        """Best holdout RMSE any round achieved."""
+        if not self.rounds:
+            return float("inf")
+        return min(record.holdout_rmse for record in self.rounds)
+
+    def samples_to_reach(self, target_rmse: float) -> Optional[int]:
+        """Samples spent when the holdout RMSE first reached ``target``.
+
+        The matched-accuracy cost question the paper asks of C-BMF,
+        asked of an acquisition strategy: ``None`` if no round got there.
+        """
+        for record in self.rounds:
+            if record.holdout_rmse <= target_rmse:
+                return record.n_samples_total
+        return None
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": _SCHEMA,
+            "strategy": self.strategy,
+            "metric": self.metric,
+            "stop_reason": self.stop_reason,
+            "rounds": [record.to_dict() for record in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FitHistory":
+        """Rebuild a history from :meth:`to_dict` output."""
+        history = cls(
+            strategy=str(payload["strategy"]),
+            metric=str(payload["metric"]),
+            stop_reason=payload.get("stop_reason"),
+        )
+        for entry in payload["rounds"]:
+            history.append(RoundRecord.from_dict(entry))
+        return history
+
+    def to_json(self, path=None) -> str:
+        """Dump as JSON text; also write it to ``path`` when given."""
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source) -> "FitHistory":
+        """Load from a JSON string or a file path."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        return cls.from_dict(json.loads(text))

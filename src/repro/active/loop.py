@@ -1,0 +1,520 @@
+"""The budgeted, resumable fit → score → simulate → refit loop.
+
+``ActiveFitLoop`` replaces "simulate N points, then fit" with rounds of
+
+1. **refit** the C-BMF model on everything simulated so far — warm-started
+   from the previous round's ``{λ, R, σ0}`` so the S-OMP cross-validation
+   scan runs once, not every round. A warm start can also lock EM into a
+   stale support; when the warm refit stops improving while the holdout
+   error is still far above the learned noise floor, the loop re-runs the
+   full cold initializer and keeps whichever model scores better
+   (``cold_restart``);
+2. **stop** if a rule fires — round/budget exhausted, holdout-error
+   plateau, or posterior-std collapse;
+3. **score** a fresh candidate pool with the configured acquisition
+   strategy and **simulate** only the winners.
+
+Every round ends with a JSON+npz checkpoint (when ``checkpoint_dir`` is
+set): the dataset, the holdout set, the warm-start hyper-parameters, the
+round history and the exact generator state. A crashed run resumed from
+its checkpoint replays the identical random stream against pure-function
+oracles, so it produces the *same* final model as the uninterrupted run —
+not just a statistically equivalent one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.active.acquisition import AcquisitionStrategy
+from repro.active.history import FitHistory, RoundRecord
+from repro.active.oracle import Oracle
+from repro.basis.dictionary import BasisDictionary
+from repro.basis.polynomial import LinearBasis
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+from repro.evaluation.error import rmse
+from repro.simulate.cost import CostLedger
+from repro.simulate.dataset import Dataset, StateData
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = [
+    "ActiveFitConfig",
+    "ActiveFitLoop",
+    "ActiveFitResult",
+    "StoppingRule",
+    "push_result",
+]
+
+_STATE_FILE = "loop.json"
+_DATA_FILE = "data.npz"
+_ARRAYS_FILE = "arrays.npz"
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When the loop stops asking for more simulations.
+
+    ``max_rounds`` always applies. ``max_samples`` caps the total
+    simulation budget (the final batch shrinks to fit it exactly).
+    ``plateau_patience > 0`` stops when the best holdout RMSE improved by
+    less than ``plateau_rel_tol`` (relatively) over the last ``patience``
+    rounds. ``std_collapse`` stops once the mean posterior-predictive std
+    on the holdout set falls below the threshold — the model claims there
+    is nothing left worth measuring.
+    """
+
+    max_rounds: int = 10
+    max_samples: Optional[int] = None
+    plateau_patience: int = 0
+    plateau_rel_tol: float = 0.01
+    std_collapse: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ActiveFitConfig:
+    """Everything one active fit needs besides the oracle."""
+
+    metric: str
+    strategy: Union[str, AcquisitionStrategy] = "variance"
+    init_per_state: int = 4
+    batch_per_round: int = 8
+    n_candidates: int = 64
+    holdout_per_state: int = 50
+    stopping: StoppingRule = field(default_factory=StoppingRule)
+    seed: SeedLike = None
+    checkpoint_dir: Optional[str] = None
+    cold_restart: bool = True
+    init_config: Optional[InitConfig] = None
+    em_config: Optional[EmConfig] = None
+
+
+@dataclass
+class ActiveFitResult:
+    """Outcome of one :meth:`ActiveFitLoop.run`."""
+
+    model: CBMF
+    history: FitHistory
+    dataset: Dataset
+    ledger: CostLedger
+    holdout_rmse: float
+
+    @property
+    def total_samples(self) -> int:
+        """Simulation samples the run spent in total."""
+        return self.ledger.total
+
+
+def _echo_config(config: ActiveFitConfig, strategy_name: str) -> dict:
+    """The config fields a resume must agree on."""
+    return {
+        "metric": config.metric,
+        "strategy": strategy_name,
+        "init_per_state": int(config.init_per_state),
+        "batch_per_round": int(config.batch_per_round),
+        "n_candidates": int(config.n_candidates),
+        "holdout_per_state": int(config.holdout_per_state),
+    }
+
+
+class ActiveFitLoop:
+    """Closed-loop active fitting of one metric of one oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Simulation endpoint (:class:`~repro.active.oracle.Oracle`).
+    config:
+        Loop configuration; ``config.metric`` should normally match
+        ``oracle.metric``.
+    basis:
+        Basis dictionary for the model; defaults to a
+        :class:`~repro.basis.polynomial.LinearBasis` over the oracle's
+        variables.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        config: ActiveFitConfig,
+        basis: Optional[BasisDictionary] = None,
+    ) -> None:
+        if config.init_per_state < 2:
+            raise ValueError(
+                f"init_per_state must be >= 2, got {config.init_per_state}"
+            )
+        if config.batch_per_round < 1:
+            raise ValueError(
+                f"batch_per_round must be >= 1, got {config.batch_per_round}"
+            )
+        self.oracle = oracle
+        self.config = config
+        self.basis = basis or LinearBasis(oracle.n_variables)
+        self.strategy = self._resolve_strategy(config.strategy)
+
+    @staticmethod
+    def _resolve_strategy(strategy) -> AcquisitionStrategy:
+        if isinstance(strategy, AcquisitionStrategy):
+            return strategy
+        from repro.evaluation.methods import make_acquisition
+
+        return make_acquisition(str(strategy))
+
+    # ------------------------------------------------------------------
+    # state initialization: fresh or from checkpoint
+    # ------------------------------------------------------------------
+    def _fresh_state(self) -> dict:
+        oracle, config = self.oracle, self.config
+        holdout_rng, loop_rng = spawn_generators(config.seed, 2)
+        holdout_x = [
+            holdout_rng.standard_normal(
+                (config.holdout_per_state, oracle.n_variables)
+            )
+            for _ in range(oracle.n_states)
+        ]
+        ledger = CostLedger(oracle.n_states)
+        states = []
+        for k in range(oracle.n_states):
+            x = loop_rng.standard_normal(
+                (config.init_per_state, oracle.n_variables)
+            )
+            y = oracle.observe(x, k)
+            ledger.record(k, x.shape[0])
+            states.append(StateData(x=x, y={config.metric: y}))
+        dataset = Dataset(oracle.name, states, (config.metric,))
+        return {
+            "round_index": 0,
+            "rng": loop_rng,
+            "holdout_x": holdout_x,
+            "dataset": dataset,
+            "ledger": ledger,
+            "history": FitHistory(
+                strategy=self.strategy.name, metric=config.metric
+            ),
+            "warm": None,
+            "best_rmse": float("inf"),
+        }
+
+    def _load_state(self) -> dict:
+        directory = Path(self.config.checkpoint_dir)
+        state_path = directory / _STATE_FILE
+        if not state_path.exists():
+            raise FileNotFoundError(
+                f"no checkpoint at {state_path}; run without resume first"
+            )
+        with open(state_path) as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"checkpoint schema {payload.get('schema')} unsupported"
+            )
+        echo = _echo_config(self.config, self.strategy.name)
+        if payload["config"] != echo:
+            raise ValueError(
+                "checkpoint was written by a different configuration:\n"
+                f"  checkpoint: {payload['config']}\n"
+                f"  current:    {echo}"
+            )
+        dataset = Dataset.load(directory / _DATA_FILE)
+        with np.load(directory / _ARRAYS_FILE, allow_pickle=False) as arrays:
+            holdout_x = [
+                arrays[f"holdout_{k}"] for k in range(self.oracle.n_states)
+            ]
+            warm = None
+            if "warm_lambdas" in arrays:
+                warm = {
+                    "lambdas": arrays["warm_lambdas"],
+                    "correlation": arrays["warm_correlation"],
+                    **payload["warm_scalars"],
+                }
+        loop_rng = np.random.default_rng()
+        loop_rng.bit_generator.state = payload["rng_state"]
+        return {
+            "finished": bool(payload.get("finished", False)),
+            "round_index": int(payload["round_index"]),
+            "rng": loop_rng,
+            "holdout_x": holdout_x,
+            "dataset": dataset,
+            "ledger": CostLedger.from_dict(payload["ledger"]),
+            "history": FitHistory.from_dict(payload["history"]),
+            "warm": warm,
+            "best_rmse": float(payload["best_rmse"]),
+        }
+
+    def _checkpoint(self, state: dict, model: CBMF, finished: bool) -> None:
+        directory = Path(self.config.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        state["dataset"].save(directory / _DATA_FILE)
+        warm = model.warm_state()
+        arrays = {
+            f"holdout_{k}": x for k, x in enumerate(state["holdout_x"])
+        }
+        arrays["warm_lambdas"] = warm["lambdas"]
+        arrays["warm_correlation"] = warm["correlation"]
+        np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
+        payload = {
+            "schema": _SCHEMA,
+            "config": _echo_config(self.config, self.strategy.name),
+            "round_index": int(state["round_index"]),
+            "rng_state": state["rng"].bit_generator.state,
+            "history": state["history"].to_dict(),
+            "ledger": state["ledger"].to_dict(),
+            "warm_scalars": {
+                "noise_std": warm["noise_std"],
+                "scale": warm["scale"],
+                "r0": warm["r0"],
+            },
+            "best_rmse": float(state["best_rmse"]),
+            "finished": bool(finished),
+            "stop_reason": state["history"].stop_reason,
+        }
+        tmp_path = directory / (_STATE_FILE + ".tmp")
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        tmp_path.replace(directory / _STATE_FILE)
+
+    # ------------------------------------------------------------------
+    def _holdout_error(self, model: CBMF, holdout_x) -> float:
+        predictions, truths = [], []
+        for k, x in enumerate(holdout_x):
+            design = self.basis.expand(x)
+            predictions.append(model.predict(design, k))
+            truths.append(self.oracle.truth(x, k))
+        return rmse(predictions, truths)
+
+    def _fit_round(self, state: dict):
+        """One refit: warm-started, with the stagnation-triggered rescue."""
+        config = self.config
+        dataset = state["dataset"]
+        designs = self.basis.expand_states(dataset.inputs())
+        targets = dataset.targets(config.metric)
+        fit_seed = int(state["rng"].integers(2**31))
+
+        def fit(warm):
+            return CBMF(
+                init_config=config.init_config,
+                em_config=config.em_config,
+                seed=fit_seed,
+                warm_start=warm,
+            ).fit(designs, targets)
+
+        warm = state["warm"]
+        model = fit(warm)
+        refit = "warm" if warm is not None else "cold"
+        error = self._holdout_error(model, state["holdout_x"])
+        if warm is not None and config.cold_restart:
+            best = state["best_rmse"]
+            stalled = error > best or (
+                error > 1.5 * model.noise_std_ and error > 0.85 * best
+            )
+            if stalled:
+                cold = fit(None)
+                cold_error = self._holdout_error(cold, state["holdout_x"])
+                if cold_error < error:
+                    model, error, refit = cold, cold_error, "warm+cold"
+        return model, error, refit
+
+    def _stop_reason(
+        self, state: dict, model: CBMF, error: float
+    ) -> Optional[str]:
+        rule = self.config.stopping
+        if state["round_index"] + 1 >= rule.max_rounds:
+            return "max_rounds"
+        if rule.max_samples is not None:
+            if state["dataset"].n_samples_total >= rule.max_samples:
+                return "budget"
+        if rule.plateau_patience > 0:
+            errors = [r.holdout_rmse for r in state["history"].rounds]
+            errors.append(error)
+            patience = rule.plateau_patience
+            if len(errors) > patience:
+                now = min(errors)
+                before = min(errors[:-patience])
+                if before - now < rule.plateau_rel_tol * before:
+                    return "plateau"
+        if rule.std_collapse is not None:
+            spread = float(
+                np.mean(
+                    [
+                        np.mean(
+                            model.predict_std(self.basis.expand(x), k)
+                        )
+                        for k, x in enumerate(state["holdout_x"])
+                    ]
+                )
+            )
+            if spread < rule.std_collapse:
+                return "std_collapse"
+        return None
+
+    def _acquire(self, state: dict, model: CBMF) -> List[int]:
+        """Score a fresh pool, simulate the winners, grow the dataset."""
+        config, oracle = self.config, self.oracle
+        rng = state["rng"]
+        batch = config.batch_per_round
+        if config.stopping.max_samples is not None:
+            remaining = (
+                config.stopping.max_samples
+                - state["dataset"].n_samples_total
+            )
+            batch = min(batch, remaining)
+        candidates = [
+            rng.standard_normal((config.n_candidates, oracle.n_variables))
+            for _ in range(oracle.n_states)
+        ]
+        picks = self.strategy.select(
+            model, self.basis, candidates, batch, rng
+        )
+        added = [0] * oracle.n_states
+        merged_states = []
+        for k, base in enumerate(state["dataset"].states):
+            indices = np.asarray(picks[k], dtype=int)
+            if indices.size == 0:
+                merged_states.append(base)
+                continue
+            x_new = candidates[k][indices]
+            y_new = oracle.observe(x_new, k)
+            state["ledger"].record(k, x_new.shape[0])
+            added[k] = int(x_new.shape[0])
+            merged_states.append(
+                StateData(
+                    x=np.vstack([base.x, x_new]),
+                    y={
+                        config.metric: np.concatenate(
+                            [base.y[config.metric], y_new]
+                        )
+                    },
+                )
+            )
+        state["dataset"] = Dataset(
+            oracle.name, merged_states, (config.metric,)
+        )
+        return added
+
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> ActiveFitResult:
+        """Run the loop to a stopping rule; optionally resume a checkpoint.
+
+        ``resume=True`` requires ``config.checkpoint_dir`` and restores
+        the dataset, history, warm start and generator state written after
+        the last completed round, then continues as if never interrupted.
+        Resuming a checkpoint of a run that already finished refits on the
+        final dataset and returns the recorded history unchanged.
+        """
+        if resume:
+            if not self.config.checkpoint_dir:
+                raise ValueError("resume requires config.checkpoint_dir")
+            state = self._load_state()
+            if state.pop("finished"):
+                # The run already completed: the checkpoint stores the
+                # warm-start hyper-parameters rather than coefficients, so
+                # refit once on the final dataset and hand back the
+                # recorded history untouched (no extra round, and the
+                # checkpoint is not rewritten — resuming again is
+                # idempotent).
+                model, error, _ = self._fit_round(state)
+                return ActiveFitResult(
+                    model=model,
+                    history=state["history"],
+                    dataset=state["dataset"],
+                    ledger=state["ledger"],
+                    holdout_rmse=float(error),
+                )
+        else:
+            state = self._fresh_state()
+
+        model: Optional[CBMF] = None
+        error = float("inf")
+        while True:
+            started = time.perf_counter()
+            model, error, refit = self._fit_round(state)
+            state["best_rmse"] = min(state["best_rmse"], error)
+            # sample counts as of the fit: the cost at which `error` was
+            # achieved (the acquisition below buys the *next* round)
+            fit_total = state["dataset"].n_samples_total
+            fit_per_state = tuple(state["dataset"].n_samples_per_state)
+            reason = self._stop_reason(state, model, error)
+            if reason is None:
+                added = self._acquire(state, model)
+            else:
+                added = [0] * self.oracle.n_states
+                state["history"].stop_reason = reason
+            state["history"].append(
+                RoundRecord(
+                    round_index=state["round_index"],
+                    n_samples_total=fit_total,
+                    n_samples_per_state=fit_per_state,
+                    n_added_per_state=tuple(added),
+                    holdout_rmse=float(error),
+                    best_rmse=float(state["best_rmse"]),
+                    noise_std=float(model.noise_std_),
+                    refit=refit,
+                    wall_seconds=time.perf_counter() - started,
+                )
+            )
+            state["warm"] = model
+            state["round_index"] += 1
+            if self.config.checkpoint_dir:
+                self._checkpoint(state, model, finished=reason is not None)
+            if reason is not None:
+                break
+
+        return ActiveFitResult(
+            model=model,
+            history=state["history"],
+            dataset=state["dataset"],
+            ledger=state["ledger"],
+            holdout_rmse=float(error),
+        )
+
+
+def push_result(
+    registry,
+    name: str,
+    result: ActiveFitResult,
+    basis: BasisDictionary,
+    cost_model=None,
+    extra: Optional[dict] = None,
+):
+    """Push an active fit to a model registry, with acquisition metadata.
+
+    Wraps the single-metric model into a
+    :class:`~repro.modelset.PerformanceModelSet` and records *how* it was
+    obtained in the manifest — strategy, rounds, per-state and total
+    simulation counts (plus modeled simulation seconds when a
+    :class:`~repro.simulate.cost.CostModel` is given) — so a registry
+    reader can audit the budget behind any served model. Returns the new
+    :class:`~repro.serving.registry.RegistryEntry`.
+    """
+    from repro.modelset import PerformanceModelSet
+
+    history = result.history
+    metadata = {
+        "acquisition": {
+            "strategy": history.strategy,
+            "metric": history.metric,
+            "rounds": history.n_rounds,
+            "stop_reason": history.stop_reason,
+            "total_simulations": result.ledger.total,
+            "simulations_per_state": list(result.ledger.per_state),
+            "holdout_rmse": float(result.holdout_rmse),
+            "best_rmse": float(history.best_rmse),
+        }
+    }
+    if cost_model is not None:
+        metadata["acquisition"]["simulation_seconds"] = (
+            result.ledger.modeling_cost(cost_model).simulation_seconds
+        )
+    if extra:
+        metadata.update(extra)
+    models = PerformanceModelSet({history.metric: result.model}, basis)
+    return registry.push(name, models, extra=metadata)

@@ -8,12 +8,16 @@
     python -m repro info
     python -m repro serve-bench [--requests N] [--batch-size B]
     python -m repro registry list|push|get --root DIR ...
+    python -m repro active-fit [--circuit lna|mixer] [--strategy NAME] ...
 
 Output is the paper-style text tables; `reproduce_paper.py` in examples/
 offers the same through a script, and the benchmark suite wraps the same
 entry points with assertions. ``serve-bench`` exercises the serving
-subsystem end-to-end (fit → registry push → micro-batched service) and
-``registry`` manages a model registry directory.
+subsystem end-to-end (fit → registry push → micro-batched service),
+``registry`` manages a model registry directory, and ``active-fit`` runs
+the active-learning loop on a circuit (checkpointable with ``--checkpoint``
+/ ``--resume``, optionally pushing the converged model to a registry with
+its acquisition provenance in the manifest).
 """
 
 from __future__ import annotations
@@ -217,6 +221,81 @@ def _cmd_serve_bench(args) -> int:
         return run(ModelRegistry(tmp))
 
 
+def _cmd_active_fit(args) -> int:
+    """Actively fit one circuit metric; optionally push to a registry."""
+    from repro.active import (
+        ActiveFitConfig,
+        ActiveFitLoop,
+        CircuitOracle,
+        StoppingRule,
+        push_result,
+    )
+    from repro.circuits.lna import TunableLNA
+    from repro.circuits.mixer import TunableMixer
+    from repro.evaluation.methods import make_acquisition
+    from repro.evaluation.report import format_active_history
+    from repro.simulate.cost import LNA_COST_MODEL, MIXER_COST_MODEL
+
+    circuit_cls = {"lna": TunableLNA, "mixer": TunableMixer}[args.circuit]
+    cost_model = {
+        "lna": LNA_COST_MODEL, "mixer": MIXER_COST_MODEL
+    }[args.circuit]
+    circuit = circuit_cls(n_states=args.states, n_variables=None)
+    metric = args.metric or circuit.metric_names[0]
+    oracle = CircuitOracle(circuit, metric)
+
+    kwargs = {}
+    if args.strategy in ("variance", "cost_weighted"):
+        kwargs["explore_fraction"] = args.explore
+    if args.strategy == "cost_weighted":
+        kwargs["state_costs"] = (
+            [cost_model.seconds_per_sample] * circuit.n_states
+        )
+    strategy = make_acquisition(args.strategy, **kwargs)
+
+    config = ActiveFitConfig(
+        metric=metric,
+        strategy=strategy,
+        init_per_state=args.init,
+        batch_per_round=args.batch,
+        n_candidates=args.candidates,
+        holdout_per_state=args.holdout,
+        stopping=StoppingRule(
+            max_rounds=args.rounds, max_samples=args.budget
+        ),
+        seed=args.seed,
+        checkpoint_dir=args.checkpoint,
+    )
+    loop = ActiveFitLoop(oracle, config)
+    print(
+        f"active-fit {args.circuit}:{metric} — K={circuit.n_states}, "
+        f"{circuit.n_variables} variables, strategy={strategy.name}, "
+        f"seed={args.seed}"
+    )
+    result = loop.run(resume=args.resume)
+    print(format_active_history(result.history))
+    cost = result.ledger.modeling_cost(cost_model)
+    print(
+        f"simulations: {result.ledger.total} "
+        f"(per state: {list(result.ledger.per_state)}) "
+        f"~ {cost.simulation_hours:.2f} modeled hours"
+    )
+    if args.registry:
+        from repro.serving import ModelRegistry
+
+        entry = push_result(
+            ModelRegistry(args.registry),
+            args.name or args.circuit,
+            result,
+            loop.basis,
+            cost_model=cost_model,
+        )
+        print(f"pushed {entry.key} -> {entry.path}")
+        print(json.dumps(entry.manifest["acquisition"], indent=2,
+                         sort_keys=True))
+    return 0
+
+
 def _cmd_registry(args) -> int:
     """Registry maintenance: list entries, push artifacts, inspect keys."""
     from pathlib import Path
@@ -334,6 +413,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing trials per path (best-of-N)")
     p.add_argument("--seed", type=int, default=2016)
 
+    p = sub.add_parser(
+        "active-fit",
+        help="actively fit a circuit metric (uncertainty-aware sampling)",
+    )
+    p.add_argument("--circuit", default="lna", choices=("lna", "mixer"))
+    p.add_argument("--metric", default=None,
+                   help="metric to fit (default: the circuit's first)")
+    p.add_argument(
+        "--strategy", default="variance",
+        choices=("variance", "random", "cost_weighted", "correlation"),
+        help="acquisition strategy (default: variance)",
+    )
+    p.add_argument("--states", type=int, default=4,
+                   help="number of knob states K")
+    p.add_argument("--rounds", type=int, default=6,
+                   help="maximum fit/acquire rounds")
+    p.add_argument("--init", type=int, default=4,
+                   help="random warm-up samples per state")
+    p.add_argument("--batch", type=int, default=8,
+                   help="simulations bought per round (across states)")
+    p.add_argument("--candidates", type=int, default=64,
+                   help="candidate pool size per state per round")
+    p.add_argument("--holdout", type=int, default=25,
+                   help="holdout samples per state for stopping/reporting")
+    p.add_argument("--budget", type=int, default=None,
+                   help="hard cap on total simulations")
+    p.add_argument("--explore", type=float, default=0.25,
+                   help="random fraction of each batch (variance family)")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint directory (resumable with --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint instead of starting fresh")
+    p.add_argument("--registry", default=None,
+                   help="push the converged model to this registry root")
+    p.add_argument("--name", default=None,
+                   help="registry model name (default: circuit name)")
+    p.add_argument("--seed", type=int, default=2016)
+
     p = sub.add_parser("registry", help="manage a model registry directory")
     reg_sub = p.add_subparsers(dest="registry_command", required=True)
     p_list = reg_sub.add_parser("list", help="list every name@version")
@@ -365,6 +482,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "active-fit":
+        return _cmd_active_fit(args)
     if args.command == "registry":
         return _cmd_registry(args)
 

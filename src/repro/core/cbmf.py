@@ -32,6 +32,9 @@ from repro.utils.rng import SeedLike
 
 __all__ = ["CBMF"]
 
+#: Keys a dict-form ``warm_start`` must carry (see :meth:`CBMF.warm_state`).
+_WARM_KEYS = {"lambdas", "correlation", "noise_std", "scale", "r0"}
+
 
 def _find_intercept_column(designs: Sequence[np.ndarray]) -> Optional[int]:
     """Index of a column that equals 1 in every design, or None."""
@@ -55,10 +58,12 @@ class CBMF(MultiStateRegressor):
     seed:
         Seed for the cross-validation fold shuffling.
     warm_start:
-        A previously fitted ``CBMF`` on the same basis/state layout; its
-        learned ``{λ, R, σ0}`` seed EM directly and the S-OMP
-        cross-validation initializer is skipped — the incremental-
-        sampling fast path.
+        A previously fitted ``CBMF`` on the same basis/state layout — or
+        the dict exported by :meth:`warm_state` from one. Its learned
+        ``{λ, R, σ0}`` seed EM directly and the S-OMP cross-validation
+        initializer is skipped — the incremental-sampling fast path.
+        The dict form lets a checkpointed loop resume with numerically
+        identical warm starts without pickling estimator objects.
 
     Attributes (after ``fit``)
     --------------------------
@@ -82,10 +87,16 @@ class CBMF(MultiStateRegressor):
         seed: SeedLike = None,
         warm_start: Optional["CBMF"] = None,
     ) -> None:
-        if warm_start is not None and warm_start.prior_ is None:
+        if isinstance(warm_start, CBMF) and warm_start.prior_ is None:
             raise ValueError(
                 "warm_start estimator must be fitted (its prior_ is None)"
             )
+        if isinstance(warm_start, dict):
+            missing = _WARM_KEYS - set(warm_start)
+            if missing:
+                raise ValueError(
+                    f"warm_start dict is missing keys {sorted(missing)}"
+                )
         self.init_config = init_config or InitConfig()
         self.em_config = em_config or EmConfig()
         self.seed = seed
@@ -176,25 +187,29 @@ class CBMF(MultiStateRegressor):
             return somp_initialize(
                 designs, standardized, self.init_config, self.seed
             )
-        if warm.prior_.n_basis != designs[0].shape[1]:
+        if isinstance(warm, CBMF):
+            warm = warm.warm_state()
+        lambdas = np.asarray(warm["lambdas"], dtype=float)
+        correlation = np.asarray(warm["correlation"], dtype=float)
+        if lambdas.shape[0] != designs[0].shape[1]:
             raise ValueError(
-                f"warm-start prior has {warm.prior_.n_basis} bases, "
+                f"warm-start prior has {lambdas.shape[0]} bases, "
                 f"designs have {designs[0].shape[1]}"
             )
-        if warm.prior_.n_states != len(designs):
+        if correlation.shape[0] != len(designs):
             raise ValueError(
-                f"warm-start prior has {warm.prior_.n_states} states, "
+                f"warm-start prior has {correlation.shape[0]} states, "
                 f"got {len(designs)}"
             )
-        rescale = (warm._scale / scale) ** 2
+        rescale = (float(warm["scale"]) / scale) ** 2
         prior = CorrelatedPrior(
-            lambdas=warm.prior_.lambdas * rescale,
-            correlation=warm.prior_.correlation.copy(),
+            lambdas=lambdas * rescale,
+            correlation=correlation.copy(),
         )
-        noise_var = max((warm.noise_std_ / scale) ** 2, 1e-12)
+        noise_var = max((float(warm["noise_std"]) / scale) ** 2, 1e-12)
         support = prior.active_set(1e-4)
         return InitResult(
-            r0=warm.report_.init.r0,
+            r0=float(warm["r0"]),
             sigma0=float(np.sqrt(noise_var)),
             n_basis=int(support.size),
             support=support.tolist(),
@@ -202,6 +217,38 @@ class CBMF(MultiStateRegressor):
             noise_var=noise_var,
             cv_errors={},
         )
+
+    def warm_state(self) -> dict:
+        """Snapshot of the learned hyper-parameters for warm restarts.
+
+        The dict (numpy arrays plus plain floats — trivially serialized
+        to npz/JSON) can be passed back as ``warm_start`` to a fresh
+        ``CBMF`` and yields a warm start numerically identical to passing
+        the fitted estimator itself. Checkpoint/resume loops persist this
+        instead of pickling the model.
+        """
+        self._require_fitted()
+        return {
+            "lambdas": self.prior_.lambdas.copy(),
+            "correlation": self.prior_.correlation.copy(),
+            "noise_std": float(self.noise_std_),
+            "scale": float(self._scale),
+            "r0": float(self.report_.init.r0),
+        }
+
+    @property
+    def predictor(self) -> PosteriorPredictor:
+        """The fitted :class:`PosteriorPredictor` (standardized targets).
+
+        Means/stds from this object live on the internal standardized
+        target scale; multiply by nothing for *ranking* purposes (the
+        scale is a positive constant) or use :meth:`predict_std` for
+        values in original units. Exposed so acquisition strategies can
+        run fantasy-conditioned batch selection via
+        :meth:`PosteriorPredictor.augmented`.
+        """
+        self._require_fitted()
+        return self._predictor
 
     def predict(self, design: np.ndarray, state: int) -> np.ndarray:
         """Predict one state, including any per-state offset."""

@@ -103,6 +103,40 @@ class PosteriorPredictor:
             )
         return self._cross_covariance(design, state).T @ self._alpha
 
+    def augmented(self, design: np.ndarray, state: int) -> "PosteriorPredictor":
+        """A copy conditioned on extra observations at ``design``/``state``.
+
+        The pseudo-targets are the current predictive means, i.e. a
+        "fantasy" update: the predictive mean function is unchanged while
+        the predictive variance shrinks exactly as it would for real
+        observations (the GP variance never depends on the targets).
+        Acquisition loops use this to score a *batch* of candidates
+        jointly — greedily conditioning on each pick so the next pick is
+        not redundant with it — before any simulation is spent.
+        """
+        design = check_matrix(
+            design, "design", shape=(None, self._prior.n_basis)
+        )
+        if not 0 <= state < self._prior.n_states:
+            raise IndexError(
+                f"state {state} out of range 0..{self._prior.n_states - 1}"
+            )
+        pseudo = self.predict_mean(design, state)
+        designs: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for k in range(self._prior.n_states):
+            mask = self._state_of_row == k
+            block = self._phi[mask]
+            values = self._y[mask]
+            if k == state:
+                block = np.vstack([block, design])
+                values = np.concatenate([values, pseudo])
+            designs.append(block)
+            targets.append(values)
+        return PosteriorPredictor(
+            designs, targets, self._prior, self._noise_var
+        )
+
     def predict_std(
         self,
         design: np.ndarray,

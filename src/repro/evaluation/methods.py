@@ -15,7 +15,12 @@ from repro.baselines import (
 from repro.core import CBMF, ClusteredCBMF, MultiStateRegressor
 from repro.utils.rng import SeedLike
 
-__all__ = ["available_methods", "make_estimator"]
+__all__ = [
+    "available_acquisitions",
+    "available_methods",
+    "make_acquisition",
+    "make_estimator",
+]
 
 _FACTORIES: Dict[str, Callable[[SeedLike], MultiStateRegressor]] = {
     "ls": lambda seed: LeastSquares(),
@@ -41,3 +46,42 @@ def make_estimator(name: str, seed: SeedLike = None) -> MultiStateRegressor:
             f"unknown method {name!r}; available: {available_methods()}"
         )
     return _FACTORIES[name](seed)
+
+
+def _acquisition_factories() -> Dict[str, Callable[..., object]]:
+    # Imported lazily: repro.active imports this module for strategy
+    # resolution, so a top-level import would be circular.
+    from repro.active.acquisition import (
+        CorrelationAwareAllocation,
+        CostWeightedVariance,
+        RandomAcquisition,
+        VarianceAcquisition,
+    )
+
+    return {
+        "random": RandomAcquisition,
+        "variance": VarianceAcquisition,
+        "cost_weighted": CostWeightedVariance,
+        "correlation": CorrelationAwareAllocation,
+    }
+
+
+def available_acquisitions() -> Tuple[str, ...]:
+    """Registered acquisition-strategy names (active-learning loop)."""
+    return tuple(sorted(_acquisition_factories()))
+
+
+def make_acquisition(name: str, **kwargs):
+    """Instantiate a registered acquisition strategy by name.
+
+    Keyword arguments are forwarded to the strategy constructor
+    (``explore_fraction`` for the variance family, ``state_costs`` —
+    required — for ``cost_weighted``).
+    """
+    factories = _acquisition_factories()
+    if name not in factories:
+        raise KeyError(
+            f"unknown acquisition {name!r}; "
+            f"available: {tuple(sorted(factories))}"
+        )
+    return factories[name](**kwargs)

@@ -7,7 +7,11 @@ from typing import Dict, Optional, Sequence
 from repro.evaluation.experiment import MethodResult
 from repro.evaluation.sweep import SweepResult
 
-__all__ = ["format_comparison_table", "format_sweep_table"]
+__all__ = [
+    "format_active_history",
+    "format_comparison_table",
+    "format_sweep_table",
+]
 
 
 def format_comparison_table(
@@ -67,6 +71,35 @@ def format_comparison_table(
                 [f"{r.cost.total_hours:.2f}" for r in results],
             )
         )
+    return "\n".join(lines)
+
+
+def format_active_history(history, title: Optional[str] = None) -> str:
+    """Render an active-learning run round by round.
+
+    ``history`` is a :class:`repro.active.history.FitHistory`; one row
+    per round — samples spent when the model was fitted, samples the
+    acquisition then added, the holdout RMSE (and best so far), which
+    refit path produced the model, and the wall time.
+    """
+    header = title or (
+        f"active fit — strategy={history.strategy} "
+        f"metric={history.metric}"
+    )
+    lines = [
+        header,
+        f"{'round':>6}{'samples':>9}{'added':>7}{'rmse':>12}"
+        f"{'best':>12}  {'refit':<10}{'sec':>8}",
+    ]
+    for record in history.rounds:
+        lines.append(
+            f"{record.round_index:>6}{record.n_samples_total:>9}"
+            f"{sum(record.n_added_per_state):>7}"
+            f"{record.holdout_rmse:>12.5f}{record.best_rmse:>12.5f}  "
+            f"{record.refit:<10}{record.wall_seconds:>8.2f}"
+        )
+    if history.stop_reason:
+        lines.append(f"stopped: {history.stop_reason}")
     return "\n".join(lines)
 
 

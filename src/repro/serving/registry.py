@@ -264,13 +264,24 @@ class ModelRegistry:
         ]
 
     # -- write path -----------------------------------------------------
-    def push(self, name: str, model, version: Optional[int] = None) -> RegistryEntry:
+    def push(
+        self,
+        name: str,
+        model,
+        version: Optional[int] = None,
+        extra: Optional[dict] = None,
+    ) -> RegistryEntry:
         """Store a model under ``name``, returning the new entry.
 
         ``model`` is a ``PerformanceModelSet`` (kind ``modelset``, one
         npz per metric plus the basis spec) or a ``FrozenModel`` (kind
         ``frozen``, a single npz and no basis). Versions auto-increment;
         an explicit ``version`` that already exists is refused.
+
+        ``extra`` merges caller metadata into the manifest — e.g. the
+        acquisition provenance an active-learning fit records. The
+        reserved keys (``name``, ``version`` and the core manifest
+        fields) cannot be overridden.
         """
         if not _NAME_PATTERN.match(name):
             raise RegistryError(f"invalid model name: {name!r}")
@@ -294,12 +305,24 @@ class ModelRegistry:
         path = self.root / name / f"v{version}"
         if path.exists():
             raise RegistryError(f"{path} already exists")
+        reserved = {
+            "schema", "kind", "metrics", "n_states", "n_basis",
+            "basis", "files", "created_at", "name", "version",
+        }
+        merged = dict(extra) if extra else {}
+        clash = reserved & set(merged)
+        if clash:
+            raise RegistryError(
+                f"extra metadata may not override manifest keys "
+                f"{sorted(clash)}"
+            )
+        merged.update({"name": name, "version": int(version)})
         manifest = write_model_dir(
             path,
             models,
             basis=basis,
             kind=kind,
-            extra={"name": name, "version": int(version)},
+            extra=merged,
         )
         return RegistryEntry(
             name=name, version=int(version), path=path, manifest=manifest

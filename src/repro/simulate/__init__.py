@@ -5,11 +5,12 @@ process samples, evaluates a tunable circuit over its states, and accounts
 for the (simulated) simulation cost.
 """
 
-from repro.simulate.cost import CostModel, ModelingCost
+from repro.simulate.cost import CostLedger, CostModel, ModelingCost
 from repro.simulate.dataset import Dataset, StateData
 from repro.simulate.montecarlo import MonteCarloEngine
 
 __all__ = [
+    "CostLedger",
     "CostModel",
     "ModelingCost",
     "Dataset",

@@ -14,10 +14,17 @@ Fitting time is measured for real on the running machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["CostModel", "ModelingCost", "LNA_COST_MODEL", "MIXER_COST_MODEL"]
+__all__ = [
+    "CostLedger",
+    "CostModel",
+    "ModelingCost",
+    "LNA_COST_MODEL",
+    "MIXER_COST_MODEL",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,75 @@ class CostModel:
             simulation_seconds=n_samples * self.seconds_per_sample,
             fitting_seconds=fitting_seconds,
         )
+
+
+class CostLedger:
+    """Running count of simulations, kept *per knob state*.
+
+    The paper's cost driver is the total simulation count, but an
+    acquisition loop also needs the per-state breakdown: cost-weighted
+    scoring divides a candidate's utility by the price of simulating its
+    state, and the registry manifest of an actively fitted model records
+    where the budget actually went. The ledger is a plain counter —
+    `record` on every simulation batch, then `modeling_cost` to convert
+    into the paper's cost units via a :class:`CostModel`.
+    """
+
+    def __init__(self, n_states: int) -> None:
+        n_states = check_integer(n_states, "n_states", minimum=1)
+        self._counts: List[int] = [0] * n_states
+
+    @property
+    def n_states(self) -> int:
+        """Number of knob states tracked."""
+        return len(self._counts)
+
+    @property
+    def per_state(self) -> Tuple[int, ...]:
+        """Simulation count of each state."""
+        return tuple(self._counts)
+
+    @property
+    def total(self) -> int:
+        """Total simulations across all states."""
+        return sum(self._counts)
+
+    def record(self, state: int, n_samples: int = 1) -> None:
+        """Count ``n_samples`` simulations against ``state``."""
+        if not 0 <= state < len(self._counts):
+            raise IndexError(
+                f"state {state} out of range 0..{len(self._counts) - 1}"
+            )
+        self._counts[state] += check_integer(
+            n_samples, "n_samples", minimum=0
+        )
+
+    def modeling_cost(
+        self, cost_model: CostModel, fitting_seconds: float = 0.0
+    ) -> ModelingCost:
+        """The ledger's total as a paper-style :class:`ModelingCost`."""
+        return cost_model.cost(self.total, fitting_seconds)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {"per_state": list(self._counts)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        counts = payload["per_state"]
+        ledger = cls(len(counts))
+        for state, count in enumerate(counts):
+            ledger.record(state, int(count))
+        return ledger
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostLedger):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostLedger(per_state={self.per_state})"
 
 
 #: Calibrated to paper Table 1 (2.72 h for 1120 samples).

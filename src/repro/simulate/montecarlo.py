@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.circuits.base import TunableCircuit
 from repro.simulate.dataset import Dataset, StateData
 from repro.utils.rng import SeedLike, spawn_generators
-from repro.utils.validation import check_integer
+from repro.utils.validation import check_integer, check_matrix
 from repro.variation.sampling import latin_hypercube, standard_normal_samples
 
 __all__ = ["MonteCarloEngine"]
@@ -90,3 +90,31 @@ class MonteCarloEngine:
             if progress is not None:
                 progress(state.index, circuit.n_states)
         return Dataset(circuit.name, states, circuit.metric_names)
+
+    def evaluate_points(
+        self, x: np.ndarray, state: int
+    ) -> Dict[str, np.ndarray]:
+        """Simulate *given* sample points at one knob state.
+
+        The active-learning path: an acquisition strategy chooses the
+        points, this evaluates exactly those — no sampling involved, so
+        the result is deterministic in ``x`` regardless of the engine's
+        seed. Returns one value vector per metric.
+        """
+        x = check_matrix(
+            x, "x", shape=(None, self.circuit.n_variables)
+        )
+        if not 0 <= state < self.circuit.n_states:
+            raise IndexError(
+                f"state {state} out of range 0..{self.circuit.n_states - 1}"
+            )
+        knob = self.circuit.states[state]
+        rows = {
+            metric: np.empty(x.shape[0])
+            for metric in self.circuit.metric_names
+        }
+        for i in range(x.shape[0]):
+            values = self.circuit.evaluate_x(x[i], knob)
+            for metric in self.circuit.metric_names:
+                rows[metric][i] = values[metric]
+        return rows

@@ -1,0 +1,29 @@
+"""Shared fixtures for the active-learning subsystem tests."""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import SyntheticOracle
+
+
+def sparse_oracle(
+    n_states=3, n_variables=8, n_active=3, noise_std=0.05, seed=0
+):
+    """A small sparse linear oracle with correlated per-state magnitudes."""
+    rng = np.random.default_rng(seed)
+    coef = np.zeros((n_states, n_variables + 1))
+    coef[:, 0] = 5.0 + 0.3 * np.arange(n_states)
+    template = rng.standard_normal(n_active) * 2.0
+    for k in range(n_states):
+        coef[k, 1 : n_active + 1] = template * (
+            1.0 + 0.1 * k + 0.05 * rng.standard_normal(n_active)
+        )
+    return SyntheticOracle(
+        coef, noise_std=noise_std, metric="gain_db", name="toy"
+    )
+
+
+@pytest.fixture
+def oracle():
+    """Default small oracle instance."""
+    return sparse_oracle()

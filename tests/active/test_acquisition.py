@@ -1,0 +1,281 @@
+"""Tests for the acquisition strategies."""
+
+import numpy as np
+import pytest
+
+from repro.active.acquisition import (
+    CorrelationAwareAllocation,
+    CostWeightedVariance,
+    RandomAcquisition,
+    VarianceAcquisition,
+)
+from repro.basis.polynomial import LinearBasis
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+from repro.simulate.cost import CostModel
+
+from tests.active.conftest import sparse_oracle
+
+FAST_INIT = InitConfig(
+    r0_grid=(0.0, 0.9), sigma0_grid=(0.1,), n_basis_grid=(3, 6), n_folds=3
+)
+FAST_EM = EmConfig(max_iterations=10)
+
+
+def fitted_model(oracle, n_per_state=12, seed=0):
+    rng = np.random.default_rng(seed)
+    basis = LinearBasis(oracle.n_variables)
+    designs, targets = [], []
+    for k in range(oracle.n_states):
+        x = rng.standard_normal((n_per_state, oracle.n_variables))
+        designs.append(basis.expand(x))
+        targets.append(oracle.observe(x, k))
+    model = CBMF(init_config=FAST_INIT, em_config=FAST_EM, seed=seed).fit(
+        designs, targets
+    )
+    return model, basis
+
+
+def make_pool(oracle, n_cand=20, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal((n_cand, oracle.n_variables))
+        for _ in range(oracle.n_states)
+    ]
+
+
+def check_picks(picks, candidates, n_select):
+    """Shared contract: one valid, duplicate-free index array per state."""
+    assert len(picks) == len(candidates)
+    total = 0
+    for pool, indices in zip(candidates, picks):
+        indices = np.asarray(indices)
+        assert indices.ndim == 1
+        if indices.size:
+            assert indices.dtype.kind == "i"
+            assert indices.min() >= 0
+            assert indices.max() < pool.shape[0]
+            assert np.unique(indices).size == indices.size
+        total += int(indices.size)
+    assert total == n_select
+
+
+class StubModel:
+    """Constant-std stand-in for strategies that only call predict_std."""
+
+    def __init__(self, scales):
+        self.scales = scales
+
+    def predict_std(self, design, state):
+        """Constant std per state."""
+        return np.full(design.shape[0], float(self.scales[state]))
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    oracle = sparse_oracle()
+    model, basis = fitted_model(oracle)
+    return oracle, model, basis
+
+
+ALL_STRATEGIES = [
+    RandomAcquisition(),
+    VarianceAcquisition(),
+    VarianceAcquisition(explore_fraction=0.0),
+    CostWeightedVariance([1.0, 2.0, 3.0]),
+    CorrelationAwareAllocation(),
+]
+
+
+class TestContract:
+    @pytest.mark.parametrize(
+        "strategy",
+        ALL_STRATEGIES,
+        ids=["random", "variance", "variance-greedy", "cost", "correlation"],
+    )
+    def test_valid_picks(self, fitted, strategy):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        rng = np.random.default_rng(3)
+        picks = strategy.select(model, basis, candidates, 7, rng)
+        check_picks(picks, candidates, 7)
+
+    def test_pool_count_mismatch(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)[:-1]
+        with pytest.raises(ValueError, match="candidate pools"):
+            RandomAcquisition().select(
+                model, basis, candidates, 4, np.random.default_rng(0)
+            )
+
+    def test_select_more_than_pool(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle, n_cand=2)
+        with pytest.raises(ValueError, match="cannot select"):
+            RandomAcquisition().select(
+                model, basis, candidates, 100, np.random.default_rng(0)
+            )
+
+    def test_describe(self):
+        assert RandomAcquisition().describe() == {"strategy": "random"}
+        described = VarianceAcquisition(0.1).describe()
+        assert described == {
+            "strategy": "variance", "explore_fraction": 0.1
+        }
+        described = CostWeightedVariance([2.0, 4.0]).describe()
+        assert described["strategy"] == "cost_weighted"
+        assert described["state_costs"] == [2.0, 4.0]
+        assert CorrelationAwareAllocation().describe() == {
+            "strategy": "correlation"
+        }
+
+
+class TestRandomAcquisition:
+    def test_even_allocation(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        picks = RandomAcquisition().select(
+            model, basis, candidates, 9, np.random.default_rng(0)
+        )
+        assert [p.size for p in picks] == [3, 3, 3]
+
+    def test_remainder_spread(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        picks = RandomAcquisition().select(
+            model, basis, candidates, 8, np.random.default_rng(0)
+        )
+        sizes = sorted(p.size for p in picks)
+        assert sizes == [2, 3, 3]
+
+    def test_small_pool_shortfall_redistributed(self, fitted):
+        oracle, model, basis = fitted
+        rng = np.random.default_rng(4)
+        candidates = [
+            rng.standard_normal((size, oracle.n_variables))
+            for size in (1, 1, 10)
+        ]
+        picks = RandomAcquisition().select(
+            model, basis, candidates, 6, np.random.default_rng(0)
+        )
+        check_picks(picks, candidates, 6)
+        assert picks[2].size >= 4
+
+
+class TestVarianceAcquisition:
+    def test_explore_fraction_validation(self):
+        with pytest.raises(ValueError, match="explore_fraction"):
+            VarianceAcquisition(explore_fraction=1.0)
+        with pytest.raises(ValueError, match="explore_fraction"):
+            VarianceAcquisition(explore_fraction=-0.1)
+
+    def test_first_pick_is_global_argmax(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        predictor = model.predictor
+        best = max(
+            (
+                (float(np.max(predictor.predict_std(basis.expand(p), k))), k,
+                 int(np.argmax(predictor.predict_std(basis.expand(p), k))))
+                for k, p in enumerate(candidates)
+            )
+        )
+        _, best_state, best_index = best
+        picks = VarianceAcquisition(explore_fraction=0.0).select(
+            model, basis, candidates, 1, np.random.default_rng(0)
+        )
+        assert picks[best_state].tolist() == [best_index]
+
+    def test_fantasy_conditioning_diversifies(self, fitted):
+        """With conditioning, a batch never doubles down on one unknown:
+        the greedy picks stay distinct even in a pool of near-duplicates."""
+        oracle, model, basis = fitted
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal(oracle.n_variables)
+        near_duplicates = base + 1e-6 * rng.standard_normal(
+            (15, oracle.n_variables)
+        )
+        candidates = [near_duplicates.copy() for _ in range(oracle.n_states)]
+        picks = VarianceAcquisition(explore_fraction=0.0).select(
+            model, basis, candidates, 6, np.random.default_rng(0)
+        )
+        check_picks(picks, candidates, 6)
+        # without conditioning every pick would chase the same duplicate
+        # point in the most-uncertain state; with it the batch spreads
+        # across states (correlated-but-distinct unknowns)
+        assert sum(1 for p in picks if p.size) >= 2
+
+
+class TestCostWeightedVariance:
+    def test_picks_flow_to_cheap_state(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        strategy = CostWeightedVariance(
+            [1.0, 100.0, 100.0], explore_fraction=0.0
+        )
+        picks = strategy.select(
+            model, basis, candidates, 4, np.random.default_rng(0)
+        )
+        check_picks(picks, candidates, 4)
+        assert picks[0].size >= 3
+
+    def test_accepts_cost_models(self):
+        strategy = CostWeightedVariance([CostModel(2.0), CostModel(8.0)])
+        assert strategy.state_costs == [2.0, 8.0]
+
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ValueError, match="positive"):
+            CostWeightedVariance([1.0, 0.0])
+        with pytest.raises(ValueError, match="positive"):
+            CostWeightedVariance([])
+
+
+class TestCorrelationAwareAllocation:
+    def test_allocation_follows_uncertainty_mass(self):
+        model = StubModel([1.0, 1.0, 10.0])
+        basis = LinearBasis(4)
+        rng = np.random.default_rng(0)
+        candidates = [rng.standard_normal((20, 4)) for _ in range(3)]
+        picks = CorrelationAwareAllocation().select(
+            model, basis, candidates, 10, rng
+        )
+        check_picks(picks, candidates, 10)
+        assert picks[2].size >= 8
+
+    def test_pool_cap_overflow_redistributed(self):
+        model = StubModel([1.0, 1.0, 10.0])
+        basis = LinearBasis(4)
+        rng = np.random.default_rng(0)
+        candidates = [
+            rng.standard_normal((size, 4)) for size in (10, 10, 3)
+        ]
+        picks = CorrelationAwareAllocation().select(
+            model, basis, candidates, 9, rng
+        )
+        check_picks(picks, candidates, 9)
+        assert picks[2].size == 3
+
+    def test_degenerate_variance_falls_back_to_uniform(self):
+        model = StubModel([0.0, 0.0, 0.0])
+        basis = LinearBasis(4)
+        rng = np.random.default_rng(0)
+        candidates = [rng.standard_normal((20, 4)) for _ in range(3)]
+        picks = CorrelationAwareAllocation().select(
+            model, basis, candidates, 6, rng
+        )
+        assert [p.size for p in picks] == [2, 2, 2]
+
+    def test_picks_are_top_variance(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        picks = CorrelationAwareAllocation().select(
+            model, basis, candidates, 6, np.random.default_rng(0)
+        )
+        for k, pool in enumerate(candidates):
+            if not picks[k].size:
+                continue
+            std = model.predict_std(basis.expand(pool), k)
+            worst_picked = std[picks[k]].min()
+            unpicked = np.setdiff1d(np.arange(pool.shape[0]), picks[k])
+            assert worst_picked >= std[unpicked].max() - 1e-12

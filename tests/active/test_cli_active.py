@@ -1,0 +1,77 @@
+"""Tests for the ``active-fit`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["active-fit"])
+        assert args.command == "active-fit"
+        assert args.circuit == "lna"
+        assert args.strategy == "variance"
+        assert args.states == 4
+        assert args.rounds == 6
+        assert args.batch == 8
+        assert args.explore == 0.25
+        assert args.seed == 2016
+        assert args.budget is None
+        assert args.resume is False
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["active-fit", "--strategy", "magic"])
+
+    def test_circuit_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["active-fit", "--circuit", "pll"])
+
+
+TINY = [
+    "active-fit",
+    "--states", "3",
+    "--rounds", "2",
+    "--init", "3",
+    "--batch", "4",
+    "--candidates", "12",
+    "--holdout", "8",
+    "--seed", "7",
+]
+
+
+class TestEndToEnd:
+    def test_run_and_push(self, capsys, tmp_path):
+        registry_root = str(tmp_path / "registry")
+        assert main(TINY + ["--registry", registry_root]) == 0
+        out = capsys.readouterr().out
+        assert "active-fit lna:" in out
+        assert "strategy=variance" in out
+        assert "stopped: max_rounds" in out
+        assert "simulations: 13 " in out  # 3x3 init + one batch of 4
+        assert "pushed lna@v1" in out
+
+        # the printed manifest block parses and records the provenance
+        meta = json.loads(out[out.index("{"):])
+        assert meta["strategy"] == "variance"
+        assert meta["rounds"] == 2
+        assert meta["total_simulations"] == 13
+        assert meta["stop_reason"] == "max_rounds"
+        assert "simulation_seconds" in meta
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ckpt")
+        argv = TINY + ["--checkpoint", checkpoint]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # rerunning with --resume picks the checkpoint up cleanly
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "active-fit lna:" in out
+
+    def test_random_strategy(self, capsys):
+        assert main(TINY + ["--strategy", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=random" in out

@@ -1,0 +1,78 @@
+"""Tests for the round-by-round fit history."""
+
+import pytest
+
+from repro.active.history import FitHistory, RoundRecord
+
+
+def record(index, total=10, rmse=1.0, best=None, added=(2, 2)):
+    return RoundRecord(
+        round_index=index,
+        n_samples_total=total,
+        n_samples_per_state=(total // 2, total - total // 2),
+        n_added_per_state=tuple(added),
+        holdout_rmse=rmse,
+        best_rmse=best if best is not None else rmse,
+        noise_std=0.05,
+        refit="warm" if index else "cold",
+        wall_seconds=0.1,
+    )
+
+
+class TestRoundRecord:
+    def test_round_trip(self):
+        original = record(3, total=42, rmse=0.25)
+        clone = RoundRecord.from_dict(original.to_dict())
+        assert clone == original
+
+    def test_dict_is_json_friendly(self):
+        import json
+
+        payload = record(0).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestFitHistory:
+    def test_append_enforces_order(self):
+        history = FitHistory(strategy="variance", metric="gain_db")
+        history.append(record(0))
+        with pytest.raises(ValueError, match="expected round 1"):
+            history.append(record(2))
+        history.append(record(1))
+        assert history.n_rounds == 2
+
+    def test_aggregates(self):
+        history = FitHistory(strategy="variance", metric="gain_db")
+        assert history.total_samples == 0
+        assert history.best_rmse == float("inf")
+        history.append(record(0, total=8, rmse=1.0))
+        history.append(record(1, total=16, rmse=0.4))
+        history.append(record(2, total=24, rmse=0.6))
+        assert history.total_samples == 24
+        assert history.best_rmse == 0.4
+
+    def test_samples_to_reach(self):
+        history = FitHistory(strategy="variance", metric="gain_db")
+        history.append(record(0, total=8, rmse=1.0))
+        history.append(record(1, total=16, rmse=0.4))
+        history.append(record(2, total=24, rmse=0.1))
+        assert history.samples_to_reach(0.5) == 16
+        assert history.samples_to_reach(0.1) == 24
+        assert history.samples_to_reach(0.01) is None
+
+    def test_json_round_trip(self, tmp_path):
+        history = FitHistory(
+            strategy="random", metric="nf_db", stop_reason="budget"
+        )
+        history.append(record(0, total=6, rmse=0.9))
+        history.append(record(1, total=12, rmse=0.5))
+
+        from_text = FitHistory.from_json(history.to_json())
+        assert from_text.to_dict() == history.to_dict()
+
+        path = tmp_path / "history.json"
+        history.to_json(path)
+        from_file = FitHistory.from_json(path)
+        assert from_file.to_dict() == history.to_dict()
+        assert from_file.stop_reason == "budget"
+        assert from_file.rounds[1].n_samples_total == 12

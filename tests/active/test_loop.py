@@ -1,0 +1,261 @@
+"""Tests for the budgeted, resumable active fit loop."""
+
+import numpy as np
+import pytest
+
+from repro.active import (
+    ActiveFitConfig,
+    ActiveFitLoop,
+    StoppingRule,
+    push_result,
+)
+from repro.active.oracle import Oracle
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+from repro.serving import ModelRegistry
+from repro.simulate.cost import CostModel
+
+from tests.active.conftest import sparse_oracle
+
+FAST_INIT = InitConfig(
+    r0_grid=(0.0, 0.9), sigma0_grid=(0.1,), n_basis_grid=(3, 6), n_folds=3
+)
+FAST_EM = EmConfig(max_iterations=10)
+
+
+def make_config(**overrides):
+    base = dict(
+        metric="gain_db",
+        strategy="variance",
+        init_per_state=3,
+        batch_per_round=4,
+        n_candidates=16,
+        holdout_per_state=12,
+        stopping=StoppingRule(max_rounds=4),
+        seed=123,
+        init_config=FAST_INIT,
+        em_config=FAST_EM,
+    )
+    base.update(overrides)
+    return ActiveFitConfig(**base)
+
+
+def strip_walltime(history):
+    """History as a dict with the only nondeterministic field zeroed."""
+    payload = history.to_dict()
+    for entry in payload["rounds"]:
+        entry["wall_seconds"] = 0.0
+    return payload
+
+
+class CrashingOracle(Oracle):
+    """Wrapper that raises once a simulation budget is exceeded.
+
+    Emulates a simulator crash mid-acquisition; holdout (truth) calls do
+    not count against the budget.
+    """
+
+    def __init__(self, inner, fail_after):
+        self.inner = inner
+        self.name = inner.name
+        self.n_states = inner.n_states
+        self.n_variables = inner.n_variables
+        self.metric = inner.metric
+        self.fail_after = fail_after
+        self.seen = 0
+
+    def observe(self, x, state):
+        """Delegate, but crash once ``fail_after`` samples were served."""
+        self.seen += x.shape[0]
+        if self.seen > self.fail_after:
+            raise RuntimeError("simulator crashed")
+        return self.inner.observe(x, state)
+
+    def truth(self, x, state):
+        """Delegate (free of charge: not a simulation)."""
+        return self.inner.truth(x, state)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        config = make_config()
+        first = ActiveFitLoop(sparse_oracle(), config).run()
+        second = ActiveFitLoop(sparse_oracle(), config).run()
+        assert strip_walltime(first.history) == strip_walltime(
+            second.history
+        )
+        assert np.array_equal(first.model.coef_, second.model.coef_)
+        assert first.ledger == second.ledger
+
+    def test_seed_changes_trajectory(self):
+        first = ActiveFitLoop(sparse_oracle(), make_config(seed=1)).run()
+        second = ActiveFitLoop(sparse_oracle(), make_config(seed=2)).run()
+        assert not np.array_equal(first.model.coef_, second.model.coef_)
+
+
+class TestStoppingRules:
+    def test_max_rounds(self):
+        result = ActiveFitLoop(sparse_oracle(), make_config()).run()
+        assert result.history.stop_reason == "max_rounds"
+        assert result.history.n_rounds == 4
+        # the stopping round buys nothing
+        assert result.history.rounds[-1].n_added_per_state == (0, 0, 0)
+        # earlier rounds each buy the batch
+        assert sum(result.history.rounds[0].n_added_per_state) == 4
+
+    def test_budget_exhausted_exactly(self):
+        config = make_config(
+            stopping=StoppingRule(max_rounds=10, max_samples=15)
+        )
+        result = ActiveFitLoop(sparse_oracle(), config).run()
+        assert result.history.stop_reason == "budget"
+        # init 3x3=9, then 4, then a shrunken batch of 2: exactly 15
+        assert result.total_samples == 15
+        assert result.dataset.n_samples_total == 15
+
+    def test_plateau(self):
+        config = make_config(
+            stopping=StoppingRule(
+                max_rounds=8, plateau_patience=1, plateau_rel_tol=0.01
+            )
+        )
+        oracle = sparse_oracle(noise_std=0.0)  # exactly learnable
+        result = ActiveFitLoop(oracle, config).run()
+        assert result.history.stop_reason == "plateau"
+        assert result.history.n_rounds < 8
+
+    def test_std_collapse(self):
+        config = make_config(
+            stopping=StoppingRule(max_rounds=8, std_collapse=1e6)
+        )
+        result = ActiveFitLoop(sparse_oracle(), config).run()
+        assert result.history.stop_reason == "std_collapse"
+        assert result.history.n_rounds == 1
+
+    def test_accuracy_improves_over_rounds(self):
+        result = ActiveFitLoop(sparse_oracle(), make_config()).run()
+        first = result.history.rounds[0].holdout_rmse
+        assert result.history.best_rmse < first
+
+
+class TestValidation:
+    def test_init_per_state_floor(self):
+        with pytest.raises(ValueError, match="init_per_state"):
+            ActiveFitLoop(sparse_oracle(), make_config(init_per_state=1))
+
+    def test_batch_floor(self):
+        with pytest.raises(ValueError, match="batch_per_round"):
+            ActiveFitLoop(sparse_oracle(), make_config(batch_per_round=0))
+
+    def test_resume_requires_checkpoint_dir(self):
+        loop = ActiveFitLoop(sparse_oracle(), make_config())
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            loop.run(resume=True)
+
+    def test_resume_requires_existing_checkpoint(self, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path / "empty"))
+        with pytest.raises(FileNotFoundError, match="no checkpoint"):
+            ActiveFitLoop(sparse_oracle(), config).run(resume=True)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError, match="unknown acquisition"):
+            ActiveFitLoop(sparse_oracle(), make_config(strategy="magic"))
+
+
+class TestCheckpointResume:
+    def test_checkpoint_files_written(self, tmp_path):
+        import json
+
+        config = make_config(checkpoint_dir=str(tmp_path))
+        ActiveFitLoop(sparse_oracle(), config).run()
+        assert (tmp_path / "loop.json").exists()
+        assert (tmp_path / "data.npz").exists()
+        assert (tmp_path / "arrays.npz").exists()
+        payload = json.loads((tmp_path / "loop.json").read_text())
+        assert payload["finished"] is True
+        assert payload["stop_reason"] == "max_rounds"
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path))
+        ActiveFitLoop(sparse_oracle(), config).run()
+        changed = make_config(
+            checkpoint_dir=str(tmp_path), batch_per_round=5
+        )
+        loop = ActiveFitLoop(sparse_oracle(), changed)
+        with pytest.raises(ValueError, match="different configuration"):
+            loop.run(resume=True)
+
+    def test_interrupted_resume_equals_uninterrupted(self, tmp_path):
+        """The headline guarantee: crash + resume = never crashed."""
+        config_a = make_config(checkpoint_dir=str(tmp_path / "a"))
+        reference = ActiveFitLoop(sparse_oracle(), config_a).run()
+
+        # Crash during round 1's acquisition: init spends 9, round 0
+        # buys 4 (13 total), round 1's batch crosses the 14 threshold.
+        config_b = make_config(checkpoint_dir=str(tmp_path / "b"))
+        crashing = CrashingOracle(sparse_oracle(), fail_after=14)
+        with pytest.raises(RuntimeError, match="simulator crashed"):
+            ActiveFitLoop(crashing, config_b).run()
+        assert 15 <= crashing.seen <= 17  # it really died mid-round-1
+        assert (tmp_path / "b" / "loop.json").exists()
+
+        resumed = ActiveFitLoop(sparse_oracle(), config_b).run(resume=True)
+        assert strip_walltime(resumed.history) == strip_walltime(
+            reference.history
+        )
+        assert np.array_equal(resumed.model.coef_, reference.model.coef_)
+        assert resumed.ledger == reference.ledger
+        assert resumed.holdout_rmse == reference.holdout_rmse
+
+    def test_resume_of_finished_run_keeps_history(self, tmp_path):
+        """Resuming past the end must not append rounds or spend samples."""
+        import json
+
+        config = make_config(checkpoint_dir=str(tmp_path))
+        finished = ActiveFitLoop(sparse_oracle(), config).run()
+
+        counting = CrashingOracle(sparse_oracle(), fail_after=10**9)
+        resumed = ActiveFitLoop(counting, config).run(resume=True)
+        assert strip_walltime(resumed.history) == strip_walltime(
+            finished.history
+        )
+        assert resumed.ledger == finished.ledger
+        assert counting.seen == 0  # no new simulations were bought
+        assert np.isfinite(resumed.holdout_rmse)
+        assert resumed.model.coef_.shape == finished.model.coef_.shape
+
+        # The checkpoint is untouched, so resuming again is idempotent.
+        before = (tmp_path / "loop.json").read_text()
+        again = ActiveFitLoop(sparse_oracle(), config).run(resume=True)
+        assert (tmp_path / "loop.json").read_text() == before
+        assert np.array_equal(again.model.coef_, resumed.model.coef_)
+        assert json.loads(before)["finished"] is True
+
+
+class TestPushResult:
+    def test_manifest_records_acquisition(self, tmp_path):
+        result = ActiveFitLoop(sparse_oracle(), make_config()).run()
+        loop = ActiveFitLoop(sparse_oracle(), make_config())
+        registry = ModelRegistry(tmp_path / "registry")
+        entry = push_result(
+            registry, "toy-active", result, loop.basis,
+            cost_model=CostModel(2.0),
+        )
+        assert entry.key == "toy-active@v1"
+        meta = entry.manifest["acquisition"]
+        assert meta["strategy"] == "variance"
+        assert meta["metric"] == "gain_db"
+        assert meta["rounds"] == result.history.n_rounds
+        assert meta["stop_reason"] == "max_rounds"
+        assert meta["total_simulations"] == result.total_samples
+        assert meta["simulations_per_state"] == list(
+            result.ledger.per_state
+        )
+        assert meta["simulation_seconds"] == pytest.approx(
+            2.0 * result.total_samples
+        )
+
+        served = registry.load(entry.key)
+        x = np.zeros(result.model.coef_.shape[1] - 1)
+        prediction = served.predict_point(x, state=0)
+        assert np.isfinite(prediction["gain_db"])

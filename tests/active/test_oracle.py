@@ -1,0 +1,117 @@
+"""Tests for the simulation oracles."""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import (
+    CircuitOracle,
+    SyntheticOracle,
+    linearized_surrogate,
+)
+from repro.circuits.lna import TunableLNA
+
+from tests.active.conftest import sparse_oracle
+
+
+class TestSyntheticOracle:
+    def test_truth_is_linear_response(self):
+        coef = np.array([[1.0, 2.0, 0.0], [0.5, -1.0, 3.0]])
+        oracle = SyntheticOracle(coef)
+        x = np.array([[1.0, 1.0], [0.0, 2.0]])
+        assert np.allclose(oracle.truth(x, 0), [3.0, 1.0])
+        assert np.allclose(oracle.truth(x, 1), [2.5, 6.5])
+
+    def test_noiseless_observe_equals_truth(self):
+        oracle = sparse_oracle(noise_std=0.0)
+        x = np.random.default_rng(0).standard_normal(
+            (5, oracle.n_variables)
+        )
+        assert np.array_equal(oracle.observe(x, 1), oracle.truth(x, 1))
+
+    def test_observation_is_pure_function_of_the_point(self):
+        """Same point, any call order or batch shape: same noisy value.
+
+        This is what makes checkpoint resume bit-identical."""
+        oracle = sparse_oracle(noise_std=0.1)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((6, oracle.n_variables))
+        whole = oracle.observe(x, 0)
+        shuffled = oracle.observe(x[::-1].copy(), 0)[::-1]
+        assert np.array_equal(whole, shuffled)
+        # batching only changes the BLAS summation path of the latent
+        # linear response, never the hash-seeded noise
+        one_by_one = np.concatenate(
+            [oracle.observe(x[i : i + 1], 0) for i in range(6)]
+        )
+        assert np.allclose(whole, one_by_one, rtol=0.0, atol=1e-12)
+
+    def test_noise_differs_across_states_and_points(self):
+        oracle = sparse_oracle(noise_std=0.1)
+        x = np.random.default_rng(2).standard_normal(
+            (4, oracle.n_variables)
+        )
+        noise0 = oracle.observe(x, 0) - oracle.truth(x, 0)
+        noise1 = oracle.observe(x, 1) - oracle.truth(x, 1)
+        assert not np.allclose(noise0, noise1)
+        assert np.unique(np.round(noise0, 12)).size == 4
+
+    def test_validation(self):
+        coef = np.ones((2, 3))
+        with pytest.raises(ValueError, match="noise_std"):
+            SyntheticOracle(coef, noise_std=-0.1)
+        with pytest.raises(IndexError):
+            SyntheticOracle(coef).truth(np.zeros((1, 2)), 5)
+        from repro.basis.polynomial import LinearBasis
+
+        with pytest.raises(ValueError, match="basis"):
+            SyntheticOracle(coef, basis=LinearBasis(5))
+
+
+class TestCircuitOracle:
+    def test_matches_engine_run(self):
+        from repro.simulate.montecarlo import MonteCarloEngine
+
+        lna = TunableLNA(n_states=3)
+        oracle = CircuitOracle(lna, "gain_db")
+        data = MonteCarloEngine(lna, seed=0).run(5)
+        for k in range(3):
+            x = data.states[k].x
+            assert np.allclose(
+                oracle.observe(x, k), data.states[k].y["gain_db"]
+            )
+
+    def test_shapes_and_metadata(self):
+        lna = TunableLNA(n_states=3)
+        oracle = CircuitOracle(lna, "nf_db")
+        assert oracle.n_states == 3
+        assert oracle.n_variables == lna.n_variables
+        assert oracle.name == lna.name
+        x = np.zeros((2, lna.n_variables))
+        assert oracle.observe(x, 0).shape == (2,)
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError, match="no metric"):
+            CircuitOracle(TunableLNA(n_states=2), "ghost_db")
+
+
+class TestLinearizedSurrogate:
+    def test_sparse_padded_structure(self):
+        lna = TunableLNA(n_states=3)
+        oracle = linearized_surrogate(
+            lna, "gain_db", n_keep=4, n_variables=10,
+            n_reference_per_state=25, seed=3,
+        )
+        assert oracle.n_states == 3
+        assert oracle.n_variables == 10
+        assert oracle.coefficients.shape == (3, 11)
+        # only the intercept and the first n_keep variables are active
+        assert np.all(oracle.coefficients[:, 5:] == 0.0)
+        assert np.any(oracle.coefficients[:, 1:5] != 0.0)
+        assert oracle.name.endswith("-linearized")
+
+    def test_validation(self):
+        lna = TunableLNA(n_states=2)
+        with pytest.raises(ValueError, match="n_keep"):
+            linearized_surrogate(lna, "gain_db", n_keep=0)
+        with pytest.raises(ValueError, match="n_keep"):
+            linearized_surrogate(lna, "gain_db", n_keep=9, n_variables=4)

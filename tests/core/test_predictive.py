@@ -84,6 +84,55 @@ class TestPosteriorPredictor:
         many = build(60).predict_std(query, 0).mean()
         assert many < few
 
+    def test_std_shrinks_monotonically_with_nested_data(self):
+        """On nested designs (each a prefix of the next) the predictive
+        variance is monotone in N point-wise, not just on average."""
+        rng = np.random.default_rng(8)
+        prior = CorrelatedPrior(
+            rng.uniform(0.3, 1.5, 5), ar1_correlation(3, 0.6)
+        )
+        query = rng.standard_normal((25, 5))
+        full = [rng.standard_normal((64, 5)) for _ in range(3)]
+        values = [rng.standard_normal(64) for _ in range(3)]
+        previous = None
+        for n in (4, 8, 16, 32, 64):
+            predictor = PosteriorPredictor(
+                [d[:n] for d in full], [t[:n] for t in values], prior, 0.2
+            )
+            std = predictor.predict_std(query, 0)
+            if previous is not None:
+                assert np.all(std <= previous + 1e-10)
+                assert std.mean() < previous.mean()
+            previous = std
+
+    def test_variance_matches_brute_force_gp_identity(self):
+        """σ² = k** − kᵀ C⁻¹ k computed with dense solves on a tiny case."""
+        designs, targets, prior = small_instance(9, n_states=2, n_basis=4, n=5)
+        noise = 0.3
+        predictor = PosteriorPredictor(designs, targets, prior, noise)
+        phi = np.vstack(designs)
+        state_of_row = np.repeat([0, 1], 5)
+        gram = (phi * prior.lambdas) @ phi.T
+        c_matrix = gram * prior.correlation[
+            np.ix_(state_of_row, state_of_row)
+        ] + noise * np.eye(10)
+        query = np.random.default_rng(10).standard_normal((7, 4))
+        for state in range(2):
+            cross = (phi * prior.lambdas) @ query.T
+            cross *= prior.correlation[state_of_row, state][:, None]
+            prior_var = prior.correlation[state, state] * np.einsum(
+                "ij,j,ij->i", query, prior.lambdas, query
+            )
+            expected = np.sqrt(
+                prior_var
+                - np.einsum(
+                    "iq,iq->q", cross, np.linalg.solve(c_matrix, cross)
+                )
+            )
+            assert np.allclose(
+                predictor.predict_std(query, state), expected, atol=1e-9
+            )
+
     def test_validation(self):
         designs, targets, prior = small_instance(7)
         with pytest.raises(ValueError, match="noise_var"):
@@ -94,6 +143,61 @@ class TestPosteriorPredictor:
         predictor = PosteriorPredictor(designs, targets, prior, 0.1)
         with pytest.raises(IndexError):
             predictor.predict_std(np.zeros((1, 6)), 99)
+
+
+class TestAugmented:
+    def test_mean_unchanged_variance_shrinks(self):
+        """Fantasy conditioning: mean function fixed, variance tightened."""
+        designs, targets, prior = small_instance(12)
+        predictor = PosteriorPredictor(designs, targets, prior, 0.2)
+        rng = np.random.default_rng(13)
+        extra = rng.standard_normal((3, 6))
+        query = rng.standard_normal((15, 6))
+        conditioned = predictor.augmented(extra, 1)
+        for state in range(3):
+            assert np.allclose(
+                predictor.predict_mean(query, state),
+                conditioned.predict_mean(query, state),
+                atol=1e-8,
+            )
+            before = predictor.predict_std(query, state)
+            after = conditioned.predict_std(query, state)
+            assert np.all(after <= before + 1e-10)
+        # at the conditioned points themselves the shrink is strict
+        assert np.all(
+            conditioned.predict_std(extra, 1)
+            < predictor.predict_std(extra, 1)
+        )
+
+    def test_matches_real_observation_variance(self):
+        """The variance after a fantasy update equals the variance after
+        conditioning on a *real* observation at the same point (the GP
+        posterior variance never sees the targets)."""
+        designs, targets, prior = small_instance(14)
+        predictor = PosteriorPredictor(designs, targets, prior, 0.2)
+        rng = np.random.default_rng(15)
+        point = rng.standard_normal((1, 6))
+        query = rng.standard_normal((10, 6))
+        fantasy = predictor.augmented(point, 0)
+        real_designs = [d.copy() for d in designs]
+        real_targets = [t.copy() for t in targets]
+        real_designs[0] = np.vstack([real_designs[0], point])
+        real_targets[0] = np.append(real_targets[0], 123.456)
+        real = PosteriorPredictor(real_designs, real_targets, prior, 0.2)
+        for state in range(3):
+            assert np.allclose(
+                fantasy.predict_std(query, state),
+                real.predict_std(query, state),
+                atol=1e-9,
+            )
+
+    def test_validation(self):
+        designs, targets, prior = small_instance(16)
+        predictor = PosteriorPredictor(designs, targets, prior, 0.2)
+        with pytest.raises(IndexError):
+            predictor.augmented(np.zeros((1, 6)), 42)
+        with pytest.raises(ValueError):
+            predictor.augmented(np.zeros((1, 99)), 0)
 
 
 class TestAgainstDenseCovariance:

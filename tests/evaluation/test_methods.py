@@ -44,3 +44,39 @@ class TestRegistry:
     def test_seed_forwarded(self):
         model = make_estimator("cbmf", seed=42)
         assert model.seed == 42
+
+
+class TestAcquisitionRegistry:
+    def test_expected_strategies(self):
+        from repro.evaluation.methods import available_acquisitions
+
+        assert available_acquisitions() == (
+            "correlation",
+            "cost_weighted",
+            "random",
+            "variance",
+        )
+
+    def test_instantiation(self):
+        from repro.active.acquisition import (
+            CostWeightedVariance,
+            RandomAcquisition,
+            VarianceAcquisition,
+        )
+        from repro.evaluation.methods import make_acquisition
+
+        assert isinstance(make_acquisition("random"), RandomAcquisition)
+        strategy = make_acquisition("variance", explore_fraction=0.1)
+        assert isinstance(strategy, VarianceAcquisition)
+        assert strategy.explore_fraction == 0.1
+        weighted = make_acquisition(
+            "cost_weighted", state_costs=[1.0, 2.0]
+        )
+        assert isinstance(weighted, CostWeightedVariance)
+        assert weighted.state_costs == [1.0, 2.0]
+
+    def test_unknown_strategy(self):
+        from repro.evaluation.methods import make_acquisition
+
+        with pytest.raises(KeyError, match="unknown acquisition"):
+            make_acquisition("magic")

@@ -73,3 +73,44 @@ class TestSweepTable:
         assert "Fig 2b" in table and "NF" in table
         assert "160" in table and "320" in table
         assert "2.000%" in table and "0.800%" in table
+
+
+class TestActiveHistoryTable:
+    def make_history(self):
+        from repro.active.history import FitHistory, RoundRecord
+
+        history = FitHistory(
+            strategy="variance", metric="nf_db", stop_reason="plateau"
+        )
+        history.append(RoundRecord(
+            round_index=0, n_samples_total=12,
+            n_samples_per_state=(6, 6), n_added_per_state=(4, 4),
+            holdout_rmse=0.5, best_rmse=0.5, noise_std=0.05,
+            refit="cold", wall_seconds=0.25,
+        ))
+        history.append(RoundRecord(
+            round_index=1, n_samples_total=20,
+            n_samples_per_state=(10, 10), n_added_per_state=(0, 0),
+            holdout_rmse=0.125, best_rmse=0.125, noise_std=0.05,
+            refit="warm", wall_seconds=0.125,
+        ))
+        return history
+
+    def test_renders_rounds_and_stop_reason(self):
+        from repro.evaluation.report import format_active_history
+
+        table = format_active_history(self.make_history())
+        assert "strategy=variance" in table and "metric=nf_db" in table
+        assert "0.50000" in table and "0.12500" in table
+        assert "cold" in table and "warm" in table
+        assert table.splitlines()[-1] == "stopped: plateau"
+        # one header line, one column line, two rounds, one stop line
+        assert len(table.splitlines()) == 5
+
+    def test_custom_title(self):
+        from repro.evaluation.report import format_active_history
+
+        table = format_active_history(
+            self.make_history(), title="My Run"
+        )
+        assert table.startswith("My Run")

@@ -57,6 +57,29 @@ class TestPush:
         with pytest.raises(TypeError, match="PerformanceModelSet"):
             registry.push("x", object())
 
+    def test_extra_metadata_merged_into_manifest(
+        self, registry, served_modelset
+    ):
+        entry = registry.push(
+            "lna",
+            served_modelset,
+            extra={"acquisition": {"strategy": "variance", "rounds": 5}},
+        )
+        assert entry.manifest["acquisition"] == {
+            "strategy": "variance", "rounds": 5
+        }
+        # and it survives a fresh read from disk
+        reread = ModelRegistry(registry.root).entry("lna@v1")
+        assert reread.manifest["acquisition"]["rounds"] == 5
+
+    def test_extra_metadata_reserved_keys_rejected(
+        self, registry, served_modelset
+    ):
+        with pytest.raises(RegistryError, match="may not override"):
+            registry.push(
+                "lna", served_modelset, extra={"kind": "sneaky"}
+            )
+
     def test_manifest_contents(self, pushed, served_modelset):
         manifest = json.loads((pushed.path / MANIFEST_NAME).read_text())
         assert manifest["kind"] == "modelset"

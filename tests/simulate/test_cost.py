@@ -1,8 +1,9 @@
-"""Tests for the modeling-cost model."""
+"""Tests for the modeling-cost model and the simulation ledger."""
 
 import pytest
 
 from repro.simulate.cost import (
+    CostLedger,
     CostModel,
     LNA_COST_MODEL,
     MIXER_COST_MODEL,
@@ -60,3 +61,56 @@ class TestModelingCost:
         assert cost.simulation_hours == 2.0
         assert cost.total_seconds == 10800.0
         assert cost.total_hours == 3.0
+
+
+class TestCostLedger:
+    def test_counts_per_state(self):
+        ledger = CostLedger(3)
+        assert ledger.n_states == 3
+        assert ledger.per_state == (0, 0, 0)
+        assert ledger.total == 0
+        ledger.record(0, 5)
+        ledger.record(2, 3)
+        ledger.record(0)  # defaults to one sample
+        assert ledger.per_state == (6, 0, 3)
+        assert ledger.total == 9
+
+    def test_round_trip(self):
+        ledger = CostLedger(2)
+        ledger.record(0, 4)
+        ledger.record(1, 7)
+        clone = CostLedger.from_dict(ledger.to_dict())
+        assert clone == ledger
+        assert clone.per_state == (4, 7)
+        # equality is by content, not identity
+        other = CostLedger(2)
+        other.record(0, 4)
+        assert other != ledger
+        other.record(1, 7)
+        assert other == ledger
+
+    def test_dict_is_json_friendly(self):
+        import json
+
+        ledger = CostLedger(2)
+        ledger.record(1, 3)
+        payload = ledger.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_modeling_cost(self):
+        ledger = CostLedger(2)
+        ledger.record(0, 100)
+        ledger.record(1, 260)
+        cost = ledger.modeling_cost(CostModel(10.0), fitting_seconds=1800.0)
+        assert cost.n_samples == 360
+        assert cost.simulation_hours == pytest.approx(1.0)
+        assert cost.total_hours == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostLedger(0)
+        ledger = CostLedger(2)
+        with pytest.raises(IndexError):
+            ledger.record(5, 1)
+        with pytest.raises(ValueError):
+            ledger.record(0, -1)

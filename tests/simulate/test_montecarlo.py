@@ -75,3 +75,33 @@ class TestRun:
             2, progress=lambda index, total: seen.append((index, total))
         )
         assert len(seen) == tiny_lna.n_states
+
+
+class TestEvaluatePoints:
+    def test_matches_run_targets(self, tiny_lna):
+        """Re-evaluating a run's own points reproduces its targets."""
+        engine = MonteCarloEngine(tiny_lna, seed=11)
+        data = engine.run(4)
+        for k, state_data in enumerate(data.states):
+            values = engine.evaluate_points(state_data.x, k)
+            assert set(values) == set(tiny_lna.metric_names)
+            for metric in tiny_lna.metric_names:
+                assert np.allclose(values[metric], state_data.y[metric])
+
+    def test_deterministic(self, tiny_lna):
+        engine = MonteCarloEngine(tiny_lna, seed=12)
+        x = np.random.default_rng(0).standard_normal(
+            (3, tiny_lna.n_variables)
+        )
+        first = engine.evaluate_points(x, 0)
+        second = engine.evaluate_points(x, 0)
+        for metric in first:
+            assert np.array_equal(first[metric], second[metric])
+
+    def test_validation(self, tiny_lna):
+        engine = MonteCarloEngine(tiny_lna)
+        good = np.zeros((2, tiny_lna.n_variables))
+        with pytest.raises(IndexError):
+            engine.evaluate_points(good, 99)
+        with pytest.raises(ValueError):
+            engine.evaluate_points(np.zeros((2, 1)), 0)

@@ -48,6 +48,13 @@ class TestExamples:
         assert "hot-swapped to version 2" in out
         assert "cache hit rate" in out
 
+    def test_active_learning_demo(self):
+        out = run_example("active_learning_demo.py")
+        assert "strategy=variance" in out
+        assert "pushed lna-active@v1" in out
+        assert "manifest acquisition metadata:" in out
+        assert "served prediction at the typical corner" in out
+
     @pytest.mark.parametrize(
         "name",
         [
@@ -59,6 +66,7 @@ class TestExamples:
             "adaptive_vco.py",
             "lna_noise_budget.py",
             "serving_demo.py",
+            "active_learning_demo.py",
         ],
     )
     def test_example_compiles(self, name):
