@@ -1,0 +1,336 @@
+"""Benchmark regression harness — ``python -m repro bench``.
+
+Measures the two hot paths of the package and emits machine-readable
+reports next to the working directory:
+
+* ``BENCH_fit.json`` — the C-BMF fitting pipeline on the figure-2 LNA
+  workload: full ``CBMF.fit``, the S-OMP/cross-validation initializer,
+  the EM refinement and one posterior solve;
+* ``BENCH_serving.json`` — the micro-batched serving engine
+  (``predict_many`` throughput on a fitted model set).
+
+Each report carries the workload fingerprint (circuit, scale, shapes,
+repeat count) plus environment info, and every timing is the **median**
+over ``--repeats`` runs so a single scheduler hiccup cannot fail CI.
+
+``--check`` compares the fresh numbers against committed baselines
+(``benchmarks/baselines/`` by default) and exits non-zero when any
+timing regresses beyond ``--threshold`` (default 1.5×). Baselines are
+refreshed by re-running with ``--update-baseline`` on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "bench_fit",
+    "bench_serving",
+    "check_regression",
+    "main_bench",
+]
+
+#: Default location of the committed baselines.
+BASELINE_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+#: Default regression gate: fail CI when current > baseline × threshold.
+DEFAULT_THRESHOLD = 1.5
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock of ``repeats`` calls (first call also warms)."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return float(statistics.median(samples))
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def bench_fit(
+    scale_name: str = "medium", repeats: int = 3, seed: int = 2016
+) -> dict:
+    """Time the fit path on the figure-2 LNA workload at ``scale_name``."""
+    from repro.basis.polynomial import LinearBasis
+    from repro.core.cbmf import CBMF
+    from repro.core.posterior import compute_posterior
+    from repro.core.prior import CorrelatedPrior, ar1_correlation
+    from repro.paper import SCALES, load_or_simulate
+
+    scale = SCALES[scale_name]
+    pool, _ = load_or_simulate("lna", scale, seed)
+    train = pool.head(scale.table_cbmf_per_state)
+    basis = LinearBasis(pool.n_variables)
+    designs = basis.expand_states(train.inputs())
+    targets = train.targets("nf_db")
+
+    # Stage timings come from the FitReport of full fits; the posterior
+    # microbenchmark isolates the EM inner loop's dominant kernel.
+    fits = []
+
+    def one_fit():
+        model = CBMF(seed=0).fit(designs, targets)
+        fits.append(model.report_)
+
+    fit_median = _median_seconds(one_fit, repeats)
+    init_median = float(
+        statistics.median(r.init_seconds for r in fits)
+    )
+    em_median = float(statistics.median(r.em_seconds for r in fits))
+
+    prior = CorrelatedPrior(
+        lambdas=np.full(basis.n_basis, 0.5),
+        correlation=ar1_correlation(len(designs), 0.8),
+    )
+    posterior_median = _median_seconds(
+        lambda: compute_posterior(
+            designs, targets, prior, 0.01, want_blocks=True
+        ),
+        max(repeats, 5),
+    )
+
+    report = fits[-1]
+    return {
+        "kind": "fit",
+        "config": {
+            "circuit": "lna",
+            "metric": "nf_db",
+            "scale": scale_name,
+            "seed": seed,
+            "n_states": len(designs),
+            "n_basis": basis.n_basis,
+            "n_rows": int(sum(d.shape[0] for d in designs)),
+            "repeats": repeats,
+        },
+        "env": _environment(),
+        "timings_seconds": {
+            "cbmf_fit": fit_median,
+            "somp_init": init_median,
+            "em": em_median,
+            "posterior_solve": posterior_median,
+        },
+        "details": {
+            "em_iterations": report.em.n_iterations,
+            "em_posterior_seconds": report.em.posterior_seconds,
+            "em_mstep_seconds": report.em.mstep_seconds,
+            "n_active": report.n_active,
+        },
+    }
+
+
+def bench_serving(
+    n_states: int = 4,
+    n_train: int = 12,
+    n_requests: int = 4000,
+    n_pool: int = 1000,
+    repeats: int = 3,
+    seed: int = 2016,
+) -> dict:
+    """Time the serving path: micro-batched ``predict_many`` throughput."""
+    import tempfile
+
+    from repro.circuits.lna import TunableLNA
+    from repro.modelset import PerformanceModelSet
+    from repro.serving import (
+        BatchConfig,
+        CacheConfig,
+        ModelRegistry,
+        ModelService,
+    )
+    from repro.simulate.montecarlo import MonteCarloEngine
+
+    rng = np.random.default_rng(seed)
+    lna = TunableLNA(n_states=n_states, n_variables=None)
+    data = MonteCarloEngine(lna, seed=seed).run(n_train + 4)
+    train, _ = data.split(n_train)
+    models = PerformanceModelSet.fit_dataset(train, method="cbmf", seed=seed)
+
+    pool = rng.standard_normal((n_pool, lna.n_variables))
+    x = pool[rng.integers(0, n_pool, n_requests)]
+    states = rng.integers(0, n_states, n_requests)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.push("lna", models)
+        service = ModelService(
+            registry,
+            batch=BatchConfig(max_batch_size=64),
+            cache=CacheConfig(capacity=16_384),
+        )
+        service.load("lna@latest")
+        service.predict_many("lna", x, states)  # warm caches/BLAS
+        batched_median = _median_seconds(
+            lambda: service.predict_many("lna", x, states), repeats
+        )
+
+    return {
+        "kind": "serving",
+        "config": {
+            "circuit": "lna",
+            "n_states": n_states,
+            "n_train_per_state": n_train,
+            "n_requests": n_requests,
+            "n_pool": n_pool,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "env": _environment(),
+        "timings_seconds": {
+            "predict_many": batched_median,
+        },
+        "details": {
+            "requests_per_second": n_requests / batched_median,
+        },
+    }
+
+
+def check_regression(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> List[str]:
+    """Compare one report against its baseline; return regression messages.
+
+    The workload fingerprints must agree (same circuit/scale/shapes) —
+    otherwise the comparison is meaningless and reported as such. The
+    environment block is informational only: baselines from a faster or
+    slower machine are exactly what the ×``threshold`` headroom absorbs.
+    """
+    problems: List[str] = []
+    workload_keys = set(baseline.get("config", {})) - {"repeats"}
+    for key in sorted(workload_keys):
+        if current["config"].get(key) != baseline["config"].get(key):
+            problems.append(
+                f"config mismatch on {key!r}: current "
+                f"{current['config'].get(key)!r} vs baseline "
+                f"{baseline['config'].get(key)!r} — refresh the baseline"
+            )
+    if problems:
+        return problems
+    for name, base_value in baseline.get("timings_seconds", {}).items():
+        value = current.get("timings_seconds", {}).get(name)
+        if value is None:
+            problems.append(f"timing {name!r} missing from current run")
+            continue
+        if base_value > 0 and value > base_value * threshold:
+            problems.append(
+                f"{current['kind']}:{name} regressed {value / base_value:.2f}× "
+                f"({value:.4f}s vs baseline {base_value:.4f}s, "
+                f"gate {threshold}×)"
+            )
+    return problems
+
+
+def _write_report(report: dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main_bench(args: argparse.Namespace) -> int:
+    """Entry point of ``python -m repro bench``."""
+    scale_name = "small" if args.quick else args.scale
+    repeats = args.repeats if args.repeats else (3 if args.quick else 5)
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    baseline_dir = Path(args.baseline_dir)
+
+    print(
+        f"benchmarking fit path (scale={scale_name}, repeats={repeats}) ..."
+    )
+    fit_report = bench_fit(scale_name, repeats=repeats, seed=args.seed)
+    timings = fit_report["timings_seconds"]
+    print(
+        f"  cbmf_fit {timings['cbmf_fit']:.3f}s  "
+        f"somp_init {timings['somp_init']:.3f}s  "
+        f"em {timings['em']:.3f}s  "
+        f"posterior {timings['posterior_solve'] * 1e3:.2f}ms"
+    )
+    print("benchmarking serving path ...")
+    serving_report = bench_serving(repeats=repeats, seed=args.seed)
+    serving_t = serving_report["timings_seconds"]["predict_many"]
+    print(
+        f"  predict_many {serving_t:.3f}s "
+        f"({serving_report['details']['requests_per_second']:,.0f} req/s)"
+    )
+
+    reports = {
+        "BENCH_fit.json": fit_report,
+        "BENCH_serving.json": serving_report,
+    }
+    for name, report in reports.items():
+        _write_report(report, output_dir / name)
+
+    if args.update_baseline:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name, report in reports.items():
+            _write_report(report, baseline_dir / name)
+        return 0
+
+    if args.check:
+        failures: List[str] = []
+        for name, report in reports.items():
+            baseline_path = baseline_dir / name
+            if not baseline_path.exists():
+                print(f"no baseline at {baseline_path}; skipping check")
+                continue
+            baseline = json.loads(baseline_path.read_text())
+            for message in check_regression(
+                report, baseline, threshold=args.threshold
+            ):
+                failures.append(message)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        print(f"no regressions beyond {args.threshold}× — ok")
+    return 0
+
+
+def add_bench_parser(sub) -> None:
+    """Register the ``bench`` subcommand on a subparsers object."""
+    p = sub.add_parser(
+        "bench",
+        help="fit/serving benchmarks with JSON reports and regression gate",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small scale + fewer repeats (the CI perf-smoke setting)",
+    )
+    p.add_argument(
+        "--scale", default="medium",
+        help="fit workload scale when not --quick (default: medium)",
+    )
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per stage (median is reported)")
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--output-dir", default=".",
+                   help="where BENCH_*.json land (default: cwd)")
+    p.add_argument(
+        "--baseline-dir", default=str(BASELINE_DIR),
+        help="committed baselines (default: benchmarks/baselines)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="compare against the baselines; exit 1 on regression",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite the baselines with this run's numbers",
+    )
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="regression gate ratio (default: 1.5)")

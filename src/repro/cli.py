@@ -7,6 +7,7 @@
     python -m repro all
     python -m repro info
     python -m repro serve-bench [--requests N] [--batch-size B]
+    python -m repro bench [--quick] [--check] [--update-baseline]
     python -m repro registry list|push|get --root DIR ...
     python -m repro active-fit [--circuit lna|mixer] [--strategy NAME] ...
 
@@ -413,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing trials per path (best-of-N)")
     p.add_argument("--seed", type=int, default=2016)
 
+    from repro.bench import add_bench_parser
+
+    add_bench_parser(sub)
+
     p = sub.add_parser(
         "active-fit",
         help="actively fit a circuit metric (uncertainty-aware sampling)",
@@ -482,6 +487,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "bench":
+        from repro.bench import main_bench
+
+        return main_bench(args)
     if args.command == "active-fit":
         return _cmd_active_fit(args)
     if args.command == "registry":

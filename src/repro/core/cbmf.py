@@ -57,6 +57,10 @@ class CBMF(MultiStateRegressor):
         EM iteration knobs; see :class:`EmConfig`.
     seed:
         Seed for the cross-validation fold shuffling.
+    max_workers:
+        Processes for the initializer's cross-validation grid (``None``
+        defers to the ``REPRO_MAX_WORKERS`` environment variable, default
+        serial). Any worker count returns bit-identical fits.
     warm_start:
         A previously fitted ``CBMF`` on the same basis/state layout — or
         the dict exported by :meth:`warm_state` from one. Its learned
@@ -85,6 +89,7 @@ class CBMF(MultiStateRegressor):
         init_config: Optional[InitConfig] = None,
         em_config: Optional[EmConfig] = None,
         seed: SeedLike = None,
+        max_workers: Optional[int] = None,
         warm_start: Optional["CBMF"] = None,
     ) -> None:
         if isinstance(warm_start, CBMF) and warm_start.prior_ is None:
@@ -100,6 +105,7 @@ class CBMF(MultiStateRegressor):
         self.init_config = init_config or InitConfig()
         self.em_config = em_config or EmConfig()
         self.seed = seed
+        self.max_workers = max_workers
         self.warm_start = warm_start
         self.coef_: Optional[np.ndarray] = None
         self.offsets_: Optional[np.ndarray] = None
@@ -185,7 +191,11 @@ class CBMF(MultiStateRegressor):
         warm = self.warm_start
         if warm is None:
             return somp_initialize(
-                designs, standardized, self.init_config, self.seed
+                designs,
+                standardized,
+                self.init_config,
+                self.seed,
+                max_workers=self.max_workers,
             )
         if isinstance(warm, CBMF):
             warm = warm.warm_state()

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.base import validate_multistate
+from repro.core.multistate import MultiStateData
 from repro.core.posterior import PosteriorResult, compute_posterior
 from repro.core.prior import CorrelatedPrior
 from repro.utils.linalg import inv_psd, nearest_psd, symmetrize
@@ -86,6 +87,11 @@ class EmTrace:
     noise_history: List[float] = field(default_factory=list)
     converged: bool = False
     seconds: float = 0.0
+    #: Wall-clock spent in the E-step posterior solves (incl. the final
+    #: full-basis solve), for profiling the fit path.
+    posterior_seconds: float = 0.0
+    #: Wall-clock spent in the closed-form M-step updates.
+    mstep_seconds: float = 0.0
 
     @property
     def n_iterations(self) -> int:
@@ -111,9 +117,10 @@ def run_em(
     config = config or EmConfig()
     started = time.perf_counter()
 
-    n_states = len(designs)
-    n_basis = designs[0].shape[1]
-    n_total = sum(d.shape[0] for d in designs)
+    data = MultiStateData.from_states(designs, targets, validate=False)
+    n_states = data.n_states
+    n_basis = data.n_basis
+    n_total = data.n_rows
     lambdas = prior.lambdas.copy()
     correlation = prior.correlation.copy()
     trace = EmTrace()
@@ -121,18 +128,21 @@ def run_em(
     previous_nll: Optional[float] = None
     for _ in range(config.max_iterations):
         active = _active_set(lambdas, config.prune_threshold)
-        sub_designs = [d[:, active] for d in designs]
+        sub_data = data.restrict(active)
         sub_prior = CorrelatedPrior(
             lambdas=lambdas[active], correlation=correlation
         )
+        e_started = time.perf_counter()
         posterior = compute_posterior(
-            sub_designs, targets, sub_prior, noise_var, want_blocks=True
+            sub_data, prior=sub_prior, noise_var=noise_var, want_blocks=True
         )
+        trace.posterior_seconds += time.perf_counter() - e_started
         trace.nll_history.append(posterior.nll)
         trace.active_history.append(int(active.size))
         trace.noise_history.append(noise_var)
 
         # ---------------- M-step ----------------
+        m_started = time.perf_counter()
         mean = posterior.mean  # (|active|, K)
         blocks = posterior.sigma_blocks  # (|active|, K, K)
         second_moment = blocks + np.einsum("mk,ml->mkl", mean, mean)
@@ -168,6 +178,7 @@ def run_em(
         scale = float(np.mean(np.diag(new_r)))
         lambdas = new_lambdas * scale
         correlation = new_r / scale
+        trace.mstep_seconds += time.perf_counter() - m_started
 
         if previous_nll is not None:
             denom = max(abs(previous_nll), 1.0)
@@ -177,9 +188,9 @@ def run_em(
         previous_nll = posterior.nll
 
     final_prior = CorrelatedPrior(lambdas=lambdas, correlation=correlation)
-    final_posterior = _full_posterior(
-        designs, targets, final_prior, noise_var, config
-    )
+    e_started = time.perf_counter()
+    final_posterior = _full_posterior(data, final_prior, noise_var, config)
+    trace.posterior_seconds += time.perf_counter() - e_started
     trace.seconds = time.perf_counter() - started
     return final_prior, noise_var, final_posterior, trace
 
@@ -197,8 +208,7 @@ def _active_set(lambdas: np.ndarray, threshold: float) -> np.ndarray:
 
 
 def _full_posterior(
-    designs: Sequence[np.ndarray],
-    targets: Sequence[np.ndarray],
+    data: MultiStateData,
     prior: CorrelatedPrior,
     noise_var: float,
     config: EmConfig,
@@ -209,13 +219,12 @@ def _full_posterior(
         lambdas=prior.lambdas[active], correlation=prior.correlation
     )
     sub = compute_posterior(
-        [d[:, active] for d in designs],
-        targets,
-        sub_prior,
-        noise_var,
+        data.restrict(active),
+        prior=sub_prior,
+        noise_var=noise_var,
         want_blocks=False,
     )
-    n_basis = designs[0].shape[1]
+    n_basis = data.n_basis
     mean = np.zeros((n_basis, sub.mean.shape[1]))
     mean[active] = sub.mean
     return PosteriorResult(

@@ -4,17 +4,32 @@ Both the classic S-OMP baseline and the modified S-OMP initializer of
 C-BMF use the same selection rule — pick the basis with the largest summed
 residual correlation across states — and differ only in how coefficients
 are solved on the growing support. The solver is injected as a callback.
+
+Two solver flavours are accepted:
+
+* a plain callable ``solver(sub_designs, targets) -> (p, K)`` re-solving
+  from scratch on the column-restricted designs (the baselines);
+* an *incremental* solver object exposing ``begin(designs, targets)`` and
+  ``extend(index) -> (p, K)``. Adding basis m changes the dual-space
+  kernel by the rank-≤K term ``(φ_m φ_mᵀ) ∘ R[s, s]``, so an incremental
+  solver can fold it in with a low-rank Woodbury/Cholesky update in
+  O(n²K) instead of refactorizing in O(n³) at every greedy step — see
+  :class:`repro.core.somp_init.IncrementalBayesSolver`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.base import validate_multistate
 
-__all__ = ["select_shared_support", "CoefficientSolver"]
+__all__ = [
+    "select_shared_support",
+    "CoefficientSolver",
+    "IncrementalSolver",
+]
 
 #: Solves coefficients on column-restricted designs; returns (p, K) matrix.
 CoefficientSolver = Callable[
@@ -22,11 +37,28 @@ CoefficientSolver = Callable[
 ]
 
 
+class IncrementalSolver:
+    """Duck-typed interface of incremental greedy solvers (documentation
+    only — ``select_shared_support`` detects the methods, not the type)."""
+
+    def begin(
+        self,
+        designs: Sequence[np.ndarray],
+        targets: Sequence[np.ndarray],
+    ) -> None:
+        """Reset internal state for a fresh scan over ``designs``."""
+        raise NotImplementedError
+
+    def extend(self, index: int) -> np.ndarray:
+        """Fold basis ``index`` into the support; return (p, K) coefficients."""
+        raise NotImplementedError
+
+
 def select_shared_support(
     designs: Sequence[np.ndarray],
     targets: Sequence[np.ndarray],
     n_select: int,
-    solver: CoefficientSolver,
+    solver: Union[CoefficientSolver, IncrementalSolver],
     on_step: Optional[Callable[[List[int], np.ndarray], None]] = None,
     aggregate: str = "l1",
 ) -> Tuple[List[int], np.ndarray]:
@@ -41,7 +73,9 @@ def select_shared_support(
     solver:
         Callback solving coefficients on the currently-selected columns;
         receives the column-restricted designs (selection order) and the
-        original targets, returns a (p, K) coefficient matrix.
+        original targets, returns a (p, K) coefficient matrix. An object
+        with ``begin``/``extend`` methods is used incrementally instead
+        (one rank-K update per accepted basis, no refactorization).
     on_step:
         Optional hook called after every iteration with the support so far
         and its coefficients — the initializer uses it to score
@@ -70,6 +104,10 @@ def select_shared_support(
             f"n_select must be in 1..{n_basis}, got {n_select}"
         )
 
+    incremental = hasattr(solver, "begin") and hasattr(solver, "extend")
+    if incremental:
+        solver.begin(designs, targets)
+
     support: List[int] = []
     residuals = [target.copy() for target in targets]
     coefficients = np.zeros((0, len(designs)))
@@ -84,7 +122,10 @@ def select_shared_support(
         support.append(chosen)
 
         sub_designs = [design[:, support] for design in designs]
-        coefficients = solver(sub_designs, targets)
+        if incremental:
+            coefficients = solver.extend(chosen)
+        else:
+            coefficients = solver(sub_designs, targets)
         if coefficients.shape != (len(support), len(designs)):
             raise AssertionError(
                 f"solver returned shape {coefficients.shape}, expected "

@@ -1,0 +1,168 @@
+"""Precomputed multi-state data shared across the whole fit path.
+
+Every dual-space solve needs the same derived quantities: the row-stacked
+design ``Φ``, the concatenated target ``y``, the row→state map ``s``, the
+per-state row offsets and the expanded index grid that turns the K×K
+correlation matrix ``R`` into the n×n matrix ``R[s, s]``. Historically each
+``compute_posterior`` call re-derived all of them — once per EM iteration,
+once per greedy step, once per CV candidate. :class:`MultiStateData` builds
+them exactly once per fit and is shared by the EM loop, the S-OMP
+initializer and the predictive machinery.
+
+The object is immutable after construction; ``restrict`` produces a
+column-restricted companion (for EM pruning) that *shares* the target and
+row/state bookkeeping and only re-slices ``Φ``. When the restriction keeps
+every column, the original object is returned unchanged — the common
+no-pruning EM configuration performs zero re-stacking work per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import validate_multistate
+
+__all__ = ["MultiStateData"]
+
+
+class MultiStateData:
+    """Stacked per-state designs/targets plus cached index structure.
+
+    Attributes
+    ----------
+    phi:
+        Row-stacked design, shape (n, M); rows of state k are contiguous.
+    y:
+        Concatenated targets, shape (n,).
+    state_of_row:
+        Row→state map ``s``, shape (n,).
+    offsets:
+        Cumulative row offsets, shape (K + 1,); state k owns rows
+        ``offsets[k]:offsets[k + 1]``.
+    row_starts:
+        ``offsets[:-1]`` — the segment boundaries for ``np.add.reduceat``.
+    state_slices:
+        Per-state row slices into ``phi``/``y``.
+    """
+
+    __slots__ = (
+        "phi",
+        "y",
+        "state_of_row",
+        "offsets",
+        "row_starts",
+        "state_slices",
+        "_row_grid",
+        "_all_columns",
+    )
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        y: np.ndarray,
+        offsets: np.ndarray,
+        state_of_row: np.ndarray,
+    ) -> None:
+        self.phi = phi
+        self.y = y
+        self.offsets = offsets
+        self.state_of_row = state_of_row
+        self.row_starts = offsets[:-1]
+        self.state_slices: Tuple[slice, ...] = tuple(
+            slice(int(offsets[k]), int(offsets[k + 1]))
+            for k in range(offsets.shape[0] - 1)
+        )
+        # Open-mesh index pair expanding R (K×K) to R[s, s] (n×n).
+        self._row_grid = (state_of_row[:, None], state_of_row[None, :])
+        self._all_columns = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_states(
+        cls,
+        designs: Sequence[np.ndarray],
+        targets: Sequence[np.ndarray],
+        *,
+        validate: bool = True,
+    ) -> "MultiStateData":
+        """Stack per-state data once; ``validate=False`` skips coercion
+        when the caller already ran :func:`validate_multistate`."""
+        if validate:
+            designs, targets = validate_multistate(designs, targets)
+        phi = np.vstack(designs) if len(designs) > 1 else designs[0]
+        y = np.concatenate(targets) if len(targets) > 1 else targets[0]
+        counts = [d.shape[0] for d in designs]
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        state_of_row = np.repeat(np.arange(len(designs)), counts)
+        return cls(phi, y, offsets, state_of_row)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states K."""
+        return self.offsets.shape[0] - 1
+
+    @property
+    def n_basis(self) -> int:
+        """Number of basis columns M."""
+        return self.phi.shape[1]
+
+    @property
+    def n_rows(self) -> int:
+        """Total sample count n across all states."""
+        return self.phi.shape[0]
+
+    @property
+    def designs(self) -> List[np.ndarray]:
+        """Per-state design views into the stacked ``phi`` (no copies)."""
+        return [self.phi[sl] for sl in self.state_slices]
+
+    @property
+    def targets(self) -> List[np.ndarray]:
+        """Per-state target views into the concatenated ``y``."""
+        return [self.y[sl] for sl in self.state_slices]
+
+    # ------------------------------------------------------------------
+    def restrict(self, columns: np.ndarray) -> "MultiStateData":
+        """Column-restricted companion sharing all row/state structure.
+
+        Returns ``self`` when ``columns`` is the identity selection — the
+        no-pruning EM loop then performs no per-iteration copies at all.
+        """
+        columns = np.asarray(columns)
+        if columns.size == self.n_basis and np.array_equal(
+            columns, np.arange(self.n_basis)
+        ):
+            return self
+        restricted = MultiStateData.__new__(MultiStateData)
+        restricted.phi = self.phi[:, columns]
+        restricted.y = self.y
+        restricted.offsets = self.offsets
+        restricted.state_of_row = self.state_of_row
+        restricted.row_starts = self.row_starts
+        restricted.state_slices = self.state_slices
+        restricted._row_grid = self._row_grid
+        restricted._all_columns = None
+        return restricted
+
+    def expand_correlation(self, correlation: np.ndarray) -> np.ndarray:
+        """``R[s, s]`` — the n×n expansion through the cached index grid."""
+        return correlation[self._row_grid]
+
+    def segment_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum ``values`` (first axis = rows) within each state's segment.
+
+        Returns shape ``(K,) + values.shape[1:]``. States are guaranteed
+        non-empty by :func:`validate_multistate`, which makes
+        ``np.add.reduceat`` semantics exact.
+        """
+        return np.add.reduceat(values, self.row_starts, axis=0)
+
+    def predict_rows(self, mean: np.ndarray) -> np.ndarray:
+        """Row-wise prediction ``Φ[i] · mean[:, s_i]`` for an (M, K) mean."""
+        prediction = np.empty(self.n_rows)
+        for k, sl in enumerate(self.state_slices):
+            prediction[sl] = self.phi[sl] @ mean[:, k]
+        return prediction

@@ -26,14 +26,15 @@ formulas as a cross-check oracle for tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import linalg as sla
 
 from repro.core.base import validate_multistate
+from repro.core.multistate import MultiStateData
 from repro.core.prior import CorrelatedPrior
-from repro.utils.linalg import cholesky_factor
+from repro.utils.linalg import cholesky_factor, inv_from_cholesky
 
 __all__ = ["PosteriorResult", "compute_posterior", "compute_posterior_dense"]
 
@@ -85,10 +86,10 @@ def _stack(designs: Sequence[np.ndarray], targets: Sequence[np.ndarray]):
 
 
 def compute_posterior(
-    designs: Sequence[np.ndarray],
-    targets: Sequence[np.ndarray],
-    prior: CorrelatedPrior,
-    noise_var: float,
+    designs: Union[MultiStateData, Sequence[np.ndarray]],
+    targets: Optional[Sequence[np.ndarray]] = None,
+    prior: CorrelatedPrior = None,
+    noise_var: float = None,
     *,
     want_blocks: bool = True,
 ) -> PosteriorResult:
@@ -97,7 +98,10 @@ def compute_posterior(
     Parameters
     ----------
     designs, targets:
-        Per-state design matrices ``B_k`` (N_k × M) and targets ``y_k``.
+        Per-state design matrices ``B_k`` (N_k × M) and targets ``y_k`` —
+        or a prebuilt :class:`MultiStateData` as the first argument (then
+        ``targets`` must be omitted), which skips re-stacking and index
+        construction entirely. Hot loops (EM, CV) use the cached form.
     prior:
         The correlated prior ``{λ, R}``; ``prior.n_basis`` must match the
         design width and ``prior.n_states`` the state count.
@@ -108,11 +112,18 @@ def compute_posterior(
         marginal likelihood are needed (e.g. pure prediction) — the block
         pass dominates runtime for large M.
     """
-    designs, targets = validate_multistate(designs, targets)
-    if noise_var <= 0.0:
+    if isinstance(designs, MultiStateData):
+        if targets is not None:
+            raise TypeError(
+                "targets must be None when passing MultiStateData"
+            )
+        data = designs
+    else:
+        data = MultiStateData.from_states(designs, targets)
+    if noise_var is None or noise_var <= 0.0:
         raise ValueError(f"noise_var must be > 0, got {noise_var}")
-    n_states = len(designs)
-    n_basis = designs[0].shape[1]
+    n_states = data.n_states
+    n_basis = data.n_basis
     if prior.n_basis != n_basis:
         raise ValueError(
             f"prior has {prior.n_basis} bases, designs have {n_basis}"
@@ -124,61 +135,54 @@ def compute_posterior(
 
     lambdas = prior.lambdas
     correlation = prior.correlation
-    phi, y, state_of_row = _stack(designs, targets)
-    n_rows = phi.shape[0]
+    phi, y = data.phi, data.y
+    n_rows = data.n_rows
 
     # C = σ0²·I + (Φ Λ Φᵀ) ∘ R[s, s]
     gram = (phi * lambdas) @ phi.T
-    r_expanded = correlation[np.ix_(state_of_row, state_of_row)]
-    dad = gram * r_expanded
-    c_matrix = dad + noise_var * np.eye(n_rows)
+    dad = gram * data.expand_correlation(correlation)
+    c_matrix = dad.copy()
+    c_matrix.flat[:: n_rows + 1] += noise_var
     factor = cholesky_factor(c_matrix)
 
     v = sla.cho_solve((factor, True), y, check_finite=False)
 
     # W[m, k] = Σ_{rows i of state k} Φ[i, m]·v[i]  →  μ^m = λ_m·R·W[m, :]
-    w_matrix = np.empty((n_basis, n_states))
-    offsets = np.cumsum([0] + [d.shape[0] for d in designs])
-    for k, design in enumerate(designs):
-        rows = slice(offsets[k], offsets[k + 1])
-        w_matrix[:, k] = design.T @ v[rows]
+    w_matrix = data.segment_sum(phi * v[:, None]).T
     mean = lambdas[:, None] * (w_matrix @ correlation)
 
     # Residual and marginal likelihood.
-    residual_sq = 0.0
-    for k, (design, target) in enumerate(zip(designs, targets)):
-        diff = target - design @ mean[:, k]
-        residual_sq += float(diff @ diff)
+    residual = y - data.predict_rows(mean)
+    residual_sq = float(residual @ residual)
     log_det = 2.0 * float(np.sum(np.log(np.diag(factor))))
     nll = float(y @ v) + log_det
 
     sigma_blocks = None
     trace_dsd = float("nan")
     if want_blocks:
-        c_inv = sla.cho_solve(
-            (factor, True), np.eye(n_rows), check_finite=False
+        c_inv = inv_from_cholesky(factor)
+        # DADᵀ = C − σ0²·I collapses the uncertainty trace to
+        # Tr(D Σ_p Dᵀ) = σ0²·(n − σ0²·Tr(C⁻¹)) — no extra solve needed.
+        trace_dsd = noise_var * (
+            n_rows - noise_var * float(np.trace(c_inv))
         )
-        # S[m, a, b] = Φ_aᵀ[:, m] · C⁻¹[a-block, b-block] · Φ_b[:, m]
+        # S[m, a, b] = Φ_aᵀ[:, m] · C⁻¹[a-block, b-block] · Φ_b[:, m]:
+        # one (n × n_b)(n_b × M) product per state b, then a segment-sum
+        # over the a-axis — O(n²M) total with a K-length Python loop.
+        # The (n, M) scratch buffer is reused across states.
         s_tensor = np.empty((n_basis, n_states, n_states))
-        for a in range(n_states):
-            rows_a = slice(offsets[a], offsets[a + 1])
-            for b in range(a, n_states):
-                rows_b = slice(offsets[b], offsets[b + 1])
-                cross = c_inv[rows_a, rows_b] @ designs[b]
-                values = np.einsum("im,im->m", designs[a], cross)
-                s_tensor[:, a, b] = values
-                if b != a:
-                    s_tensor[:, b, a] = values
+        cross = np.empty_like(phi)
+        for b, rows_b in enumerate(data.state_slices):
+            np.matmul(c_inv[:, rows_b], phi[rows_b], out=cross)
+            np.multiply(phi, cross, out=cross)
+            s_tensor[:, :, b] = data.segment_sum(cross).T
+        s_tensor = 0.5 * (s_tensor + np.swapaxes(s_tensor, 1, 2))
         # Σ^m = λ_m·R − λ_m²·R·S_m·R
-        rsr = np.einsum(
-            "ab,mbc,cd->mad", correlation, s_tensor, correlation
-        )
+        rsr = correlation @ s_tensor @ correlation
         sigma_blocks = (
             lambdas[:, None, None] * correlation[None, :, :]
             - (lambdas**2)[:, None, None] * rsr
         )
-        # Tr(D Σ_p Dᵀ) = Tr(DADᵀ) − Tr(DADᵀ·C⁻¹·DADᵀ)
-        trace_dsd = float(np.trace(dad) - np.sum((c_inv @ dad) * dad))
 
     return PosteriorResult(
         mean=mean,

@@ -10,6 +10,7 @@ from repro.evaluation.sweep import SweepResult
 __all__ = [
     "format_active_history",
     "format_comparison_table",
+    "format_fit_profile",
     "format_sweep_table",
 ]
 
@@ -100,6 +101,38 @@ def format_active_history(history, title: Optional[str] = None) -> str:
         )
     if history.stop_reason:
         lines.append(f"stopped: {history.stop_reason}")
+    return "\n".join(lines)
+
+
+def format_fit_profile(report, title: Optional[str] = None) -> str:
+    """Render a wall-clock breakdown of one C-BMF fit.
+
+    ``report`` is a :class:`repro.core.results.FitReport`; the profile
+    splits the total into the S-OMP/cross-validation initializer and the
+    EM refinement, and the EM time further into posterior (E-step) solves
+    vs closed-form M-step updates — the two knobs perf work targets.
+    """
+    trace = report.em
+    total = report.total_seconds
+
+    def row(label: str, seconds: float, of: float) -> str:
+        share = 100.0 * seconds / of if of > 0 else 0.0
+        return f"  {label:<28}{seconds:>9.3f}s {share:>6.1f}%"
+
+    other = max(
+        trace.seconds - trace.posterior_seconds - trace.mstep_seconds, 0.0
+    )
+    lines = [
+        title or "fit profile",
+        row("somp init (CV grid)", report.init_seconds, total),
+        row("em refinement", report.em_seconds, total),
+        row("  posterior solves", trace.posterior_seconds, trace.seconds),
+        row("  m-step updates", trace.mstep_seconds, trace.seconds),
+        row("  other (bookkeeping)", other, trace.seconds),
+        f"  {'total':<28}{total:>9.3f}s "
+        f"({trace.n_iterations} EM iterations, "
+        f"{report.n_active} active bases)",
+    ]
     return "\n".join(lines)
 
 

@@ -5,6 +5,11 @@ For every training budget in a grid, fit each method on the first
 test set. The output is the error-vs-samples series the paper plots: both
 methods improve with more samples, and C-BMF sits below S-OMP at every
 budget.
+
+Grid points are independent fits on nested slices of the same pool, so
+they run through :func:`repro.utils.parallel.parallel_map` — serial by
+default, process-parallel with ``max_workers``/``REPRO_MAX_WORKERS``, with
+bit-identical results either way (each cell's seed is fixed up front).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.basis.dictionary import BasisDictionary
 from repro.evaluation.experiment import MethodResult, ModelingExperiment
 from repro.simulate.cost import CostModel
 from repro.simulate.dataset import Dataset
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike
 
 __all__ = ["SweepResult", "sample_count_sweep"]
@@ -57,6 +63,21 @@ class SweepResult:
         return None
 
 
+def _run_grid_point(n_per_state: int, payload: dict) -> List[MethodResult]:
+    """One sweep cell: fit and score every method at one training budget.
+    Module-level so it pickles under the spawn start method."""
+    train = payload["pool"].head(n_per_state)
+    experiment = ModelingExperiment(
+        train, payload["test"], payload["basis"], payload["cost_model"]
+    )
+    return [
+        experiment.run(
+            method, metrics=payload["metrics"], seed=payload["seed"]
+        )
+        for method in payload["methods"]
+    ]
+
+
 def sample_count_sweep(
     pool: Dataset,
     test: Dataset,
@@ -66,6 +87,7 @@ def sample_count_sweep(
     cost_model: Optional[CostModel] = None,
     seed: SeedLike = None,
     metrics: Optional[Sequence[str]] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run the error-vs-samples sweep.
 
@@ -81,6 +103,9 @@ def sample_count_sweep(
         Registry names, e.g. ``("somp", "cbmf")``.
     n_per_state_grid:
         Ascending per-state training budgets.
+    max_workers:
+        Processes for the grid (``None`` → ``REPRO_MAX_WORKERS`` → serial).
+        Results are identical for any worker count.
     """
     grid = sorted(set(int(n) for n in n_per_state_grid))
     if not grid:
@@ -93,6 +118,19 @@ def sample_count_sweep(
         )
     if not methods:
         raise ValueError("at least one method is required")
+    import numpy as np
+
+    from repro.utils.parallel import resolve_workers
+
+    if (
+        isinstance(seed, np.random.Generator)
+        and resolve_workers(max_workers, n_items=len(grid)) > 1
+    ):
+        raise ValueError(
+            "a shared Generator seed cannot run multi-process (its state "
+            "would be copied, not advanced, per cell) — pass an int/None "
+            "seed or max_workers=1"
+        )
 
     sweep = SweepResult(
         circuit_name=pool.circuit_name,
@@ -101,11 +139,19 @@ def sample_count_sweep(
     )
     for method in methods:
         sweep.results[method] = []
-    for n_per_state in grid:
-        train = pool.head(n_per_state)
-        experiment = ModelingExperiment(train, test, basis, cost_model)
-        for method in methods:
-            sweep.results[method].append(
-                experiment.run(method, metrics=metrics, seed=seed)
-            )
+    payload = {
+        "pool": pool,
+        "test": test,
+        "basis": basis,
+        "cost_model": cost_model,
+        "methods": tuple(methods),
+        "metrics": metrics,
+        "seed": seed,
+    }
+    per_point = parallel_map(
+        _run_grid_point, grid, shared=payload, max_workers=max_workers
+    )
+    for point_results in per_point:
+        for method, run in zip(methods, point_results):
+            sweep.results[method].append(run)
     return sweep

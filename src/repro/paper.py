@@ -23,6 +23,8 @@ still the slowest part of a full sweep.
 from __future__ import annotations
 
 import os
+import warnings
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -198,7 +200,14 @@ def load_or_simulate(
     pool_path = cache_dir / f"{stem}_pool.npz"
     test_path = cache_dir / f"{stem}_test.npz"
     if pool_path.exists() and test_path.exists():
-        return Dataset.load(pool_path), Dataset.load(test_path)
+        try:
+            return Dataset.load(pool_path), Dataset.load(test_path)
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError):
+            warnings.warn(
+                f"dataset cache for {stem!r} is unreadable; regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     circuit = build_circuit(circuit_name, scale)
     engine = MonteCarloEngine(circuit, seed=seed)
@@ -242,11 +251,14 @@ def run_figure_sweep(
     seed: int = 2016,
     methods: Tuple[str, ...] = ("somp", "cbmf"),
     metrics: Optional[Tuple[str, ...]] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Regenerate the figure panels: error vs. samples per metric.
 
     ``metrics`` restricts the fitted metrics (one figure panel) — the full
-    sweep fits every metric at every budget, which is the expensive part.
+    sweep fits every metric at every budget, which is the expensive part;
+    ``max_workers`` (or ``REPRO_MAX_WORKERS``) fans the budgets out over
+    processes without changing any number.
     """
     scale = scale or resolve_scale()
     pool, test = load_or_simulate(circuit_name, scale, seed)
@@ -260,4 +272,5 @@ def run_figure_sweep(
         cost_model=cost_model_for(circuit_name),
         seed=seed,
         metrics=metrics,
+        max_workers=max_workers,
     )

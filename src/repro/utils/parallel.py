@@ -1,0 +1,137 @@
+"""Deterministic process-pool mapping for embarrassingly parallel fits.
+
+The fit path contains several independent-cell grids — the S-OMP
+cross-validation cells (fold × r0 × σ0), the repeated-experiment seeds and
+the error-vs-samples sweep points. ``parallel_map`` runs such cells on a
+spawn-based process pool while guaranteeing **bit-identical results for
+any worker count**:
+
+* cells are pure functions of their inputs (no shared mutable state);
+* results are returned in submission order, never completion order;
+* randomness is derived *before* dispatch (:func:`derive_seeds` gives
+  order-stable child seeds from one parent seed), so scheduling cannot
+  perturb a single random draw.
+
+Workers default to serial (``workers=1`` runs inline in this process, no
+pool, no pickling) and are overridden globally with the
+``REPRO_MAX_WORKERS`` environment variable or per call with
+``max_workers``. The spawn start method is used everywhere — fork-unsafe
+BLAS state can never leak into workers, and behavior matches across
+Linux/macOS/Windows.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["parallel_map", "resolve_workers", "derive_seeds"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Worker-local shared payload installed by the pool initializer.
+_SHARED: Any = None
+
+
+def resolve_workers(
+    max_workers: Optional[int] = None, *, n_items: Optional[int] = None
+) -> int:
+    """Resolve the worker count: explicit > ``REPRO_MAX_WORKERS`` env > 1.
+
+    The result is clamped to ``n_items`` when given — a pool larger than
+    the task list only burns interpreter start-ups.
+    """
+    if max_workers is None:
+        env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+        max_workers = int(env) if env else 1
+    max_workers = int(max_workers)
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if n_items is not None:
+        max_workers = max(1, min(max_workers, n_items))
+    return max_workers
+
+
+def derive_seeds(seed, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child seed sequences from one parent seed.
+
+    Children are a pure function of ``(seed, index)`` — identical no
+    matter how many workers later consume them, which is what keeps
+    parallel stochastic cells bit-identical to their serial run.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        parent = seed.bit_generator.seed_seq
+    elif isinstance(seed, np.random.SeedSequence):
+        parent = seed
+    else:
+        parent = np.random.SeedSequence(seed)
+    return list(parent.spawn(count))
+
+
+def _init_worker(shared: Any) -> None:
+    """Pool initializer: stash the shared payload once per worker."""
+    global _SHARED
+    _SHARED = shared
+
+
+def _invoke(fn: Callable, item: Any, with_shared: bool) -> Any:
+    """Run one cell in a worker, forwarding the worker-local payload."""
+    if with_shared:
+        return fn(item, _SHARED)
+    return fn(item)
+
+
+def parallel_map(
+    fn: Callable[..., R],
+    items: Sequence[T],
+    *,
+    shared: Any = None,
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally on a spawn process pool.
+
+    Parameters
+    ----------
+    fn:
+        A **module-level** function (picklable under spawn). Called as
+        ``fn(item)`` — or ``fn(item, shared)`` when ``shared`` is given.
+    items:
+        The independent cells; results come back in this exact order.
+    shared:
+        Optional read-only payload shipped to each worker once (via the
+        pool initializer) instead of once per task — pass the big arrays
+        here, keep ``items`` small.
+    max_workers:
+        Worker count; ``None`` defers to ``REPRO_MAX_WORKERS`` (default
+        1 = run serially inline, no subprocesses at all).
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = resolve_workers(max_workers, n_items=len(items))
+    with_shared = shared is not None
+    if workers == 1:
+        if with_shared:
+            return [fn(item, shared) for item in items]
+        return [fn(item) for item in items]
+
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = mp.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(shared,),
+    ) as executor:
+        futures = [
+            executor.submit(_invoke, fn, item, with_shared)
+            for item in items
+        ]
+        return [future.result() for future in futures]

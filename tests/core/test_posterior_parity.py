@@ -1,0 +1,182 @@
+"""Property tests: the fast dual-space posterior vs the dense oracle.
+
+``compute_posterior`` runs the cached/vectorized dual-space algebra
+(shared ``MultiStateData``, segment-sum S-tensor, trace identities);
+``compute_posterior_dense`` materializes the literal eq. 18-22 matrices.
+They must agree to tight tolerance for *every* shape — including ragged
+per-state sample counts and the column-restricted solves the EM pruning
+path issues.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multistate import MultiStateData
+from repro.core.posterior import (
+    compute_posterior,
+    compute_posterior_dense,
+)
+from repro.core.prior import CorrelatedPrior, ar1_correlation
+
+RTOL = 1e-8
+
+
+def make_problem(seed, n_states, n_basis, counts, r0, noise_var):
+    rng = np.random.default_rng(seed)
+    designs = [
+        rng.standard_normal((count, n_basis)) for count in counts
+    ]
+    targets = [rng.standard_normal(count) for count in counts]
+    prior = CorrelatedPrior(
+        lambdas=rng.uniform(0.05, 2.0, n_basis),
+        correlation=ar1_correlation(n_states, r0),
+    )
+    return designs, targets, prior
+
+
+def assert_posteriors_match(fast, dense, rtol=RTOL):
+    """Entry-wise rtol plus an atol tied to each quantity's own scale.
+
+    The oracle itself goes through ``np.linalg.inv``, so tiny entries of
+    a matrix whose largest entries are O(1) can only agree to
+    ``rtol × scale`` — a pure relative test on them measures the oracle's
+    cancellation error, not a fast-path bug."""
+    mean_scale = float(np.abs(dense.mean).max(initial=1e-12))
+    np.testing.assert_allclose(
+        fast.mean, dense.mean, rtol=rtol, atol=rtol * mean_scale
+    )
+    block_scale = float(np.abs(dense.sigma_blocks).max(initial=1e-12))
+    np.testing.assert_allclose(
+        fast.sigma_blocks,
+        dense.sigma_blocks,
+        rtol=rtol,
+        atol=rtol * block_scale,
+    )
+    np.testing.assert_allclose(fast.nll, dense.nll, rtol=rtol, atol=1e-10)
+    np.testing.assert_allclose(
+        fast.trace_dsd, dense.trace_dsd, rtol=rtol, atol=1e-10
+    )
+    # ‖residual‖² inherits a cancellation error ∝ ‖y‖² when the fit is
+    # near-interpolating, so its floor scales with the data magnitude.
+    np.testing.assert_allclose(
+        fast.residual_sq, dense.residual_sq, rtol=1e-6, atol=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_states=st.integers(2, 5),
+    n_basis=st.integers(1, 8),
+    base_count=st.integers(2, 7),
+    ragged=st.booleans(),
+    r0=st.floats(0.0, 0.95),
+    noise_var=st.floats(1e-3, 2.0),
+)
+def test_fast_matches_dense_random_shapes(
+    seed, n_states, n_basis, base_count, ragged, r0, noise_var
+):
+    """Mean, covariance blocks, nll, trace_dsd agree for random K/M/N."""
+    counts = [
+        base_count + (k % 3 if ragged else 0) for k in range(n_states)
+    ]
+    designs, targets, prior = make_problem(
+        seed, n_states, n_basis, counts, r0, noise_var
+    )
+    fast = compute_posterior(
+        designs, targets, prior, noise_var, want_blocks=True
+    )
+    dense = compute_posterior_dense(designs, targets, prior, noise_var)
+    assert_posteriors_match(fast, dense)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_states=st.integers(2, 4),
+    n_basis=st.integers(3, 9),
+    noise_var=st.floats(1e-3, 1.0),
+)
+def test_fast_matches_dense_with_pruned_columns(
+    seed, n_states, n_basis, noise_var
+):
+    """The EM pruning path restricts a cached ``MultiStateData`` to an
+    active column subset; the restricted solve must equal a dense solve
+    on the explicitly-sliced designs."""
+    counts = [5] * n_states
+    designs, targets, prior = make_problem(
+        seed, n_states, n_basis, counts, 0.7, noise_var
+    )
+    rng = np.random.default_rng(seed + 1)
+    n_active = int(rng.integers(1, n_basis + 1))
+    active = np.sort(
+        rng.choice(n_basis, size=n_active, replace=False)
+    )
+
+    data = MultiStateData.from_states(designs, targets)
+    sub_prior = CorrelatedPrior(
+        lambdas=prior.lambdas[active], correlation=prior.correlation
+    )
+    fast = compute_posterior(
+        data.restrict(active),
+        prior=sub_prior,
+        noise_var=noise_var,
+        want_blocks=True,
+    )
+    dense = compute_posterior_dense(
+        [d[:, active] for d in designs], targets, sub_prior, noise_var
+    )
+    assert_posteriors_match(fast, dense)
+
+
+def test_em_with_pruning_matches_dense_per_iteration():
+    """Drive ``run_em`` with an aggressive prune threshold and check every
+    posterior it computed against the dense oracle on the same subset."""
+    from repro.core import em as em_module
+    from repro.core.em import EmConfig, run_em
+
+    rng = np.random.default_rng(42)
+    n_states, n_basis, count = 3, 10, 8
+    designs = [
+        rng.standard_normal((count, n_basis)) for _ in range(n_states)
+    ]
+    coef = np.zeros((n_states, n_basis))
+    coef[:, [1, 4]] = rng.standard_normal((n_states, 2)) * 2.0
+    targets = [
+        d @ coef[k] + 0.05 * rng.standard_normal(count)
+        for k, d in enumerate(designs)
+    ]
+    prior = CorrelatedPrior(
+        lambdas=np.full(n_basis, 1.0),
+        correlation=ar1_correlation(n_states, 0.5),
+    )
+
+    checked = []
+    original = em_module.compute_posterior
+
+    def checking(data, targets_arg=None, prior=None, noise_var=None, *,
+                 want_blocks=True):
+        result = original(
+            data, targets_arg, prior=prior, noise_var=noise_var,
+            want_blocks=want_blocks,
+        )
+        if want_blocks:
+            dense = compute_posterior_dense(
+                list(data.designs), list(data.targets), prior, noise_var
+            )
+            # Late EM iterations shrink the noise estimate toward the true
+            # 0.05², so cond(C) grows and the dense-inverse oracle itself
+            # drifts — one decade of slack keeps the check meaningful.
+            assert_posteriors_match(result, dense, rtol=1e-7)
+            checked.append(data.n_basis)
+        return result
+
+    em_module.compute_posterior = checking
+    try:
+        config = EmConfig(max_iterations=8, prune_threshold=1e-2)
+        run_em(designs, targets, prior, 0.01, config)
+    finally:
+        em_module.compute_posterior = original
+
+    assert checked, "EM never exercised the blocks path"
+    assert min(checked) < n_basis, "pruning never restricted the basis"

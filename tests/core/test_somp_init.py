@@ -127,3 +127,36 @@ class TestInitializer:
         )
         result = somp_initialize(designs, targets, config, seed=9)
         assert len(result.support) == 9
+
+
+class TestParallelCV:
+    """The CV grid must be bit-identical for any worker count."""
+
+    def test_workers_bit_identical(self):
+        designs, targets, _ = problem(3, n_states=4, n=12)
+        config = InitConfig(
+            r0_grid=(0.3, 0.9),
+            sigma0_grid=(0.1, 0.3),
+            n_basis_grid=(3, 6),
+            n_folds=2,
+        )
+        serial = somp_initialize(
+            designs, targets, config, seed=17, max_workers=1
+        )
+        pooled = somp_initialize(
+            designs, targets, config, seed=17, max_workers=4
+        )
+        assert serial.support == pooled.support
+        assert serial.r0 == pooled.r0
+        assert serial.sigma0 == pooled.sigma0
+        assert serial.n_basis == pooled.n_basis
+        assert serial.noise_var == pooled.noise_var
+        assert serial.cv_errors.keys() == pooled.cv_errors.keys()
+        for key in serial.cv_errors:
+            assert serial.cv_errors[key] == pooled.cv_errors[key]
+        np.testing.assert_array_equal(
+            serial.prior.lambdas, pooled.prior.lambdas
+        )
+        np.testing.assert_array_equal(
+            serial.prior.correlation, pooled.prior.correlation
+        )

@@ -66,3 +66,18 @@ class TestRepeatExperiment:
             repeat_experiment(tiny_lna, (), 10, 10)
         with pytest.raises(ValueError):
             repeat_experiment(tiny_lna, ("somp",), 1, 10)
+
+
+class TestParallelRepetition:
+    def test_workers_bit_identical(self, tiny_lna):
+        kwargs = dict(
+            methods=("ls", "ridge"),
+            n_train_per_state=10,
+            n_test_per_state=8,
+            n_repetitions=2,
+            base_seed=42,
+            metrics=("gain_db",),
+        )
+        serial = repeat_experiment(tiny_lna, max_workers=1, **kwargs)
+        pooled = repeat_experiment(tiny_lna, max_workers=2, **kwargs)
+        assert serial.samples == pooled.samples

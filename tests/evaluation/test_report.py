@@ -114,3 +114,54 @@ class TestActiveHistoryTable:
             self.make_history(), title="My Run"
         )
         assert table.startswith("My Run")
+
+
+class TestFitProfile:
+    def make_report(self):
+        from repro.core.em import EmTrace
+        from repro.core.results import FitReport
+        from repro.core.somp_init import InitResult
+        from repro.core.prior import CorrelatedPrior
+        import numpy as np
+
+        trace = EmTrace(
+            nll_history=[-1.0, -2.0, -2.5],
+            active_history=[10, 10, 10],
+            noise_history=[0.1, 0.05, 0.04],
+            converged=True,
+            seconds=0.8,
+            posterior_seconds=0.6,
+            mstep_seconds=0.15,
+        )
+        prior = CorrelatedPrior(
+            lambdas=np.ones(4), correlation=np.eye(3)
+        )
+        init = InitResult(
+            r0=0.7, sigma0=0.1, n_basis=2, support=[0, 1],
+            prior=prior, noise_var=0.01,
+        )
+        return FitReport(
+            init=init, em=trace, n_active=2, noise_std=0.1,
+            init_seconds=0.4, em_seconds=0.8,
+        )
+
+    def test_contains_stage_rows(self):
+        from repro.evaluation.report import format_fit_profile
+
+        text = format_fit_profile(self.make_report())
+        assert "somp init" in text
+        assert "posterior solves" in text
+        assert "m-step updates" in text
+        assert "3 EM iterations" in text
+
+    def test_custom_title(self):
+        from repro.evaluation.report import format_fit_profile
+
+        text = format_fit_profile(self.make_report(), title="my fit")
+        assert text.splitlines()[0] == "my fit"
+
+    def test_shares_sum_sensibly(self):
+        from repro.evaluation.report import format_fit_profile
+
+        text = format_fit_profile(self.make_report())
+        assert "total" in text and "1.200s" in text

@@ -78,3 +78,36 @@ class TestSweepValidation:
             sample_count_sweep(
                 pool, test, LinearBasis(pool.n_variables), (), (5,)
             )
+
+
+class TestParallelSweep:
+    def test_workers_bit_identical(self, lna_dataset):
+        pool, test = lna_dataset.split(25)
+        kwargs = dict(
+            basis=LinearBasis(lna_dataset.n_variables),
+            methods=("ls", "ridge"),
+            n_per_state_grid=(6, 10),
+            seed=0,
+            metrics=("gain_db",),
+        )
+        serial = sample_count_sweep(pool, test, max_workers=1, **kwargs)
+        pooled = sample_count_sweep(pool, test, max_workers=2, **kwargs)
+        for method in kwargs["methods"]:
+            assert serial.errors(method, "gain_db") == pooled.errors(
+                method, "gain_db"
+            )
+
+    def test_generator_seed_rejected_multiprocess(self, lna_dataset):
+        import numpy as np
+
+        pool, test = lna_dataset.split(25)
+        with pytest.raises(ValueError, match="Generator"):
+            sample_count_sweep(
+                pool,
+                test,
+                LinearBasis(lna_dataset.n_variables),
+                ("ls",),
+                (6, 10),
+                seed=np.random.default_rng(0),
+                max_workers=2,
+            )

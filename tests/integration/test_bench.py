@@ -1,0 +1,108 @@
+"""Tests for the benchmark regression harness (logic only — no timing)."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_THRESHOLD,
+    add_bench_parser,
+    check_regression,
+)
+
+
+def report(cbmf_fit=1.0, em=0.5, scale="small", kind="fit"):
+    return {
+        "kind": kind,
+        "config": {
+            "circuit": "lna",
+            "scale": scale,
+            "n_states": 6,
+            "n_basis": 190,
+            "repeats": 3,
+        },
+        "env": {"python": "3.11", "numpy": "2.0", "machine": "x86_64"},
+        "timings_seconds": {"cbmf_fit": cbmf_fit, "em": em},
+    }
+
+
+class TestCheckRegression:
+    def test_identical_passes(self):
+        assert check_regression(report(), report()) == []
+
+    def test_faster_passes(self):
+        assert check_regression(report(cbmf_fit=0.5), report()) == []
+
+    def test_within_gate_passes(self):
+        current = report(cbmf_fit=1.4)
+        assert check_regression(current, report()) == []
+
+    def test_beyond_gate_fails(self):
+        current = report(cbmf_fit=1.6)
+        problems = check_regression(current, report())
+        assert len(problems) == 1
+        assert "cbmf_fit" in problems[0]
+        assert "1.60" in problems[0]
+
+    def test_custom_threshold(self):
+        current = report(cbmf_fit=1.2)
+        assert check_regression(current, report(), threshold=1.1)
+
+    def test_multiple_regressions_all_reported(self):
+        current = report(cbmf_fit=2.0, em=2.0)
+        problems = check_regression(current, report())
+        assert len(problems) == 2
+
+    def test_config_mismatch_reported_not_compared(self):
+        current = report(cbmf_fit=100.0, scale="medium")
+        problems = check_regression(current, report())
+        assert len(problems) == 1
+        assert "config mismatch" in problems[0]
+        assert "scale" in problems[0]
+
+    def test_repeats_not_part_of_fingerprint(self):
+        current = report()
+        current["config"]["repeats"] = 99
+        assert check_regression(current, report()) == []
+
+    def test_missing_timing_reported(self):
+        current = report()
+        del current["timings_seconds"]["em"]
+        problems = check_regression(current, report())
+        assert problems and "missing" in problems[0]
+
+    def test_environment_differences_ignored(self):
+        current = report()
+        current["env"] = {"python": "3.99", "numpy": "9.9", "machine": "arm"}
+        assert check_regression(current, report()) == []
+
+    def test_roundtrips_through_json(self):
+        baseline = json.loads(json.dumps(report()))
+        assert check_regression(report(), baseline) == []
+
+
+class TestBenchParser:
+    def parse(self, argv):
+        parser = argparse.ArgumentParser()
+        sub = parser.add_subparsers(dest="command")
+        add_bench_parser(sub)
+        return parser.parse_args(argv)
+
+    def test_defaults(self):
+        args = self.parse(["bench"])
+        assert not args.quick
+        assert not args.check
+        assert args.scale == "medium"
+        assert args.threshold == DEFAULT_THRESHOLD
+
+    def test_quick_check_flags(self):
+        args = self.parse(["bench", "--quick", "--check"])
+        assert args.quick and args.check
+
+    def test_cli_exposes_bench(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.command == "bench"
+        assert args.quick
