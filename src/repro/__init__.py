@@ -22,7 +22,9 @@ Subpackages: ``core`` (the C-BMF method), ``baselines`` (S-OMP and friends),
 ``circuits``/``variation``/``simulate`` (the synthetic silicon substrate),
 ``basis``, ``evaluation`` (the paper's experiments), ``applications``
 (yield / corners / tuning), ``active`` (uncertainty-aware sample
-acquisition), ``serving`` (registry + model serving).
+acquisition), ``serving`` (registry + model serving). Failure handling
+lives in ``errors`` (the exception taxonomy) and ``faults``
+(deterministic fault injection for chaos tests).
 """
 
 from repro.active import (
@@ -42,6 +44,13 @@ from repro.baselines import (
 from repro.basis import CrossTermBasis, LinearBasis, QuadraticBasis
 from repro.circuits import TunableLNA, TunableMixer, TunableVCO
 from repro.core import CBMF, ClusteredCBMF, CorrelatedPrior, ar1_correlation
+from repro.errors import (
+    CheckpointError,
+    NumericalError,
+    ReproError,
+    ServingError,
+    SimulationError,
+)
 from repro.evaluation import (
     ModelingExperiment,
     modeling_error_percent,
@@ -78,5 +87,10 @@ __all__ = [
     "ActiveFitLoop",
     "CircuitOracle",
     "StoppingRule",
+    "ReproError",
+    "SimulationError",
+    "NumericalError",
+    "CheckpointError",
+    "ServingError",
     "__version__",
 ]

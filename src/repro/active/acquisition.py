@@ -26,14 +26,18 @@ lock-ins.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Union
+import logging
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.basis.dictionary import BasisDictionary
 from repro.core.cbmf import CBMF
+from repro.errors import NumericalError
 from repro.simulate.cost import CostModel
 from repro.utils.rng import as_generator
+
+logger = logging.getLogger("repro.active")
 
 __all__ = [
     "AcquisitionStrategy",
@@ -65,6 +69,23 @@ class AcquisitionStrategy(abc.ABC):
 
     #: Registry name of the strategy (recorded in histories/manifests).
     name: str = "base"
+    #: Degradation markers of the most recent :meth:`select` call — set
+    #: when a strategy silently fell back to a simpler rule (e.g. uniform
+    #: allocation on a non-finite variance mass). The active loop copies
+    #: this into the round's :class:`~repro.active.history.RoundRecord`
+    #: so degraded rounds stay visible in histories and reports.
+    last_degraded: Tuple[str, ...] = ()
+
+    def _reset_degradation(self) -> None:
+        """Clear the degradation markers (call at the top of select)."""
+        self.last_degraded = ()
+
+    def _record_degradation(self, reason: str) -> None:
+        """Mark this selection as degraded and log the reason."""
+        self.last_degraded = self.last_degraded + (reason,)
+        logger.warning(
+            "acquisition %s degraded: %s", self.name, reason
+        )
 
     @abc.abstractmethod
     def select(
@@ -171,7 +192,14 @@ class VarianceAcquisition(AcquisitionStrategy):
         return 1.0
 
     def select(self, model, basis, candidates, n_select, rng):
-        """Greedy fantasy-conditioned picks plus an exploration slice."""
+        """Greedy fantasy-conditioned picks plus an exploration slice.
+
+        A numerical breakdown mid-greedy (:class:`NumericalError` from
+        the predictor) degrades the rest of the batch to uniform random
+        picks, recorded in :attr:`last_degraded`, instead of aborting
+        the whole acquisition round.
+        """
+        self._reset_degradation()
         rng = as_generator(rng)
         n_states = len(candidates)
         _validate_pool(model, candidates, n_select)
@@ -180,26 +208,33 @@ class VarianceAcquisition(AcquisitionStrategy):
         n_explore = int(round(n_select * self.explore_fraction))
         n_greedy = n_select - n_explore
 
-        predictor = model.predictor
-        for _ in range(n_greedy):
-            best_score, best_state, best_index = -np.inf, -1, -1
-            for k in range(n_states):
-                if not designs[k].shape[0]:
-                    continue
-                std = predictor.predict_std(designs[k], k)
-                score = self._state_weight(k) * std**2
-                if chosen[k]:
-                    score[np.asarray(chosen[k], dtype=int)] = -np.inf
-                index = int(np.argmax(score))
-                if score[index] > best_score:
-                    best_score = float(score[index])
-                    best_state, best_index = k, index
-            if best_state < 0:
-                break
-            chosen[best_state].append(best_index)
-            predictor = predictor.augmented(
-                designs[best_state][best_index : best_index + 1], best_state
+        try:
+            predictor = model.predictor
+            for _ in range(n_greedy):
+                best_score, best_state, best_index = -np.inf, -1, -1
+                for k in range(n_states):
+                    if not designs[k].shape[0]:
+                        continue
+                    std = predictor.predict_std(designs[k], k)
+                    score = self._state_weight(k) * std**2
+                    if chosen[k]:
+                        score[np.asarray(chosen[k], dtype=int)] = -np.inf
+                    index = int(np.argmax(score))
+                    if score[index] > best_score:
+                        best_score = float(score[index])
+                        best_state, best_index = k, index
+                if best_state < 0:
+                    break
+                chosen[best_state].append(best_index)
+                predictor = predictor.augmented(
+                    designs[best_state][best_index : best_index + 1],
+                    best_state,
+                )
+        except NumericalError as error:
+            self._record_degradation(
+                f"random_fill:predict_std_failed({error})"
             )
+            n_explore = n_select - sum(len(c) for c in chosen)
 
         for _ in range(n_explore):
             open_states = [
@@ -278,16 +313,35 @@ class CorrelationAwareAllocation(AcquisitionStrategy):
     name = "correlation"
 
     def select(self, model, basis, candidates, n_select, rng):
-        """Variance-mass allocation, then per-state top-variance picks."""
+        """Variance-mass allocation, then per-state top-variance picks.
+
+        When the variance mass is unusable — the predictor raises
+        :class:`NumericalError` or the mass comes back non-finite/zero —
+        the allocation degrades to uniform, and the degradation is
+        recorded in :attr:`last_degraded` (the loop copies it into the
+        round record) instead of passing silently.
+        """
+        self._reset_degradation()
         rng = as_generator(rng)
         n_states = len(candidates)
         _validate_pool(model, candidates, n_select)
         designs = [basis.expand(pool) for pool in candidates]
-        variances = [
-            model.predict_std(designs[k], k) ** 2 for k in range(n_states)
-        ]
+        try:
+            variances = [
+                model.predict_std(designs[k], k) ** 2
+                for k in range(n_states)
+            ]
+        except NumericalError as error:
+            self._record_degradation(
+                f"uniform_allocation:predict_std_failed({error})"
+            )
+            variances = [np.zeros(pool.shape[0]) for pool in candidates]
         mass = np.array([float(np.mean(v)) for v in variances])
         if not np.all(np.isfinite(mass)) or mass.sum() <= 0.0:
+            if not self.last_degraded:
+                self._record_degradation(
+                    "uniform_allocation:non_finite_variance_mass"
+                )
             mass = np.ones(n_states)
         shares = mass / mass.sum() * n_select
         allocation = np.floor(shares).astype(int)

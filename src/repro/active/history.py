@@ -25,7 +25,15 @@ _SCHEMA = 1
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """What one round of the loop spent and what it bought."""
+    """What one round of the loop spent and what it bought.
+
+    ``n_quarantined`` counts simulation rows this round dropped after
+    exhausting the retry budget (failed or non-finite observations);
+    ``degraded`` lists the graceful-degradation paths the round took
+    (e.g. an acquisition falling back to uniform allocation), so
+    degraded rounds are distinguishable from healthy ones in histories
+    and reports.
+    """
 
     round_index: int
     n_samples_total: int
@@ -36,6 +44,8 @@ class RoundRecord:
     noise_std: float
     refit: str
     wall_seconds: float
+    n_quarantined: int = 0
+    degraded: Tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-serializable form (inverse of :meth:`from_dict`)."""
@@ -49,11 +59,17 @@ class RoundRecord:
             "noise_std": float(self.noise_std),
             "refit": str(self.refit),
             "wall_seconds": float(self.wall_seconds),
+            "n_quarantined": int(self.n_quarantined),
+            "degraded": list(self.degraded),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RoundRecord":
-        """Rebuild a record from :meth:`to_dict` output."""
+        """Rebuild a record from :meth:`to_dict` output.
+
+        ``n_quarantined``/``degraded`` default when absent, so
+        checkpoints written before fault tolerance existed still load.
+        """
         return cls(
             round_index=int(payload["round_index"]),
             n_samples_total=int(payload["n_samples_total"]),
@@ -68,6 +84,10 @@ class RoundRecord:
             noise_std=float(payload["noise_std"]),
             refit=str(payload["refit"]),
             wall_seconds=float(payload["wall_seconds"]),
+            n_quarantined=int(payload.get("n_quarantined", 0)),
+            degraded=tuple(
+                str(d) for d in payload.get("degraded", ())
+            ),
         )
 
 
@@ -105,6 +125,11 @@ class FitHistory:
         if not self.rounds:
             return float("inf")
         return min(record.holdout_rmse for record in self.rounds)
+
+    @property
+    def total_quarantined(self) -> int:
+        """Simulation rows quarantined over the whole run."""
+        return sum(record.n_quarantined for record in self.rounds)
 
     def samples_to_reach(self, target_rmse: float) -> Optional[int]:
         """Samples spent when the holdout RMSE first reached ``target``.

@@ -19,16 +19,29 @@ set): the dataset, the holdout set, the warm-start hyper-parameters, the
 round history and the exact generator state. A crashed run resumed from
 its checkpoint replays the identical random stream against pure-function
 oracles, so it produces the *same* final model as the uninterrupted run —
-not just a statistically equivalent one.
+not just a statistically equivalent one. Every npz/json file is written
+to a sibling ``.tmp`` and renamed into place, and ``loop.json`` — written
+last — records a sha256 checksum of each npz, so a crash *between* the
+writes is detected on resume as a :class:`~repro.errors.CheckpointError`
+naming the inconsistent file instead of silently resuming mixed rounds.
+
+Oracle calls go through a retry/quarantine wrapper: a raising or
+non-finite observation is retried up to ``config.max_retries`` times
+(against a pure oracle the retry re-simulates the *same* points, so a
+transient fault leaves the run bit-identical to a fault-free one), and
+rows still bad after the budget are dropped and counted in the round's
+``n_quarantined`` instead of crashing the loop.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,10 +53,13 @@ from repro.basis.polynomial import LinearBasis
 from repro.core.cbmf import CBMF
 from repro.core.em import EmConfig
 from repro.core.somp_init import InitConfig
+from repro.errors import CheckpointError, SimulationError
 from repro.evaluation.error import rmse
 from repro.simulate.cost import CostLedger
 from repro.simulate.dataset import Dataset, StateData
 from repro.utils.rng import SeedLike, spawn_generators
+
+logger = logging.getLogger("repro.active")
 
 __all__ = [
     "ActiveFitConfig",
@@ -81,7 +97,14 @@ class StoppingRule:
 
 @dataclass(frozen=True)
 class ActiveFitConfig:
-    """Everything one active fit needs besides the oracle."""
+    """Everything one active fit needs besides the oracle.
+
+    ``max_retries`` bounds how often a failed or non-finite oracle batch
+    is re-simulated before the offending rows are quarantined;
+    ``retry_backoff`` is the base sleep (seconds, doubled per attempt)
+    between those retries. Neither affects the loop's random stream, so
+    runs that recover via retry stay bit-identical to fault-free runs.
+    """
 
     metric: str
     strategy: Union[str, AcquisitionStrategy] = "variance"
@@ -95,6 +118,8 @@ class ActiveFitConfig:
     cold_restart: bool = True
     init_config: Optional[InitConfig] = None
     em_config: Optional[EmConfig] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.0
 
 
 @dataclass
@@ -111,6 +136,11 @@ class ActiveFitResult:
     def total_samples(self) -> int:
         """Simulation samples the run spent in total."""
         return self.ledger.total
+
+
+def _digest(path) -> str:
+    """sha256 hex digest of a file's bytes."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
 
 
 def _echo_config(config: ActiveFitConfig, strategy_name: str) -> dict:
@@ -155,6 +185,14 @@ class ActiveFitLoop:
             raise ValueError(
                 f"batch_per_round must be >= 1, got {config.batch_per_round}"
             )
+        if config.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {config.max_retries}"
+            )
+        if config.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {config.retry_backoff}"
+            )
         self.oracle = oracle
         self.config = config
         self.basis = basis or LinearBasis(oracle.n_variables)
@@ -167,6 +205,75 @@ class ActiveFitLoop:
         from repro.evaluation.methods import make_acquisition
 
         return make_acquisition(str(strategy))
+
+    # ------------------------------------------------------------------
+    # fault-tolerant oracle access
+    # ------------------------------------------------------------------
+    def _observe(
+        self, x: np.ndarray, state_index: int
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Observe ``x`` with retry and non-finite-row quarantine.
+
+        A raising :meth:`~repro.active.oracle.Oracle.observe` call retries
+        the whole batch; non-finite rows retry only those rows. Retries
+        re-simulate the *same* points and never touch the loop's random
+        stream — against a pure oracle a recovered fault therefore leaves
+        the run bit-identical to a fault-free one. Rows still failed or
+        non-finite after ``config.max_retries`` extra attempts are dropped.
+
+        Returns ``(x_kept, y_kept, n_quarantined)``.
+        """
+        config = self.config
+        x = np.asarray(x, dtype=float)
+        y = np.full(x.shape[0], np.nan)
+        pending = np.arange(x.shape[0])
+        for attempt in range(config.max_retries + 1):
+            if attempt and config.retry_backoff > 0:
+                time.sleep(config.retry_backoff * 2 ** (attempt - 1))
+            try:
+                values = np.asarray(
+                    self.oracle.observe(x[pending], state_index),
+                    dtype=float,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                logger.warning(
+                    "oracle %r failed at state %d "
+                    "(attempt %d/%d, %d row(s)): %s: %s",
+                    self.oracle.name,
+                    state_index,
+                    attempt + 1,
+                    config.max_retries + 1,
+                    pending.size,
+                    type(error).__name__,
+                    error,
+                )
+                continue
+            y[pending] = values
+            pending = pending[~np.isfinite(values)]
+            if pending.size == 0:
+                break
+            logger.warning(
+                "oracle %r returned %d non-finite value(s) at state %d "
+                "(attempt %d/%d)",
+                self.oracle.name,
+                pending.size,
+                state_index,
+                attempt + 1,
+                config.max_retries + 1,
+            )
+        keep = np.isfinite(y)
+        n_quarantined = int(x.shape[0] - keep.sum())
+        if n_quarantined:
+            logger.warning(
+                "quarantined %d of %d row(s) at state %d after "
+                "exhausting the retry budget",
+                n_quarantined,
+                x.shape[0],
+                state_index,
+            )
+        return x[keep], y[keep], n_quarantined
 
     # ------------------------------------------------------------------
     # state initialization: fresh or from checkpoint
@@ -182,13 +289,24 @@ class ActiveFitLoop:
         ]
         ledger = CostLedger(oracle.n_states)
         states = []
+        n_quarantined = 0
         for k in range(oracle.n_states):
             x = loop_rng.standard_normal(
                 (config.init_per_state, oracle.n_variables)
             )
-            y = oracle.observe(x, k)
+            x_kept, y, n_bad = self._observe(x, k)
+            if x_kept.shape[0] < 2:
+                raise SimulationError(
+                    f"initial sampling of state {k} kept only "
+                    f"{x_kept.shape[0]} of {x.shape[0]} row(s) after "
+                    f"quarantine; need at least 2 to start the loop"
+                )
+            # The ledger counts scheduled simulations (first attempts):
+            # retries are free so a fault-free run and a retry-recovered
+            # run produce identical ledgers.
             ledger.record(k, x.shape[0])
-            states.append(StateData(x=x, y={config.metric: y}))
+            n_quarantined += n_bad
+            states.append(StateData(x=x_kept, y={config.metric: y}))
         dataset = Dataset(oracle.name, states, (config.metric,))
         return {
             "round_index": 0,
@@ -201,6 +319,7 @@ class ActiveFitLoop:
             ),
             "warm": None,
             "best_rmse": float("inf"),
+            "quarantine_carry": n_quarantined,
         }
 
     def _load_state(self) -> dict:
@@ -223,18 +342,59 @@ class ActiveFitLoop:
                 f"  checkpoint: {payload['config']}\n"
                 f"  current:    {echo}"
             )
-        dataset = Dataset.load(directory / _DATA_FILE)
-        with np.load(directory / _ARRAYS_FILE, allow_pickle=False) as arrays:
-            holdout_x = [
-                arrays[f"holdout_{k}"] for k in range(self.oracle.n_states)
-            ]
-            warm = None
-            if "warm_lambdas" in arrays:
-                warm = {
-                    "lambdas": arrays["warm_lambdas"],
-                    "correlation": arrays["warm_correlation"],
-                    **payload["warm_scalars"],
-                }
+        # loop.json is written last and records a checksum of every npz,
+        # so a crash between the npz writes and the state write — or any
+        # later corruption — is caught here instead of silently resuming
+        # from mixed rounds.
+        for name, expected in sorted(
+            payload.get("checksums", {}).items()
+        ):
+            target = directory / name
+            if not target.exists():
+                raise CheckpointError(
+                    f"checkpoint file {target} is missing", path=target
+                )
+            if _digest(target) != expected:
+                raise CheckpointError(
+                    f"checkpoint file {target} does not match the "
+                    f"checksum recorded in {state_path}; the checkpoint "
+                    f"is stale or corrupt — delete the directory and "
+                    f"rerun without resume",
+                    path=target,
+                )
+        data_path = directory / _DATA_FILE
+        try:
+            dataset = Dataset.load(data_path)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            raise CheckpointError(
+                f"failed to load checkpoint dataset {data_path}: "
+                f"{type(error).__name__}: {error}",
+                path=data_path,
+            ) from error
+        arrays_path = directory / _ARRAYS_FILE
+        try:
+            with np.load(arrays_path, allow_pickle=False) as arrays:
+                holdout_x = [
+                    arrays[f"holdout_{k}"]
+                    for k in range(self.oracle.n_states)
+                ]
+                warm = None
+                if "warm_lambdas" in arrays:
+                    warm = {
+                        "lambdas": arrays["warm_lambdas"],
+                        "correlation": arrays["warm_correlation"],
+                        **payload["warm_scalars"],
+                    }
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            raise CheckpointError(
+                f"failed to load checkpoint arrays {arrays_path}: "
+                f"{type(error).__name__}: {error}",
+                path=arrays_path,
+            ) from error
         loop_rng = np.random.default_rng()
         loop_rng.bit_generator.state = payload["rng_state"]
         return {
@@ -247,11 +407,29 @@ class ActiveFitLoop:
             "history": FitHistory.from_dict(payload["history"]),
             "warm": warm,
             "best_rmse": float(payload["best_rmse"]),
+            "quarantine_carry": 0,
         }
 
     def _checkpoint(self, state: dict, model: CBMF, finished: bool) -> None:
         directory = Path(self.config.checkpoint_dir)
         directory.mkdir(parents=True, exist_ok=True)
+        warm, checksums = self._write_checkpoint_payload(
+            state, model, directory
+        )
+        self._write_checkpoint_state(
+            state, warm, checksums, finished, directory
+        )
+
+    def _write_checkpoint_payload(
+        self, state: dict, model: CBMF, directory: Path
+    ):
+        """Write the npz half of a checkpoint (atomically).
+
+        Returns the warm-start dict and the sha256 checksums the state
+        file must record. Separate from :meth:`_write_checkpoint_state`
+        so a crash between the two halves is a testable seam — the
+        checksums make such a crash detectable on resume.
+        """
         state["dataset"].save(directory / _DATA_FILE)
         warm = model.warm_state()
         arrays = {
@@ -259,7 +437,27 @@ class ActiveFitLoop:
         }
         arrays["warm_lambdas"] = warm["lambdas"]
         arrays["warm_correlation"] = warm["correlation"]
-        np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
+        arrays_path = directory / _ARRAYS_FILE
+        tmp_path = directory / (_ARRAYS_FILE + ".tmp")
+        # An open handle sidesteps numpy's automatic ".npz" suffixing.
+        with open(tmp_path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        tmp_path.replace(arrays_path)
+        checksums = {
+            _DATA_FILE: _digest(directory / _DATA_FILE),
+            _ARRAYS_FILE: _digest(arrays_path),
+        }
+        return warm, checksums
+
+    def _write_checkpoint_state(
+        self,
+        state: dict,
+        warm: dict,
+        checksums: dict,
+        finished: bool,
+        directory: Path,
+    ) -> None:
+        """Write ``loop.json`` — the commit point of a checkpoint."""
         payload = {
             "schema": _SCHEMA,
             "config": _echo_config(self.config, self.strategy.name),
@@ -275,6 +473,7 @@ class ActiveFitLoop:
             "best_rmse": float(state["best_rmse"]),
             "finished": bool(finished),
             "stop_reason": state["history"].stop_reason,
+            "checksums": dict(checksums),
         }
         tmp_path = directory / (_STATE_FILE + ".tmp")
         with open(tmp_path, "w") as handle:
@@ -356,8 +555,16 @@ class ActiveFitLoop:
                 return "std_collapse"
         return None
 
-    def _acquire(self, state: dict, model: CBMF) -> List[int]:
-        """Score a fresh pool, simulate the winners, grow the dataset."""
+    def _acquire(
+        self, state: dict, model: CBMF
+    ) -> Tuple[List[int], int, Tuple[str, ...]]:
+        """Score a fresh pool, simulate the winners, grow the dataset.
+
+        Returns ``(added_per_state, n_quarantined, degraded)`` where
+        ``degraded`` lists any graceful-degradation markers the strategy
+        recorded while selecting (see
+        :attr:`~repro.active.acquisition.AcquisitionStrategy.last_degraded`).
+        """
         config, oracle = self.config, self.oracle
         rng = state["rng"]
         batch = config.batch_per_round
@@ -371,20 +578,26 @@ class ActiveFitLoop:
             rng.standard_normal((config.n_candidates, oracle.n_variables))
             for _ in range(oracle.n_states)
         ]
+        self.strategy.last_degraded = ()
         picks = self.strategy.select(
             model, self.basis, candidates, batch, rng
         )
+        degraded = tuple(getattr(self.strategy, "last_degraded", ()))
         added = [0] * oracle.n_states
+        n_quarantined = 0
         merged_states = []
         for k, base in enumerate(state["dataset"].states):
             indices = np.asarray(picks[k], dtype=int)
             if indices.size == 0:
                 merged_states.append(base)
                 continue
-            x_new = candidates[k][indices]
-            y_new = oracle.observe(x_new, k)
-            state["ledger"].record(k, x_new.shape[0])
+            x_new, y_new, n_bad = self._observe(candidates[k][indices], k)
+            state["ledger"].record(k, int(indices.size))
+            n_quarantined += n_bad
             added[k] = int(x_new.shape[0])
+            if x_new.shape[0] == 0:
+                merged_states.append(base)
+                continue
             merged_states.append(
                 StateData(
                     x=np.vstack([base.x, x_new]),
@@ -398,7 +611,7 @@ class ActiveFitLoop:
         state["dataset"] = Dataset(
             oracle.name, merged_states, (config.metric,)
         )
-        return added
+        return added, n_quarantined, degraded
 
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> ActiveFitResult:
@@ -442,11 +655,15 @@ class ActiveFitLoop:
             # achieved (the acquisition below buys the *next* round)
             fit_total = state["dataset"].n_samples_total
             fit_per_state = tuple(state["dataset"].n_samples_per_state)
+            # Quarantines from the initial sampling land on round 0.
+            n_quarantined = int(state.pop("quarantine_carry", 0))
             reason = self._stop_reason(state, model, error)
             if reason is None:
-                added = self._acquire(state, model)
+                added, n_bad, degraded = self._acquire(state, model)
+                n_quarantined += n_bad
             else:
                 added = [0] * self.oracle.n_states
+                degraded = ()
                 state["history"].stop_reason = reason
             state["history"].append(
                 RoundRecord(
@@ -459,6 +676,8 @@ class ActiveFitLoop:
                     noise_std=float(model.noise_std_),
                     refit=refit,
                     wall_seconds=time.perf_counter() - started,
+                    n_quarantined=n_quarantined,
+                    degraded=degraded,
                 )
             )
             state["warm"] = model

@@ -76,9 +76,22 @@ class Oracle:
 
 
 class CircuitOracle(Oracle):
-    """Oracle over a tunable circuit (the production simulation path)."""
+    """Oracle over a tunable circuit (the production simulation path).
 
-    def __init__(self, circuit: TunableCircuit, metric: str) -> None:
+    ``max_retries``/``retry_backoff`` forward to the underlying
+    :class:`MonteCarloEngine`: a raising or non-finite evaluation is
+    retried up to the budget, then surfaces as
+    :class:`~repro.errors.SimulationError` (which the active loop
+    quarantines instead of crashing on).
+    """
+
+    def __init__(
+        self,
+        circuit: TunableCircuit,
+        metric: str,
+        max_retries: int = 0,
+        retry_backoff: float = 0.0,
+    ) -> None:
         if metric not in circuit.metric_names:
             raise KeyError(
                 f"circuit {circuit.name!r} has no metric {metric!r}; "
@@ -89,7 +102,9 @@ class CircuitOracle(Oracle):
         self.name = circuit.name
         self.n_states = circuit.n_states
         self.n_variables = circuit.n_variables
-        self._engine = MonteCarloEngine(circuit)
+        self._engine = MonteCarloEngine(
+            circuit, max_retries=max_retries, retry_backoff=retry_backoff
+        )
 
     def observe(self, x: np.ndarray, state: int) -> np.ndarray:
         """One deterministic circuit evaluation per row of ``x``."""

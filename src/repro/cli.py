@@ -243,7 +243,13 @@ def _cmd_active_fit(args) -> int:
     }[args.circuit]
     circuit = circuit_cls(n_states=args.states, n_variables=None)
     metric = args.metric or circuit.metric_names[0]
-    oracle = CircuitOracle(circuit, metric)
+    oracle = CircuitOracle(circuit, metric, max_retries=args.max_retries)
+    if args.fault_plan:
+        from repro.faults import FaultPlan, FaultyOracle
+
+        plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
+        oracle = FaultyOracle(oracle, plan)
+        print(f"fault injection active: {args.fault_plan!r}")
 
     kwargs = {}
     if args.strategy in ("variance", "cost_weighted"):
@@ -266,6 +272,7 @@ def _cmd_active_fit(args) -> int:
         ),
         seed=args.seed,
         checkpoint_dir=args.checkpoint,
+        max_retries=args.max_retries,
     )
     loop = ActiveFitLoop(oracle, config)
     print(
@@ -446,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hard cap on total simulations")
     p.add_argument("--explore", type=float, default=0.25,
                    help="random fraction of each batch (variance family)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="oracle retries before a row is quarantined "
+                        "(default: 2)")
+    p.add_argument("--fault-plan", default=None,
+                   help="deterministic fault injection spec, e.g. "
+                        "'oracle:raise@1,3' or 'oracle:nan*2' "
+                        "(chaos testing; see repro.faults.FaultPlan.parse)")
     p.add_argument("--checkpoint", default=None,
                    help="checkpoint directory (resumable with --resume)")
     p.add_argument("--resume", action="store_true",

@@ -170,7 +170,8 @@ def run_em(
 
         if config.update_noise:
             noise_var = max(
-                (posterior.residual_sq + posterior.trace_dsd) / n_total,
+                (posterior.residual_sq + posterior.require_trace_dsd())
+                / n_total,
                 config.min_noise_var,
             )
 

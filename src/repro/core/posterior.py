@@ -34,6 +34,7 @@ from scipy import linalg as sla
 from repro.core.base import validate_multistate
 from repro.core.multistate import MultiStateData
 from repro.core.prior import CorrelatedPrior
+from repro.errors import NumericalError
 from repro.utils.linalg import cholesky_factor, inv_from_cholesky
 
 __all__ = ["PosteriorResult", "compute_posterior", "compute_posterior_dense"]
@@ -54,7 +55,11 @@ class PosteriorResult:
     residual_sq:
         ``‖y − D μ_p‖²`` summed over all states.
     trace_dsd:
-        ``Tr(D Σ_p Dᵀ)`` — the posterior-uncertainty term of the σ0 update.
+        ``Tr(D Σ_p Dᵀ)`` — the posterior-uncertainty term of the σ0
+        update. ``None`` when the solve skipped the inverse branch
+        (``want_blocks=False``); consumers must go through
+        :meth:`require_trace_dsd` so a skipped computation fails loudly
+        instead of leaking into noise estimates.
     nll:
         Negative log marginal likelihood (eq. 25, up to the constant
         ``n·log 2π``).
@@ -65,7 +70,7 @@ class PosteriorResult:
     mean: np.ndarray
     sigma_blocks: Optional[np.ndarray]
     residual_sq: float
-    trace_dsd: float
+    trace_dsd: Optional[float]
     nll: float
     noise_var: float
 
@@ -73,6 +78,26 @@ class PosteriorResult:
     def coef(self) -> np.ndarray:
         """Coefficients in estimator layout, shape (K, M)."""
         return self.mean.T
+
+    def require_trace_dsd(self) -> float:
+        """``Tr(D Σ_p Dᵀ)``, or :class:`NumericalError` if unavailable.
+
+        Guards the σ0 update: a solve that skipped the inverse branch
+        (``want_blocks=False``) has no uncertainty trace, and a
+        non-finite one means the inverse itself broke down — both must
+        fail here rather than flow silently into noise estimates.
+        """
+        if self.trace_dsd is None:
+            raise NumericalError(
+                "trace_dsd was not computed (posterior solved with "
+                "want_blocks=False); re-solve with want_blocks=True"
+            )
+        if not np.isfinite(self.trace_dsd):
+            raise NumericalError(
+                f"trace_dsd is non-finite ({self.trace_dsd}); the "
+                "posterior covariance computation broke down"
+            )
+        return float(self.trace_dsd)
 
 
 def _stack(designs: Sequence[np.ndarray], targets: Sequence[np.ndarray]):
@@ -158,7 +183,7 @@ def compute_posterior(
     nll = float(y @ v) + log_det
 
     sigma_blocks = None
-    trace_dsd = float("nan")
+    trace_dsd: Optional[float] = None
     if want_blocks:
         c_inv = inv_from_cholesky(factor)
         # DADᵀ = C − σ0²·I collapses the uncertainty trace to

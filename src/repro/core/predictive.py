@@ -28,6 +28,7 @@ from scipy import linalg as sla
 
 from repro.core.base import validate_multistate
 from repro.core.prior import CorrelatedPrior
+from repro.errors import NumericalError
 from repro.utils.linalg import cholesky_factor
 from repro.utils.validation import check_matrix
 
@@ -164,6 +165,12 @@ class PosteriorPredictor:
         )
         variance = prior_var - np.einsum("ij,ij->j", half, half)
         variance = np.maximum(variance, 0.0)
+        if not np.all(np.isfinite(variance)):
+            raise NumericalError(
+                f"non-finite predictive variance for state {state} "
+                f"({int(np.sum(~np.isfinite(variance)))} of "
+                f"{variance.size} queries)"
+            )
         if include_noise:
             variance = variance + self._noise_var
         return np.sqrt(variance)

@@ -80,8 +80,12 @@ def format_active_history(history, title: Optional[str] = None) -> str:
 
     ``history`` is a :class:`repro.active.history.FitHistory`; one row
     per round — samples spent when the model was fitted, samples the
-    acquisition then added, the holdout RMSE (and best so far), which
-    refit path produced the model, and the wall time.
+    acquisition then added, rows quarantined after failed simulations,
+    the holdout RMSE (and best so far), which refit path produced the
+    model, and the wall time. Rounds that took a graceful-degradation
+    path (see ``RoundRecord.degraded``) get an extra indented line per
+    marker, so a degraded run can never render identically to a healthy
+    one.
     """
     header = title or (
         f"active fit — strategy={history.strategy} "
@@ -89,15 +93,22 @@ def format_active_history(history, title: Optional[str] = None) -> str:
     )
     lines = [
         header,
-        f"{'round':>6}{'samples':>9}{'added':>7}{'rmse':>12}"
+        f"{'round':>6}{'samples':>9}{'added':>7}{'quar':>6}{'rmse':>12}"
         f"{'best':>12}  {'refit':<10}{'sec':>8}",
     ]
     for record in history.rounds:
         lines.append(
             f"{record.round_index:>6}{record.n_samples_total:>9}"
             f"{sum(record.n_added_per_state):>7}"
+            f"{record.n_quarantined:>6}"
             f"{record.holdout_rmse:>12.5f}{record.best_rmse:>12.5f}  "
             f"{record.refit:<10}{record.wall_seconds:>8.2f}"
+        )
+        for marker in record.degraded:
+            lines.append(f"{'':>6}  degraded: {marker}")
+    if history.total_quarantined:
+        lines.append(
+            f"quarantined: {history.total_quarantined} simulation row(s)"
         )
     if history.stop_reason:
         lines.append(f"stopped: {history.stop_reason}")

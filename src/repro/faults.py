@@ -1,0 +1,287 @@
+"""Deterministic fault injection for chaos-testing the fit/serve paths.
+
+A :class:`FaultPlan` is a seeded, call-indexed schedule of failures:
+"make the oracle raise on its 3rd call", "poison one row with NaN every
+2nd call", "stall the 5th call for 50 ms", "fail the next hot swap".
+Sites consult the plan with :meth:`FaultPlan.fire`; the plan counts the
+calls per site, so a given configuration always injects the *same*
+faults in the same places — which is what lets chaos tests assert exact
+degradation outcomes (bit-identical recovery, precise quarantine
+counts) rather than statistical ones.
+
+Wiring points:
+
+* :class:`FaultyOracle` wraps any :class:`~repro.active.oracle.Oracle`
+  and applies the plan's ``"oracle"`` site to ``observe`` calls (holdout
+  ``truth`` calls are never faulted — scoring stays clean).
+* :class:`~repro.serving.service.ModelService` accepts a plan and fires
+  its ``"swap"`` site inside ``load``/``swap``, exercising the
+  fall-back-to-previous-version path.
+* ``repro.utils.parallel`` honours the ``REPRO_FAULT_WORKER_CRASH``
+  token file (see :func:`worker_crash_flag`) to kill exactly one pool
+  worker mid-task, exercising inline re-run recovery.
+
+The CLI accepts ``--fault-plan "oracle:raise@2,5;swap:raise@0"`` (see
+:meth:`FaultPlan.parse`) so end-to-end chaos runs need no code.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.active.oracle import Oracle
+from repro.errors import ServingError, SimulationError
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultyOracle",
+    "raise_serving_fault",
+    "worker_crash_flag",
+]
+
+_MODES = ("raise", "nan", "stall")
+
+#: Environment variable naming the one-shot worker-crash token file.
+WORKER_CRASH_ENV = "REPRO_FAULT_WORKER_CRASH"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled failure at a named site.
+
+    Parameters
+    ----------
+    site:
+        Where the fault fires — ``"oracle"`` (observe calls) and
+        ``"swap"`` (service hot swaps) are the built-in sites; any
+        string works for custom integration points.
+    mode:
+        ``"raise"`` (throw :class:`SimulationError`/:class:`ServingError`),
+        ``"nan"`` (poison one seeded row of the returned values), or
+        ``"stall"`` (sleep ``stall_seconds`` before answering).
+    calls:
+        0-based call indices at which the fault fires.
+    every:
+        Alternative to ``calls``: fire whenever ``index % every == 0``.
+    stall_seconds:
+        Sleep length for ``"stall"`` mode.
+    """
+
+    site: str
+    mode: str
+    calls: Tuple[int, ...] = ()
+    every: Optional[int] = None
+    stall_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+
+    def matches(self, index: int) -> bool:
+        """Whether the fault fires on the ``index``-th call of its site."""
+        if self.every is not None:
+            return index % self.every == 0
+        return index in self.calls
+
+
+class FaultPlan:
+    """A seeded, call-counted schedule of :class:`Fault` injections.
+
+    The plan keeps one call counter per site; :meth:`fire` increments it
+    and returns the first matching fault (or ``None``). ``seed`` drives
+    the deterministic choice of *which* row a ``"nan"`` fault poisons.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = (), seed: int = 0) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        self.seed = int(seed)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def fire(self, site: str) -> Optional[Fault]:
+        """Count one call at ``site``; return the fault due, if any."""
+        index = self._counts[site]
+        self._counts[site] = index + 1
+        for fault in self.faults:
+            if fault.site == site and fault.matches(index):
+                return fault
+        return None
+
+    def calls(self, site: str) -> int:
+        """How many calls ``site`` has made so far."""
+        return self._counts[site]
+
+    def reset(self) -> None:
+        """Zero every site's call counter (reuse the plan for a new run)."""
+        self._counts.clear()
+
+    def nan_rng(self, site: str) -> np.random.Generator:
+        """Deterministic generator for the current call's NaN row choice."""
+        return np.random.default_rng(
+            (self.seed, hash(site) & 0xFFFF, self._counts[site])
+        )
+
+    # -- CLI round-trip --------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a compact spec string.
+
+        Grammar: ``site:mode@indices`` joined with ``;`` — indices are
+        comma-separated 0-based call numbers, or ``*N`` for "every N
+        calls". A ``stall`` entry may append ``:seconds``.
+
+            oracle:raise@2,5        raise on oracle calls 2 and 5
+            oracle:nan@*2           poison a row on every 2nd call
+            swap:raise@0            fail the first hot swap
+            oracle:stall@1:0.2      sleep 200 ms on call 1
+        """
+        faults = []
+        for chunk in filter(None, (c.strip() for c in spec.split(";"))):
+            try:
+                head, _, schedule = chunk.partition("@")
+                site, _, mode = head.partition(":")
+                if not (site and mode and schedule):
+                    raise ValueError("expected site:mode@indices")
+                stall = 0.05
+                if mode == "stall" and ":" in schedule:
+                    schedule, _, stall_text = schedule.rpartition(":")
+                    stall = float(stall_text)
+                if schedule.startswith("*"):
+                    fault = Fault(
+                        site, mode, every=int(schedule[1:]),
+                        stall_seconds=stall,
+                    )
+                else:
+                    fault = Fault(
+                        site, mode,
+                        calls=tuple(
+                            int(i) for i in schedule.split(",") if i
+                        ),
+                        stall_seconds=stall,
+                    )
+            except ValueError as error:
+                raise ValueError(
+                    f"invalid fault spec {chunk!r}: {error}"
+                ) from error
+            faults.append(fault)
+        return cls(faults, seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({list(self.faults)}, seed={self.seed})"
+
+
+class FaultyOracle(Oracle):
+    """Wrap an oracle so a :class:`FaultPlan` governs its failures.
+
+    Only ``observe`` consults the plan (site ``"oracle"``); ``truth`` —
+    used for holdout scoring only — always delegates cleanly, so fault
+    injection perturbs the training data path, never the evaluation.
+    """
+
+    def __init__(
+        self, base: Oracle, plan: FaultPlan, site: str = "oracle"
+    ) -> None:
+        self.base = base
+        self.plan = plan
+        self.site = site
+        self.name = base.name
+        self.metric = base.metric
+        self.n_states = base.n_states
+        self.n_variables = base.n_variables
+
+    def observe(self, x: np.ndarray, state: int) -> np.ndarray:
+        """Observe through the base oracle, applying any due fault."""
+        fault = self.plan.fire(self.site)
+        if fault is None:
+            return self.base.observe(x, state)
+        if fault.mode == "raise":
+            raise SimulationError(
+                f"injected fault at {self.site} call "
+                f"{self.plan.calls(self.site) - 1} (state {state})"
+            )
+        if fault.mode == "stall":
+            time.sleep(fault.stall_seconds)
+            return self.base.observe(x, state)
+        # "nan": poison one deterministically-chosen row.
+        values = np.array(self.base.observe(x, state), dtype=float)
+        if values.size:
+            row = int(self.plan.nan_rng(self.site).integers(values.size))
+            values[row] = np.nan
+        return values
+
+    def truth(self, x: np.ndarray, state: int) -> np.ndarray:
+        """Clean pass-through for holdout scoring."""
+        return self.base.truth(x, state)
+
+
+def raise_serving_fault(
+    plan: Optional[FaultPlan], site: str = "swap"
+) -> None:
+    """Fire ``site`` on ``plan`` and raise/stall accordingly (serving).
+
+    Helper for serving integration points: ``None`` plans are a no-op,
+    ``"nan"`` faults are meaningless for control flow and ignored.
+    """
+    if plan is None:
+        return
+    fault = plan.fire(site)
+    if fault is None:
+        return
+    if fault.mode == "stall":
+        time.sleep(fault.stall_seconds)
+        return
+    if fault.mode == "raise":
+        raise ServingError(
+            f"injected fault at {site} call {plan.calls(site) - 1}"
+        )
+
+
+class worker_crash_flag:
+    """Context manager arming a one-shot pool-worker crash.
+
+    Creates a token file and exports its path via the
+    ``REPRO_FAULT_WORKER_CRASH`` environment variable (inherited by
+    spawn workers). The first worker task to consume the token calls
+    ``os._exit(1)`` mid-task — a hard crash the pool must recover from.
+    Exactly one task dies per armed flag.
+    """
+
+    def __init__(self, directory) -> None:
+        self.path = os.path.join(str(directory), "crash-token")
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "worker_crash_flag":
+        with open(self.path, "w") as handle:
+            handle.write("armed\n")
+        self._previous = os.environ.get(WORKER_CRASH_ENV)
+        os.environ[WORKER_CRASH_ENV] = self.path
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is None:
+            os.environ.pop(WORKER_CRASH_ENV, None)
+        else:
+            os.environ[WORKER_CRASH_ENV] = self._previous
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    @property
+    def consumed(self) -> bool:
+        """Whether a worker has taken the token (and died)."""
+        return not os.path.exists(self.path)

@@ -46,13 +46,16 @@ class BatchConfig:
     """Micro-batching knobs.
 
     ``max_batch_size`` rows force a flush; otherwise the oldest queued
-    request waits at most ``flush_interval`` seconds. ``max_batch_size=1``
-    (or ``flush_interval=0``) degenerates to immediate per-request
-    computation — the "unbatched" baseline the benchmarks compare against.
+    request waits at most ``flush_interval`` seconds. The two sentinel
+    intervals are distinct: ``flush_interval=0`` means *flush
+    immediately* (the "unbatched" baseline, like ``max_batch_size=1``),
+    while ``flush_interval=None`` means *never flush on time* — a
+    request waits, indefinitely if need be, until the batch fills or
+    someone flushes explicitly.
     """
 
     max_batch_size: int = 64
-    flush_interval: float = 0.002
+    flush_interval: Optional[float] = 0.002
 
     def __post_init__(self) -> None:
         """Validate the configuration."""
@@ -60,10 +63,26 @@ class BatchConfig:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {self.max_batch_size}"
             )
-        if self.flush_interval < 0:
+        if self.flush_interval is not None and self.flush_interval < 0:
             raise ValueError(
-                f"flush_interval must be >= 0, got {self.flush_interval}"
+                f"flush_interval must be >= 0 or None, "
+                f"got {self.flush_interval}"
             )
+
+    def wait_timeout(self) -> Optional[float]:
+        """Event-wait timeout for the streaming path.
+
+        ``None`` (size-triggered flushing only) waits without a timeout;
+        ``0`` polls on a short interval so an immediate-flush engine can
+        never park a request forever — the regression the old
+        ``flush_interval or None`` coercion caused by conflating the
+        falsy ``0`` with ``None``.
+        """
+        if self.flush_interval is None:
+            return None
+        if self.flush_interval == 0.0:
+            return 5e-4
+        return self.flush_interval
 
 
 @dataclass(frozen=True)
@@ -282,7 +301,7 @@ class PredictionEngine:
             )
         if flush_now:
             self.flush()
-        timeout = self.batch.flush_interval or None
+        timeout = self.batch.wait_timeout()
         while not item.event.wait(timeout=timeout):
             self.flush()
         if item.error is not None:

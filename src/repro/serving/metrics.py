@@ -43,6 +43,7 @@ class ServingMetrics:
         self._batched_rows = 0
         self._max_batch = 0
         self._hot_swaps = 0
+        self._swap_failures = 0
 
     # ------------------------------------------------------------------
     def record_request(
@@ -68,6 +69,17 @@ class ServingMetrics:
         """Count one model-version swap."""
         with self._lock:
             self._hot_swaps += 1
+
+    def record_swap_failure(self) -> None:
+        """Count one failed hot swap (previous version kept serving)."""
+        with self._lock:
+            self._swap_failures += 1
+
+    @property
+    def swap_failures(self) -> int:
+        """Hot swaps that failed and fell back to the previous version."""
+        with self._lock:
+            return self._swap_failures
 
     # ------------------------------------------------------------------
     @property
@@ -110,6 +122,7 @@ class ServingMetrics:
                 ),
                 "max_batch_size": self._max_batch,
                 "hot_swaps": self._hot_swaps,
+                "swap_failures": self._swap_failures,
             }
         if latencies.size:
             out["p50_latency_ms"] = float(

@@ -13,6 +13,13 @@ concurrent swap each request is answered entirely by the old or entirely
 by the new version, never a mixture. Swapping also invalidates the old
 version's cache entries (the version-qualified cache keys already make
 them unreachable; invalidation just frees the space).
+
+Because the replacement is built fully before publication, a *failed*
+swap — corrupt artifact, checksum mismatch, missing basis — can never
+disturb the version already serving: the previous ``ServedModel`` stays
+installed, the failure is counted in
+:meth:`ServingMetrics.record_swap_failure`, and the caller gets a
+:class:`~repro.errors.ServingError` wrapping the cause.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ServingError
 from repro.serving.engine import (
     BatchConfig,
     CacheConfig,
@@ -65,26 +73,60 @@ class ModelService:
         self._served: Dict[str, ServedModel] = {}
 
     # -- model lifecycle ------------------------------------------------
-    def load(self, key: str, alias: Optional[str] = None) -> ServedModel:
+    def load(
+        self,
+        key: str,
+        alias: Optional[str] = None,
+        fault_plan=None,
+    ) -> ServedModel:
         """Resolve, verify and install a registry entry for serving.
 
         ``alias`` overrides the serving name (default: the registry
         name), so two versions of one artifact can be served side by
         side. Returns the installed :class:`ServedModel`. Loading onto a
-        name that is already serving performs a hot swap.
+        name that is already serving performs a hot swap; a swap that
+        fails to build its replacement (corrupt artifact, missing basis,
+        an injected ``fault_plan`` firing its ``"swap"`` site) leaves
+        the previous version serving, counts a
+        :meth:`~repro.serving.metrics.ServingMetrics.record_swap_failure`
+        and raises :class:`~repro.errors.ServingError`. A *first* load's
+        failure has nothing to fall back to and re-raises unchanged.
+
+        ``fault_plan`` is a chaos-testing hook: a
+        :class:`~repro.faults.FaultPlan` fired at site ``"swap"`` after
+        the artifact resolves but before publication.
         """
-        entry, models, basis = self.registry.load_models(key)
-        if basis is None:
-            raise RegistryError(
-                f"entry {entry.key} carries no basis spec; it cannot "
-                "serve raw-x requests"
+        try:
+            entry, models, basis = self.registry.load_models(key)
+            if basis is None:
+                raise RegistryError(
+                    f"entry {entry.key} carries no basis spec; it cannot "
+                    "serve raw-x requests"
+                )
+            if fault_plan is not None:
+                from repro.faults import raise_serving_fault
+
+                raise_serving_fault(fault_plan)
+            served = ServedModel(
+                name=alias or entry.name,
+                version=entry.version,
+                basis=basis,
+                models=models,
             )
-        served = ServedModel(
-            name=alias or entry.name,
-            version=entry.version,
-            basis=basis,
-            models=models,
-        )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            name = alias or str(key).partition("@")[0]
+            with self._lock:
+                previous = self._served.get(name)
+            if previous is None:
+                raise
+            self.metrics.record_swap_failure()
+            raise ServingError(
+                f"hot swap of {name!r} to {key!r} failed; version "
+                f"{previous.version} is still serving: "
+                f"{type(error).__name__}: {error}"
+            ) from error
         with self._lock:
             swapping = served.name in self._served
             self._served[served.name] = served
@@ -93,13 +135,18 @@ class ModelService:
             self.metrics.record_hot_swap()
         return served
 
-    def swap(self, key: str, alias: Optional[str] = None) -> ServedModel:
+    def swap(
+        self,
+        key: str,
+        alias: Optional[str] = None,
+        fault_plan=None,
+    ) -> ServedModel:
         """Hot-swap a serving name to another registry version.
 
         Alias for :meth:`load`; kept separate so call sites read as the
         operation they perform.
         """
-        return self.load(key, alias=alias)
+        return self.load(key, alias=alias, fault_plan=fault_plan)
 
     def unload(self, name: str) -> None:
         """Stop serving ``name`` and drop its cached predictions."""

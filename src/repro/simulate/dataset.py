@@ -191,7 +191,12 @@ class Dataset:
 
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Serialize to a compressed ``.npz`` file."""
+        """Serialize to a compressed ``.npz`` file (atomically).
+
+        The payload is written to a sibling ``.tmp`` file and renamed
+        into place, so a crash mid-write can never leave a truncated
+        file under the final name.
+        """
         payload = {
             "circuit_name": np.array(self.circuit_name),
             "metric_names": np.array(list(self.metric_names)),
@@ -201,7 +206,12 @@ class Dataset:
             payload[f"x_{k}"] = state.x
             for metric in self.metric_names:
                 payload[f"y_{k}_{metric}"] = state.y[metric]
-        np.savez_compressed(Path(path), **payload)
+        path = Path(path)
+        tmp_path = path.with_name(path.name + ".tmp")
+        # An open handle sidesteps numpy's automatic ".npz" suffixing.
+        with open(tmp_path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        tmp_path.replace(path)
 
     @classmethod
     def load(cls, path) -> "Dataset":

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.circuits.base import TunableCircuit
+from repro.errors import SimulationError
 from repro.simulate.dataset import Dataset, StateData
 from repro.utils.rng import SeedLike, spawn_generators
 from repro.utils.validation import check_integer, check_matrix
@@ -37,6 +39,15 @@ class MonteCarloEngine:
         normal marginals — better space-filling for small *training* sets
         (do not use for the test set, whose role is to estimate the true
         MC error).
+    max_retries:
+        How many times a raising or non-finite circuit evaluation is
+        retried (with exponential backoff when ``retry_backoff > 0``)
+        before :class:`~repro.errors.SimulationError` is raised naming
+        the state and row. A real simulator can fail transiently; the
+        analytical circuits are deterministic, so the default of 0 only
+        turns silent NaN/Inf results into loud errors.
+    retry_backoff:
+        Base sleep in seconds between retries, doubled per attempt.
     """
 
     def __init__(
@@ -44,15 +55,59 @@ class MonteCarloEngine:
         circuit: TunableCircuit,
         seed: SeedLike = None,
         sampler: str = "mc",
+        max_retries: int = 0,
+        retry_backoff: float = 0.0,
     ) -> None:
         if sampler not in _SAMPLERS:
             raise ValueError(
                 f"sampler must be one of {sorted(_SAMPLERS)}, got {sampler!r}"
             )
+        if max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.circuit = circuit
         self.sampler = sampler
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         self._seed = seed
         self._draw = _SAMPLERS[sampler]
+
+    def _evaluate_with_retry(
+        self, evaluate, state_label, row: int
+    ) -> Dict[str, float]:
+        """One simulation with retry/backoff; raises ``SimulationError``.
+
+        ``evaluate`` is a no-argument closure over the sample point; a
+        raising call or a non-finite metric value consumes one attempt.
+        """
+        failure = "no attempt made"
+        for attempt in range(self.max_retries + 1):
+            if attempt and self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+            try:
+                values = evaluate()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                failure = f"{type(error).__name__}: {error}"
+                continue
+            bad = [
+                metric for metric, value in values.items()
+                if not np.isfinite(value)
+            ]
+            if not bad:
+                return values
+            failure = f"non-finite metrics {bad}"
+        raise SimulationError(
+            f"simulation of {self.circuit.name!r} failed at state "
+            f"{state_label}, row {row} after {self.max_retries + 1} "
+            f"attempt(s): {failure}"
+        )
 
     def run(
         self,
@@ -83,7 +138,11 @@ class MonteCarloEngine:
             rows = {metric: np.empty(n) for metric in circuit.metric_names}
             for i in range(n):
                 sample = circuit.process_model.realize(x[i])
-                values = circuit.evaluate(sample, state)
+                values = self._evaluate_with_retry(
+                    lambda: circuit.evaluate(sample, state),
+                    state.index,
+                    i,
+                )
                 for metric in circuit.metric_names:
                     rows[metric][i] = values[metric]
             states.append(StateData(x=x.copy(), y=rows))
@@ -114,7 +173,9 @@ class MonteCarloEngine:
             for metric in self.circuit.metric_names
         }
         for i in range(x.shape[0]):
-            values = self.circuit.evaluate_x(x[i], knob)
+            values = self._evaluate_with_retry(
+                lambda: self.circuit.evaluate_x(x[i], knob), state, i
+            )
             for metric in self.circuit.metric_names:
                 rows[metric][i] = values[metric]
         return rows

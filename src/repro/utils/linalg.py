@@ -14,6 +14,8 @@ from typing import Tuple
 import numpy as np
 from scipy import linalg as sla
 
+from repro.errors import NumericalError
+
 __all__ = [
     "cholesky_factor",
     "cholesky_solve",
@@ -40,8 +42,12 @@ def symmetrize(matrix: np.ndarray) -> np.ndarray:
 def cholesky_factor(matrix: np.ndarray) -> np.ndarray:
     """Lower Cholesky factor of a PSD matrix, adding jitter if needed.
 
-    Raises ``np.linalg.LinAlgError`` if the matrix is not PSD even after the
-    largest jitter in the ladder.
+    The jitter is relative — each rung of the ladder scales with the
+    mean diagonal of the matrix, so ill-scaled but fixable matrices are
+    repaired regardless of their magnitude. Raises
+    :class:`repro.errors.NumericalError` (a ``np.linalg.LinAlgError``
+    subclass, so existing handlers keep working) if the matrix stays
+    indefinite through the whole ladder.
     """
     matrix = symmetrize(np.asarray(matrix, dtype=float))
     scale = max(float(np.trace(matrix)) / max(matrix.shape[0], 1), 1e-300)
@@ -52,8 +58,10 @@ def cholesky_factor(matrix: np.ndarray) -> np.ndarray:
             )
         except np.linalg.LinAlgError:
             continue
-    raise np.linalg.LinAlgError(
-        "matrix is not positive definite even after jitter"
+    raise NumericalError(
+        "matrix is not positive definite even after jitter "
+        f"(largest tried: {_JITTERS[-1]:.0e} relative to the mean "
+        f"diagonal {scale:.3e})"
     )
 
 
@@ -82,9 +90,7 @@ def inv_from_cholesky(factor: np.ndarray) -> np.ndarray:
     """
     inverse, info = sla.lapack.dpotri(factor, lower=1)
     if info != 0:
-        raise np.linalg.LinAlgError(
-            f"dpotri failed with info={info}"
-        )
+        raise NumericalError(f"dpotri failed with info={info}")
     # dpotri fills only the lower triangle; mirror it.
     upper = np.triu_indices_from(inverse, k=1)
     inverse[upper] = inverse.T[upper]

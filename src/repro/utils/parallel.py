@@ -18,6 +18,16 @@ pool, no pickling) and are overridden globally with the
 ``max_workers``. The spawn start method is used everywhere — fork-unsafe
 BLAS state can never leak into workers, and behavior matches across
 Linux/macOS/Windows.
+
+Fault tolerance: a crashed worker (segfault, OOM kill, ``os._exit``)
+breaks the pool, but not the map — every task the pool failed to answer
+is re-run inline in the parent, so the result list is still complete and
+bit-identical (cells are pure functions). ``task_timeout`` (or the
+``REPRO_TASK_TIMEOUT`` env var) additionally bounds how long any single
+task may run; on expiry the pool's workers are terminated and the
+unfinished tasks re-run inline. Chaos tests arm a one-shot worker crash
+through the ``REPRO_FAULT_WORKER_CRASH`` token file (see
+:class:`repro.faults.worker_crash_flag`).
 """
 
 from __future__ import annotations
@@ -27,7 +37,12 @@ from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["parallel_map", "resolve_workers", "derive_seeds"]
+__all__ = [
+    "parallel_map",
+    "resolve_workers",
+    "resolve_task_timeout",
+    "derive_seeds",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -55,6 +70,23 @@ def resolve_workers(
     return max_workers
 
 
+def resolve_task_timeout(
+    task_timeout: Optional[float] = None,
+) -> Optional[float]:
+    """Resolve the per-task timeout: explicit > ``REPRO_TASK_TIMEOUT`` env.
+
+    ``None`` (the default everywhere) disables the timeout.
+    """
+    if task_timeout is None:
+        env = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+        task_timeout = float(env) if env else None
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(
+            f"task_timeout must be > 0, got {task_timeout}"
+        )
+    return task_timeout
+
+
 def derive_seeds(seed, count: int) -> List[np.random.SeedSequence]:
     """``count`` independent child seed sequences from one parent seed.
 
@@ -79,11 +111,40 @@ def _init_worker(shared: Any) -> None:
     _SHARED = shared
 
 
+def _consume_crash_token() -> None:
+    """Die mid-task if the chaos-test crash token names this process.
+
+    ``REPRO_FAULT_WORKER_CRASH`` (exported by
+    :class:`repro.faults.worker_crash_flag`, inherited by spawn workers)
+    points at a token file; the first task to remove it hard-exits its
+    worker. Exactly one task dies per armed token, and the atomic
+    ``os.remove`` guarantees no double fire across racing workers.
+    """
+    token = os.environ.get("REPRO_FAULT_WORKER_CRASH", "")
+    if not token:
+        return
+    try:
+        os.remove(token)
+    except OSError:
+        return  # already consumed by another task
+    os._exit(1)
+
+
 def _invoke(fn: Callable, item: Any, with_shared: bool) -> Any:
     """Run one cell in a worker, forwarding the worker-local payload."""
+    _consume_crash_token()
     if with_shared:
         return fn(item, _SHARED)
     return fn(item)
+
+
+def _terminate_workers(executor) -> None:
+    """Hard-stop every pool process (stalled-task recovery path)."""
+    for process in list(getattr(executor, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already dead
+            pass
 
 
 def parallel_map(
@@ -92,6 +153,7 @@ def parallel_map(
     *,
     shared: Any = None,
     max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally on a spawn process pool.
 
@@ -109,29 +171,67 @@ def parallel_map(
     max_workers:
         Worker count; ``None`` defers to ``REPRO_MAX_WORKERS`` (default
         1 = run serially inline, no subprocesses at all).
+    task_timeout:
+        Per-task wall-clock bound in seconds; ``None`` defers to
+        ``REPRO_TASK_TIMEOUT`` (default: no bound). A task that exceeds
+        it has the pool's workers terminated and is re-run inline.
+
+    Tasks a worker crash (or the timeout) left unanswered are recomputed
+    inline in the parent — cells are pure functions, so the completed
+    result list is bit-identical to an undisturbed run, in submission
+    order. Exceptions raised by ``fn`` itself still propagate.
     """
     items = list(items)
     if not items:
         return []
     workers = resolve_workers(max_workers, n_items=len(items))
+    task_timeout = resolve_task_timeout(task_timeout)
     with_shared = shared is not None
+
+    def run_inline(item: T) -> R:
+        return fn(item, shared) if with_shared else fn(item)
+
     if workers == 1:
-        if with_shared:
-            return [fn(item, shared) for item in items]
-        return [fn(item) for item in items]
+        return [run_inline(item) for item in items]
 
     import multiprocessing as mp
     from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeout
+    from concurrent.futures.process import BrokenProcessPool
 
     context = mp.get_context("spawn")
-    with ProcessPoolExecutor(
+    executor = ProcessPoolExecutor(
         max_workers=workers,
         mp_context=context,
         initializer=_init_worker,
         initargs=(shared,),
-    ) as executor:
+    )
+    results: List[Any] = []
+    failed: List[int] = []
+    killed = False
+    try:
         futures = [
             executor.submit(_invoke, fn, item, with_shared)
             for item in items
         ]
-        return [future.result() for future in futures]
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=task_timeout))
+            except BrokenProcessPool:
+                # A worker died; this future (and possibly every pending
+                # one — each lands here in turn) is recomputed inline.
+                results.append(None)
+                failed.append(index)
+            except FuturesTimeout:
+                # A stalled worker never returns. Kill the pool — the
+                # remaining futures fail fast as BrokenProcessPool — and
+                # recompute inline.
+                killed = True
+                _terminate_workers(executor)
+                results.append(None)
+                failed.append(index)
+    finally:
+        executor.shutdown(wait=not killed, cancel_futures=True)
+    for index in failed:
+        results[index] = run_inline(items[index])
+    return results

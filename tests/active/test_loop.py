@@ -49,10 +49,13 @@ def strip_walltime(history):
 
 
 class CrashingOracle(Oracle):
-    """Wrapper that raises once a simulation budget is exceeded.
+    """Wrapper that dies once a simulation budget is exceeded.
 
-    Emulates a simulator crash mid-acquisition; holdout (truth) calls do
-    not count against the budget.
+    Emulates the *process* being killed mid-acquisition — it raises
+    ``KeyboardInterrupt``, the one failure the loop's retry/quarantine
+    layer deliberately re-raises (an ordinary oracle exception would be
+    retried and quarantined, not crash the run). Holdout (truth) calls
+    do not count against the budget.
     """
 
     def __init__(self, inner, fail_after):
@@ -65,10 +68,10 @@ class CrashingOracle(Oracle):
         self.seen = 0
 
     def observe(self, x, state):
-        """Delegate, but crash once ``fail_after`` samples were served."""
+        """Delegate, but die once ``fail_after`` samples were served."""
         self.seen += x.shape[0]
         if self.seen > self.fail_after:
-            raise RuntimeError("simulator crashed")
+            raise KeyboardInterrupt("simulator crashed")
         return self.inner.observe(x, state)
 
     def truth(self, x, state):
@@ -194,7 +197,7 @@ class TestCheckpointResume:
         # buys 4 (13 total), round 1's batch crosses the 14 threshold.
         config_b = make_config(checkpoint_dir=str(tmp_path / "b"))
         crashing = CrashingOracle(sparse_oracle(), fail_after=14)
-        with pytest.raises(RuntimeError, match="simulator crashed"):
+        with pytest.raises(KeyboardInterrupt, match="simulator crashed"):
             ActiveFitLoop(crashing, config_b).run()
         assert 15 <= crashing.seen <= 17  # it really died mid-round-1
         assert (tmp_path / "b" / "loop.json").exists()

@@ -1,0 +1,1 @@
+"""Chaos tests: deterministic fault injection against the fit/serve paths."""

@@ -1,0 +1,168 @@
+"""Chaos tests for the active fit loop's retry/quarantine layer.
+
+The headline guarantee: a transient oracle fault that the retry budget
+absorbs leaves the run **bit-identical** to a fault-free run — same
+model, same history (modulo wall clock), same ledger — because retries
+re-simulate the same points through a pure oracle and never touch the
+loop's random stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active import ActiveFitLoop
+from repro.errors import NumericalError, SimulationError
+from repro.faults import Fault, FaultPlan, FaultyOracle
+
+from tests.active.conftest import sparse_oracle
+from tests.active.test_loop import make_config, strip_walltime
+
+
+class TestRetryRecovery:
+    def test_transient_raise_is_bit_identical_to_no_fault(self):
+        """Acceptance: one oracle failure per round, retried, no trace."""
+        reference = ActiveFitLoop(sparse_oracle(), make_config()).run()
+
+        # every=2 fires on call indices 0, 2, 4, ... — the retry of a
+        # failed call lands on an odd index and succeeds, so every fault
+        # is absorbed within one retry.
+        plan = FaultPlan([Fault("oracle", "raise", every=2)])
+        faulty = FaultyOracle(sparse_oracle(), plan)
+        result = ActiveFitLoop(faulty, make_config()).run()
+
+        assert strip_walltime(result.history) == strip_walltime(
+            reference.history
+        )
+        assert np.array_equal(result.model.coef_, reference.model.coef_)
+        assert result.ledger == reference.ledger
+        assert result.holdout_rmse == reference.holdout_rmse
+        assert result.history.total_quarantined == 0
+        assert plan.calls("oracle") > 0  # faults really fired
+
+    def test_transient_raise_on_specific_calls(self):
+        reference = ActiveFitLoop(sparse_oracle(), make_config()).run()
+        plan = FaultPlan([Fault("oracle", "raise", calls=(1, 4, 7))])
+        result = ActiveFitLoop(
+            FaultyOracle(sparse_oracle(), plan), make_config()
+        ).run()
+        assert strip_walltime(result.history) == strip_walltime(
+            reference.history
+        )
+        assert np.array_equal(result.model.coef_, reference.model.coef_)
+
+
+class TestQuarantine:
+    def test_persistent_nan_quarantines_and_completes(self):
+        """NaN on every call exhausts the budget; the loop still finishes."""
+        plan = FaultPlan([Fault("oracle", "nan", every=1)], seed=5)
+        result = ActiveFitLoop(
+            FaultyOracle(sparse_oracle(), plan), make_config()
+        ).run()
+        assert result.history.total_quarantined > 0
+        assert np.isfinite(result.holdout_rmse)
+        # Quarantined rows never enter the dataset.
+        assert result.dataset.n_samples_total < result.ledger.total
+        # The history serializes and round-trips the quarantine counts.
+        from repro.active.history import FitHistory
+
+        clone = FitHistory.from_dict(result.history.to_dict())
+        assert clone.total_quarantined == result.history.total_quarantined
+
+    def test_unrecoverable_init_raises_simulation_error(self):
+        """An oracle that always fails cannot seed the loop."""
+        plan = FaultPlan([Fault("oracle", "raise", every=1)])
+        loop = ActiveFitLoop(
+            FaultyOracle(sparse_oracle(), plan), make_config()
+        )
+        with pytest.raises(SimulationError, match="initial sampling"):
+            loop.run()
+
+    def test_zero_retries_quarantines_immediately(self):
+        plan = FaultPlan([Fault("oracle", "nan", every=1)], seed=9)
+        result = ActiveFitLoop(
+            FaultyOracle(sparse_oracle(), plan),
+            make_config(max_retries=0),
+        ).run()
+        assert result.history.total_quarantined > 0
+
+    def test_keyboard_interrupt_not_absorbed(self):
+        """Interrupts must cross the retry layer untouched."""
+        oracle = sparse_oracle()
+        calls = {"n": 0}
+        original = oracle.observe
+
+        def observe(x, state):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise KeyboardInterrupt("killed")
+            return original(x, state)
+
+        oracle.observe = observe
+        with pytest.raises(KeyboardInterrupt):
+            ActiveFitLoop(oracle, make_config()).run()
+        assert calls["n"] == 4  # no retry consumed the interrupt
+
+
+class TestDegradationVisibility:
+    def _fitted_model(self):
+        oracle = sparse_oracle()
+        from repro.basis.polynomial import LinearBasis
+        from repro.core.cbmf import CBMF
+
+        basis = LinearBasis(oracle.n_variables)
+        rng = np.random.default_rng(0)
+        designs, targets = [], []
+        for k in range(oracle.n_states):
+            x = rng.standard_normal((12, oracle.n_variables))
+            designs.append(basis.expand(x))
+            targets.append(oracle.observe(x, k))
+        return CBMF(seed=0).fit(designs, targets), basis, oracle
+
+    def test_correlation_strategy_records_uniform_fallback(self):
+        """A numerics failure degrades to uniform allocation, visibly."""
+        from repro.evaluation.methods import make_acquisition
+
+        model, basis, oracle = self._fitted_model()
+
+        def broken_predict_std(design, state):
+            raise NumericalError("injected breakdown")
+
+        model.predict_std = broken_predict_std
+        strategy = make_acquisition("correlation")
+        rng = np.random.default_rng(1)
+        candidates = [
+            rng.standard_normal((16, oracle.n_variables))
+            for _ in range(oracle.n_states)
+        ]
+        picks = strategy.select(model, basis, candidates, 4, rng)
+        assert sum(len(p) for p in picks) == 4
+        assert strategy.last_degraded
+        assert any(
+            "uniform_allocation" in marker
+            for marker in strategy.last_degraded
+        )
+
+    def test_degraded_markers_render_in_history(self):
+        from repro.active.history import FitHistory, RoundRecord
+        from repro.evaluation.report import format_active_history
+
+        history = FitHistory(strategy="correlation", metric="gain_db")
+        history.append(
+            RoundRecord(
+                round_index=0,
+                n_samples_total=12,
+                n_samples_per_state=(6, 6),
+                n_added_per_state=(2, 2),
+                holdout_rmse=0.5,
+                best_rmse=0.5,
+                noise_std=0.05,
+                refit="cold",
+                wall_seconds=0.1,
+                n_quarantined=3,
+                degraded=("uniform_allocation:injected",),
+            )
+        )
+        table = format_active_history(history)
+        assert "degraded: uniform_allocation:injected" in table
+        assert "quarantined: 3" in table
+        assert "quar" in table.splitlines()[1]

@@ -1,0 +1,105 @@
+"""Chaos tests for checkpoint atomicity and consistency detection.
+
+``loop.json`` is written last (atomically) and records a sha256 checksum
+of every npz — a crash *between* the npz writes and the state write, or
+any later corruption, must surface on resume as a
+:class:`~repro.errors.CheckpointError` naming the inconsistent file,
+never as a silent resume from mixed rounds.
+"""
+
+import pytest
+
+from repro.active import ActiveFitLoop
+from repro.errors import CheckpointError
+
+from tests.active.conftest import sparse_oracle
+from tests.active.test_loop import make_config
+
+
+class CrashBetweenWrites(ActiveFitLoop):
+    """Dies after the npz checkpoint writes, before ``loop.json``."""
+
+    def __init__(self, *args, crash_on_checkpoint=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.crash_on_checkpoint = crash_on_checkpoint
+        self._checkpoints = 0
+
+    def _write_checkpoint_state(self, *args, **kwargs):
+        self._checkpoints += 1
+        if self._checkpoints == self.crash_on_checkpoint:
+            raise RuntimeError("crashed between checkpoint writes")
+        super()._write_checkpoint_state(*args, **kwargs)
+
+
+class TestCrashBetweenWrites:
+    def test_detected_on_resume_naming_file(self, tmp_path):
+        """Acceptance: npz written, json not — resume must refuse."""
+        config = make_config(checkpoint_dir=str(tmp_path))
+        loop = CrashBetweenWrites(
+            sparse_oracle(), config, crash_on_checkpoint=2
+        )
+        with pytest.raises(RuntimeError, match="between checkpoint"):
+            loop.run()
+        # Round 0's loop.json survived; round 1's npz files are newer.
+        assert (tmp_path / "loop.json").exists()
+
+        with pytest.raises(CheckpointError) as excinfo:
+            ActiveFitLoop(sparse_oracle(), config).run(resume=True)
+        assert excinfo.value.path is not None
+        assert excinfo.value.path.endswith(".npz")
+        assert excinfo.value.path in str(excinfo.value)
+
+
+class TestCorruption:
+    def _finished_checkpoint(self, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path))
+        ActiveFitLoop(sparse_oracle(), config).run()
+        return config
+
+    @pytest.mark.parametrize("victim", ["data.npz", "arrays.npz"])
+    def test_truncated_npz_detected(self, tmp_path, victim):
+        config = self._finished_checkpoint(tmp_path)
+        target = tmp_path / victim
+        target.write_bytes(target.read_bytes()[:50])
+        with pytest.raises(CheckpointError, match=victim):
+            ActiveFitLoop(sparse_oracle(), config).run(resume=True)
+
+    @pytest.mark.parametrize("victim", ["data.npz", "arrays.npz"])
+    def test_missing_npz_detected(self, tmp_path, victim):
+        config = self._finished_checkpoint(tmp_path)
+        (tmp_path / victim).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            ActiveFitLoop(sparse_oracle(), config).run(resume=True)
+
+    def test_checkpoint_error_is_catchable_as_repro_error(self, tmp_path):
+        from repro.errors import ReproError
+
+        config = self._finished_checkpoint(tmp_path)
+        (tmp_path / "data.npz").unlink()
+        with pytest.raises(ReproError):
+            ActiveFitLoop(sparse_oracle(), config).run(resume=True)
+
+
+class TestAtomicity:
+    def test_no_stray_tmp_files(self, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path))
+        ActiveFitLoop(sparse_oracle(), config).run()
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "arrays.npz", "data.npz", "loop.json",
+        ]
+
+    def test_checksums_recorded(self, tmp_path):
+        import hashlib
+        import json
+
+        config = make_config(checkpoint_dir=str(tmp_path))
+        ActiveFitLoop(sparse_oracle(), config).run()
+        payload = json.loads((tmp_path / "loop.json").read_text())
+        assert set(payload["checksums"]) == {"data.npz", "arrays.npz"}
+        for name, expected in payload["checksums"].items():
+            actual = hashlib.sha256(
+                (tmp_path / name).read_bytes()
+            ).hexdigest()
+            assert actual == expected

@@ -1,0 +1,131 @@
+"""Chaos tests for worker-crash and stalled-task recovery in parallel_map.
+
+A killed pool worker (hard ``os._exit``) breaks the executor, not the
+map: unanswered tasks are recomputed inline, so the result list is
+complete and — cells being pure functions — bit-identical to an
+undisturbed run. A stalled task is bounded by ``task_timeout`` and
+recovered the same way.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.somp_init import InitConfig, somp_initialize
+from repro.faults import worker_crash_flag
+from repro.utils.parallel import (
+    derive_seeds,
+    parallel_map,
+    resolve_task_timeout,
+)
+
+
+# Cells must be module-level to pickle under the spawn start method.
+def _square(x):
+    return x * x
+
+
+def _draw(seed_seq, payload):
+    rng = np.random.default_rng(seed_seq)
+    return float(rng.standard_normal())
+
+
+def _stall_in_worker(x):
+    """Fast inline, but parks forever inside a pool worker."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(600.0)
+    return x + 1
+
+
+def _cv_problem(seed=0, n_states=3, n=24, n_basis=10):
+    rng = np.random.default_rng(seed)
+    coef = np.zeros((n_states, n_basis))
+    coef[:, :3] = rng.standard_normal((n_states, 3))
+    designs, targets = [], []
+    for k in range(n_states):
+        design = rng.standard_normal((n, n_basis))
+        design[:, 0] = 1.0
+        designs.append(design)
+        targets.append(design @ coef[k] + 0.05 * rng.standard_normal(n))
+    return designs, targets
+
+
+class TestWorkerCrash:
+    def test_crashed_worker_results_bit_identical(self, tmp_path):
+        items = list(range(12))
+        expected = [x * x for x in items]
+        with worker_crash_flag(tmp_path) as flag:
+            out = parallel_map(_square, items, max_workers=2)
+            assert flag.consumed  # one worker really died
+        assert out == expected
+
+    def test_crash_with_seeded_cells(self, tmp_path):
+        seeds = derive_seeds(11, 8)
+        serial = parallel_map(_draw, seeds, shared={}, max_workers=1)
+        with worker_crash_flag(tmp_path) as flag:
+            pooled = parallel_map(
+                _draw, derive_seeds(11, 8), shared={}, max_workers=2
+            )
+            assert flag.consumed
+        assert pooled == serial
+
+    def test_somp_cv_unchanged_by_worker_crash(self, tmp_path, monkeypatch):
+        """Acceptance: a killed CV worker cannot change the chosen seed."""
+        designs, targets = _cv_problem()
+        config = InitConfig(
+            r0_grid=(0.0, 0.9), sigma0_grid=(0.1, 1.0),
+            n_basis_grid=(3, 6), n_folds=3,
+        )
+        serial = somp_initialize(designs, targets, config, seed=7)
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        with worker_crash_flag(tmp_path) as flag:
+            crashed = somp_initialize(designs, targets, config, seed=7)
+            assert flag.consumed
+        assert crashed.r0 == serial.r0
+        assert crashed.sigma0 == serial.sigma0
+        assert crashed.n_basis == serial.n_basis
+        assert crashed.support == serial.support
+        assert crashed.noise_var == serial.noise_var
+        assert crashed.cv_errors == serial.cv_errors
+
+    def test_flag_restores_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_WORKER_CRASH", raising=False)
+        import os
+
+        with worker_crash_flag(tmp_path):
+            assert os.environ["REPRO_FAULT_WORKER_CRASH"]
+        assert "REPRO_FAULT_WORKER_CRASH" not in os.environ
+
+
+class TestStalledTask:
+    def test_stalled_worker_recovered_inline(self):
+        items = [1, 2, 3]
+        out = parallel_map(
+            _stall_in_worker, items, max_workers=2, task_timeout=0.75
+        )
+        assert out == [2, 3, 4]
+
+    def test_env_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0.75")
+        out = parallel_map(_stall_in_worker, [5], max_workers=2)
+        assert out == [6]
+
+
+class TestResolveTaskTimeout:
+    def test_default_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert resolve_task_timeout() is None
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert resolve_task_timeout() == 2.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert resolve_task_timeout(1.0) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            resolve_task_timeout(0.0)

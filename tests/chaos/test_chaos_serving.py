@@ -1,0 +1,93 @@
+"""Chaos tests for hot-swap failure fallback in the model service.
+
+A swap that cannot build its replacement — corrupt artifact or injected
+fault — must leave the previous version serving, count the failure in
+``ServingMetrics``, and surface as a :class:`~repro.errors.ServingError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.faults import FaultPlan
+from repro.modelset import PerformanceModelSet
+from repro.serving import ModelRegistry, ModelService, RegistryError
+
+
+@pytest.fixture(scope="module")
+def modelset(lna_dataset) -> PerformanceModelSet:
+    train, _ = lna_dataset.split(25)
+    return PerformanceModelSet.fit_dataset(train, method="somp", seed=0)
+
+
+@pytest.fixture()
+def registry(tmp_path, modelset) -> ModelRegistry:
+    """A registry holding lna@v1 and lna@v2."""
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.push("lna", modelset)
+    registry.push("lna", modelset)
+    return registry
+
+
+def _corrupt_entry(registry, key):
+    """Flip bytes in one artifact file so checksum verification fails."""
+    entry = registry.entry(key)
+    for candidate in sorted(entry.path.glob("*.npz")):
+        candidate.write_bytes(b"garbage" + candidate.read_bytes()[7:])
+        return candidate
+    raise AssertionError(f"no npz artifact under {entry.path}")
+
+
+class TestFailedSwapFallback:
+    def test_corrupt_swap_keeps_previous_version(self, registry, lna_dataset):
+        """Acceptance: failed hot swap → v1 still serving, failure counted."""
+        service = ModelService(registry)
+        service.load("lna@v1")
+        _corrupt_entry(registry, "lna@v2")
+
+        with pytest.raises(ServingError, match="still serving"):
+            service.swap("lna@v2")
+
+        assert service.served_model("lna").version == 1
+        x = np.zeros(lna_dataset.n_variables)
+        assert service.predict("lna", x, 0).version == 1
+        assert service.metrics.swap_failures == 1
+        snapshot = service.metrics.snapshot()
+        assert snapshot["swap_failures"] == 1
+        assert snapshot["hot_swaps"] == 0
+
+    def test_first_load_failure_reraises_original(self, registry):
+        """No previous version → nothing to fall back to."""
+        service = ModelService(registry)
+        _corrupt_entry(registry, "lna@v2")
+        with pytest.raises(RegistryError):
+            service.load("lna@v2")
+        assert service.serving == []
+        assert service.metrics.swap_failures == 0
+
+    def test_serving_error_chains_cause(self, registry):
+        service = ModelService(registry)
+        service.load("lna@v1")
+        _corrupt_entry(registry, "lna@v2")
+        with pytest.raises(ServingError) as excinfo:
+            service.swap("lna@v2")
+        assert isinstance(excinfo.value.__cause__, Exception)
+
+
+class TestInjectedSwapFault:
+    def test_fault_plan_fires_then_swap_succeeds(self, registry, lna_dataset):
+        service = ModelService(registry)
+        service.load("lna@v1")
+        plan = FaultPlan.parse("swap:raise@0")
+
+        with pytest.raises(ServingError, match="injected fault"):
+            service.swap("lna@v2", fault_plan=plan)
+        assert service.served_model("lna").version == 1
+        assert service.metrics.swap_failures == 1
+
+        # Call 1 is not scheduled: the same plan now lets the swap pass.
+        service.swap("lna@v2", fault_plan=plan)
+        assert service.served_model("lna").version == 2
+        x = np.zeros(lna_dataset.n_variables)
+        assert service.predict("lna", x, 0).version == 2
+        assert service.metrics.snapshot()["hot_swaps"] == 1

@@ -110,14 +110,21 @@ class TestSpecialCases:
             assert np.all(post_var <= prior_var + 1e-12)
 
     def test_want_blocks_false_skips_blocks(self):
+        from repro.errors import NumericalError
+
         designs, targets, prior = random_instance(8)
         posterior = compute_posterior(
             designs, targets, prior, 0.5, want_blocks=False
         )
         assert posterior.sigma_blocks is None
-        assert np.isnan(posterior.trace_dsd)
+        # The skipped inverse leaves no trace term — asking for it is an
+        # explicit error instead of a silent NaN flowing downstream.
+        assert posterior.trace_dsd is None
+        with pytest.raises(NumericalError, match="want_blocks"):
+            posterior.require_trace_dsd()
         with_blocks = compute_posterior(designs, targets, prior, 0.5)
         assert np.allclose(posterior.mean, with_blocks.mean)
+        assert with_blocks.require_trace_dsd() == with_blocks.trace_dsd
 
     def test_coef_layout(self):
         designs, targets, prior = random_instance(9)

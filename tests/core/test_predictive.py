@@ -277,3 +277,37 @@ class TestCbmfPredictStd:
     def test_requires_fit(self):
         with pytest.raises(RuntimeError):
             CBMF().predict_std(np.zeros((1, 3)), 0)
+
+
+class TestFiniteVariance:
+    def test_non_finite_variance_raises_numerical_error(self):
+        """Corrupted training state propagates NaN into the variance —
+        the guard must raise, never return NaN 'uncertainties' that an
+        acquisition strategy would silently rank."""
+        from repro.errors import NumericalError, ReproError
+
+        designs, targets, prior = small_instance(5)
+        predictor = PosteriorPredictor(designs, targets, prior, 0.1)
+        predictor._phi[0, 0] = np.nan
+        query = np.ones((4, 6))
+        with pytest.raises(NumericalError, match="non-finite predictive"):
+            predictor.predict_std(query, 0)
+        with pytest.raises(ReproError):
+            predictor.predict_std(query, 0)
+
+    def test_error_counts_bad_queries(self):
+        from repro.errors import NumericalError
+
+        designs, targets, prior = small_instance(6)
+        predictor = PosteriorPredictor(designs, targets, prior, 0.1)
+        predictor._factor[:] = np.inf
+        with pytest.raises(NumericalError, match="5 of 5"):
+            predictor.predict_std(np.ones((5, 6)), 1)
+
+    def test_mean_unaffected_by_guard(self):
+        """The guard lives on the variance path only."""
+        designs, targets, prior = small_instance(7)
+        predictor = PosteriorPredictor(designs, targets, prior, 0.1)
+        assert np.all(
+            np.isfinite(predictor.predict_mean(np.ones((3, 6)), 0))
+        )

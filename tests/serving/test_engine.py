@@ -304,3 +304,59 @@ class TestConfigValidation:
     def test_cache_config(self):
         with pytest.raises(ValueError):
             CacheConfig(capacity=-1)
+
+
+class TestFlushIntervalSemantics:
+    """Regression: ``flush_interval=0`` must mean *immediate*, never
+    *wait forever* — the old ``flush_interval or None`` coercion
+    conflated the falsy 0 with None."""
+
+    def test_wait_timeout_distinguishes_zero_from_none(self):
+        assert BatchConfig(flush_interval=None).wait_timeout() is None
+        zero = BatchConfig(flush_interval=0).wait_timeout()
+        assert zero is not None and 0 < zero < 0.01
+        assert BatchConfig(flush_interval=0.5).wait_timeout() == 0.5
+
+    def test_zero_interval_answers_immediately(self):
+        import time
+
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=64, flush_interval=0.0),
+            cache=CacheConfig(capacity=0),
+        )
+        x = np.zeros(served.basis.n_variables)
+        started = time.perf_counter()
+        result = engine.predict(served, x, 0)
+        assert time.perf_counter() - started < 1.0
+        assert result.values == direct(served, x, 0)
+
+    def test_none_interval_waits_for_size_or_explicit_flush(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=2, flush_interval=None),
+            cache=CacheConfig(capacity=0),
+        )
+        x = np.zeros(served.basis.n_variables)
+        results = {}
+
+        def request():
+            results["value"] = engine.predict(served, x, 0)
+
+        worker = threading.Thread(target=request, daemon=True)
+        worker.start()
+        worker.join(timeout=0.2)
+        assert worker.is_alive()  # parked: no timeout flush with None
+        engine.flush()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert results["value"].values == direct(served, x, 0)
+
+    def test_none_interval_size_triggered_flush(self):
+        served = make_served()
+        engine = PredictionEngine(
+            batch=BatchConfig(max_batch_size=1, flush_interval=None),
+        )
+        x = np.ones(served.basis.n_variables)
+        result = engine.predict(served, x, 1)
+        assert result.values == direct(served, x, 1)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import SimulationError
 from repro.simulate.montecarlo import MonteCarloEngine
 
 
@@ -105,3 +106,111 @@ class TestEvaluatePoints:
             engine.evaluate_points(good, 99)
         with pytest.raises(ValueError):
             engine.evaluate_points(np.zeros((2, 1)), 0)
+
+
+class FlakyCircuit:
+    """Delegates to a base circuit; the first ``n_failures`` evaluations
+    misbehave (raise, or poison one metric with NaN)."""
+
+    def __init__(self, base, n_failures, mode="raise", consecutive=True):
+        self._base = base
+        self.remaining = n_failures
+        self.mode = mode
+        self.consecutive = consecutive
+        self.calls = 0
+        self._just_failed = False
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+    def _maybe_fail(self, values):
+        self.calls += 1
+        if self.remaining <= 0 or (
+            self._just_failed and not self.consecutive
+        ):
+            self._just_failed = False
+            return values
+        self.remaining -= 1
+        self._just_failed = True
+        if self.mode == "raise":
+            raise RuntimeError("simulator hiccup")
+        if self.mode == "interrupt":
+            raise KeyboardInterrupt("simulator killed")
+        poisoned = dict(values)
+        poisoned[next(iter(poisoned))] = float("nan")
+        return poisoned
+
+    def evaluate(self, sample, state):
+        return self._maybe_fail(self._base.evaluate(sample, state))
+
+    def evaluate_x(self, x, state):
+        return self._maybe_fail(self._base.evaluate_x(x, state))
+
+
+class TestRetry:
+    def test_validation(self, tiny_lna):
+        with pytest.raises(ValueError, match="max_retries"):
+            MonteCarloEngine(tiny_lna, max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            MonteCarloEngine(tiny_lna, retry_backoff=-0.1)
+
+    def test_transient_raise_recovered_bit_identical(self, tiny_lna):
+        """Failing once per row, every retry succeeds: the dataset is
+        byte-for-byte the clean run — sampling never sees the faults."""
+        flaky = FlakyCircuit(tiny_lna, n_failures=3, consecutive=False)
+        recovered = MonteCarloEngine(flaky, seed=21, max_retries=1).run(4)
+        clean = MonteCarloEngine(tiny_lna, seed=21).run(4)
+        assert flaky.remaining == 0
+        for got, want in zip(recovered.states, clean.states):
+            assert np.array_equal(got.x, want.x)
+            for metric in tiny_lna.metric_names:
+                assert np.array_equal(got.y[metric], want.y[metric])
+
+    def test_nonfinite_metric_triggers_retry(self, tiny_lna):
+        flaky = FlakyCircuit(
+            tiny_lna, n_failures=2, mode="nan", consecutive=False
+        )
+        data = MonteCarloEngine(flaky, seed=22, max_retries=1).run(3)
+        for state_data in data.states:
+            for metric in tiny_lna.metric_names:
+                assert np.all(np.isfinite(state_data.y[metric]))
+
+    def test_exhaustion_names_state_and_row(self, tiny_lna):
+        flaky = FlakyCircuit(tiny_lna, n_failures=10)
+        engine = MonteCarloEngine(flaky, seed=23, max_retries=1)
+        with pytest.raises(SimulationError, match=r"state 0, row 0"):
+            engine.run(2)
+        engine = MonteCarloEngine(
+            FlakyCircuit(tiny_lna, n_failures=10), max_retries=1
+        )
+        with pytest.raises(SimulationError, match=r"2 attempt\(s\)"):
+            engine.run(2)
+
+    def test_default_zero_retries_raises_on_nan(self, tiny_lna):
+        flaky = FlakyCircuit(tiny_lna, n_failures=1, mode="nan")
+        with pytest.raises(SimulationError, match="non-finite"):
+            MonteCarloEngine(flaky, seed=24).run(2)
+
+    def test_simulation_error_is_repro_error(self, tiny_lna):
+        from repro.errors import ReproError
+
+        flaky = FlakyCircuit(tiny_lna, n_failures=5)
+        with pytest.raises(ReproError):
+            MonteCarloEngine(flaky, seed=25).run(2)
+
+    def test_keyboard_interrupt_never_retried(self, tiny_lna):
+        flaky = FlakyCircuit(tiny_lna, n_failures=1, mode="interrupt")
+        engine = MonteCarloEngine(flaky, seed=26, max_retries=5)
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(2)
+        assert flaky.calls == 1
+
+    def test_evaluate_points_retries(self, tiny_lna):
+        x = np.random.default_rng(0).standard_normal(
+            (3, tiny_lna.n_variables)
+        )
+        flaky = FlakyCircuit(tiny_lna, n_failures=1, consecutive=False)
+        values = MonteCarloEngine(flaky, max_retries=1).evaluate_points(x, 0)
+        clean = MonteCarloEngine(tiny_lna).evaluate_points(x, 0)
+        for metric in tiny_lna.metric_names:
+            assert np.array_equal(values[metric], clean[metric])

@@ -1,0 +1,123 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError, SimulationError
+from repro.faults import Fault, FaultPlan, FaultyOracle, raise_serving_fault
+
+from tests.active.conftest import sparse_oracle
+
+
+class TestFault:
+    def test_calls_schedule(self):
+        fault = Fault("oracle", "raise", calls=(1, 3))
+        assert [fault.matches(i) for i in range(5)] == [
+            False, True, False, True, False,
+        ]
+
+    def test_every_schedule(self):
+        fault = Fault("oracle", "nan", every=2)
+        assert [fault.matches(i) for i in range(5)] == [
+            True, False, True, False, True,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            Fault("oracle", "explode")
+        with pytest.raises(ValueError, match="every"):
+            Fault("oracle", "raise", every=0)
+        with pytest.raises(ValueError, match="stall_seconds"):
+            Fault("oracle", "stall", stall_seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_fire_counts_per_site(self):
+        plan = FaultPlan([Fault("oracle", "raise", calls=(1,))])
+        assert plan.fire("oracle") is None  # call 0
+        assert plan.fire("swap") is None  # independent counter
+        assert plan.fire("oracle") is not None  # call 1
+        assert plan.calls("oracle") == 2
+        assert plan.calls("swap") == 1
+
+    def test_reset(self):
+        plan = FaultPlan([Fault("oracle", "raise", calls=(0,))])
+        assert plan.fire("oracle") is not None
+        plan.reset()
+        assert plan.calls("oracle") == 0
+        assert plan.fire("oracle") is not None
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            "oracle:raise@2,5; swap:raise@0; oracle:nan@*3; "
+            "oracle:stall@1:0.2",
+            seed=4,
+        )
+        assert plan.seed == 4
+        assert len(plan.faults) == 4
+        raise_f, swap_f, nan_f, stall_f = plan.faults
+        assert raise_f.calls == (2, 5)
+        assert swap_f.site == "swap" and swap_f.calls == (0,)
+        assert nan_f.every == 3
+        assert stall_f.stall_seconds == 0.2 and stall_f.calls == (1,)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="invalid fault spec"):
+            FaultPlan.parse("oracle-raise-2")
+        with pytest.raises(ValueError, match="invalid fault spec"):
+            FaultPlan.parse("oracle:explode@1")
+
+    def test_parse_empty_spec(self):
+        assert FaultPlan.parse("").faults == ()
+
+    def test_nan_rng_deterministic(self):
+        a = FaultPlan(seed=3).nan_rng("oracle").integers(1000)
+        b = FaultPlan(seed=3).nan_rng("oracle").integers(1000)
+        assert a == b
+
+
+class TestFaultyOracle:
+    def test_raise_mode(self):
+        plan = FaultPlan([Fault("oracle", "raise", calls=(0,))])
+        oracle = FaultyOracle(sparse_oracle(), plan)
+        x = np.zeros((2, oracle.n_variables))
+        with pytest.raises(SimulationError, match="injected"):
+            oracle.observe(x, 0)
+        # Second call is clean and matches the base oracle exactly.
+        base = sparse_oracle()
+        assert np.array_equal(oracle.observe(x, 0), base.observe(x, 0))
+
+    def test_nan_mode_poisons_one_row(self):
+        plan = FaultPlan([Fault("oracle", "nan", every=1)], seed=1)
+        oracle = FaultyOracle(sparse_oracle(), plan)
+        x = np.random.default_rng(0).standard_normal(
+            (5, oracle.n_variables)
+        )
+        values = oracle.observe(x, 0)
+        assert np.isnan(values).sum() == 1
+
+    def test_truth_never_faulted(self):
+        plan = FaultPlan([Fault("oracle", "raise", every=1)])
+        oracle = FaultyOracle(sparse_oracle(), plan)
+        x = np.zeros((2, oracle.n_variables))
+        assert np.all(np.isfinite(oracle.truth(x, 0)))
+        assert plan.calls("oracle") == 0
+
+    def test_metadata_mirrors_base(self):
+        base = sparse_oracle()
+        oracle = FaultyOracle(base, FaultPlan())
+        assert oracle.name == base.name
+        assert oracle.metric == base.metric
+        assert oracle.n_states == base.n_states
+        assert oracle.n_variables == base.n_variables
+
+
+class TestServingFaultHelper:
+    def test_none_plan_noop(self):
+        raise_serving_fault(None)
+
+    def test_raises_on_schedule(self):
+        plan = FaultPlan([Fault("swap", "raise", calls=(1,))])
+        raise_serving_fault(plan)  # call 0: clean
+        with pytest.raises(ServingError, match="injected"):
+            raise_serving_fault(plan)

@@ -39,6 +39,37 @@ class TestCholesky:
         with pytest.raises(np.linalg.LinAlgError):
             linalg.cholesky_factor(matrix)
 
+    def test_indefinite_raises_numerical_error(self):
+        """Ladder exhaustion raises the taxonomy type, not a bare
+        LinAlgError — and the old ``except np.linalg.LinAlgError``
+        handlers still catch it (tested above)."""
+        from repro.errors import NumericalError, ReproError
+
+        with pytest.raises(NumericalError, match="not positive definite"):
+            linalg.cholesky_factor(np.diag([1.0, -1.0]))
+        with pytest.raises(ReproError):
+            linalg.cholesky_factor(np.diag([1.0, -1.0]))
+
+    def test_jitter_scales_with_diagonal(self):
+        """The ladder is relative: a rank-1 matrix is repaired at any
+        magnitude, which an absolute jitter could not do."""
+        v = np.array([1.0, 2.0, 3.0])
+        for scale in (1e-6, 1.0, 1e8):
+            matrix = scale * np.outer(v, v)
+            factor = linalg.cholesky_factor(matrix)
+            assert np.allclose(
+                factor @ factor.T, matrix, rtol=1e-5, atol=1e-8 * scale
+            )
+
+    def test_inv_from_cholesky_matches_inv_psd(self):
+        matrix = random_psd(np.random.default_rng(12), 5)
+        factor = linalg.cholesky_factor(matrix)
+        assert np.allclose(
+            linalg.inv_from_cholesky(factor.copy()),
+            linalg.inv_psd(matrix),
+            atol=1e-10,
+        )
+
     def test_solve_psd_matches_numpy(self):
         rng = np.random.default_rng(2)
         matrix = random_psd(rng, 6)
