@@ -1,0 +1,40 @@
+"""Streaming-path benchmark: per-batch absorb vs full refit.
+
+The streaming subsystem's claim is that the O(n²·b) block-Cholesky
+extension makes online ingest cheap: absorbing one batch into the live
+posterior must be at least 10× faster than refitting the whole model
+from scratch on the same rows (the issue's acceptance floor; measured
+headroom is 2–3 orders of magnitude). ``python -m repro bench`` emits
+the same numbers as ``BENCH_streaming.json`` and CI gates them against
+the committed baseline.
+"""
+
+from repro.bench import bench_streaming
+
+SPEEDUP_FLOOR = 10.0
+
+
+def test_absorb_beats_full_refit(benchmark):
+    """Median per-batch absorb is >= 10x faster than a full warm refit
+    on everything absorbed so far, at the medium workload scale."""
+    report = benchmark.pedantic(
+        bench_streaming, args=("medium",), kwargs={"repeats": 3},
+        rounds=1, iterations=1,
+    )
+    timings = report["timings_seconds"]
+    speedup = report["details"]["absorb_vs_refit_speedup"]
+    print(
+        f"\nstreaming — {report['config']['n_batches']} batches x "
+        f"{report['config']['batch_size']} rows, "
+        f"K={report['config']['n_states']}, "
+        f"{report['details']['rows_after_stream']} rows after stream\n"
+        f"  absorb_batch : {timings['absorb_batch'] * 1e3:.3f}ms\n"
+        f"  full_refit   : {timings['full_refit']:.3f}s\n"
+        f"  speedup      : {speedup:.0f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental absorb speedup {speedup:.1f}x below the "
+        f"{SPEEDUP_FLOOR}x floor (absorb "
+        f"{timings['absorb_batch'] * 1e3:.3f}ms, refit "
+        f"{timings['full_refit']:.3f}s)"
+    )

@@ -1,0 +1,112 @@
+"""Streaming demo: online absorbs, drift-triggered refit, hot serving.
+
+Seeds a C-BMF fit on a synthetic multi-state oracle, then streams fresh
+measurement batches through the `StreamingService`: each healthy batch
+is absorbed into the live posterior with an O(n²·b) Cholesky extension
+(no refit), every absorb publishes a new registry version and hot-swaps
+the serving plane, and mid-stream the oracle's regime shifts — the
+drift monitor catches it and schedules a warm-started refit on a
+forgetting window, re-anchoring the served model to the new regime.
+The stream is recorded to an .npz and replayed to show deterministic
+post-mortem reproduction.
+
+Run:  python examples/streaming_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.active import SyntheticOracle
+from repro.core.cbmf import CBMF
+from repro.serving import ModelRegistry, ModelService
+from repro.streaming import (
+    DriftConfig,
+    OnlineCBMF,
+    OracleStream,
+    ReplayStream,
+    ShiftedOracle,
+    StreamingConfig,
+    StreamingService,
+    record_stream,
+)
+
+N_STATES = 3
+N_VARIABLES = 6
+METRIC = "gain"
+
+
+def main() -> None:
+    # 1. Seed fit: a small correlated multi-state ground truth.
+    coef = np.zeros((N_STATES, N_VARIABLES + 1))
+    coef[:, 0] = 2.0
+    coef[:, 2] = np.linspace(1.0, 1.4, N_STATES)
+    coef[:, 5] = -0.8
+    oracle = SyntheticOracle(coef, noise_std=0.05, metric=METRIC)
+    rng = np.random.default_rng(0)
+    inputs = [
+        rng.standard_normal((15, N_VARIABLES)) for _ in range(N_STATES)
+    ]
+    targets = [oracle.observe(x, k) for k, x in enumerate(inputs)]
+    fitted = CBMF(seed=1).fit(oracle.basis.expand_states(inputs), targets)
+    online = OnlineCBMF.from_cbmf(fitted, basis=oracle.basis, metric=METRIC)
+    print(f"seeded online C-BMF: {online.n_rows} rows, "
+          f"K={online.n_states} states")
+
+    # 2. A drifting stream: the regime steps by +3.0 halfway through.
+    drifting = ShiftedOracle(oracle, shift=3.0, after_calls=6)
+    batches = list(
+        OracleStream(drifting, n_batches=12, batch_size=8, seed=17)
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        recording = Path(tmp) / "stream.npz"
+        record_stream(batches, recording)
+        print(f"recorded {len(batches)} batches for replay")
+
+        # 3. Stream: absorb -> drift-check -> push -> hot-swap.
+        registry = ModelRegistry(Path(tmp) / "registry")
+        serving = ModelService(registry)
+        service = StreamingService(
+            online,
+            registry,
+            StreamingConfig(
+                name="live",
+                drift=DriftConfig(threshold=3.0, warmup_batches=1),
+                refit_window=4,
+            ),
+            serving=serving,
+        )
+        report = service.run(ReplayStream(recording))
+        print(f"\nabsorbed {report.absorbed} batches, "
+              f"drift refits: {report.refits}")
+        for record in report.records:
+            if record.drifted:
+                print(f"  drift flagged at batch {record.index} "
+                      f"(smoothed mean-z² = {record.drift_smoothed:.1f})")
+
+        # 4. The served model tracks the *new* regime.
+        served = serving.served_model("live")
+        probe = rng.standard_normal(N_VARIABLES)
+        answer = serving.predict("live", probe, 0).values[METRIC]
+        truth = float(drifting.truth(probe[None, :], 0)[0])
+        print(f"\nserving live@v{served.version} after the stream")
+        print(f"  post-drift truth at a probe point: {truth:.3f}")
+        print(f"  served prediction:                 {answer:.3f}")
+        print(f"  |error| = {abs(answer - truth):.3f} "
+              f"(the pre-drift model was off by ~3.0)")
+
+        # 5. Telemetry.
+        snapshot = service.metrics.snapshot()
+        print("\nstreaming telemetry:")
+        print(f"  batches absorbed  {snapshot['batches_absorbed']}")
+        print(f"  registry pushes   {snapshot['pushes']}")
+        print(f"  hot swaps         {snapshot['swaps']} "
+              f"({snapshot['swap_failures']} failed)")
+        print(f"  absorb p50        {snapshot['p50_absorb_ms']:.3f} ms")
+        print(f"  refit seconds     {snapshot['refit_seconds']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,10 @@ reports next to the working directory:
   workload: full ``CBMF.fit``, the S-OMP/cross-validation initializer,
   the EM refinement and one posterior solve;
 * ``BENCH_serving.json`` — the micro-batched serving engine
-  (``predict_many`` throughput on a fitted model set).
+  (``predict_many`` throughput on a fitted model set);
+* ``BENCH_streaming.json`` — the online-update path (per-batch
+  ``OnlineCBMF.absorb`` latency vs a full warm-started refit on the
+  same rows).
 
 Each report carries the workload fingerprint (circuit, scale, shapes,
 repeat count) plus environment info, and every timing is the **median**
@@ -35,6 +38,7 @@ import numpy as np
 __all__ = [
     "bench_fit",
     "bench_serving",
+    "bench_streaming",
     "check_regression",
     "main_bench",
 ]
@@ -201,6 +205,105 @@ def bench_serving(
     }
 
 
+#: Streaming workload dimensions per scale name. The quick/CI baseline
+#: uses "small"; the committed speedup claim is measured at "medium".
+STREAM_SCALES = {
+    "small": dict(
+        n_states=4, n_variables=12, n_train=15, batch_size=8, n_batches=12
+    ),
+    "medium": dict(
+        n_states=8, n_variables=40, n_train=30, batch_size=10, n_batches=20
+    ),
+    "paper": dict(
+        n_states=16, n_variables=120, n_train=60, batch_size=16,
+        n_batches=30,
+    ),
+}
+
+
+def bench_streaming(
+    scale_name: str = "medium", repeats: int = 3, seed: int = 2016
+) -> dict:
+    """Time the streaming path: per-batch absorb vs full warm refit.
+
+    The claim under test is the O(n²·b) Cholesky extension making
+    per-batch ingest cheap relative to refitting the whole model from
+    scratch on the same rows — ``absorb_batch`` is the median per-batch
+    update latency over a fresh stream, ``full_refit`` the median
+    warm-started EM refit on everything absorbed so far.
+    """
+    from repro.active.oracle import SyntheticOracle
+    from repro.core.cbmf import CBMF
+    from repro.streaming import OnlineCBMF, OracleStream
+
+    dims = STREAM_SCALES[scale_name]
+    n_states = dims["n_states"]
+    n_variables = dims["n_variables"]
+    rng = np.random.default_rng(seed)
+    coef = np.zeros((n_states, n_variables + 1))
+    coef[:, 0] = 1.0
+    for j in rng.choice(n_variables, size=6, replace=False):
+        coef[:, j + 1] = rng.normal(0.0, 1.0) + rng.normal(
+            0.0, 0.1, size=n_states
+        )
+    oracle = SyntheticOracle(coef, noise_std=0.05)
+    inputs = [
+        rng.standard_normal((dims["n_train"], n_variables))
+        for _ in range(n_states)
+    ]
+    targets = [oracle.observe(x, k) for k, x in enumerate(inputs)]
+    fitted = CBMF(seed=seed).fit(
+        oracle.basis.expand_states(inputs), targets
+    )
+    # Pre-draw the batches so the timings exclude the oracle.
+    batches = list(
+        OracleStream(
+            oracle,
+            n_batches=dims["n_batches"],
+            batch_size=dims["batch_size"],
+            seed=seed,
+        )
+    )
+
+    online = None
+    absorb_samples = []
+    for _ in range(repeats):
+        online = OnlineCBMF.from_cbmf(
+            fitted, basis=oracle.basis, metric=oracle.metric
+        )
+        per_batch = []
+        for batch in batches:
+            started = time.perf_counter()
+            online.absorb(batch.x, batch.y, batch.state)
+            per_batch.append(time.perf_counter() - started)
+        absorb_samples.append(statistics.median(per_batch))
+    absorb_median = float(statistics.median(absorb_samples))
+    refit_median = _median_seconds(lambda: online.refit(), repeats)
+
+    return {
+        "kind": "streaming",
+        "config": {
+            "scale": scale_name,
+            "n_states": n_states,
+            "n_variables": n_variables,
+            "n_train_per_state": dims["n_train"],
+            "batch_size": dims["batch_size"],
+            "n_batches": dims["n_batches"],
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "env": _environment(),
+        "timings_seconds": {
+            "absorb_batch": absorb_median,
+            "full_refit": refit_median,
+        },
+        "details": {
+            "rows_after_stream": int(online.n_rows),
+            "absorb_vs_refit_speedup": refit_median / absorb_median,
+        },
+    }
+
+
 def check_regression(
     current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> List[str]:
@@ -268,9 +371,22 @@ def main_bench(args: argparse.Namespace) -> int:
         f"({serving_report['details']['requests_per_second']:,.0f} req/s)"
     )
 
+    print("benchmarking streaming path ...")
+    streaming_report = bench_streaming(
+        scale_name, repeats=repeats, seed=args.seed
+    )
+    streaming_t = streaming_report["timings_seconds"]
+    print(
+        f"  absorb_batch {streaming_t['absorb_batch'] * 1e3:.3f}ms  "
+        f"full_refit {streaming_t['full_refit']:.3f}s  "
+        f"(speedup "
+        f"{streaming_report['details']['absorb_vs_refit_speedup']:.0f}x)"
+    )
+
     reports = {
         "BENCH_fit.json": fit_report,
         "BENCH_serving.json": serving_report,
+        "BENCH_streaming.json": streaming_report,
     }
     for name, report in reports.items():
         _write_report(report, output_dir / name)

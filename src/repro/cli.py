@@ -10,15 +10,19 @@
     python -m repro bench [--quick] [--check] [--update-baseline]
     python -m repro registry list|push|get --root DIR ...
     python -m repro active-fit [--circuit lna|mixer] [--strategy NAME] ...
+    python -m repro stream [--batches N] [--drift-shift S] ...
 
 Output is the paper-style text tables; `reproduce_paper.py` in examples/
 offers the same through a script, and the benchmark suite wraps the same
 entry points with assertions. ``serve-bench`` exercises the serving
 subsystem end-to-end (fit → registry push → micro-batched service),
-``registry`` manages a model registry directory, and ``active-fit`` runs
+``registry`` manages a model registry directory, ``active-fit`` runs
 the active-learning loop on a circuit (checkpointable with ``--checkpoint``
 / ``--resume``, optionally pushing the converged model to a registry with
-its acquisition provenance in the manifest).
+its acquisition provenance in the manifest), and ``stream`` runs the
+online-ingest loop: seed fit → absorb batches → drift-triggered refits →
+registry pushes → serving hot-swaps (record/replay with ``--record`` /
+``--replay``, chaos via ``--fault-plan 'stream:nan@2'``).
 """
 
 from __future__ import annotations
@@ -304,6 +308,157 @@ def _cmd_active_fit(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    """Run the streaming loop: seed fit → absorb → refit → push → swap."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.basis.polynomial import LinearBasis
+    from repro.core.cbmf import CBMF
+    from repro.errors import SimulationError
+    from repro.serving import ModelRegistry, ModelService
+    from repro.streaming import (
+        DriftConfig,
+        OnlineCBMF,
+        OracleStream,
+        ReplayStream,
+        ShiftedOracle,
+        StreamingConfig,
+        StreamingService,
+        record_stream,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    if args.circuit:
+        from repro.active import CircuitOracle
+        from repro.circuits.lna import TunableLNA
+        from repro.circuits.mixer import TunableMixer
+
+        circuit_cls = {"lna": TunableLNA, "mixer": TunableMixer}
+        circuit = circuit_cls[args.circuit](
+            n_states=args.states, n_variables=None
+        )
+        metric = args.metric or circuit.metric_names[0]
+        oracle = CircuitOracle(circuit, metric)
+    else:
+        from repro.active import SyntheticOracle
+
+        # A sparse linear ground truth with correlated per-state rows —
+        # the regime the streaming posterior is exact for.
+        metric = args.metric or "value"
+        coef = np.zeros((args.states, args.variables + 1))
+        coef[:, 0] = rng.normal(1.0, 0.5)
+        active = rng.choice(
+            args.variables, size=min(4, args.variables), replace=False
+        )
+        for j in active:
+            coef[:, j + 1] = rng.normal(0.0, 1.0) + rng.normal(
+                0.0, 0.1, size=args.states
+            )
+        oracle = SyntheticOracle(coef, noise_std=0.05, metric=metric)
+    basis = LinearBasis(oracle.n_variables)
+
+    print(
+        f"seed fit {oracle.name}:{metric} — K={oracle.n_states}, "
+        f"{oracle.n_variables} variables, {args.train}/state warm-up"
+    )
+    inputs = [
+        rng.standard_normal((args.train, oracle.n_variables))
+        for _ in range(oracle.n_states)
+    ]
+    targets = [oracle.observe(x, k) for k, x in enumerate(inputs)]
+    fitted = CBMF(seed=args.seed).fit(basis.expand_states(inputs), targets)
+    online = OnlineCBMF.from_cbmf(fitted, basis=basis, metric=metric)
+
+    if args.drift_shift is not None:
+        drift_at = (
+            args.drift_at if args.drift_at is not None
+            else args.batches // 2
+        )
+        oracle = ShiftedOracle(
+            oracle, shift=args.drift_shift, after_calls=drift_at
+        )
+        print(
+            f"drift injection: +{args.drift_shift} after observe() call "
+            f"{drift_at}"
+        )
+
+    if args.replay:
+        stream = ReplayStream(args.replay)
+        print(f"replaying {len(stream)} batches from {args.replay}")
+    else:
+        stream = OracleStream(
+            oracle,
+            n_batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        )
+        if args.record:
+            batches = list(stream)
+            record_stream(batches, args.record)
+            print(f"recorded {len(batches)} batches -> {args.record}")
+            stream = batches
+
+    plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
+        print(f"fault injection active: {args.fault_plan!r}")
+
+    config = StreamingConfig(
+        name=args.name,
+        push_every=args.push_every,
+        drift=DriftConfig(threshold=args.drift_threshold),
+        fault_plan=plan,
+        refit_window=args.refit_window,
+    )
+
+    def run(registry):
+        serving = ModelService(registry)
+        service = StreamingService(
+            online, registry, config, serving=serving
+        )
+        try:
+            report = service.run(stream)
+        except SimulationError as error:
+            print(f"stream aborted: {error}", file=sys.stderr)
+            return 1
+        summary = report.summary()
+        snapshot = service.metrics.snapshot()
+        print()
+        print(f"batches             {summary['batches']} "
+              f"(absorbed {summary['absorbed']}, "
+              f"quarantined {summary['quarantined']})")
+        print(f"rows absorbed       {snapshot['rows_absorbed']} "
+              f"(posterior now {service.online.n_rows} rows)")
+        print(f"drift refits        {summary['refits']}")
+        drifted = [r.index for r in report.records if r.drifted]
+        if drifted:
+            print(f"drift flagged at    batches {drifted}")
+        print(f"published           {snapshot['pushes']} versions "
+              f"(final: {summary['final_key']})")
+        print(f"hot swaps           {snapshot['swaps']} ok / "
+              f"{snapshot['swap_failures']} failed")
+        if snapshot["p50_absorb_ms"] is not None:
+            print(f"absorb p50 / p95    "
+                  f"{snapshot['p50_absorb_ms']:.3f} / "
+                  f"{snapshot['p95_absorb_ms']:.3f} ms")
+        served = serving.served_model(args.name)
+        probe = rng.standard_normal(oracle.n_variables)
+        result = serving.predict(args.name, probe, 0)
+        print(f"serving             {args.name}@v{served.version} "
+              f"({metric} at a probe point: "
+              f"{result.values[metric]:.4f})")
+        return 0
+
+    if args.registry:
+        return run(ModelRegistry(args.registry))
+    with tempfile.TemporaryDirectory() as tmp:
+        return run(ModelRegistry(tmp))
+
+
 def _cmd_registry(args) -> int:
     """Registry maintenance: list entries, push artifacts, inspect keys."""
     from pathlib import Path
@@ -470,6 +625,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="registry model name (default: circuit name)")
     p.add_argument("--seed", type=int, default=2016)
 
+    p = sub.add_parser(
+        "stream",
+        help="online ingest: absorb batches, drift-refit, publish, swap",
+    )
+    p.add_argument("--circuit", default=None, choices=("lna", "mixer"),
+                   help="stream a real circuit oracle (default: synthetic)")
+    p.add_argument("--metric", default=None,
+                   help="metric to stream (default: circuit's first, or "
+                        "'value' for the synthetic oracle)")
+    p.add_argument("--states", type=int, default=3,
+                   help="number of knob states K")
+    p.add_argument("--variables", type=int, default=8,
+                   help="sample dimension of the synthetic oracle")
+    p.add_argument("--train", type=int, default=20,
+                   help="warm-up samples per state for the seed fit")
+    p.add_argument("--batches", type=int, default=12,
+                   help="stream length in batches")
+    p.add_argument("--batch-size", type=int, default=6,
+                   help="rows per batch")
+    p.add_argument("--push-every", type=int, default=1,
+                   help="publish after every Nth absorbed batch")
+    p.add_argument("--drift-shift", type=float, default=None,
+                   help="inject a step drift of this size mid-stream")
+    p.add_argument("--drift-at", type=int, default=None,
+                   help="observe() call the drift engages at "
+                        "(default: halfway through the stream)")
+    p.add_argument("--drift-threshold", type=float, default=3.0,
+                   help="smoothed mean-z² refit trigger (default: 3.0)")
+    p.add_argument("--refit-window", type=int, default=None,
+                   help="refit on the last N absorbed batches only "
+                        "(forgetting window; default: keep everything)")
+    p.add_argument("--fault-plan", default=None,
+                   help="deterministic fault injection, e.g. "
+                        "'stream:nan@2' or 'stream:raise@*3' "
+                        "(see repro.faults.FaultPlan.parse)")
+    p.add_argument("--registry", default=None,
+                   help="persist the registry here (default: temp dir)")
+    p.add_argument("--record", default=None,
+                   help="record the generated stream to this .npz")
+    p.add_argument("--replay", default=None,
+                   help="replay a recorded stream .npz instead of "
+                        "drawing fresh batches")
+    p.add_argument("--name", default="stream",
+                   help="registry model name (default: 'stream')")
+    p.add_argument("--seed", type=int, default=2016)
+
     p = sub.add_parser("registry", help="manage a model registry directory")
     reg_sub = p.add_subparsers(dest="registry_command", required=True)
     p_list = reg_sub.add_parser("list", help="list every name@version")
@@ -507,6 +708,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return main_bench(args)
     if args.command == "active-fit":
         return _cmd_active_fit(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "registry":
         return _cmd_registry(args)
 

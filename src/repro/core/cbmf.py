@@ -80,6 +80,12 @@ class CBMF(MultiStateRegressor):
         The learned :class:`CorrelatedPrior` (λ and R after EM).
     noise_std_:
         Learned observation noise σ0 in original units.
+    center_:
+        The grand target center subtracted before standardization (the
+        streaming updater needs it to standardize incoming targets the
+        same way this fit did).
+    scale_:
+        The pooled standardization scale (read-only property).
     report_:
         :class:`FitReport` with the full fitting diagnostics.
     """
@@ -112,6 +118,7 @@ class CBMF(MultiStateRegressor):
         self.prior_ = None
         self.noise_std_: Optional[float] = None
         self.report_: Optional[FitReport] = None
+        self.center_: Optional[float] = None
         self._scale: float = 1.0
         self._predictor: Optional[PosteriorPredictor] = None
 
@@ -160,6 +167,7 @@ class CBMF(MultiStateRegressor):
         self.offsets_ = offsets
         self.prior_ = prior
         self.noise_std_ = float(np.sqrt(noise_var)) * scale
+        self.center_ = grand_center
         self._scale = scale
         self._predictor = PosteriorPredictor(
             designs, standardized, prior, noise_var
@@ -245,6 +253,12 @@ class CBMF(MultiStateRegressor):
             "scale": float(self._scale),
             "r0": float(self.report_.init.r0),
         }
+
+    @property
+    def scale_(self) -> float:
+        """The pooled target standardization scale of this fit."""
+        self._require_fitted()
+        return self._scale
 
     @property
     def predictor(self) -> PosteriorPredictor:

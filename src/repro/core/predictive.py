@@ -17,6 +17,18 @@ This gives every C-BMF fit calibrated error bars at the cost of one
 triangular solve per query batch — useful to decide *where* the next
 simulation samples buy the most accuracy (see
 ``applications/adaptive_sampling.py``).
+
+The predictor is also the **online-update primitive** of the streaming
+subsystem: :meth:`PosteriorPredictor.absorb` appends a fresh batch of b
+observations by *extending* the Cholesky factor of C with one Schur
+complement block —
+
+    C' = [[C, B], [Bᵀ, D]]  →  L' = [[L, 0], [L21, chol(D − L21 L21ᵀ)]]
+
+with ``L21ᵀ = L⁻¹ B`` — an O(n²·b) update instead of the O((n+b)³)
+refactorization. The Cholesky factor of a positive-definite matrix is
+unique, so an absorbed predictor is numerically identical to one built
+from scratch on the concatenated data.
 """
 
 from __future__ import annotations
@@ -80,6 +92,107 @@ class PosteriorPredictor:
         ]
         self._factor = cholesky_factor(
             gram * r_expanded + noise_var * np.eye(self._phi.shape[0])
+        )
+        self._alpha = sla.cho_solve(
+            (self._factor, True), self._y, check_finite=False
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Training rows currently conditioned on (grows with absorb)."""
+        return self._phi.shape[0]
+
+    @property
+    def prior(self) -> CorrelatedPrior:
+        """The (frozen) hyper-parameters this predictor conditions with."""
+        return self._prior
+
+    @property
+    def noise_var(self) -> float:
+        """The observation-noise variance σ0² of this predictor."""
+        return self._noise_var
+
+    def training_rows(self):
+        """Views of the conditioned rows: ``(phi, targets, state_of_row)``.
+
+        Read-only by convention — mutating them would desynchronize the
+        cached Cholesky factor. Streaming refits read the accumulated
+        data back out through this.
+        """
+        return self._phi, self._y, self._state_of_row
+
+    @property
+    def dual_weights(self) -> np.ndarray:
+        """The dual-space weights α = C⁻¹ y (one per training row).
+
+        The MAP coefficients are a linear image of these:
+        ``μ^m = λ_m · R · Σ_i Φ[i, m]·α_i`` — the streaming updater
+        recomputes its coefficient matrix from them after each absorb.
+        """
+        return self._alpha
+
+    # ------------------------------------------------------------------
+    def absorb(
+        self, design: np.ndarray, target: np.ndarray, state: int
+    ) -> None:
+        """Condition on a fresh batch of observations, in place.
+
+        Appends ``design`` (b × M basis rows) with observed values
+        ``target`` at knob ``state`` to the training set and extends the
+        Cholesky factor of C by the batch's Schur-complement block — an
+        O(n²·b) update at the frozen ``{λ, R, σ0}`` instead of the
+        O((n+b)³) refactorization a from-scratch rebuild performs. The
+        result is numerically identical to constructing a new
+        :class:`PosteriorPredictor` on the concatenated data (the
+        Cholesky factor of a positive-definite matrix is unique).
+        """
+        design = check_matrix(
+            design, "design", shape=(None, self._prior.n_basis)
+        )
+        target = np.asarray(target, dtype=float).reshape(-1)
+        if target.shape[0] != design.shape[0]:
+            raise ValueError(
+                f"target has {target.shape[0]} values for "
+                f"{design.shape[0]} design rows"
+            )
+        if not 0 <= state < self._prior.n_states:
+            raise IndexError(
+                f"state {state} out of range 0..{self._prior.n_states - 1}"
+            )
+        if not (np.all(np.isfinite(design)) and np.all(np.isfinite(target))):
+            raise ValueError(
+                "absorb refuses non-finite design/target values; "
+                "quarantine the batch upstream"
+            )
+
+        n_old = self._phi.shape[0]
+        n_new = design.shape[0]
+        # Cross block B (n_old × b) is exactly the query kernel; the new
+        # diagonal block D adds the batch self-kernel plus σ0².
+        cross = self._cross_covariance(design, state)
+        weighted = design * self._prior.lambdas
+        diag_block = (
+            self._prior.correlation[state, state] * (weighted @ design.T)
+        )
+        diag_block = 0.5 * (diag_block + diag_block.T)
+        diag_block.flat[:: n_new + 1] += self._noise_var
+        # L21ᵀ = L⁻¹ B, Schur complement S = D − L21 L21ᵀ.
+        l21_t = sla.solve_triangular(
+            self._factor, cross, lower=True, check_finite=False
+        )
+        schur = diag_block - l21_t.T @ l21_t
+        schur_factor = cholesky_factor(schur)
+
+        factor = np.zeros((n_old + n_new, n_old + n_new))
+        factor[:n_old, :n_old] = self._factor
+        factor[n_old:, :n_old] = l21_t.T
+        factor[n_old:, n_old:] = schur_factor
+        self._factor = factor
+        self._phi = np.vstack([self._phi, design])
+        self._y = np.concatenate([self._y, target])
+        self._state_of_row = np.concatenate(
+            [self._state_of_row, np.full(n_new, state, dtype=int)]
         )
         self._alpha = sla.cho_solve(
             (self._factor, True), self._y, check_finite=False

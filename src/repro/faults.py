@@ -20,6 +20,10 @@ Wiring points:
 * ``repro.utils.parallel`` honours the ``REPRO_FAULT_WORKER_CRASH``
   token file (see :func:`worker_crash_flag`) to kill exactly one pool
   worker mid-task, exercising inline re-run recovery.
+* :class:`~repro.streaming.service.StreamingService` applies the
+  ``"stream"`` site to each ingested batch via
+  :func:`apply_stream_fault` — poisoned batches must be quarantined
+  while the served model keeps answering.
 
 The CLI accepts ``--fault-plan "oracle:raise@2,5;swap:raise@0"`` (see
 :meth:`FaultPlan.parse`) so end-to-end chaos runs need no code.
@@ -42,6 +46,7 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "FaultyOracle",
+    "apply_stream_fault",
     "raise_serving_fault",
     "worker_crash_flag",
 ]
@@ -248,6 +253,40 @@ def raise_serving_fault(
         raise ServingError(
             f"injected fault at {site} call {plan.calls(site) - 1}"
         )
+
+
+def apply_stream_fault(
+    plan: Optional[FaultPlan],
+    values: np.ndarray,
+    site: str = "stream",
+) -> np.ndarray:
+    """Fire ``site`` on ``plan`` against one ingested batch's values.
+
+    The streaming-ingest integration point: call once per batch with the
+    observed target vector. ``None`` plans pass the values through
+    untouched. A ``"raise"`` fault throws :class:`SimulationError` (the
+    service quarantines the batch); a ``"nan"`` fault returns a copy
+    with one deterministically-chosen row poisoned (the service's
+    finite-check quarantines it); ``"stall"`` sleeps then passes
+    through.
+    """
+    if plan is None:
+        return values
+    fault = plan.fire(site)
+    if fault is None:
+        return values
+    if fault.mode == "raise":
+        raise SimulationError(
+            f"injected fault at {site} call {plan.calls(site) - 1}"
+        )
+    if fault.mode == "stall":
+        time.sleep(fault.stall_seconds)
+        return values
+    poisoned = np.array(values, dtype=float)
+    if poisoned.size:
+        row = int(plan.nan_rng(site).integers(poisoned.size))
+        poisoned[row] = np.nan
+    return poisoned
 
 
 class worker_crash_flag:

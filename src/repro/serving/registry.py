@@ -264,6 +264,40 @@ class ModelRegistry:
         ]
 
     # -- write path -----------------------------------------------------
+    def _claim_version(
+        self, name: str, version: Optional[int]
+    ) -> Tuple[Path, int]:
+        """Atomically allocate a version directory for one push.
+
+        The ``mkdir`` (no ``exist_ok``) is the allocation: whichever
+        pusher creates ``vN`` first owns that number. Auto-increment
+        pushes that lose the race simply retry with the next number;
+        an explicit version that is already claimed — even by a crashed
+        push that never wrote its manifest — is refused (versions are
+        immutable, and a half-written directory is not distinguishable
+        from an in-flight push).
+        """
+        (self.root / name).mkdir(parents=True, exist_ok=True)
+        auto = version is None
+        existing = self.versions(name)
+        if auto:
+            candidate = (existing[-1] + 1) if existing else 1
+        else:
+            candidate = int(version)
+        while True:
+            path = self.root / name / f"v{candidate}"
+            try:
+                path.mkdir()
+            except FileExistsError:
+                if not auto:
+                    raise RegistryError(
+                        f"{name}@v{candidate} already exists; versions "
+                        "are immutable"
+                    ) from None
+                candidate += 1
+                continue
+            return path, candidate
+
     def push(
         self,
         name: str,
@@ -282,16 +316,15 @@ class ModelRegistry:
         acquisition provenance an active-learning fit records. The
         reserved keys (``name``, ``version`` and the core manifest
         fields) cannot be overridden.
+
+        Concurrent pushes under one name are safe: the version number is
+        allocated by *atomically creating* the ``vN`` directory
+        (``mkdir`` without ``exist_ok``), not by listing-then-writing,
+        so two racing auto-increment pushes mint distinct versions
+        instead of clobbering each other's artifacts.
         """
         if not _NAME_PATTERN.match(name):
             raise RegistryError(f"invalid model name: {name!r}")
-        existing = self.versions(name)
-        if version is None:
-            version = (existing[-1] + 1) if existing else 1
-        elif version in existing:
-            raise RegistryError(
-                f"{name}@v{version} already exists; versions are immutable"
-            )
         if isinstance(model, FrozenModel):
             models = {model.metric or "value": model}
             basis, kind = None, "frozen"
@@ -302,9 +335,6 @@ class ModelRegistry:
                 "push expects a PerformanceModelSet or FrozenModel, "
                 f"got {type(model).__name__}"
             )
-        path = self.root / name / f"v{version}"
-        if path.exists():
-            raise RegistryError(f"{path} already exists")
         reserved = {
             "schema", "kind", "metrics", "n_states", "n_basis",
             "basis", "files", "created_at", "name", "version",
@@ -316,6 +346,7 @@ class ModelRegistry:
                 f"extra metadata may not override manifest keys "
                 f"{sorted(clash)}"
             )
+        path, version = self._claim_version(name, version)
         merged.update({"name": name, "version": int(version)})
         manifest = write_model_dir(
             path,

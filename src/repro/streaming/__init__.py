@@ -1,0 +1,48 @@
+"""Streaming subsystem: online Bayesian updates feeding continuous serving.
+
+The pieces, in data-flow order:
+
+* :mod:`repro.streaming.sources` — batch producers (live oracle ingest,
+  recorded-stream replay, drift injection);
+* :mod:`repro.streaming.online` — :class:`OnlineCBMF`, the low-rank
+  posterior updater over a fitted C-BMF at frozen hyper-parameters;
+* :mod:`repro.streaming.drift` — calibration monitoring that decides
+  when the frozen hyper-parameters have expired;
+* :mod:`repro.streaming.service` — the loop wiring ingest, absorb,
+  drift-triggered refits, registry pushes and serving hot-swaps;
+* :mod:`repro.streaming.metrics` — telemetry for all of the above.
+"""
+
+from repro.streaming.drift import DriftConfig, DriftDecision, DriftMonitor
+from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.online import OnlineCBMF
+from repro.streaming.service import (
+    BatchRecord,
+    StreamingConfig,
+    StreamingReport,
+    StreamingService,
+)
+from repro.streaming.sources import (
+    OracleStream,
+    ReplayStream,
+    ShiftedOracle,
+    StreamBatch,
+    record_stream,
+)
+
+__all__ = [
+    "BatchRecord",
+    "DriftConfig",
+    "DriftDecision",
+    "DriftMonitor",
+    "OnlineCBMF",
+    "OracleStream",
+    "ReplayStream",
+    "ShiftedOracle",
+    "StreamBatch",
+    "StreamingConfig",
+    "StreamingMetrics",
+    "StreamingReport",
+    "StreamingService",
+    "record_stream",
+]

@@ -1,0 +1,154 @@
+"""Drift detection for the streaming updater.
+
+The online absorb is *exact* — but only at the frozen hyper-parameters
+``{λ, R, σ0}`` of the last full fit. When the process generating the
+stream shifts (aging circuit, new PVT corner, a changed testbench), the
+frozen posterior keeps conditioning on data its prior no longer
+describes, and its predictions degrade even though every linear-algebra
+step is correct. Detecting that is a calibration question, and the
+model answers it for free: the standardized predictive residual of an
+*unseen* observation,
+
+    z_i = (y_i − mean_i) / sqrt(var_i + σ0²),
+
+is ~N(0, 1) under the model. ``mean(z²)`` over a batch therefore hovers
+around 1 when the model still explains the stream and inflates when it
+does not. :class:`DriftMonitor` smooths that score with an EWMA (one
+noisy batch should not trigger a refit; a sustained shift should) and
+flags drift when the smoothed score crosses a threshold — or
+immediately when a single batch's raw score is catastrophic. The
+streaming service responds by scheduling a full EM refit (warm-started,
+so only the hyper-parameters are re-learned) and resetting the monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DriftConfig", "DriftDecision", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of the drift monitor.
+
+    Parameters
+    ----------
+    threshold:
+        Trigger when the EWMA of ``mean(z²)`` exceeds this. The null
+        expectation is 1; the default 3 means "sustained residuals about
+        √3σ wide".
+    ewma:
+        Smoothing factor in (0, 1]; weight on the *newest* batch score.
+        1.0 disables smoothing entirely.
+    warmup_batches:
+        Number of initial batches scored but never flagged — the first
+        few batches after a (re)fit meet a posterior that has not seen
+        any stream data, and their scores are legitimately noisy.
+    hard_threshold:
+        A single batch whose raw score exceeds this triggers regardless
+        of the EWMA or warmup — the "testbench changed" escape hatch.
+    """
+
+    threshold: float = 3.0
+    ewma: float = 0.5
+    warmup_batches: int = 2
+    hard_threshold: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ValueError(f"threshold must be > 0, got {self.threshold}")
+        if not 0.0 < self.ewma <= 1.0:
+            raise ValueError(f"ewma must be in (0, 1], got {self.ewma}")
+        if self.warmup_batches < 0:
+            raise ValueError(
+                f"warmup_batches must be >= 0, got {self.warmup_batches}"
+            )
+        if self.hard_threshold < self.threshold:
+            raise ValueError(
+                "hard_threshold must be >= threshold "
+                f"({self.hard_threshold} < {self.threshold})"
+            )
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """One batch's verdict: the raw score, the smoothed score, the flag."""
+
+    batch_index: int
+    score: float
+    smoothed: float
+    drifted: bool
+
+
+class DriftMonitor:
+    """EWMA drift detector over standardized predictive residuals.
+
+    Feed it each batch's z-scores *before* absorbing the batch (after
+    absorbing, the posterior has already explained the data and the
+    residuals shrink — the test would be biased toward "no drift").
+    """
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        self.config = config or DriftConfig()
+        self._smoothed: Optional[float] = None
+        self._batches = 0
+
+    @property
+    def smoothed(self) -> Optional[float]:
+        """Current EWMA of the batch scores (None before any batch)."""
+        return self._smoothed
+
+    @property
+    def batches_seen(self) -> int:
+        """Batches scored since construction / the last :meth:`reset`."""
+        return self._batches
+
+    def observe(self, zscores: np.ndarray) -> DriftDecision:
+        """Score one batch of standardized residuals.
+
+        Returns the decision; never mutates anything outside the monitor
+        (the caller decides what a ``drifted=True`` verdict costs).
+        """
+        z = np.asarray(zscores, dtype=float).reshape(-1)
+        if z.size == 0:
+            raise ValueError("cannot score an empty batch")
+        if not np.all(np.isfinite(z)):
+            raise ValueError(
+                "non-finite z-scores; quarantine the batch upstream"
+            )
+        score = float(np.mean(z**2))
+        if self._smoothed is None:
+            smoothed = score
+        else:
+            alpha = self.config.ewma
+            smoothed = alpha * score + (1.0 - alpha) * self._smoothed
+        self._smoothed = smoothed
+        index = self._batches
+        self._batches += 1
+
+        hard = score >= self.config.hard_threshold
+        warm = index < self.config.warmup_batches
+        drifted = hard or (
+            not warm and smoothed >= self.config.threshold
+        )
+        return DriftDecision(
+            batch_index=index,
+            score=score,
+            smoothed=smoothed,
+            drifted=drifted,
+        )
+
+    def reset(self) -> None:
+        """Forget all state — call after a refit replaces the posterior."""
+        self._smoothed = None
+        self._batches = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DriftMonitor(batches={self._batches}, "
+            f"smoothed={self._smoothed}, config={self.config})"
+        )

@@ -1,0 +1,371 @@
+"""The streaming loop: ingest → absorb → drift-check → push → hot-swap.
+
+``StreamingService`` consumes any iterable of
+:class:`~repro.streaming.sources.StreamBatch` and keeps three artifacts
+continuously in sync:
+
+1. the **live posterior** — an :class:`~repro.streaming.online.OnlineCBMF`
+   absorbing every healthy batch via the O(n²·b) Cholesky extension;
+2. the **registry** — a fresh ``name@vN`` is pushed after every
+   ``push_every``-th absorb (and always after a refit), so the full
+   model lineage of a stream is replayable from disk;
+3. the **serving plane** — an optional
+   :class:`~repro.serving.service.ModelService` is hot-swapped to each
+   pushed version; a failed swap rides PR 4's fallback (the previous
+   version keeps answering) and is only *counted* here.
+
+Robustness contract, per batch:
+
+* a batch that raises out of the source (oracle failure), fails the
+  injected ``"stream"`` fault site, carries non-finite values, or makes
+  the Cholesky update numerically infeasible is **quarantined** — the
+  posterior, registry and serving plane are untouched by it;
+* ``max_consecutive_failures`` poisoned batches in a row abort the run
+  (a dead testbench, not sporadic noise) with the partial report
+  attached to the raised :class:`~repro.errors.SimulationError`;
+* drift (scored on each batch *before* absorbing it, see
+  :mod:`repro.streaming.drift`) schedules a full warm-started EM refit;
+  the monitor resets and the refit model is pushed immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import NumericalError, ServingError, SimulationError
+from repro.faults import FaultPlan, apply_stream_fault
+from repro.serving.registry import ModelRegistry, RegistryEntry
+from repro.serving.service import ModelService
+from repro.streaming.drift import DriftConfig, DriftMonitor
+from repro.streaming.metrics import StreamingMetrics
+from repro.streaming.online import OnlineCBMF
+from repro.streaming.sources import StreamBatch
+
+__all__ = ["BatchRecord", "StreamingConfig", "StreamingReport",
+           "StreamingService"]
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Policy knobs of one streaming run.
+
+    Parameters
+    ----------
+    name:
+        Registry name the stream publishes under.
+    push_every:
+        Push (and hot-swap) after every Nth absorbed batch; refits
+        always push regardless.
+    drift:
+        Drift-monitor configuration; ``None`` uses the defaults.
+    fault_plan / fault_site:
+        Chaos hook: a :class:`FaultPlan` fired per ingested batch at
+        ``fault_site`` (see :func:`repro.faults.apply_stream_fault`).
+    max_consecutive_failures:
+        Abort the run after this many quarantined batches in a row.
+    refit_window:
+        Forgetting window for drift-triggered refits: refit on the most
+        recent N absorbed batches only (``None`` keeps everything). A
+        drift verdict certifies that older rows belong to a dead regime,
+        so a finite window is what actually re-anchors the model.
+    refit_max_workers:
+        Worker budget forwarded to drift-triggered refits.
+    """
+
+    name: str = "stream"
+    push_every: int = 1
+    drift: Optional[DriftConfig] = None
+    fault_plan: Optional[FaultPlan] = None
+    fault_site: str = "stream"
+    max_consecutive_failures: int = 5
+    refit_window: Optional[int] = None
+    refit_max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.push_every < 1:
+            raise ValueError(
+                f"push_every must be >= 1, got {self.push_every}"
+            )
+        if self.max_consecutive_failures < 1:
+            raise ValueError(
+                "max_consecutive_failures must be >= 1, got "
+                f"{self.max_consecutive_failures}"
+            )
+        if self.refit_window is not None and self.refit_window < 1:
+            raise ValueError(
+                f"refit_window must be >= 1, got {self.refit_window}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """The audit trail of one ingested batch."""
+
+    index: int
+    state: Optional[int]
+    n_rows: int
+    action: str  # "absorbed" | "quarantined"
+    error: Optional[str] = None
+    drift_score: Optional[float] = None
+    drift_smoothed: Optional[float] = None
+    drifted: bool = False
+    refit: bool = False
+    pushed_key: Optional[str] = None
+    swap: Optional[str] = None  # "ok" | "failed" | None
+
+
+@dataclass
+class StreamingReport:
+    """What one :meth:`StreamingService.run` did, end to end."""
+
+    records: List[BatchRecord] = field(default_factory=list)
+    refits: int = 0
+    final_key: Optional[str] = None
+    aborted: bool = False
+
+    @property
+    def absorbed(self) -> int:
+        """How many batches were folded into the posterior."""
+        return sum(1 for r in self.records if r.action == "absorbed")
+
+    @property
+    def quarantined(self) -> int:
+        """How many batches were dropped as poisoned."""
+        return sum(1 for r in self.records if r.action == "quarantined")
+
+    def summary(self) -> dict:
+        """Plain-dict digest (CLI/JSON friendly)."""
+        return {
+            "batches": len(self.records),
+            "absorbed": self.absorbed,
+            "quarantined": self.quarantined,
+            "refits": self.refits,
+            "final_key": self.final_key,
+            "aborted": self.aborted,
+        }
+
+
+class StreamingService:
+    """Run the absorb/drift/push/swap loop over a batch stream.
+
+    Parameters
+    ----------
+    online:
+        The live updater (must carry a basis so pushes can serve raw x).
+    registry:
+        Where model versions are published.
+    config:
+        Policy knobs; see :class:`StreamingConfig`.
+    serving:
+        Optional serving plane to hot-swap; omit to only publish.
+    metrics:
+        Optional shared :class:`StreamingMetrics`; created if absent.
+    """
+
+    def __init__(
+        self,
+        online: OnlineCBMF,
+        registry: ModelRegistry,
+        config: Optional[StreamingConfig] = None,
+        serving: Optional[ModelService] = None,
+        metrics: Optional[StreamingMetrics] = None,
+    ) -> None:
+        self.online = online
+        self.registry = registry
+        self.config = config or StreamingConfig()
+        self.serving = serving
+        self.metrics = metrics if metrics is not None else StreamingMetrics()
+        self.monitor = DriftMonitor(self.config.drift)
+        self._absorbs_since_push = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, reason: str) -> RegistryEntry:
+        """Publish the current posterior mean and hot-swap serving."""
+        entry = self.registry.push(
+            self.config.name,
+            self.online.modelset(),
+            extra={
+                "streaming": {
+                    "reason": reason,
+                    "rows": int(self.online.n_rows),
+                    "absorbed_batches": int(
+                        self.online.n_absorbed_batches
+                    ),
+                    "refits": int(self.metrics.refits),
+                }
+            },
+        )
+        self.metrics.record_push()
+        self._absorbs_since_push = 0
+        return entry
+
+    def _swap(self, entry: RegistryEntry) -> str:
+        if self.serving is None:
+            return "skipped"
+        try:
+            self.serving.swap(entry.key)
+        except ServingError:
+            # PR 4 contract: the previous version is still serving.
+            self.metrics.record_swap_failure()
+            return "failed"
+        self.metrics.record_swap()
+        return "ok"
+
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[StreamBatch]) -> StreamingReport:
+        """Consume ``stream`` to exhaustion; returns the audit report.
+
+        The initial model is pushed (and loaded into serving) before the
+        first batch, so consumers have a version to query from t=0.
+        """
+        report = StreamingReport()
+        entry = self._push("initial")
+        report.final_key = entry.key
+        if self.serving is not None:
+            self.serving.load(entry.key)
+
+        consecutive_failures = 0
+        iterator = iter(stream)
+        position = 0
+        while True:
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                break
+            except SimulationError as error:
+                # The source failed producing this batch; the iterator
+                # itself survives (OracleStream contract) — quarantine
+                # an empty placeholder and move on.
+                self.metrics.record_batch_seen()
+                self.metrics.record_quarantine(0)
+                record = BatchRecord(
+                    index=position,
+                    state=None,
+                    n_rows=0,
+                    action="quarantined",
+                    error=f"{type(error).__name__}: {error}",
+                )
+                report.records.append(record)
+                position += 1
+                consecutive_failures += 1
+                if self._should_abort(consecutive_failures, report):
+                    return report
+                continue
+            position = batch.index + 1
+            record = self._ingest(batch, report)
+            report.records.append(record)
+            if record.action == "quarantined":
+                consecutive_failures += 1
+                if self._should_abort(consecutive_failures, report):
+                    return report
+            else:
+                consecutive_failures = 0
+                if record.pushed_key is not None:
+                    report.final_key = record.pushed_key
+        return report
+
+    def _should_abort(self, failures: int, report: StreamingReport) -> bool:
+        if failures < self.config.max_consecutive_failures:
+            return False
+        report.aborted = True
+        raise SimulationError(
+            f"{failures} consecutive poisoned batches; aborting the "
+            f"stream (report: {report.summary()})"
+        )
+
+    # ------------------------------------------------------------------
+    def _ingest(
+        self, batch: StreamBatch, report: StreamingReport
+    ) -> BatchRecord:
+        """Process one batch end to end; never raises for batch faults."""
+        self.metrics.record_batch_seen()
+        cfg = self.config
+        try:
+            values = apply_stream_fault(
+                cfg.fault_plan, batch.y, site=cfg.fault_site
+            )
+        except SimulationError as error:
+            self.metrics.record_quarantine(batch.n_rows)
+            return BatchRecord(
+                index=batch.index,
+                state=batch.state,
+                n_rows=batch.n_rows,
+                action="quarantined",
+                error=f"{type(error).__name__}: {error}",
+            )
+        if not (
+            np.all(np.isfinite(batch.x)) and np.all(np.isfinite(values))
+        ):
+            self.metrics.record_quarantine(batch.n_rows)
+            return BatchRecord(
+                index=batch.index,
+                state=batch.state,
+                n_rows=batch.n_rows,
+                action="quarantined",
+                error="non-finite values in batch",
+            )
+
+        # Score drift on the *unseen* batch, then absorb it.
+        zscores = self.online.zscores(batch.x, values, batch.state)
+        decision = self.monitor.observe(zscores)
+        self.metrics.record_drift_score(decision.score, decision.smoothed)
+        started = time.perf_counter()
+        try:
+            self.online.absorb(batch.x, values, batch.state)
+        except (NumericalError, ValueError) as error:
+            self.metrics.record_quarantine(batch.n_rows)
+            return BatchRecord(
+                index=batch.index,
+                state=batch.state,
+                n_rows=batch.n_rows,
+                action="quarantined",
+                error=f"{type(error).__name__}: {error}",
+                drift_score=decision.score,
+                drift_smoothed=decision.smoothed,
+                drifted=decision.drifted,
+            )
+        self.metrics.record_absorb(
+            batch.n_rows, time.perf_counter() - started
+        )
+        self._absorbs_since_push += 1
+
+        refitted = False
+        if decision.drifted:
+            started = time.perf_counter()
+            self.online = self.online.refit(
+                max_workers=cfg.refit_max_workers,
+                window_batches=cfg.refit_window,
+            )
+            self.metrics.record_refit(time.perf_counter() - started)
+            self.monitor.reset()
+            report.refits += 1
+            refitted = True
+
+        pushed_key = None
+        swap = None
+        if refitted or self._absorbs_since_push >= cfg.push_every:
+            entry = self._push("refit" if refitted else "absorb")
+            pushed_key = entry.key
+            swap = self._swap(entry)
+        return BatchRecord(
+            index=batch.index,
+            state=batch.state,
+            n_rows=batch.n_rows,
+            action="absorbed",
+            drift_score=decision.score,
+            drift_smoothed=decision.smoothed,
+            drifted=decision.drifted,
+            refit=refitted,
+            pushed_key=pushed_key,
+            swap=swap,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingService(name={self.config.name!r}, "
+            f"online={self.online!r})"
+        )

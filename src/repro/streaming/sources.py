@@ -1,0 +1,235 @@
+"""Batch sources the streaming service consumes.
+
+A stream is just an iterable of :class:`StreamBatch` — ``(index, state,
+x, y)`` with raw sample rows ``x`` and observed metric values ``y``.
+Three producers cover the repo's use cases:
+
+* :class:`OracleStream` draws fresh points and observes them through any
+  :class:`~repro.active.oracle.Oracle` (synthetic, or a real circuit via
+  ``CircuitOracle``/``MonteCarloEngine``) — the live-ingest path. It is
+  a *manual* iterator, not a generator: an oracle exception while
+  producing one batch poisons only that ``__next__`` call, and the
+  service can keep iterating past the quarantined batch. A generator
+  would be dead after the first raise.
+* :class:`ReplayStream` re-plays a recorded stream from an ``.npz`` file
+  (see :func:`record_stream`) — deterministic demos, tests, and
+  post-mortem reproduction of a production stream.
+* :class:`ShiftedOracle` wraps another oracle and adds a constant offset
+  to every observation from the ``after_calls``-th observe() onward —
+  the standard drift injection for tests and the CLI. ``truth`` shifts
+  too once engaged, so held-out scoring after the drift measures against
+  the *new* regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.active.oracle import Oracle
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "OracleStream",
+    "ReplayStream",
+    "ShiftedOracle",
+    "StreamBatch",
+    "record_stream",
+]
+
+
+@dataclass(frozen=True)
+class StreamBatch:
+    """One ingest unit: ``y[i]`` observed at sample ``x[i]``, all at one
+    knob state."""
+
+    index: int
+    state: int
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = check_matrix(self.x, "x")
+        y = np.asarray(self.y, dtype=float).reshape(-1)
+        if y.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"batch {self.index}: {y.shape[0]} values for "
+                f"{x.shape[0]} rows"
+            )
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of sample rows in the batch."""
+        return self.x.shape[0]
+
+
+class ShiftedOracle(Oracle):
+    """An oracle whose output jumps by ``shift`` after ``after_calls``
+    observations — a step drift the monitor is supposed to catch."""
+
+    def __init__(
+        self, base: Oracle, shift: float, after_calls: int = 0
+    ) -> None:
+        if after_calls < 0:
+            raise ValueError(f"after_calls must be >= 0, got {after_calls}")
+        self.base = base
+        self.shift = float(shift)
+        self.after_calls = int(after_calls)
+        self.calls = 0
+        self.name = f"{base.name}+shift"
+        self.metric = base.metric
+        self.n_states = base.n_states
+        self.n_variables = base.n_variables
+
+    @property
+    def engaged(self) -> bool:
+        """Whether the drift has kicked in yet."""
+        return self.calls >= self.after_calls
+
+    def observe(self, x: np.ndarray, state: int) -> np.ndarray:
+        values = self.base.observe(x, state)
+        if self.engaged:
+            values = values + self.shift
+        self.calls += 1
+        return values
+
+    def truth(self, x: np.ndarray, state: int) -> np.ndarray:
+        """Truth of the *current* regime (shifted once engaged)."""
+        values = self.base.truth(x, state)
+        if self.engaged:
+            values = values + self.shift
+        return values
+
+
+class OracleStream:
+    """Draw-and-observe ingest: round-robin over states, fresh standard
+    normal points each batch.
+
+    Iterating yields :class:`StreamBatch`; an oracle failure raises out
+    of ``__next__`` but leaves the iterator alive, so the consumer can
+    quarantine the batch and continue with the next one.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        n_batches: int,
+        batch_size: int,
+        seed: SeedLike = None,
+        states: Optional[Sequence[int]] = None,
+    ) -> None:
+        if n_batches < 1:
+            raise ValueError(f"n_batches must be >= 1, got {n_batches}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.oracle = oracle
+        self.n_batches = int(n_batches)
+        self.batch_size = int(batch_size)
+        self.states = (
+            list(states) if states is not None
+            else list(range(oracle.n_states))
+        )
+        if not self.states:
+            raise ValueError("need at least one state to stream")
+        for s in self.states:
+            if not 0 <= s < oracle.n_states:
+                raise IndexError(
+                    f"state {s} out of range 0..{oracle.n_states - 1}"
+                )
+        self._rng = np.random.default_rng(seed)
+        self._next_index = 0
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return self
+
+    def __next__(self) -> StreamBatch:
+        if self._next_index >= self.n_batches:
+            raise StopIteration
+        index = self._next_index
+        self._next_index += 1
+        state = self.states[index % len(self.states)]
+        x = self._rng.standard_normal(
+            (self.batch_size, self.oracle.n_variables)
+        )
+        # The points are committed before the observe so a raising oracle
+        # consumes this batch's index and the stream moves on cleanly.
+        y = self.oracle.observe(x, state)
+        return StreamBatch(index=index, state=state, x=x, y=y)
+
+
+class ReplayStream:
+    """Re-play a recorded stream from an ``.npz`` file.
+
+    The file layout (written by :func:`record_stream`) is flat row
+    arrays ``x``/``y``/``state``/``batch_of_row`` — batches are
+    reconstructed by grouping on ``batch_of_row``, preserving order.
+    Iterating is repeatable: each ``__iter__`` starts from the top.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        with np.load(self.path) as data:
+            x = np.asarray(data["x"], dtype=float)
+            y = np.asarray(data["y"], dtype=float).reshape(-1)
+            state = np.asarray(data["state"], dtype=int).reshape(-1)
+            batch_of_row = np.asarray(
+                data["batch_of_row"], dtype=int
+            ).reshape(-1)
+        if not (x.shape[0] == y.shape[0] == state.shape[0]
+                == batch_of_row.shape[0]):
+            raise ValueError(
+                f"{self.path}: row arrays disagree on length "
+                f"({x.shape[0]}/{y.shape[0]}/{state.shape[0]}/"
+                f"{batch_of_row.shape[0]})"
+            )
+        self._batches: List[StreamBatch] = []
+        for index in np.unique(batch_of_row):
+            rows = np.flatnonzero(batch_of_row == index)
+            states = np.unique(state[rows])
+            if states.size != 1:
+                raise ValueError(
+                    f"{self.path}: batch {int(index)} spans states "
+                    f"{states.tolist()}"
+                )
+            self._batches.append(
+                StreamBatch(
+                    index=int(index),
+                    state=int(states[0]),
+                    x=x[rows],
+                    y=y[rows],
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return iter(list(self._batches))
+
+
+def record_stream(
+    batches: Sequence[StreamBatch], path: Union[str, Path]
+) -> Path:
+    """Persist batches to the flat ``.npz`` layout ReplayStream reads."""
+    if len(batches) == 0:
+        raise ValueError("cannot record an empty stream")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        x=np.vstack([b.x for b in batches]),
+        y=np.concatenate([b.y for b in batches]),
+        state=np.concatenate(
+            [np.full(b.n_rows, b.state, dtype=int) for b in batches]
+        ),
+        batch_of_row=np.concatenate(
+            [np.full(b.n_rows, b.index, dtype=int) for b in batches]
+        ),
+    )
+    return path

@@ -1,0 +1,182 @@
+"""Chaos tests for the streaming path: poisoned batches vs serving.
+
+The contract under fault injection: a faulty batch (NaN-poisoned or
+raising) is quarantined without touching the posterior, the registry or
+the serving plane — and the served model keeps answering finite numbers
+throughout. The ``FaultPlan`` schedule is deterministic, so the tests
+assert exact quarantine counts, not statistical ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import SyntheticOracle
+from repro.core.cbmf import CBMF
+from repro.errors import ServingError
+from repro.faults import Fault, FaultPlan, apply_stream_fault
+from repro.serving import ModelRegistry, ModelService
+from repro.streaming import (
+    OnlineCBMF,
+    OracleStream,
+    StreamingConfig,
+    StreamingService,
+)
+
+N_STATES = 3
+N_VARIABLES = 5
+METRIC = "gain"
+
+
+@pytest.fixture(scope="module")
+def oracle() -> SyntheticOracle:
+    coef = np.zeros((N_STATES, N_VARIABLES + 1))
+    coef[:, 0] = 1.5
+    coef[:, 3] = 1.0
+    return SyntheticOracle(coef, noise_std=0.05, metric=METRIC)
+
+
+@pytest.fixture(scope="module")
+def fitted(oracle) -> CBMF:
+    rng = np.random.default_rng(0)
+    inputs = [
+        rng.standard_normal((20, N_VARIABLES)) for _ in range(N_STATES)
+    ]
+    targets = [oracle.observe(x, k) for k, x in enumerate(inputs)]
+    return CBMF(seed=1).fit(oracle.basis.expand_states(inputs), targets)
+
+
+def run_stream(fitted, oracle, registry, plan, n_batches=8, **config):
+    online = OnlineCBMF.from_cbmf(fitted, basis=oracle.basis, metric=METRIC)
+    serving = ModelService(registry)
+    service = StreamingService(
+        online,
+        registry,
+        StreamingConfig(name="chaos", fault_plan=plan, **config),
+        serving=serving,
+    )
+    stream = OracleStream(oracle, n_batches=n_batches, batch_size=5, seed=9)
+    report = service.run(stream)
+    return service, serving, report
+
+
+class TestStreamFaults:
+    def test_nan_batch_quarantined_model_keeps_serving(
+        self, fitted, oracle, tmp_path
+    ):
+        """Acceptance: a NaN-poisoned batch is dropped; predictions from
+        the served model are finite before, during and after."""
+        registry = ModelRegistry(tmp_path / "registry")
+        plan = FaultPlan.parse("stream:nan@2", seed=0)
+        service, serving, report = run_stream(
+            fitted, oracle, registry, plan
+        )
+        assert report.quarantined == 1
+        assert report.absorbed == 7
+        poisoned = report.records[2]
+        assert poisoned.action == "quarantined"
+        assert "non-finite" in poisoned.error
+        # The poisoned batch never contaminated the posterior...
+        assert np.all(np.isfinite(service.online.coef_))
+        # ...nor the registry lineage (initial + 7 absorbs).
+        assert registry.versions("chaos") == list(range(1, 9))
+        # ...and the served model answers finite values at every state.
+        rng = np.random.default_rng(1)
+        for state in range(N_STATES):
+            result = serving.predict(
+                "chaos", rng.standard_normal(N_VARIABLES), state
+            )
+            assert np.isfinite(result.values[METRIC])
+
+    def test_periodic_nan_faults(self, fitted, oracle, tmp_path):
+        """``stream:nan@*3`` poisons every 3rd batch — exact schedule."""
+        registry = ModelRegistry(tmp_path / "registry")
+        plan = FaultPlan.parse("stream:nan@*3", seed=7)
+        service, serving, report = run_stream(
+            fitted, oracle, registry, plan, n_batches=9
+        )
+        assert report.quarantined == 3  # batches 0, 3, 6
+        assert [
+            r.index for r in report.records if r.action == "quarantined"
+        ] == [0, 3, 6]
+        assert np.all(np.isfinite(service.online.coef_))
+
+    def test_raise_fault_quarantines_batch(self, fitted, oracle, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        plan = FaultPlan.parse("stream:raise@1,4", seed=0)
+        service, serving, report = run_stream(
+            fitted, oracle, registry, plan
+        )
+        assert report.quarantined == 2
+        assert all(
+            "injected fault" in r.error
+            for r in report.records
+            if r.action == "quarantined"
+        )
+        assert serving.served_model("chaos").version == 7  # 1 + 6 absorbs
+
+    def test_swap_fault_keeps_previous_version_serving(
+        self, fitted, oracle, tmp_path
+    ):
+        """A failing hot swap mid-stream falls back (PR 4 contract) and
+        the stream keeps going; the next healthy swap catches up."""
+        registry = ModelRegistry(tmp_path / "registry")
+        plan = FaultPlan(
+            [Fault(site="swap", mode="raise", calls=(2,))], seed=0
+        )
+        online = OnlineCBMF.from_cbmf(
+            fitted, basis=oracle.basis, metric=METRIC
+        )
+        serving = ModelService(registry)
+        service = StreamingService(
+            online,
+            registry,
+            StreamingConfig(name="chaos"),
+            serving=serving,
+        )
+        # Route the plan through the serving side: monkey-wire by giving
+        # the service a swap that fires the plan.
+        original_swap = serving.swap
+        serving.swap = lambda key, **kw: original_swap(
+            key, fault_plan=plan, **kw
+        )
+        stream = OracleStream(oracle, n_batches=5, batch_size=5, seed=9)
+        report = service.run(stream)
+
+        swaps = [r.swap for r in report.records]
+        assert swaps.count("failed") == 1
+        assert swaps.count("ok") == 4
+        assert not report.aborted
+        # The final healthy swap caught serving back up to the newest.
+        assert serving.served_model("chaos").version == 6
+        metrics = service.metrics.snapshot()
+        assert metrics["swap_failures"] == 1
+
+
+class TestApplyStreamFault:
+    def test_none_plan_passthrough(self):
+        values = np.arange(4.0)
+        assert apply_stream_fault(None, values) is values
+
+    def test_nan_poisons_one_deterministic_row(self):
+        plan = FaultPlan.parse("stream:nan@0", seed=3)
+        poisoned = apply_stream_fault(plan, np.zeros(6))
+        assert np.isnan(poisoned).sum() == 1
+        plan2 = FaultPlan.parse("stream:nan@0", seed=3)
+        poisoned2 = apply_stream_fault(plan2, np.zeros(6))
+        np.testing.assert_array_equal(
+            np.isnan(poisoned), np.isnan(poisoned2)
+        )
+
+    def test_raise_mode(self):
+        from repro.errors import SimulationError
+
+        plan = FaultPlan.parse("stream:raise@0", seed=0)
+        with pytest.raises(SimulationError, match="injected"):
+            apply_stream_fault(plan, np.zeros(3))
+
+    def test_off_schedule_calls_clean(self):
+        plan = FaultPlan.parse("stream:raise@5", seed=0)
+        values = np.ones(3)
+        for _ in range(5):  # calls 0..4 are clean
+            out = apply_stream_fault(plan, values)
+            np.testing.assert_array_equal(out, values)

@@ -18,7 +18,7 @@ from repro.core.posterior import (
 )
 from repro.core.prior import CorrelatedPrior, ar1_correlation
 
-RTOL = 1e-8
+RTOL = 1e-7
 
 
 def make_problem(seed, n_states, n_basis, counts, r0, noise_var):

@@ -1,0 +1,140 @@
+"""The block-Cholesky absorb vs a from-scratch predictor rebuild.
+
+Cholesky factors of positive-definite matrices are unique, so absorbing
+batches one at a time must reproduce the from-scratch factorization on
+the concatenated data to round-off — mean, std, factor and dual weights
+alike. These tests pin that contract (and the fail-safe error paths)
+directly at the :class:`PosteriorPredictor` level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictive import PosteriorPredictor
+from repro.core.prior import CorrelatedPrior, ar1_correlation
+
+RTOL = 1e-10
+ATOL = 1e-12
+
+
+def make_predictor(seed=0, n_states=3, n_basis=4, count=12, noise_var=0.01):
+    rng = np.random.default_rng(seed)
+    designs = [rng.standard_normal((count, n_basis)) for _ in range(n_states)]
+    targets = [rng.standard_normal(count) for _ in range(n_states)]
+    prior = CorrelatedPrior(
+        lambdas=rng.uniform(0.1, 2.0, n_basis),
+        correlation=ar1_correlation(n_states, 0.7),
+    )
+    return PosteriorPredictor(designs, targets, prior, noise_var), rng
+
+
+def rebuild(predictor):
+    """A from-scratch predictor on the absorbed predictor's rows."""
+    phi, y, state_of_row = predictor.training_rows()
+    n_states = predictor.prior.n_states
+    designs = [phi[state_of_row == k] for k in range(n_states)]
+    targets = [y[state_of_row == k] for k in range(n_states)]
+    return PosteriorPredictor(
+        designs, targets, predictor.prior, predictor.noise_var
+    )
+
+
+def test_absorb_matches_rebuild():
+    """Several absorbed batches == one from-scratch factorization."""
+    predictor, rng = make_predictor()
+    for state, size in [(0, 5), (2, 1), (0, 3), (1, 7)]:
+        design = rng.standard_normal((size, predictor.prior.n_basis))
+        target = rng.standard_normal(size)
+        predictor.absorb(design, target, state)
+    fresh = rebuild(predictor)
+
+    query = rng.standard_normal((20, predictor.prior.n_basis))
+    for state in range(predictor.prior.n_states):
+        np.testing.assert_allclose(
+            predictor.predict_mean(query, state),
+            fresh.predict_mean(query, state),
+            rtol=RTOL, atol=ATOL,
+        )
+        np.testing.assert_allclose(
+            predictor.predict_std(query, state, include_noise=True),
+            fresh.predict_std(query, state, include_noise=True),
+            rtol=RTOL, atol=ATOL,
+        )
+    # The rebuild groups rows by state while absorb appends them, so the
+    # dual weights (one per row) compare through that permutation.
+    _, _, state_of_row = predictor.training_rows()
+    permutation = np.concatenate(
+        [
+            np.flatnonzero(state_of_row == k)
+            for k in range(predictor.prior.n_states)
+        ]
+    )
+    np.testing.assert_allclose(
+        predictor.dual_weights[permutation],
+        fresh.dual_weights,
+        rtol=RTOL, atol=ATOL,
+    )
+
+
+def test_absorb_row_by_row_matches_one_batch():
+    """b single-row absorbs == one b-row absorb (associativity)."""
+    one_shot, rng = make_predictor(seed=3)
+    row_wise = rebuild(one_shot)
+    design = rng.standard_normal((6, one_shot.prior.n_basis))
+    target = rng.standard_normal(6)
+    one_shot.absorb(design, target, 1)
+    for i in range(6):
+        row_wise.absorb(design[i : i + 1], target[i : i + 1], 1)
+    query = rng.standard_normal((10, one_shot.prior.n_basis))
+    np.testing.assert_allclose(
+        one_shot.predict_mean(query, 1),
+        row_wise.predict_mean(query, 1),
+        rtol=RTOL, atol=ATOL,
+    )
+    np.testing.assert_allclose(
+        one_shot.predict_std(query, 1),
+        row_wise.predict_std(query, 1),
+        rtol=RTOL, atol=ATOL,
+    )
+
+
+def test_absorb_updates_row_count_and_variance_shrinks():
+    """Conditioning on data at a design can only shrink its variance."""
+    predictor, rng = make_predictor(seed=5)
+    design = rng.standard_normal((4, predictor.prior.n_basis))
+    before = predictor.predict_std(design, 2)
+    n_before = predictor.n_rows
+    predictor.absorb(design, rng.standard_normal(4), 2)
+    assert predictor.n_rows == n_before + 4
+    after = predictor.predict_std(design, 2)
+    assert np.all(after <= before + 1e-12)
+
+
+def test_absorb_refuses_bad_batches():
+    predictor, rng = make_predictor()
+    design = rng.standard_normal((3, predictor.prior.n_basis))
+    with pytest.raises(ValueError, match="non-empty"):
+        predictor.absorb(
+            np.empty((0, predictor.prior.n_basis)), np.empty(0), 0
+        )
+    with pytest.raises(ValueError, match="2 values"):
+        predictor.absorb(design, np.zeros(2), 0)
+    with pytest.raises(IndexError):
+        predictor.absorb(design, np.zeros(3), 99)
+    with pytest.raises(ValueError, match="non-finite"):
+        predictor.absorb(design, np.array([1.0, np.nan, 2.0]), 0)
+
+
+def test_failed_absorb_leaves_state_intact():
+    """A refused batch must not move any prediction (strong guarantee)."""
+    predictor, rng = make_predictor()
+    query = rng.standard_normal((5, predictor.prior.n_basis))
+    before_mean = predictor.predict_mean(query, 0).copy()
+    before_rows = predictor.n_rows
+    bad = rng.standard_normal((3, predictor.prior.n_basis))
+    with pytest.raises(ValueError):
+        predictor.absorb(bad, np.array([np.nan, 0.0, 0.0]), 0)
+    assert predictor.n_rows == before_rows
+    np.testing.assert_array_equal(
+        predictor.predict_mean(query, 0), before_mean
+    )

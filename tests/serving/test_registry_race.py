@@ -1,0 +1,104 @@
+"""Regression tests for the registry push race.
+
+``push`` used to allocate versions by listing existing directories and
+writing into ``v(max+1)`` — two concurrent pushes could both observe
+``vN`` as the latest and write into the same ``v(N+1)``, silently
+interleaving their artifacts. Allocation now happens by atomically
+creating the version directory, so racing pushes must mint distinct
+versions. The thread test drives the real code path; the stale-claim
+tests pin the crash-recovery semantics of the mkdir-claim protocol.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.frozen import FrozenModel
+from repro.serving import ModelRegistry, RegistryError
+
+
+def make_frozen(tag: float) -> FrozenModel:
+    """A tiny distinguishable artifact (coef encodes the pusher id)."""
+    return FrozenModel(
+        coef=np.full((2, 3), tag),
+        offsets=np.zeros(2),
+        metric="gain",
+    )
+
+
+def test_concurrent_pushes_mint_distinct_versions(tmp_path):
+    """N racing auto-increment pushes → versions 1..N, no clobbering."""
+    registry = ModelRegistry(tmp_path / "registry")
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+    results = {}
+    errors = []
+
+    def worker(i: int) -> None:
+        try:
+            barrier.wait()  # maximize the race window
+            entry = registry.push("model", make_frozen(float(i)))
+            results[i] = entry.version
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append((i, error))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, errors
+    assert sorted(results.values()) == list(range(1, n_threads + 1))
+    assert registry.versions("model") == list(range(1, n_threads + 1))
+    # Every version holds exactly the artifact its pusher wrote.
+    for pusher, version in results.items():
+        loaded = registry.load(f"model@v{version}")
+        np.testing.assert_array_equal(
+            loaded.coef_, np.full((2, 3), float(pusher))
+        )
+
+
+def test_explicit_version_conflict_raises(tmp_path):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.push("model", make_frozen(1.0), version=3)
+    with pytest.raises(RegistryError, match="immutable"):
+        registry.push("model", make_frozen(2.0), version=3)
+
+
+def test_stale_claim_is_skipped_by_auto_increment(tmp_path):
+    """A crashed push leaves a claimed dir with no manifest; the next
+    auto-increment push skips past it instead of reusing or crashing."""
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.push("model", make_frozen(1.0))
+    (registry.root / "model" / "v2").mkdir()  # crashed push's leftovers
+    entry = registry.push("model", make_frozen(3.0))
+    assert entry.version == 3
+    # The stale dir stays invisible to queries.
+    assert registry.versions("model") == [1, 3]
+    assert registry.latest("model") == 3
+
+
+def test_stale_claim_blocks_explicit_version(tmp_path):
+    """An explicit push into a claimed-but-unmanifested slot is refused:
+    it may be a concurrent in-flight push."""
+    registry = ModelRegistry(tmp_path / "registry")
+    (registry.root / "model" / "v1").mkdir(parents=True)
+    with pytest.raises(RegistryError, match="immutable"):
+        registry.push("model", make_frozen(1.0), version=1)
+
+
+def test_invalid_model_still_claims_nothing(tmp_path):
+    """Validation failures must not leave stale version directories."""
+    registry = ModelRegistry(tmp_path / "registry")
+    with pytest.raises(TypeError):
+        registry.push("model", object())
+    with pytest.raises(RegistryError, match="override"):
+        registry.push("model", make_frozen(1.0), extra={"kind": "x"})
+    assert not (registry.root / "model").exists() or not any(
+        (registry.root / "model").iterdir()
+    )

@@ -1,0 +1,53 @@
+"""Shared streaming fixtures: one fitted model over a synthetic oracle.
+
+The C-BMF fit is the expensive piece, so it is session-scoped; tests
+that mutate state build a fresh :class:`OnlineCBMF` from it (the
+constructor deep-copies the predictor, so the fit is never disturbed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import SyntheticOracle
+from repro.core.cbmf import CBMF
+from repro.streaming import OnlineCBMF
+
+N_STATES = 3
+N_VARIABLES = 5
+SEED_ROWS = 20
+METRIC = "gain"
+
+
+@pytest.fixture(scope="session")
+def stream_oracle() -> SyntheticOracle:
+    """A sparse linear ground truth with mild observation noise."""
+    coef = np.zeros((N_STATES, N_VARIABLES + 1))
+    coef[:, 0] = 2.0
+    coef[:, 2] = np.linspace(1.0, 1.5, N_STATES)
+    coef[:, 4] = -0.8
+    return SyntheticOracle(coef, noise_std=0.05, metric=METRIC)
+
+
+@pytest.fixture(scope="session")
+def fitted_cbmf(stream_oracle) -> CBMF:
+    """One C-BMF fit on a seed pool drawn from the oracle."""
+    rng = np.random.default_rng(0)
+    inputs = [
+        rng.standard_normal((SEED_ROWS, N_VARIABLES))
+        for _ in range(N_STATES)
+    ]
+    targets = [
+        stream_oracle.observe(x, k) for k, x in enumerate(inputs)
+    ]
+    designs = stream_oracle.basis.expand_states(inputs)
+    return CBMF(seed=1).fit(designs, targets)
+
+
+@pytest.fixture
+def online(stream_oracle, fitted_cbmf) -> OnlineCBMF:
+    """A fresh updater per test (absorbs must not leak across tests)."""
+    return OnlineCBMF.from_cbmf(
+        fitted_cbmf, basis=stream_oracle.basis, metric=METRIC
+    )

@@ -1,0 +1,102 @@
+"""DriftMonitor: calibration under the null, detection under shift."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import DriftConfig, DriftMonitor
+
+
+def test_null_stream_never_flags():
+    """Well-calibrated residuals (z ~ N(0,1)) stay under threshold."""
+    rng = np.random.default_rng(0)
+    monitor = DriftMonitor(DriftConfig(threshold=3.0, warmup_batches=2))
+    for _ in range(50):
+        decision = monitor.observe(rng.standard_normal(20))
+        assert not decision.drifted
+    assert 0.5 < monitor.smoothed < 2.0
+
+
+def test_sustained_shift_flags():
+    """Residuals 3σ off-center push mean(z²) ≈ 10 past the threshold."""
+    rng = np.random.default_rng(1)
+    monitor = DriftMonitor(DriftConfig(threshold=3.0, warmup_batches=0))
+    flagged = False
+    for _ in range(5):
+        decision = monitor.observe(
+            3.0 + rng.standard_normal(20)
+        )
+        flagged = flagged or decision.drifted
+    assert flagged
+
+
+def test_warmup_suppresses_early_flags():
+    monitor = DriftMonitor(
+        DriftConfig(threshold=3.0, warmup_batches=3, hard_threshold=1e9)
+    )
+    z = np.full(10, 5.0)  # score 25, way past threshold
+    for i in range(3):
+        assert not monitor.observe(z).drifted, f"batch {i} in warmup"
+    assert monitor.observe(z).drifted
+
+
+def test_hard_threshold_overrides_warmup():
+    monitor = DriftMonitor(
+        DriftConfig(threshold=3.0, warmup_batches=5, hard_threshold=25.0)
+    )
+    assert monitor.observe(np.full(10, 10.0)).drifted  # score 100
+
+
+def test_ewma_smooths_single_spike():
+    """One noisy batch between clean ones must not trigger."""
+    rng = np.random.default_rng(2)
+    monitor = DriftMonitor(
+        DriftConfig(
+            threshold=3.0, ewma=0.2, warmup_batches=0, hard_threshold=1e9
+        )
+    )
+    for _ in range(5):
+        monitor.observe(rng.standard_normal(20))
+    spike = monitor.observe(2.5 * rng.standard_normal(20))  # score ~6
+    assert not spike.drifted
+    calm = monitor.observe(rng.standard_normal(20))
+    assert not calm.drifted
+    assert calm.smoothed < spike.smoothed
+
+
+def test_reset_forgets_history():
+    monitor = DriftMonitor(DriftConfig(warmup_batches=1))
+    monitor.observe(np.full(5, 4.0))
+    monitor.observe(np.full(5, 4.0))
+    assert monitor.batches_seen == 2
+    monitor.reset()
+    assert monitor.batches_seen == 0
+    assert monitor.smoothed is None
+    # Back in warmup: the same bad batch no longer flags (soft path).
+    config = DriftConfig(threshold=3.0, warmup_batches=1,
+                         hard_threshold=1e9)
+    fresh = DriftMonitor(config)
+    assert not fresh.observe(np.full(5, 4.0)).drifted
+
+
+def test_decision_metadata():
+    monitor = DriftMonitor()
+    decision = monitor.observe(np.ones(4))
+    assert decision.batch_index == 0
+    assert decision.score == pytest.approx(1.0)
+    assert decision.smoothed == pytest.approx(1.0)
+
+
+def test_rejects_bad_input_and_config():
+    monitor = DriftMonitor()
+    with pytest.raises(ValueError, match="empty"):
+        monitor.observe(np.empty(0))
+    with pytest.raises(ValueError, match="non-finite"):
+        monitor.observe(np.array([1.0, np.nan]))
+    with pytest.raises(ValueError):
+        DriftConfig(threshold=-1.0)
+    with pytest.raises(ValueError):
+        DriftConfig(ewma=0.0)
+    with pytest.raises(ValueError):
+        DriftConfig(warmup_batches=-1)
+    with pytest.raises(ValueError):
+        DriftConfig(threshold=3.0, hard_threshold=2.0)

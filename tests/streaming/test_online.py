@@ -1,0 +1,211 @@
+"""OnlineCBMF: absorb parity, unit handling, coefficient export, refits.
+
+The acceptance bar from the issue: after absorbing batches, the online
+model's predictive mean/std must match a *fixed-hyper-parameter batch
+rebuild* on the same rows to 1e-8.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cbmf import CBMF
+from repro.core.predictive import PosteriorPredictor
+from repro.streaming import OnlineCBMF
+
+RTOL = 1e-8
+
+
+def absorb_some(online, oracle, rng, plan=((0, 6), (2, 4), (1, 5), (0, 3))):
+    for state, size in plan:
+        x = rng.standard_normal((size, oracle.n_variables))
+        online.absorb(x, oracle.observe(x, state), state)
+    return online
+
+
+def batch_rebuild(online):
+    """A PosteriorPredictor built from scratch on the online model's rows
+    at the same frozen hyper-parameters — the issue's parity reference."""
+    phi, y, state_of_row = online._predictor.training_rows()
+    designs = [phi[state_of_row == k] for k in range(online.n_states)]
+    targets = [y[state_of_row == k] for k in range(online.n_states)]
+    return PosteriorPredictor(
+        designs, targets,
+        online._predictor.prior, online._predictor.noise_var,
+    )
+
+
+def test_absorb_matches_batch_rebuild(online, stream_oracle):
+    """Predictive mean/std parity <= 1e-8 vs the fixed-hp batch refit."""
+    rng = np.random.default_rng(42)
+    absorb_some(online, stream_oracle, rng)
+    fresh = batch_rebuild(online)
+    xq = rng.standard_normal((40, stream_oracle.n_variables))
+    dq = stream_oracle.basis.expand(xq)
+    for state in range(online.n_states):
+        np.testing.assert_allclose(
+            online._predictor.predict_mean(dq, state),
+            fresh.predict_mean(dq, state),
+            rtol=RTOL, atol=RTOL,
+        )
+        np.testing.assert_allclose(
+            online._predictor.predict_std(dq, state, include_noise=True),
+            fresh.predict_std(dq, state, include_noise=True),
+            rtol=RTOL, atol=RTOL,
+        )
+
+
+def test_many_small_batches_match_one_batch(
+    stream_oracle, fitted_cbmf
+):
+    """Absorbing row-by-row equals absorbing everything at once."""
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((12, stream_oracle.n_variables))
+    y = stream_oracle.observe(x, 1)
+
+    bulk = OnlineCBMF.from_cbmf(fitted_cbmf, basis=stream_oracle.basis)
+    bulk.absorb(x, y, 1)
+    trickle = OnlineCBMF.from_cbmf(fitted_cbmf, basis=stream_oracle.basis)
+    for i in range(12):
+        trickle.absorb(x[i : i + 1], y[i : i + 1], 1)
+    assert trickle.n_absorbed_batches == 12
+    assert trickle.n_absorbed_rows == bulk.n_absorbed_rows == 12
+
+    xq = rng.standard_normal((25, stream_oracle.n_variables))
+    for state in range(bulk.n_states):
+        np.testing.assert_allclose(
+            bulk.predict(xq, state), trickle.predict(xq, state),
+            rtol=RTOL, atol=RTOL,
+        )
+        np.testing.assert_allclose(
+            bulk.predict_std(xq, state), trickle.predict_std(xq, state),
+            rtol=RTOL, atol=RTOL,
+        )
+
+
+def test_source_model_untouched(stream_oracle, fitted_cbmf):
+    """Absorbing into the online copy must not mutate the fitted CBMF."""
+    before_coef = fitted_cbmf.coef_.copy()
+    before_rows = fitted_cbmf.predictor.n_rows
+    online = OnlineCBMF.from_cbmf(fitted_cbmf, basis=stream_oracle.basis)
+    rng = np.random.default_rng(3)
+    absorb_some(online, stream_oracle, rng)
+    assert fitted_cbmf.predictor.n_rows == before_rows
+    np.testing.assert_array_equal(fitted_cbmf.coef_, before_coef)
+    assert online.n_rows > before_rows
+
+
+def test_prediction_units_match_cbmf_before_any_absorb(
+    online, fitted_cbmf, stream_oracle
+):
+    """With zero absorbed batches the online model IS the fitted model."""
+    rng = np.random.default_rng(11)
+    xq = rng.standard_normal((30, stream_oracle.n_variables))
+    dq = stream_oracle.basis.expand(xq)
+    for state in range(online.n_states):
+        np.testing.assert_allclose(
+            online.predict(xq, state),
+            fitted_cbmf.predict(dq, state),
+            rtol=1e-9, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            online.predict_std(xq, state, include_noise=True),
+            fitted_cbmf.predict_std(dq, state, include_noise=True),
+            rtol=1e-9, atol=1e-9,
+        )
+    np.testing.assert_allclose(
+        online.coef_, fitted_cbmf.coef_, rtol=1e-9, atol=1e-9
+    )
+
+
+def test_coef_stays_consistent_with_predictions(online, stream_oracle):
+    """coef_/offsets_ must reproduce predict() after every absorb."""
+    rng = np.random.default_rng(21)
+    for state, size in [(1, 4), (0, 2), (2, 6)]:
+        x = rng.standard_normal((size, stream_oracle.n_variables))
+        online.absorb(x, stream_oracle.observe(x, state), state)
+        xq = rng.standard_normal((10, stream_oracle.n_variables))
+        for k in range(online.n_states):
+            via_coef = (
+                stream_oracle.basis.expand(xq) @ online.coef_[k]
+                + online.offsets_[k]
+            )
+            np.testing.assert_allclose(
+                via_coef, online.predict(xq, k), rtol=1e-8, atol=1e-8
+            )
+
+
+def test_zscores_calibrated_on_in_distribution_data(
+    online, stream_oracle
+):
+    """Batches from the fitted regime score mean(z^2) near 1."""
+    rng = np.random.default_rng(5)
+    scores = []
+    for state in range(online.n_states):
+        x = rng.standard_normal((50, stream_oracle.n_variables))
+        z = online.zscores(x, stream_oracle.observe(x, state), state)
+        scores.append(float(np.mean(z**2)))
+    assert 0.3 < float(np.mean(scores)) < 3.0
+
+
+def test_zscores_inflate_under_shift(online, stream_oracle):
+    """A mean shift several noise-widths wide is plainly visible."""
+    rng = np.random.default_rng(6)
+    x = rng.standard_normal((30, stream_oracle.n_variables))
+    shifted = stream_oracle.observe(x, 0) + 2.0
+    z = online.zscores(x, shifted, 0)
+    assert float(np.mean(z**2)) > 10.0
+
+
+def test_state_data_roundtrip_and_refit(online, stream_oracle):
+    """state_data returns original-unit rows; refit consumes them."""
+    rng = np.random.default_rng(9)
+    x = rng.standard_normal((5, stream_oracle.n_variables))
+    y = stream_oracle.observe(x, 2)
+    online.absorb(x, y, 2)
+    designs, targets = online.state_data()
+    assert len(designs) == online.n_states
+    assert sum(d.shape[0] for d in designs) == online.n_rows
+    # The absorbed batch's targets come back in original units.
+    np.testing.assert_allclose(targets[2][-5:], y, rtol=1e-12)
+
+    refitted = online.refit()
+    assert isinstance(refitted, OnlineCBMF)
+    assert refitted.n_rows == online.n_rows
+    assert refitted.n_absorbed_batches == 0
+    # The refit model still explains the stream.
+    xq = rng.standard_normal((40, stream_oracle.n_variables))
+    truth = stream_oracle.truth(xq, 1)
+    rmse = float(
+        np.sqrt(np.mean((refitted.predict(xq, 1) - truth) ** 2))
+    )
+    assert rmse < 0.5
+
+
+def test_frozen_and_modelset_export(online, stream_oracle):
+    rng = np.random.default_rng(13)
+    x = rng.standard_normal((4, stream_oracle.n_variables))
+    online.absorb(x, stream_oracle.observe(x, 1), 1)
+    frozen = online.frozen()
+    assert frozen.metric == online.metric
+    np.testing.assert_allclose(frozen.coef_, online.coef_)
+    modelset = online.modelset()
+    assert list(modelset.metric_names) == [online.metric]
+    assert modelset.basis is stream_oracle.basis
+
+
+def test_modelset_requires_basis(fitted_cbmf):
+    online = OnlineCBMF.from_cbmf(fitted_cbmf)  # design-row mode
+    with pytest.raises(ValueError, match="basis"):
+        online.modelset()
+
+
+def test_basis_dimension_mismatch_rejected(fitted_cbmf):
+    from repro.basis.polynomial import LinearBasis
+
+    with pytest.raises(ValueError, match="basis has"):
+        OnlineCBMF.from_cbmf(fitted_cbmf, basis=LinearBasis(2))
+
+
+def test_unfitted_model_rejected():
+    with pytest.raises(RuntimeError, match="not fitted"):
+        OnlineCBMF(CBMF())

@@ -1,0 +1,179 @@
+"""StreamingService end to end: publish, swap, drift-refit, quarantine.
+
+Includes the issue's acceptance experiment: a drift-injected stream must
+trigger at least one refit and end with lower held-out RMSE than a
+never-refit incremental baseline absorbing the same batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ModelService
+from repro.streaming import (
+    DriftConfig,
+    OnlineCBMF,
+    OracleStream,
+    ShiftedOracle,
+    StreamingConfig,
+    StreamingMetrics,
+    StreamingService,
+)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+def test_clean_stream_publishes_and_swaps(
+    online, registry, stream_oracle
+):
+    serving = ModelService(registry)
+    metrics = StreamingMetrics()
+    service = StreamingService(
+        online, registry, StreamingConfig(name="clean"),
+        serving=serving, metrics=metrics,
+    )
+    stream = OracleStream(stream_oracle, n_batches=6, batch_size=5, seed=2)
+    report = service.run(stream)
+
+    assert report.absorbed == 6
+    assert report.quarantined == 0
+    assert not report.aborted
+    # initial push is v1; six per-batch pushes follow.
+    assert registry.versions("clean") == list(range(1, 8))
+    assert report.final_key == "clean@v7"
+    assert serving.served_model("clean").version == 7
+    snapshot = metrics.snapshot()
+    assert snapshot["batches_absorbed"] == 6
+    assert snapshot["pushes"] == 7
+    assert snapshot["swaps"] == 6
+    assert snapshot["p50_absorb_ms"] is not None
+    # Each published version's manifest records its stream provenance.
+    manifest = registry.entry("clean@v7").manifest
+    assert manifest["streaming"]["rows"] == online.n_rows
+    # The served model answers finite values.
+    rng = np.random.default_rng(0)
+    result = serving.predict(
+        "clean", rng.standard_normal(stream_oracle.n_variables), 1
+    )
+    assert np.isfinite(result.values[online.metric])
+
+
+def test_push_every_batches_publications(online, registry, stream_oracle):
+    service = StreamingService(
+        online, registry, StreamingConfig(name="sparse", push_every=3)
+    )
+    stream = OracleStream(stream_oracle, n_batches=7, batch_size=4, seed=5)
+    report = service.run(stream)
+    # v1 initial + pushes after batches 3 and 6 (batch 7 stays pending).
+    assert registry.versions("sparse") == [1, 2, 3]
+    assert report.absorbed == 7
+    pushed = [r.pushed_key for r in report.records if r.pushed_key]
+    assert pushed == ["sparse@v2", "sparse@v3"]
+
+
+def test_serving_optional(online, registry, stream_oracle):
+    """Publish-only mode: no ModelService, still versions the stream."""
+    service = StreamingService(
+        online, registry, StreamingConfig(name="pub")
+    )
+    report = service.run(
+        OracleStream(stream_oracle, n_batches=3, batch_size=4, seed=1)
+    )
+    assert report.absorbed == 3
+    assert registry.versions("pub") == [1, 2, 3, 4]
+    assert all(
+        r.swap == "skipped" for r in report.records if r.pushed_key
+    )
+
+
+def test_drift_triggers_refit_and_beats_frozen_baseline(
+    stream_oracle, fitted_cbmf, registry
+):
+    """The issue's acceptance bar: ≥1 refit and lower post-drift RMSE
+    than the never-refit incremental baseline on the same batches."""
+    def run(with_drift_monitor):
+        oracle = ShiftedOracle(stream_oracle, shift=4.0, after_calls=5)
+        stream = OracleStream(
+            oracle, n_batches=14, batch_size=8, seed=17
+        )
+        online = OnlineCBMF.from_cbmf(
+            fitted_cbmf, basis=stream_oracle.basis, metric="gain"
+        )
+        drift = (
+            DriftConfig(threshold=3.0, warmup_batches=1)
+            if with_drift_monitor
+            # A threshold no stream reaches => the frozen baseline.
+            else DriftConfig(threshold=1e12, hard_threshold=1e12)
+        )
+        service = StreamingService(
+            online, registry,
+            StreamingConfig(
+                name="drift" if with_drift_monitor else "frozen",
+                drift=drift,
+                refit_window=4,
+            ),
+        )
+        report = service.run(stream)
+        # Hold out fresh points from the *post-drift* regime.
+        rng = np.random.default_rng(99)
+        errors = []
+        for state in range(stream_oracle.n_states):
+            xq = rng.standard_normal((60, stream_oracle.n_variables))
+            truth = oracle.truth(xq, state)
+            pred = service.online.predict(xq, state)
+            errors.append(np.mean((pred - truth) ** 2))
+        return report, float(np.sqrt(np.mean(errors)))
+
+    refit_report, refit_rmse = run(with_drift_monitor=True)
+    frozen_report, frozen_rmse = run(with_drift_monitor=False)
+
+    assert refit_report.refits >= 1
+    assert frozen_report.refits == 0
+    assert refit_rmse < frozen_rmse
+    assert any(r.drifted for r in refit_report.records)
+    refit_records = [r for r in refit_report.records if r.refit]
+    assert refit_records and all(
+        r.pushed_key is not None for r in refit_records
+    )
+
+
+def test_consecutive_failure_abort(online, registry, stream_oracle):
+    class DeadIterator:
+        """A source whose every batch raises — a dead testbench."""
+
+        def __iter__(self):
+            return self
+
+        def __next__(self):
+            raise SimulationError("testbench down")
+
+    service = StreamingService(
+        online, registry,
+        StreamingConfig(name="dead", max_consecutive_failures=3),
+    )
+    with pytest.raises(SimulationError, match="3 consecutive"):
+        service.run(DeadIterator())
+    # Nothing beyond the initial version was ever published.
+    assert registry.versions("dead") == [1]
+
+
+def test_sporadic_failures_reset_the_abort_counter(
+    online, registry, stream_oracle
+):
+    from repro.faults import FaultPlan, FaultyOracle
+
+    plan = FaultPlan.parse("oracle:raise@1,3", seed=0)
+    faulty = FaultyOracle(stream_oracle, plan)
+    service = StreamingService(
+        online, registry,
+        StreamingConfig(name="sporadic", max_consecutive_failures=2),
+    )
+    stream = OracleStream(faulty, n_batches=6, batch_size=4, seed=3)
+    report = service.run(stream)
+    assert not report.aborted
+    assert report.quarantined == 2
+    assert report.absorbed == 4

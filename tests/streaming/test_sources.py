@@ -1,0 +1,102 @@
+"""Stream sources: oracle ingest, record/replay round-trip, drift wrap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, FaultyOracle
+from repro.streaming import (
+    OracleStream,
+    ReplayStream,
+    ShiftedOracle,
+    StreamBatch,
+    record_stream,
+)
+
+
+def test_oracle_stream_covers_states_round_robin(stream_oracle):
+    stream = OracleStream(stream_oracle, n_batches=7, batch_size=3, seed=0)
+    batches = list(stream)
+    assert [b.index for b in batches] == list(range(7))
+    assert [b.state for b in batches] == [0, 1, 2, 0, 1, 2, 0]
+    for batch in batches:
+        assert batch.x.shape == (3, stream_oracle.n_variables)
+        assert batch.y.shape == (3,)
+        # The values really came from the oracle at that state.
+        np.testing.assert_allclose(
+            batch.y, stream_oracle.observe(batch.x, batch.state)
+        )
+
+
+def test_oracle_stream_is_exhausted_once(stream_oracle):
+    stream = OracleStream(stream_oracle, n_batches=2, batch_size=2, seed=0)
+    assert len(list(stream)) == 2
+    assert list(stream) == []
+
+
+def test_oracle_stream_survives_a_raising_oracle(stream_oracle):
+    """A poisoned __next__ must not kill the iterator (manual-iterator
+    contract the service's quarantine path relies on)."""
+    plan = FaultPlan.parse("oracle:raise@1", seed=0)
+    faulty = FaultyOracle(stream_oracle, plan)
+    stream = OracleStream(faulty, n_batches=3, batch_size=2, seed=0)
+    first = next(stream)
+    assert first.index == 0
+    with pytest.raises(SimulationError):
+        next(stream)
+    third = next(stream)  # the stream moved past the poisoned batch
+    assert third.index == 2
+    with pytest.raises(StopIteration):
+        next(stream)
+
+
+def test_oracle_stream_validates_arguments(stream_oracle):
+    with pytest.raises(ValueError):
+        OracleStream(stream_oracle, n_batches=0, batch_size=2)
+    with pytest.raises(ValueError):
+        OracleStream(stream_oracle, n_batches=2, batch_size=0)
+    with pytest.raises(IndexError):
+        OracleStream(stream_oracle, 2, 2, states=[99])
+    with pytest.raises(ValueError):
+        OracleStream(stream_oracle, 2, 2, states=[])
+
+
+def test_record_replay_roundtrip(tmp_path, stream_oracle):
+    stream = OracleStream(stream_oracle, n_batches=5, batch_size=4, seed=3)
+    recorded = list(stream)
+    path = record_stream(recorded, tmp_path / "stream.npz")
+    replay = ReplayStream(path)
+    assert len(replay) == 5
+    for original, replayed in zip(recorded, list(replay)):
+        assert replayed.index == original.index
+        assert replayed.state == original.state
+        np.testing.assert_array_equal(replayed.x, original.x)
+        np.testing.assert_array_equal(replayed.y, original.y)
+    # Replay is repeatable — a second pass yields the same batches.
+    again = list(replay)
+    assert [b.index for b in again] == [b.index for b in recorded]
+
+
+def test_record_stream_refuses_empty(tmp_path):
+    with pytest.raises(ValueError, match="empty"):
+        record_stream([], tmp_path / "nothing.npz")
+
+
+def test_stream_batch_validates_shapes():
+    with pytest.raises(ValueError, match="2 values"):
+        StreamBatch(index=0, state=0, x=np.zeros((3, 2)), y=np.zeros(2))
+
+
+def test_shifted_oracle_steps_after_threshold(stream_oracle):
+    shifted = ShiftedOracle(stream_oracle, shift=5.0, after_calls=2)
+    x = np.zeros((2, stream_oracle.n_variables))
+    clean = stream_oracle.observe(x, 0)
+    np.testing.assert_allclose(shifted.observe(x, 0), clean)
+    assert not shifted.engaged
+    np.testing.assert_allclose(shifted.observe(x, 0), clean)
+    assert shifted.engaged
+    np.testing.assert_allclose(shifted.observe(x, 0), clean + 5.0)
+    # truth follows the current regime so holdouts score the new world.
+    np.testing.assert_allclose(
+        shifted.truth(x, 0), stream_oracle.truth(x, 0) + 5.0
+    )

@@ -68,6 +68,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["registry"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.circuit is None
+        assert args.batches == 12
+        assert args.push_every == 1
+        assert args.drift_shift is None
+        assert args.refit_window is None
+
+    def test_stream_flags(self):
+        args = build_parser().parse_args([
+            "stream", "--drift-shift", "4.0", "--drift-at", "5",
+            "--refit-window", "4", "--fault-plan", "stream:nan@2",
+            "--record", "s.npz", "--name", "lna-live",
+        ])
+        assert args.drift_shift == 4.0
+        assert args.drift_at == 5
+        assert args.refit_window == 4
+        assert args.fault_plan == "stream:nan@2"
+        assert args.record == "s.npz"
+        assert args.name == "lna-live"
+
 
 class TestInfo:
     def test_info_output(self, capsys):
@@ -121,6 +143,44 @@ class TestServeBench:
         assert "bit-identical       True" in out
         assert "cache hit rate" in out
         assert "speedup" in out
+
+
+class TestStreamCommand:
+    def test_short_stream_with_fault_and_drift(self, capsys, tmp_path):
+        """CLI smoke: drift-injected stream with a poisoned batch runs
+        to completion, refits at least once, and ends serving."""
+        recording = tmp_path / "stream.npz"
+        assert main([
+            "stream", "--batches", "10", "--batch-size", "8",
+            "--train", "15", "--variables", "6",
+            "--drift-shift", "4.0", "--drift-at", "4",
+            "--refit-window", "4", "--fault-plan", "stream:nan@2",
+            "--record", str(recording),
+            "--registry", str(tmp_path / "registry"), "--seed", "11",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection active" in out
+        assert "quarantined 1" in out
+        assert "drift refits" in out
+        assert "0 failed" in out
+        assert recording.exists()
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        recording = tmp_path / "stream.npz"
+        common = [
+            "--batches", "5", "--batch-size", "5", "--train", "12",
+            "--variables", "5", "--seed", "3",
+        ]
+        assert main(
+            ["stream", *common, "--record", str(recording)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["stream", *common, "--replay", str(recording)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replaying 5 batches" in out
+        assert "absorbed 5" in out
 
 
 class TestRegistryCommands:

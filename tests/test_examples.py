@@ -55,6 +55,14 @@ class TestExamples:
         assert "manifest acquisition metadata:" in out
         assert "served prediction at the typical corner" in out
 
+    def test_streaming_demo(self):
+        out = run_example("streaming_demo.py")
+        assert "seeded online C-BMF" in out
+        assert "drift refits: " in out
+        assert "drift flagged at batch" in out
+        assert "serving live@v" in out
+        assert "streaming telemetry:" in out
+
     @pytest.mark.parametrize(
         "name",
         [
@@ -67,6 +75,7 @@ class TestExamples:
             "lna_noise_budget.py",
             "serving_demo.py",
             "active_learning_demo.py",
+            "streaming_demo.py",
         ],
     )
     def test_example_compiles(self, name):
