@@ -1,0 +1,88 @@
+"""Cluster benchmark: multi-shard throughput and shared-store memory.
+
+The cluster's two claims are gated here. **Memory**: N shard workers
+memmap one exported store, so their *summed* proportional charge (PSS)
+stays near 1× the store size instead of N× — asserted on every machine,
+kernel permitting. **Throughput**: shards are separate processes, so at
+4 shards on >= 4 cores the same threaded request stream must run at
+least 2× faster than the single-process ``ModelService`` — skipped on
+smaller machines, where process transport costs with no parallel
+payoff (EXPERIMENTS.md records the 1-core measurement honestly).
+``python -m repro bench`` emits the same numbers as
+``BENCH_cluster.json`` and CI gates them against the committed baseline.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import bench_cluster
+
+PSS_SHARE_CEILING = 2.0
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One small-scale run shared by the schema/memory/speedup checks."""
+    return bench_cluster("small", repeats=3)
+
+
+def test_report_schema(small_report):
+    """The report carries the fields CI's regression gate compares."""
+    assert small_report["kind"] == "cluster"
+    timings = small_report["timings_seconds"]
+    assert timings["single_process"] > 0
+    assert timings["cluster"] > 0
+    details = small_report["details"]
+    assert details["rows_total"] == (
+        small_report["config"]["n_shards"]
+        * small_report["config"]["n_requests"]
+        * small_report["config"]["rows_per_request"]
+    )
+    assert details["single_rows_per_second"] > 0
+    assert details["cluster_rows_per_second"] > 0
+    assert details["store_bytes"] > 0
+
+
+def test_shards_share_store_pages(small_report):
+    """N shards mapping one store are charged ~1× its size in total,
+    not N× — the shared-memory store actually shares."""
+    details = small_report["details"]
+    ratio = details["pss_share_ratio"]
+    if ratio is None:
+        pytest.skip("per-mapping PSS unsupported on this kernel")
+    n_shards = small_report["config"]["n_shards"]
+    print(
+        f"\ncluster memory — store {details['store_bytes'] / 1e6:.1f}MB, "
+        f"1 shard {details['pss_bytes_1_shard'] / 1e6:.1f}MB, "
+        f"{n_shards} shards {details['pss_bytes_n_shards'] / 1e6:.1f}MB "
+        f"summed (ratio {ratio:.2f}x)"
+    )
+    assert ratio < PSS_SHARE_CEILING, (
+        f"{n_shards} shards together charged {ratio:.2f}x the "
+        f"single-shard store PSS; shared pages should keep this "
+        f"well under {PSS_SHARE_CEILING}x"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="cluster speedup needs >= 4 cores",
+)
+def test_four_shards_double_throughput():
+    """At 4 shards on >= 4 cores the cluster serves the stream >= 2×
+    faster than one process (the issue's acceptance floor)."""
+    report = bench_cluster("medium", repeats=3)
+    details = report["details"]
+    speedup = details["cluster_vs_single_speedup"]
+    print(
+        f"\ncluster throughput — single "
+        f"{details['single_rows_per_second']:,.0f} rows/s, cluster "
+        f"{details['cluster_rows_per_second']:,.0f} rows/s "
+        f"({speedup:.2f}x on {details['cpu_count']} cores)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"cluster speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x "
+        f"floor on {details['cpu_count']} cores"
+    )

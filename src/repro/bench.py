@@ -10,7 +10,11 @@ reports next to the working directory:
   (``predict_many`` throughput on a fitted model set);
 * ``BENCH_streaming.json`` — the online-update path (per-batch
   ``OnlineCBMF.absorb`` latency vs a full warm-started refit on the
-  same rows).
+  same rows);
+* ``BENCH_cluster.json`` — the horizontal serving cluster (multi-shard
+  ``ClusterService`` throughput vs the single-process ``ModelService``
+  on the same request stream, plus the shared-memory accounting: the
+  summed PSS cost of N shards mapping one store).
 
 Each report carries the workload fingerprint (circuit, scale, shapes,
 repeat count) plus environment info, and every timing is the **median**
@@ -36,6 +40,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 __all__ = [
+    "bench_cluster",
     "bench_fit",
     "bench_serving",
     "bench_streaming",
@@ -304,6 +309,198 @@ def bench_streaming(
     }
 
 
+#: Cluster workload dimensions per scale name. ``pss_n_basis`` sizes
+#: the synthetic model used for the shared-memory accounting (6 states
+#: × n_basis float64 ≈ the store footprint being shared).
+CLUSTER_SCALES = {
+    "small": dict(
+        n_shards=2, n_requests=30, rows_per_request=32,
+        pss_n_basis=60_000,
+    ),
+    "medium": dict(
+        n_shards=4, n_requests=80, rows_per_request=64,
+        pss_n_basis=400_000,
+    ),
+}
+
+
+def _drive_requests(predict_many, names, batches) -> None:
+    """Hammer a predict_many callable from one thread per model name."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    def one(name):
+        for x, states in batches[name]:
+            predict_many(name, x, states)
+
+    with ThreadPoolExecutor(max_workers=len(names)) as pool:
+        for future in [pool.submit(one, name) for name in names]:
+            future.result()
+
+
+def _cluster_pss(registry, key, store_dir, n_shards: int):
+    """Summed store PSS of ``n_shards`` workers mapping one store."""
+    from repro.cluster import ClusterConfig, ClusterService
+
+    config = ClusterConfig(n_shards=n_shards)
+    with ClusterService(
+        registry, [key], config=config, store_dir=store_dir
+    ) as service:
+        snapshots = service.shard_engine_snapshots()
+        values = [s.get("store_pss_bytes") for s in snapshots]
+        store_bytes = snapshots[0].get("store_bytes", 0)
+    if any(v is None for v in values) or len(values) != n_shards:
+        return None, store_bytes
+    return int(sum(values)), store_bytes
+
+
+def bench_cluster(
+    scale_name: str = "medium", repeats: int = 3, seed: int = 2016
+) -> dict:
+    """Time the cluster: multi-shard throughput vs one process, plus PSS.
+
+    Throughput compares the same threaded request stream (one client
+    thread per model name, caches disabled so every request costs a
+    matmul) against a single-process ``ModelService`` and an
+    ``n_shards``-worker ``ClusterService``. On a many-core machine the
+    shards' matmuls run in true parallel; on one core the cluster pays the
+    transport overhead without the parallel payoff — ``details``
+    records ``cpu_count`` so readers can interpret the speedup.
+
+    The memory half exports one deliberately large model and compares
+    the *summed* store PSS of ``n_shards`` workers against one worker
+    mapping the same store: shared pages are charged 1/N to each
+    mapper, so near-perfect sharing keeps the sum near 1× the store
+    size.
+    """
+    import os
+    import tempfile
+
+    from repro.basis.polynomial import LinearBasis
+    from repro.circuits.lna import TunableLNA
+    from repro.cluster import ClusterConfig, ClusterService
+    from repro.core.frozen import FrozenModel
+    from repro.modelset import PerformanceModelSet
+    from repro.serving import (
+        BatchConfig,
+        CacheConfig,
+        ModelRegistry,
+        ModelService,
+    )
+    from repro.simulate.montecarlo import MonteCarloEngine
+
+    dims = CLUSTER_SCALES[scale_name]
+    n_shards = dims["n_shards"]
+    rng = np.random.default_rng(seed)
+    lna = TunableLNA(n_states=4, n_variables=None)
+    data = MonteCarloEngine(lna, seed=seed).run(16)
+    train, _ = data.split(12)
+    models = PerformanceModelSet.fit_dataset(train, method="somp", seed=seed)
+
+    names = [f"lna{i}" for i in range(n_shards)]
+    batches = {
+        name: [
+            (
+                rng.standard_normal(
+                    (dims["rows_per_request"], lna.n_variables)
+                ),
+                rng.integers(0, 4, dims["rows_per_request"]),
+            )
+            for _ in range(dims["n_requests"])
+        ]
+        for name in names
+    }
+    n_rows_total = n_shards * dims["n_requests"] * dims["rows_per_request"]
+    batch_cfg = BatchConfig(max_batch_size=128)
+    cache_cfg = CacheConfig(capacity=0)  # measure compute, not the LRU
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        for name in names:
+            registry.push(name, models)
+
+        service = ModelService(
+            registry, batch=batch_cfg, cache=cache_cfg
+        )
+        for name in names:
+            service.load(f"{name}@latest")
+        _drive_requests(service.predict_many, names, batches)  # warm BLAS
+        single_median = _median_seconds(
+            lambda: _drive_requests(
+                service.predict_many, names, batches
+            ),
+            repeats,
+        )
+
+        config = ClusterConfig(
+            n_shards=n_shards, batch=batch_cfg, cache=cache_cfg
+        )
+        with ClusterService(
+            registry,
+            [f"{name}@v1" for name in names],
+            config=config,
+            store_dir=Path(tmp) / "store",
+        ) as cluster:
+            _drive_requests(cluster.predict_many, names, batches)
+            cluster_median = _median_seconds(
+                lambda: _drive_requests(
+                    cluster.predict_many, names, batches
+                ),
+                repeats,
+            )
+
+        # Shared-memory accounting on a model big enough to dwarf page
+        # noise: N workers mapping one store must together cost ~1× it.
+        big = PerformanceModelSet(
+            {
+                "metric": FrozenModel(
+                    coef=rng.standard_normal((6, dims["pss_n_basis"])),
+                    metric="metric",
+                )
+            },
+            LinearBasis(dims["pss_n_basis"] - 1),
+        )
+        registry.push("pss", big)
+        pss_single, store_bytes = _cluster_pss(
+            registry, "pss@v1", Path(tmp) / "pss_store_1", 1
+        )
+        pss_multi, _ = _cluster_pss(
+            registry, "pss@v1", Path(tmp) / "pss_store_n", n_shards
+        )
+
+    return {
+        "kind": "cluster",
+        "config": {
+            "scale": scale_name,
+            "n_shards": n_shards,
+            "n_requests": dims["n_requests"],
+            "rows_per_request": dims["rows_per_request"],
+            "pss_n_basis": dims["pss_n_basis"],
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "env": _environment(),
+        "timings_seconds": {
+            "single_process": single_median,
+            "cluster": cluster_median,
+        },
+        "details": {
+            "cpu_count": os.cpu_count(),
+            "rows_total": n_rows_total,
+            "single_rows_per_second": n_rows_total / single_median,
+            "cluster_rows_per_second": n_rows_total / cluster_median,
+            "cluster_vs_single_speedup": single_median / cluster_median,
+            "store_bytes": store_bytes,
+            "pss_bytes_1_shard": pss_single,
+            "pss_bytes_n_shards": pss_multi,
+            "pss_share_ratio": (
+                None
+                if not pss_single or pss_multi is None
+                else pss_multi / pss_single
+            ),
+        },
+    }
+
+
 def check_regression(
     current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> List[str]:
@@ -383,10 +580,25 @@ def main_bench(args: argparse.Namespace) -> int:
         f"{streaming_report['details']['absorb_vs_refit_speedup']:.0f}x)"
     )
 
+    print("benchmarking cluster path ...")
+    cluster_report = bench_cluster(
+        scale_name, repeats=repeats, seed=args.seed
+    )
+    cluster_d = cluster_report["details"]
+    ratio = cluster_d["pss_share_ratio"]
+    print(
+        f"  single {cluster_d['single_rows_per_second']:,.0f} rows/s  "
+        f"cluster {cluster_d['cluster_rows_per_second']:,.0f} rows/s  "
+        f"(speedup {cluster_d['cluster_vs_single_speedup']:.2f}x on "
+        f"{cluster_d['cpu_count']} cores; pss share "
+        f"{'n/a' if ratio is None else f'{ratio:.2f}x'})"
+    )
+
     reports = {
         "BENCH_fit.json": fit_report,
         "BENCH_serving.json": serving_report,
         "BENCH_streaming.json": streaming_report,
+        "BENCH_cluster.json": cluster_report,
     }
     for name, report in reports.items():
         _write_report(report, output_dir / name)

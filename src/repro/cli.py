@@ -11,6 +11,7 @@
     python -m repro registry list|push|get --root DIR ...
     python -m repro active-fit [--circuit lna|mixer] [--strategy NAME] ...
     python -m repro stream [--batches N] [--drift-shift S] ...
+    python -m repro cluster serve-bench [--shards N] [--canary A:B:W] ...
 
 Output is the paper-style text tables; `reproduce_paper.py` in examples/
 offers the same through a script, and the benchmark suite wraps the same
@@ -23,6 +24,13 @@ its acquisition provenance in the manifest), and ``stream`` runs the
 online-ingest loop: seed fit → absorb batches → drift-triggered refits →
 registry pushes → serving hot-swaps (record/replay with ``--record`` /
 ``--replay``, chaos via ``--fault-plan 'stream:nan@2'``).
+``cluster serve-bench`` spins up the horizontal serving cluster —
+asyncio gateway over ``--shards`` worker processes sharing one
+memmapped model store — drives a concurrent request stream through it,
+and prints the per-shard/per-version report; ``--canary
+name@vA:name@vB:weight`` routes a weighted split between two registry
+versions, and ``--fault-plan 'shard:kill@0'`` kills a shard mid-run to
+exercise crash detection and respawn.
 """
 
 from __future__ import annotations
@@ -459,6 +467,148 @@ def _cmd_stream(args) -> int:
         return run(ModelRegistry(tmp))
 
 
+def _parse_canary(spec: str):
+    """Parse ``name@vA:name@vB:weight`` into ``(stable, canary, weight)``."""
+    parts = spec.rsplit(":", 1)
+    if len(parts) != 2:
+        raise SystemExit(
+            f"bad --canary spec {spec!r}; want name@vA:name@vB:weight"
+        )
+    keys, weight_text = parts[0].split(":"), parts[1]
+    if len(keys) != 2:
+        raise SystemExit(
+            f"bad --canary spec {spec!r}; want name@vA:name@vB:weight"
+        )
+    try:
+        weight = float(weight_text)
+    except ValueError:
+        raise SystemExit(
+            f"bad --canary weight {weight_text!r}; want a float in [0, 1]"
+        ) from None
+    return keys[0], keys[1], weight
+
+
+def _cmd_cluster(args) -> int:
+    """Run the horizontal serving cluster end-to-end and report it."""
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    from repro.circuits.lna import TunableLNA
+    from repro.cluster import ClusterConfig, ClusterService
+    from repro.errors import ServingError
+    from repro.modelset import PerformanceModelSet
+    from repro.serving import BatchConfig, CacheConfig, ModelRegistry
+    from repro.simulate.montecarlo import MonteCarloEngine
+
+    rng = np.random.default_rng(args.seed)
+    lna = TunableLNA(n_states=args.states, n_variables=None)
+    print(
+        f"fitting {args.method} model set — LNA, K={args.states} states, "
+        f"{lna.n_variables} variables, {args.train}/state training samples"
+    )
+    data = MonteCarloEngine(lna, seed=args.seed).run(args.train + 4)
+    train, _ = data.split(args.train)
+    models = PerformanceModelSet.fit_dataset(
+        train, method=args.method, seed=args.seed
+    )
+
+    names = [f"lna{i}" for i in range(args.shards)]
+    plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
+        print(f"fault injection active: {args.fault_plan!r}")
+
+    def run(registry):
+        for name in names:
+            registry.push(name, models)  # v1
+            registry.push(name, models)  # v2 (canary target)
+        config = ClusterConfig(
+            n_shards=args.shards,
+            max_queue_rows=args.queue_rows,
+            default_deadline_s=args.deadline,
+            batch=BatchConfig(max_batch_size=args.batch_size),
+            cache=CacheConfig(capacity=args.cache_size),
+        )
+        keys = [f"{name}@v1" for name in names]
+        with ClusterService(registry, keys, config=config) as cluster:
+            if args.canary:
+                stable, canary, weight = _parse_canary(args.canary)
+                cluster.load(stable)
+                cluster.set_canary(
+                    stable.split("@", 1)[0], canary, weight
+                )
+                print(f"canary: {stable} -> {canary} at {weight:.0%}")
+
+            batches = {
+                name: [
+                    (
+                        rng.standard_normal((args.rows, lna.n_variables)),
+                        rng.integers(0, args.states, args.rows),
+                    )
+                    for _ in range(args.requests)
+                ]
+                for name in names
+            }
+            errors = {"shed": 0, "deadline": 0, "crash": 0, "other": 0}
+
+            def drive(name, chunk):
+                from repro.errors import (
+                    DeadlineError,
+                    ShardCrashError,
+                    ShedError,
+                )
+
+                for x, states in chunk:
+                    try:
+                        cluster.predict_many(name, x, states)
+                    except ShedError:
+                        errors["shed"] += 1
+                    except DeadlineError:
+                        errors["deadline"] += 1
+                    except ShardCrashError:
+                        errors["crash"] += 1
+                    except ServingError:
+                        errors["other"] += 1
+
+            half = args.requests // 2
+
+            def run_half(slicer):
+                with ThreadPoolExecutor(max_workers=args.shards) as pool:
+                    list(pool.map(
+                        lambda name: drive(name, slicer(batches[name])),
+                        names,
+                    ))
+
+            started = time.perf_counter()
+            run_half(lambda b: b[:half])
+            if plan is not None:
+                applied = cluster.inject_faults(plan)
+                print(f"injected mid-run: {applied}")
+            run_half(lambda b: b[half:])
+            elapsed = time.perf_counter() - started
+
+            total_rows = args.shards * args.requests * args.rows
+            print()
+            print(f"rows served         {total_rows} in {elapsed:.3f}s "
+                  f"({total_rows / elapsed:,.0f} rows/s, "
+                  f"{args.shards} shards)")
+            print(f"request failures    shed={errors['shed']} "
+                  f"deadline={errors['deadline']} "
+                  f"crash={errors['crash']} other={errors['other']}")
+            print()
+            print(cluster.report())
+        return 0
+
+    if args.registry:
+        return run(ModelRegistry(args.registry))
+    with tempfile.TemporaryDirectory() as tmp:
+        return run(ModelRegistry(tmp))
+
+
 def _cmd_registry(args) -> int:
     """Registry maintenance: list entries, push artifacts, inspect keys."""
     from pathlib import Path
@@ -671,6 +821,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="registry model name (default: 'stream')")
     p.add_argument("--seed", type=int, default=2016)
 
+    p = sub.add_parser(
+        "cluster",
+        help="horizontal serving cluster: gateway + shard processes",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    p_cbench = cluster_sub.add_parser(
+        "serve-bench",
+        help="fit -> store export -> multi-shard serving benchmark",
+    )
+    p_cbench.add_argument("--shards", type=int, default=2,
+                          help="shard worker processes (default: 2)")
+    p_cbench.add_argument("--requests", type=int, default=40,
+                          help="request batches per model name")
+    p_cbench.add_argument("--rows", type=int, default=32,
+                          help="rows per request batch")
+    p_cbench.add_argument("--states", type=int, default=4)
+    p_cbench.add_argument("--train", type=int, default=12,
+                          help="training samples per state")
+    p_cbench.add_argument("--method", default="somp",
+                          help="estimator to fit (default: somp)")
+    p_cbench.add_argument("--batch-size", type=int, default=64,
+                          help="shard engine max micro-batch size")
+    p_cbench.add_argument("--cache-size", type=int, default=16_384,
+                          help="per-shard LRU capacity (0 disables)")
+    p_cbench.add_argument("--queue-rows", type=int, default=4096,
+                          help="admission bound: rows in flight per shard")
+    p_cbench.add_argument("--deadline", type=float, default=30.0,
+                          help="default per-request deadline in seconds")
+    p_cbench.add_argument("--canary", default=None,
+                          help="weighted version split, e.g. "
+                               "'lna0@v1:lna0@v2:0.3'")
+    p_cbench.add_argument("--fault-plan", default=None,
+                          help="chaos spec applied mid-run, e.g. "
+                               "'shard:kill@0' or 'shard:hang@1'")
+    p_cbench.add_argument("--registry", default=None,
+                          help="persist the registry here "
+                               "(default: temp dir)")
+    p_cbench.add_argument("--seed", type=int, default=2016)
+
     p = sub.add_parser("registry", help="manage a model registry directory")
     reg_sub = p.add_subparsers(dest="registry_command", required=True)
     p_list = reg_sub.add_parser("list", help="list every name@version")
@@ -710,6 +899,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_active_fit(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "registry":
         return _cmd_registry(args)
 

@@ -1,0 +1,870 @@
+"""Asyncio cluster gateway: routing, batching, shedding, canaries.
+
+``ClusterService`` is the front door of the horizontal serving cluster.
+It owns an asyncio event loop on a background thread, a fleet of shard
+worker processes (spawn context, each running
+:func:`repro.cluster.shard.shard_main` over the shared memmapped
+:class:`~repro.cluster.store.ModelStore`), and a routing table mapping
+model *names* to registry version keys. Callers use plain synchronous
+``predict`` / ``predict_many`` from any thread; internally each call is
+
+1. **routed** — the name's route picks stable or canary version via a
+   fractional-weight accumulator (weight 0 never canaries, weight 1
+   always does, 0.25 canaries exactly every 4th call);
+2. **admitted** — if the owning shard already has more than
+   ``max_queue_rows`` rows in flight the request is refused *loudly*
+   with :class:`~repro.errors.ShedError` (never silently dropped);
+3. **batched** — a per-shard sender task coalesces adjacent same-key
+   requests into one wire frame up to ``max_batch_rows`` rows;
+4. **bounded** — the caller waits at most its deadline; expiry raises
+   :class:`~repro.errors.DeadlineError` and is counted per shard and
+   per version.
+
+A shard that dies (crash, ``shard:kill`` chaos fault, OOM-kill…) is
+detected by its connection closing: every in-flight request on it fails
+immediately with :class:`~repro.errors.ShardCrashError`, and the
+gateway respawns the worker — which re-opens the store (remapping the
+same shared pages) and reloads its keys — up to ``max_respawns`` times.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.metrics import ClusterMetrics, format_cluster_report
+from repro.cluster.protocol import read_frame_async, write_frame_async
+from repro.cluster.shard import shard_main
+from repro.cluster.store import export_model_store
+from repro.errors import (
+    DeadlineError,
+    ServingError,
+    ShardCrashError,
+    ShedError,
+)
+from repro.faults import FaultPlan, shard_faults
+from repro.serving.engine import BatchConfig, CacheConfig
+from repro.serving.requests import PredictionResult
+
+__all__ = ["ClusterConfig", "ClusterService"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of a :class:`ClusterService`.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker processes to spawn. Models are assigned to shards by
+        fewest-keys-first, so distinct names spread across the fleet.
+    max_queue_rows:
+        Admission-control bound: a shard with this many rows already in
+        flight sheds new requests with :class:`ShedError`.
+    max_batch_rows:
+        Micro-batching bound: the per-shard sender coalesces adjacent
+        same-key requests into one frame up to this many rows.
+    default_deadline_s:
+        Deadline applied when a request does not carry its own; every
+        request in the cluster has one — a hung shard can delay an
+        answer, never swallow it.
+    max_respawns:
+        Dead-shard respawn budget per shard; once exhausted the shard
+        stays down and its requests fail fast with
+        :class:`ShardCrashError`.
+    start_timeout_s:
+        How long to wait for a freshly spawned shard's ready handshake.
+    batch, cache:
+        Per-shard :class:`PredictionEngine` configuration.
+    """
+
+    n_shards: int = 2
+    max_queue_rows: int = 4096
+    max_batch_rows: int = 512
+    default_deadline_s: float = 30.0
+    max_respawns: int = 3
+    start_timeout_s: float = 120.0
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        """Validate the configuration."""
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.max_queue_rows < 1:
+            raise ValueError(
+                f"max_queue_rows must be >= 1, got {self.max_queue_rows}"
+            )
+        if self.max_batch_rows < 1:
+            raise ValueError(
+                f"max_batch_rows must be >= 1, got {self.max_batch_rows}"
+            )
+        if self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, "
+                f"got {self.default_deadline_s}"
+            )
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+
+
+@dataclass
+class _Route:
+    """Routing-table entry for one model name."""
+
+    stable: str
+    canary: Optional[str] = None
+    weight: float = 0.0
+    acc: float = 0.0
+
+    def choose(self) -> str:
+        """Pick stable or canary via the fractional accumulator."""
+        if self.canary is None or self.weight <= 0.0:
+            return self.stable
+        self.acc += self.weight
+        if self.acc >= 1.0 - 1e-12:
+            self.acc -= 1.0
+            return self.canary
+        return self.stable
+
+
+@dataclass
+class _PredictItem:
+    """One routed request queued for a shard's sender task."""
+
+    id: int
+    key: str
+    x: np.ndarray
+    states: np.ndarray
+    deadline: float
+    future: asyncio.Future = None
+
+    @property
+    def n(self) -> int:
+        """Row count of the request."""
+        return int(self.x.shape[0])
+
+
+@dataclass
+class _ControlItem:
+    """A raw control frame queued for a shard's sender task."""
+
+    header: Dict
+    arrays: Tuple = ()
+
+
+class _ShardHandle:
+    """The gateway's bookkeeping for one shard worker."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.sock: Optional[socket.socket] = None
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.queue: Optional[asyncio.Queue] = None
+        self.carry = None
+        self.tasks: List[asyncio.Task] = []
+        self.pending: Dict[int, _PredictItem] = {}
+        self.pending_rows = 0
+        self.respawns = 0
+        self.alive = False
+        self.dead_forever = False
+        self.store_pss_bytes: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pid = self.process.pid if self.process is not None else None
+        return (
+            f"_ShardHandle({self.index}, pid={pid}, alive={self.alive}, "
+            f"pending={len(self.pending)})"
+        )
+
+
+class ClusterService:
+    """Horizontally scaled prediction service over shard processes.
+
+    Synchronous façade over an asyncio gateway loop: all public methods
+    are callable from any thread and block until their answer (or
+    structured failure) arrives. Use as a context manager, or call
+    :meth:`start` / :meth:`stop` explicitly.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.registry.ModelRegistry` whose
+        entries are served.
+    keys:
+        Initial ``name@vN`` keys to export into the store and load.
+    config:
+        A :class:`ClusterConfig`; defaults apply when omitted.
+    store_dir:
+        Directory of the shared-memory store (exported on demand);
+        defaults to ``<registry root>/shm_store``.
+    """
+
+    def __init__(
+        self,
+        registry,
+        keys: Sequence[str] = (),
+        config: Optional[ClusterConfig] = None,
+        store_dir=None,
+    ) -> None:
+        self.registry = registry
+        self.config = config if config is not None else ClusterConfig()
+        self.store_dir = str(
+            store_dir
+            if store_dir is not None
+            else registry.root / "shm_store"
+        )
+        self.metrics = ClusterMetrics()
+        self._initial_keys = [registry.entry(key).key for key in keys]
+        self._routes: Dict[str, _Route] = {}
+        self._key_shard: Dict[str, int] = {}
+        self._shards: List[_ShardHandle] = []
+        self._ids = itertools.count(1)
+        self._route_lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+        self._stopping = False
+        self._mp = multiprocessing.get_context("spawn")
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Export the store, spawn every shard, wait for readiness."""
+        if self._started:
+            raise ServingError("cluster already started")
+        export_model_store(
+            self.registry, self._initial_keys, self.store_dir
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-cluster-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        self._shards = [
+            _ShardHandle(index)
+            for index in range(self.config.n_shards)
+        ]
+        for key in self._initial_keys:
+            self._assign(key)
+        try:
+            self._run(self._start_all_shards())
+        except BaseException:
+            self.stop()
+            raise
+        self._started = True
+        for key in self._initial_keys:
+            name = key.split("@", 1)[0]
+            self._routes.setdefault(name, _Route(stable=key))
+
+    def stop(self) -> None:
+        """Shut every shard down and stop the gateway loop."""
+        if self._loop is None:
+            return
+        self._stopping = True
+        try:
+            self._run(self._stop_all_shards())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+            self._started = False
+            self._stopping = False
+
+    def __enter__(self) -> "ClusterService":
+        """Start the cluster on context entry."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the cluster on context exit."""
+        self.stop()
+
+    # -- routing / versions ---------------------------------------------
+    def load(self, key: str) -> str:
+        """Export + load ``key`` onto its shard; route its name to it.
+
+        Returns the resolved ``name@vN`` key. If the name already has a
+        route, the stable version is switched to the new key (a plain
+        hot swap — use :meth:`set_canary` for a weighted rollout).
+        """
+        self._require_started()
+        key = self.registry.entry(key).key
+        self._load_key(key)
+        name = key.split("@", 1)[0]
+        route = self._routes.get(name)
+        if route is None:
+            self._routes[name] = _Route(stable=key)
+        else:
+            route.stable = key
+        return key
+
+    def set_canary(self, name: str, canary_key: str, weight: float) -> str:
+        """Start a weighted canary split for ``name``.
+
+        ``weight`` is the canary's traffic fraction in [0, 1]; the
+        fractional accumulator makes the edges exact (0 → never,
+        1 → always). The canary version is exported and loaded onto the
+        same shard as the stable version so both report their own
+        per-version metrics from identical placement.
+        """
+        self._require_started()
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        route = self._route(name)
+        canary_key = self.registry.entry(canary_key).key
+        if canary_key.split("@", 1)[0] != name:
+            raise ServingError(
+                f"canary {canary_key!r} is not a version of {name!r}"
+            )
+        self._load_key(canary_key, shard=self._key_shard[route.stable])
+        route.canary = canary_key
+        route.weight = float(weight)
+        route.acc = 0.0
+        return canary_key
+
+    def promote(self, name: str) -> str:
+        """Make the canary the stable version (full cutover)."""
+        route = self._route(name)
+        if route.canary is None:
+            raise ServingError(f"{name!r} has no canary to promote")
+        route.stable, route.canary, route.weight = route.canary, None, 0.0
+        return route.stable
+
+    def clear_canary(self, name: str) -> None:
+        """Drop the canary split; all traffic returns to stable."""
+        route = self._route(name)
+        route.canary, route.weight, route.acc = None, 0.0, 0.0
+
+    def describe_routes(self) -> Dict[str, Dict]:
+        """Routing-table digest: ``{name: {stable, canary, weight, shard}}``."""
+        return {
+            name: {
+                "stable": route.stable,
+                "canary": route.canary,
+                "weight": route.weight,
+                "shard": self._key_shard.get(route.stable),
+            }
+            for name, route in sorted(self._routes.items())
+        }
+
+    # -- serving --------------------------------------------------------
+    def predict(
+        self,
+        name: str,
+        x: np.ndarray,
+        state: int,
+        deadline_s: Optional[float] = None,
+    ) -> PredictionResult:
+        """Predict one design point; blocks until answer or failure."""
+        return self.predict_many(
+            name, np.asarray(x, dtype=float)[None, :], [state],
+            deadline_s=deadline_s,
+        )[0]
+
+    def predict_many(
+        self,
+        name: str,
+        x: np.ndarray,
+        states: Sequence[int],
+        deadline_s: Optional[float] = None,
+    ) -> List[PredictionResult]:
+        """Predict a batch of rows through the cluster.
+
+        Routes the whole call to one version (stable or canary), ships
+        it to the owning shard, and waits at most the deadline. Raises
+        :class:`ShedError` (queue full), :class:`DeadlineError`
+        (expired), or :class:`ShardCrashError` (worker died with the
+        request in flight) — never hangs, never silently drops.
+        """
+        self._require_started()
+        x = np.ascontiguousarray(np.asarray(x, dtype=float))
+        states = np.ascontiguousarray(np.asarray(states, dtype=np.int64))
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if states.shape != (x.shape[0],):
+            raise ValueError(
+                f"got {x.shape[0]} rows but {states.shape} states"
+            )
+        if x.shape[0] == 0:
+            return []
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        if deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        key = self._choose_version(name)
+        started = time.perf_counter()
+        results = self._run(
+            self._submit(key, x, states, time.time() + deadline_s)
+        )
+        self.metrics.record_batch(
+            self._key_shard[key], key, x.shape[0],
+            time.perf_counter() - started,
+        )
+        return results
+
+    # -- observability --------------------------------------------------
+    def shard_engine_snapshots(self) -> List[Dict]:
+        """Per-shard engine/metrics digests fetched over the wire.
+
+        One entry per *live* shard (sorted by index), each carrying the
+        worker's ``ServingMetrics`` snapshot, cache size, pid and store
+        PSS numbers. Dead shards are skipped.
+        """
+        self._require_started()
+        return self._run(self._collect_metrics())
+
+    def report(self) -> str:
+        """Full cluster text report (shards, versions, routes, engines)."""
+        snapshots = self.shard_engine_snapshots()
+        return format_cluster_report(
+            self.metrics.snapshot(),
+            engine_snapshots=[s["engine"] for s in snapshots],
+            routes=self.describe_routes(),
+        )
+
+    # -- chaos ----------------------------------------------------------
+    def inject_faults(self, plan: Optional[FaultPlan]) -> Dict[int, str]:
+        """Apply a fault plan's ``shard:kill`` / ``shard:hang`` specs.
+
+        Sends each named shard its fault frame (through the ordinary
+        sender queue, after anything already enqueued). Returns the
+        ``{shard_index: mode}`` map actually applied; indices outside
+        the fleet are ignored.
+        """
+        self._require_started()
+        applied: Dict[int, str] = {}
+        for index, mode in shard_faults(plan).items():
+            if 0 <= index < len(self._shards):
+                self._run(self._enqueue_control(index, {"kind": mode}))
+                applied[index] = mode
+        return applied
+
+    # -- internals: sync→loop bridge ------------------------------------
+    def _run(self, coro):
+        """Run a coroutine on the gateway loop from any thread."""
+        if self._loop is None:
+            raise ServingError("cluster is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ServingError(
+                "cluster is not started; use it as a context manager or "
+                "call start()"
+            )
+
+    def _route(self, name: str) -> _Route:
+        route = self._routes.get(name)
+        if route is None:
+            raise ServingError(
+                f"no model named {name!r} is loaded; known: "
+                f"{sorted(self._routes)}"
+            )
+        return route
+
+    def _choose_version(self, name: str) -> str:
+        with self._route_lock:
+            return self._route(name).choose()
+
+    def _assign(self, key: str, shard: Optional[int] = None) -> int:
+        """Pick (or confirm) the shard owning ``key``."""
+        if key in self._key_shard:
+            return self._key_shard[key]
+        if shard is None:
+            counts = [0] * len(self._shards)
+            for owner in self._key_shard.values():
+                counts[owner] += 1
+            shard = int(np.argmin(counts))
+        self._key_shard[key] = shard
+        return shard
+
+    def _load_key(self, key: str, shard: Optional[int] = None) -> None:
+        export_model_store(self.registry, [key], self.store_dir)
+        index = self._assign(key, shard=shard)
+        reply = self._run(
+            self._control_roundtrip(index, {"kind": "load", "key": key})
+        )
+        if reply.get("kind") != "loaded":
+            raise ServingError(
+                f"shard {index} failed to load {key!r}: "
+                f"{reply.get('error', reply)}"
+            )
+
+    # -- internals: shard lifecycle (loop thread) -----------------------
+    async def _start_all_shards(self) -> None:
+        await asyncio.gather(
+            *(self._spawn_shard(handle) for handle in self._shards)
+        )
+
+    async def _stop_all_shards(self) -> None:
+        for handle in self._shards:
+            for task in handle.tasks:
+                task.cancel()
+            if handle.writer is not None:
+                try:
+                    # A hung shard never drains its socket; don't let a
+                    # polite shutdown frame block the whole stop.
+                    await asyncio.wait_for(
+                        write_frame_async(
+                            handle.writer, {"kind": "shutdown"}
+                        ),
+                        timeout=1.0,
+                    )
+                    handle.writer.close()
+                except (
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                    OSError,
+                    RuntimeError,
+                ):
+                    pass
+            handle.alive = False
+        for handle in self._shards:
+            if handle.process is not None and handle.process.is_alive():
+                await asyncio.get_running_loop().run_in_executor(
+                    None, handle.process.join, 2.0
+                )
+                if handle.process.is_alive():
+                    handle.process.terminate()
+
+    def _shard_keys(self, index: int) -> List[str]:
+        return sorted(
+            key for key, owner in self._key_shard.items()
+            if owner == index
+        )
+
+    async def _spawn_shard(self, handle: _ShardHandle) -> None:
+        """Spawn (or respawn) one worker and wait for its handshake."""
+        parent, child = socket.socketpair()
+        process = self._mp.Process(
+            target=shard_main,
+            args=(
+                child,
+                self.store_dir,
+                self._shard_keys(handle.index),
+                handle.index,
+                self.config.batch,
+                self.config.cache,
+            ),
+            daemon=True,
+            name=f"repro-shard-{handle.index}",
+        )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, process.start)
+        child.close()
+        reader, writer = await asyncio.open_connection(sock=parent)
+        try:
+            ready, _ = await asyncio.wait_for(
+                read_frame_async(reader),
+                timeout=self.config.start_timeout_s,
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
+            writer.close()
+            process.terminate()
+            raise ShardCrashError(
+                f"shard {handle.index} never came up: "
+                f"{type(error).__name__}"
+            ) from error
+        if ready.get("kind") != "ready":  # pragma: no cover - defensive
+            raise ShardCrashError(
+                f"shard {handle.index} sent {ready.get('kind')!r} "
+                "instead of the ready handshake"
+            )
+        handle.process = process
+        handle.sock = parent
+        handle.reader = reader
+        handle.writer = writer
+        # One queue per handle, reused across respawns: requests that
+        # arrive while the shard is being respawned sit here and are
+        # served by the new worker instead of orphaning until deadline.
+        if handle.queue is None:
+            handle.queue = asyncio.Queue()
+        handle.carry = None
+        handle.store_pss_bytes = ready.get("store_pss_bytes")
+        handle.alive = True
+        handle.tasks = [
+            asyncio.ensure_future(self._reader_task(handle)),
+            asyncio.ensure_future(self._sender_task(handle)),
+        ]
+
+    async def _on_shard_death(self, handle: _ShardHandle) -> None:
+        """Fail the shard's in-flight requests; respawn if budget allows."""
+        if not handle.alive:
+            return
+        handle.alive = False
+        for task in handle.tasks:
+            if task is not asyncio.current_task():
+                task.cancel()
+        if handle.writer is not None:
+            try:
+                handle.writer.close()
+            except (OSError, RuntimeError):  # pragma: no cover
+                pass
+        pid = (
+            handle.process.pid if handle.process is not None else None
+        )
+        crashed = list(handle.pending.values())
+        if handle.carry is not None and isinstance(
+            handle.carry, _PredictItem
+        ):
+            crashed.append(handle.carry)
+        handle.carry = None
+        while handle.queue is not None and not handle.queue.empty():
+            item = handle.queue.get_nowait()
+            if isinstance(item, _PredictItem):
+                crashed.append(item)
+        handle.pending.clear()
+        handle.pending_rows = 0
+        for item in crashed:
+            self.metrics.record_crash_failures(
+                handle.index, item.n, key=item.key
+            )
+            if not item.future.done():
+                item.future.set_exception(
+                    ShardCrashError(
+                        f"shard {handle.index} (pid {pid}) died with "
+                        f"request {item.id} in flight"
+                    )
+                )
+        if self._stopping:
+            return
+        if handle.respawns >= self.config.max_respawns:
+            handle.dead_forever = True
+            return
+        handle.respawns += 1
+        self.metrics.record_respawn(handle.index)
+        try:
+            await self._spawn_shard(handle)
+        except Exception:
+            handle.dead_forever = True
+            raise
+
+    # -- internals: per-shard tasks (loop thread) -----------------------
+    async def _reader_task(self, handle: _ShardHandle) -> None:
+        """Dispatch answer frames to their waiting futures."""
+        try:
+            while True:
+                header, arrays = await read_frame_async(handle.reader)
+                item = handle.pending.pop(header.get("id"), None)
+                if item is None:
+                    continue  # deadline-abandoned or unknown
+                handle.pending_rows -= getattr(item, "n", 0) or 0
+                if item.future.done():
+                    continue
+                kind = header.get("kind")
+                if kind == "result":
+                    values, cached = arrays[:-1], arrays[-1]
+                    metrics = header["metrics"]
+                    version = int(header["version"])
+                    item.future.set_result([
+                        PredictionResult(
+                            values={
+                                metric: float(values[m][row])
+                                for m, metric in enumerate(metrics)
+                            },
+                            cached=bool(cached[row]),
+                            version=version,
+                        )
+                        for row in range(item.n)
+                    ])
+                elif kind == "error":
+                    etype = header.get("etype")
+                    message = header.get("error", "shard error")
+                    if etype == "deadline":
+                        self.metrics.record_deadline_expired(
+                            handle.index, item.key, item.n
+                        )
+                        item.future.set_exception(DeadlineError(message))
+                    else:
+                        item.future.set_exception(ServingError(message))
+                else:
+                    item.future.set_result(header)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            try:
+                await self._on_shard_death(handle)
+            except Exception:
+                pass  # respawn failed; dead_forever is already set
+        except asyncio.CancelledError:
+            raise
+
+    async def _sender_task(self, handle: _ShardHandle) -> None:
+        """Single writer: coalesce same-key predicts, ship frames."""
+        try:
+            while True:
+                if handle.carry is not None:
+                    item, handle.carry = handle.carry, None
+                else:
+                    item = await handle.queue.get()
+                if isinstance(item, _ControlItem):
+                    await write_frame_async(
+                        handle.writer, item.header, item.arrays
+                    )
+                    continue
+                batch = [item]
+                rows = item.n
+                while rows < self.config.max_batch_rows:
+                    try:
+                        nxt = handle.queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if (
+                        isinstance(nxt, _PredictItem)
+                        and nxt.key == item.key
+                    ):
+                        batch.append(nxt)
+                        rows += nxt.n
+                    else:
+                        handle.carry = nxt
+                        break
+                live = [b for b in batch if not b.future.done()]
+                if not live:
+                    continue
+                await write_frame_async(
+                    handle.writer,
+                    {
+                        "kind": "predict",
+                        "key": item.key,
+                        "reqs": [
+                            {
+                                "id": b.id,
+                                "n": b.n,
+                                "deadline": b.deadline,
+                            }
+                            for b in live
+                        ],
+                    },
+                    [
+                        np.concatenate([b.x for b in live], axis=0),
+                        np.concatenate([b.states for b in live]),
+                    ],
+                )
+        except (ConnectionError, OSError):
+            try:
+                await self._on_shard_death(handle)
+            except Exception:
+                pass  # respawn failed; dead_forever is already set
+        except asyncio.CancelledError:
+            raise
+
+    # -- internals: request submission (loop thread) --------------------
+    async def _submit(
+        self,
+        key: str,
+        x: np.ndarray,
+        states: np.ndarray,
+        deadline: float,
+    ) -> List[PredictionResult]:
+        handle = self._shards[self._key_shard[key]]
+        if handle.dead_forever:
+            raise ShardCrashError(
+                f"shard {handle.index} exhausted its respawn budget "
+                f"({self.config.max_respawns}); {key!r} is unservable"
+            )
+        n = int(x.shape[0])
+        if handle.pending_rows + n > self.config.max_queue_rows:
+            self.metrics.record_shed(handle.index, key, n)
+            raise ShedError(
+                f"shard {handle.index} queue is full "
+                f"({handle.pending_rows} rows in flight, bound "
+                f"{self.config.max_queue_rows}); request of {n} rows shed"
+            )
+        item = _PredictItem(
+            id=next(self._ids),
+            key=key,
+            x=x,
+            states=states,
+            deadline=deadline,
+            future=asyncio.get_event_loop().create_future(),
+        )
+        handle.pending[item.id] = item
+        handle.pending_rows += n
+        await handle.queue.put(item)
+        timeout = deadline - time.time()
+        try:
+            return await asyncio.wait_for(item.future, timeout=timeout)
+        except asyncio.TimeoutError:
+            if handle.pending.pop(item.id, None) is not None:
+                handle.pending_rows -= n
+            self.metrics.record_deadline_expired(handle.index, key, n)
+            raise DeadlineError(
+                f"request {item.id} ({n} rows on shard {handle.index}) "
+                f"expired after {max(timeout, 0.0):.3f}s"
+            ) from None
+
+    async def _enqueue_control(self, index: int, header: Dict) -> None:
+        handle = self._shards[index]
+        if handle.queue is None:
+            raise ShardCrashError(f"shard {index} is down")
+        await handle.queue.put(_ControlItem(header=header))
+
+    async def _control_roundtrip(
+        self, index: int, header: Dict
+    ) -> Dict:
+        """Send a control frame expecting a reply; wait for it."""
+        handle = self._shards[index]
+        if not handle.alive:
+            raise ShardCrashError(f"shard {index} is down")
+        item = _PredictItem(
+            id=next(self._ids),
+            key=header.get("key", ""),
+            x=np.empty((0, 1)),
+            states=np.empty(0, dtype=np.int64),
+            deadline=time.time() + self.config.start_timeout_s,
+            future=asyncio.get_event_loop().create_future(),
+        )
+        header = dict(header, id=item.id)
+        handle.pending[item.id] = item
+        await handle.queue.put(_ControlItem(header=header))
+        try:
+            reply = await asyncio.wait_for(
+                item.future, timeout=self.config.start_timeout_s
+            )
+        except asyncio.TimeoutError:
+            handle.pending.pop(item.id, None)
+            raise DeadlineError(
+                f"shard {index} did not answer a "
+                f"{header.get('kind')!r} frame within "
+                f"{self.config.start_timeout_s}s"
+            ) from None
+        if isinstance(reply, dict):
+            return reply
+        raise ServingError(  # pragma: no cover - defensive
+            f"unexpected control reply {reply!r}"
+        )
+
+    async def _collect_metrics(self) -> List[Dict]:
+        replies = await asyncio.gather(
+            *(
+                self._control_roundtrip(handle.index, {"kind": "metrics"})
+                for handle in self._shards
+                if handle.alive
+            ),
+            return_exceptions=True,
+        )
+        return sorted(
+            (r for r in replies if isinstance(r, dict)),
+            key=lambda r: r.get("shard", 0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterService(shards={len(self._shards)}, "
+            f"routes={sorted(self._routes)}, started={self._started})"
+        )

@@ -1,0 +1,192 @@
+"""Length-prefixed wire protocol between the gateway and shard workers.
+
+One frame carries a small JSON header plus zero or more raw ndarray
+payloads, so a request batch crosses the gateway↔shard boundary as::
+
+    u32 header_len | u64 payload_len | header JSON | raw array bytes…
+
+The header's ``"arrays"`` entry records each payload array's shape and
+dtype; the receiver reconstructs views with ``np.frombuffer`` over one
+contiguous receive buffer — no per-row serialization, no pickling, and
+(on the send side) ``sendall`` over memoryviews of the original arrays,
+so a float64 request batch is never copied into an intermediate bytes
+object. Both a blocking-socket API (shard workers) and an asyncio
+stream API (the gateway) are provided over the same format.
+
+Frame kinds are a gateway/shard contract, not enforced here — the
+header is an arbitrary JSON-serializable dict. ``MAX_FRAME_BYTES``
+bounds a frame so a corrupt length prefix fails fast instead of
+attempting a multi-gigabyte allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "read_frame",
+    "read_frame_async",
+    "send_frame",
+    "write_frame_async",
+]
+
+_PREFIX = struct.Struct("<IQ")
+
+#: Upper bound on one frame (header + payload); a corrupt prefix is
+#: detected instead of honoured.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(ServingError):
+    """A malformed or oversized frame arrived on a cluster connection."""
+
+
+def _encode_header(
+    header: Dict, arrays: Sequence[np.ndarray]
+) -> Tuple[bytes, List[np.ndarray]]:
+    """Serialize the header, recording array shapes/dtypes alongside."""
+    prepared: List[np.ndarray] = []
+    specs = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        prepared.append(array)
+        specs.append(
+            {"shape": list(array.shape), "dtype": str(array.dtype)}
+        )
+    payload = dict(header)
+    payload["arrays"] = specs
+    return json.dumps(payload, sort_keys=True).encode("utf-8"), prepared
+
+
+def _decode_payload(
+    header: Dict, payload: memoryview
+) -> List[np.ndarray]:
+    """Rebuild the payload arrays as zero-copy views over the buffer."""
+    arrays: List[np.ndarray] = []
+    offset = 0
+    for spec in header.get("arrays", ()):
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(n) for n in spec["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if offset + nbytes > len(payload):
+            raise ProtocolError(
+                f"frame payload too short: header promises {nbytes} "
+                f"bytes at offset {offset}, buffer has {len(payload)}"
+            )
+        arrays.append(
+            np.frombuffer(
+                payload[offset:offset + nbytes], dtype=dtype
+            ).reshape(shape)
+        )
+        offset += nbytes
+    return arrays
+
+
+def _check_lengths(header_len: int, payload_len: int) -> None:
+    if header_len + payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {header_len + payload_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound (corrupt length prefix?)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket API (shard worker side).
+# ----------------------------------------------------------------------
+def send_frame(
+    sock: socket.socket,
+    header: Dict,
+    arrays: Sequence[np.ndarray] = (),
+) -> None:
+    """Write one frame to a blocking socket.
+
+    The arrays go out as memoryviews of their (contiguous) originals —
+    ``sendall`` streams them without building a joined bytes object.
+    """
+    header_bytes, prepared = _encode_header(header, arrays)
+    payload_len = sum(a.nbytes for a in prepared)
+    _check_lengths(len(header_bytes), payload_len)
+    sock.sendall(_PREFIX.pack(len(header_bytes), payload_len))
+    sock.sendall(header_bytes)
+    for array in prepared:
+        sock.sendall(memoryview(array).cast("B"))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> memoryview:
+    """Read exactly ``n`` bytes (EOFError on a closed peer)."""
+    buffer = bytearray(n)
+    view = memoryview(buffer)
+    got = 0
+    while got < n:
+        count = sock.recv_into(view[got:])
+        if count == 0:
+            raise EOFError("peer closed the cluster connection")
+        got += count
+    return view
+
+def read_frame(
+    sock: socket.socket,
+) -> Tuple[Dict, List[np.ndarray]]:
+    """Read one frame from a blocking socket: ``(header, arrays)``.
+
+    Raises ``EOFError`` when the peer has closed the connection at a
+    frame boundary (the clean-shutdown signal) or mid-frame.
+    """
+    header_len, payload_len = _PREFIX.unpack(
+        _recv_exactly(sock, _PREFIX.size)
+    )
+    _check_lengths(header_len, payload_len)
+    header = json.loads(bytes(_recv_exactly(sock, header_len)))
+    payload = (
+        _recv_exactly(sock, payload_len) if payload_len else memoryview(b"")
+    )
+    return header, _decode_payload(header, payload)
+
+
+# ----------------------------------------------------------------------
+# Asyncio stream API (gateway side).
+# ----------------------------------------------------------------------
+async def write_frame_async(
+    writer: asyncio.StreamWriter,
+    header: Dict,
+    arrays: Sequence[np.ndarray] = (),
+) -> None:
+    """Write one frame to an asyncio stream and drain it."""
+    header_bytes, prepared = _encode_header(header, arrays)
+    payload_len = sum(a.nbytes for a in prepared)
+    _check_lengths(len(header_bytes), payload_len)
+    writer.write(_PREFIX.pack(len(header_bytes), payload_len))
+    writer.write(header_bytes)
+    for array in prepared:
+        writer.write(memoryview(array).cast("B"))
+    await writer.drain()
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> Tuple[Dict, List[np.ndarray]]:
+    """Read one frame from an asyncio stream: ``(header, arrays)``.
+
+    Raises ``asyncio.IncompleteReadError`` when the peer closes — the
+    gateway treats that as the shard dying.
+    """
+    prefix = await reader.readexactly(_PREFIX.size)
+    header_len, payload_len = _PREFIX.unpack(prefix)
+    _check_lengths(header_len, payload_len)
+    header = json.loads(await reader.readexactly(header_len))
+    payload = (
+        memoryview(await reader.readexactly(payload_len))
+        if payload_len
+        else memoryview(b"")
+    )
+    return header, _decode_payload(header, payload)

@@ -1,0 +1,232 @@
+"""Shard worker: a PredictionEngine over memmapped models, behind a pipe.
+
+``shard_main`` is the spawn-context entry point of one cluster worker.
+At startup it opens the shared :class:`~repro.cluster.store.ModelStore`
+(sha256-verified), builds a private micro-batching
+:class:`~repro.serving.engine.PredictionEngine`, instantiates a
+:class:`~repro.serving.engine.ServedModel` per assigned ``name@vN`` key
+(coefficients stay memmapped — the worker never copies them), measures
+the PSS cost of the mapping, and then serves a simple frame loop on its
+socket:
+
+``predict``
+    One frame may coalesce several gateway sub-requests over the same
+    key; each carries its own deadline. Requests already past their
+    deadline are answered with a structured ``deadline`` error (the
+    rows are not computed); the rest are answered by **one**
+    ``predict_many`` call — the single-matmul hot path of the whole
+    cluster.
+``metrics``
+    Ships the engine's :meth:`ServingMetrics.snapshot` plus cache size
+    and the store-mapping PSS numbers, so the gateway can aggregate
+    counters across the fleet.
+``load``
+    Re-opens the store manifest (a canary export may have extended it)
+    and installs a new key for serving.
+``ping`` / ``shutdown``
+    Liveness probe / clean exit.
+``kill`` / ``hang``
+    Chaos hooks (see ``shard:kill@i`` fault specs): hard ``os._exit``
+    and stop-reading-forever respectively.
+
+The loop never lets a request error kill the process: computation
+failures are answered as structured error frames and the worker keeps
+serving. Only a closed socket (gateway gone) or ``shutdown`` ends it.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.protocol import read_frame, send_frame
+from repro.cluster.store import ModelStore, mapped_pss_bytes
+from repro.serving.engine import (
+    BatchConfig,
+    CacheConfig,
+    PredictionEngine,
+    ServedModel,
+)
+
+__all__ = ["shard_main"]
+
+
+def _serve_predict(
+    engine: PredictionEngine,
+    served: Dict[str, ServedModel],
+    sock: socket.socket,
+    header: Dict,
+    arrays,
+) -> None:
+    """Answer one (possibly coalesced) predict frame."""
+    key = header["key"]
+    reqs = header["reqs"]
+    x, states = arrays
+    if key not in served:
+        for req in reqs:
+            send_frame(sock, {
+                "kind": "error", "id": req["id"], "etype": "serving",
+                "error": f"shard does not serve {key!r}",
+            })
+        return
+    now = time.time()
+    live, expired = [], []
+    for req in reqs:
+        deadline = req.get("deadline")
+        if deadline is not None and now > deadline:
+            expired.append(req)
+        else:
+            live.append(req)
+    for req in expired:
+        send_frame(sock, {
+            "kind": "error", "id": req["id"], "etype": "deadline",
+            "error": (
+                f"request expired in the shard queue "
+                f"({now - req['deadline']:.3f}s past deadline)"
+            ),
+        })
+    if not live:
+        return
+    # Slice the frame's stacked rows down to the still-live requests.
+    offsets, cursor = {}, 0
+    keep = []
+    for req in reqs:
+        offsets[req["id"]] = (cursor, cursor + req["n"])
+        cursor += req["n"]
+    for req in live:
+        start, stop = offsets[req["id"]]
+        keep.extend(range(start, stop))
+    if len(keep) != x.shape[0]:
+        index = np.asarray(keep, dtype=int)
+        x, states = x[index], states[index]
+    model = served[key]
+    try:
+        results = engine.predict_many(
+            model, np.asarray(x, dtype=float), np.asarray(states, dtype=int)
+        )
+    except Exception as error:  # answer, never die
+        for req in live:
+            send_frame(sock, {
+                "kind": "error", "id": req["id"], "etype": "serving",
+                "error": f"{type(error).__name__}: {error}",
+            })
+        return
+    metrics_names = list(model.metric_names)
+    cursor = 0
+    for req in live:
+        n = req["n"]
+        chunk = results[cursor:cursor + n]
+        cursor += n
+        values = [
+            np.fromiter(
+                (r.values[m] for r in chunk), dtype=float, count=n
+            )
+            for m in metrics_names
+        ]
+        cached = np.fromiter(
+            (r.cached for r in chunk), dtype=np.uint8, count=n
+        )
+        send_frame(
+            sock,
+            {
+                "kind": "result",
+                "id": req["id"],
+                "metrics": metrics_names,
+                "version": model.version,
+            },
+            values + [cached],
+        )
+
+
+def shard_main(
+    sock: socket.socket,
+    store_dir: str,
+    keys,
+    shard_index: int,
+    batch: Optional[BatchConfig] = None,
+    cache: Optional[CacheConfig] = None,
+) -> None:
+    """Run one shard worker over its gateway socket until shutdown.
+
+    Spawn-context entry point (module-level, picklable); ``sock`` is
+    the worker's end of a ``socketpair`` duplicated into the child.
+    Sends a ``ready`` frame — carrying the store size and this
+    process's current PSS charge for the mapped store — once every
+    assigned key is installed, so the gateway knows when the shard is
+    servable.
+    """
+    store = ModelStore.open(store_dir)
+    store.touch()
+    engine = PredictionEngine(batch=batch, cache=cache)
+    served: Dict[str, ServedModel] = {
+        key: store.served_model(key) for key in keys
+    }
+    send_frame(sock, {
+        "kind": "ready",
+        "shard": int(shard_index),
+        "pid": os.getpid(),
+        "keys": sorted(served),
+        "store_bytes": int(store.nbytes),
+        "store_pss_bytes": mapped_pss_bytes(store_dir),
+    })
+    while True:
+        try:
+            header, arrays = read_frame(sock)
+        except (EOFError, ConnectionResetError, OSError):
+            return
+        kind = header.get("kind")
+        if kind == "predict":
+            _serve_predict(engine, served, sock, header, arrays)
+        elif kind == "metrics":
+            send_frame(sock, {
+                "kind": "metrics-result",
+                "id": header["id"],
+                "shard": int(shard_index),
+                "pid": os.getpid(),
+                "engine": engine.metrics.snapshot(),
+                "cache_size": engine.cache_size,
+                "store_bytes": int(store.nbytes),
+                "store_pss_bytes": mapped_pss_bytes(store_dir),
+            })
+        elif kind == "load":
+            key = header["key"]
+            try:
+                if key not in store.keys():
+                    store = ModelStore.open(store_dir)
+                served[key] = store.served_model(key)
+            except Exception as error:
+                send_frame(sock, {
+                    "kind": "error", "id": header["id"],
+                    "etype": "serving",
+                    "error": f"{type(error).__name__}: {error}",
+                })
+                continue
+            send_frame(sock, {
+                "kind": "loaded", "id": header["id"], "key": key,
+            })
+        elif kind == "ping":
+            send_frame(sock, {"kind": "pong", "id": header["id"]})
+        elif kind == "hang":
+            # Chaos: stop reading (and answering) without dying — the
+            # gateway's per-request deadlines must take over.
+            while True:
+                time.sleep(3600.0)
+        elif kind == "kill":
+            # Chaos: die the hard way, mid-protocol.
+            os._exit(1)
+        elif kind == "shutdown":
+            try:
+                send_frame(sock, {"kind": "bye"})
+            except OSError:  # pragma: no cover - gateway already gone
+                pass
+            return
+        else:
+            send_frame(sock, {
+                "kind": "error", "id": header.get("id"),
+                "etype": "protocol",
+                "error": f"unknown frame kind {kind!r}",
+            })

@@ -1,0 +1,325 @@
+"""Shared-memory model store: registry artifacts as memmappable blocks.
+
+A registry entry is a compressed ``.npz`` per metric — convenient on
+disk, but N shard processes each ``load()``-ing it hold N private,
+decompressed copies of every coefficient matrix. The store flattens
+entries into raw little-endian float64 block files::
+
+    <store>/
+      store_manifest.json        # blocks, shapes, sha256, basis specs
+      lna@v1/
+        nf_db.coef.bin           # (K, M) float64, C order
+        nf_db.offsets.bin        # (K,) float64
+        gain_db.coef.bin
+        ...
+
+Every shard then maps the *same* page-cache copy read-only with
+``numpy.memmap`` — the OS shares the physical pages, so a fleet of
+workers costs one model footprint plus per-process interpreter
+overhead. :func:`export_model_store` is the write path (idempotent:
+versions are immutable, so an already-exported key is skipped);
+:class:`ModelStore` is the read path, verifying each block's sha256 on
+open so a corrupted or truncated block raises
+:class:`~repro.errors.CheckpointError` naming the file instead of
+serving garbage coefficients.
+
+Sharing is asserted, not assumed: :func:`process_pss_bytes` reads the
+kernel's PSS (proportional set size — shared pages divided by their
+mapper count) so the cluster benchmark can measure that 4 shards
+mapping one store cost ~1× its size, not 4×.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.basis import basis_from_spec
+from repro.core.frozen import FrozenModel
+from repro.errors import CheckpointError, ServingError
+from repro.serving.engine import ServedModel
+from repro.serving.registry import ModelRegistry
+
+__all__ = [
+    "STORE_MANIFEST_NAME",
+    "ModelStore",
+    "export_model_store",
+    "mapped_pss_bytes",
+    "process_pss_bytes",
+]
+
+STORE_MANIFEST_NAME = "store_manifest.json"
+_STORE_SCHEMA = 1
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def process_pss_bytes() -> Optional[int]:
+    """This process's PSS in bytes (``None`` where unsupported).
+
+    PSS — proportional set size — charges each shared page 1/N to each
+    of its N mappers, so summing shard PSS deltas measures the *unique*
+    memory a fleet holds. Plain RSS double-counts shared pages and
+    would make a perfectly-shared store look N× larger.
+    """
+    try:
+        with open("/proc/self/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+def mapped_pss_bytes(directory) -> Optional[int]:
+    """This process's PSS over mappings of files under ``directory``.
+
+    Walks ``/proc/self/smaps`` and sums the ``Pss:`` field of every
+    mapping whose backing path lives under ``directory`` — i.e. the
+    *current* proportional charge of the store's memmapped blocks to
+    this process, with shared pages already divided among their
+    mappers. Unlike a whole-process PSS delta taken at startup, this is
+    correct at any time: once N shards map the store, each reports
+    ~1/N of it. Returns ``None`` where smaps is unsupported, ``0`` when
+    nothing under ``directory`` is mapped.
+    """
+    prefix = str(Path(directory).resolve())
+    total = 0
+    matching = False
+    try:
+        with open("/proc/self/smaps") as handle:
+            for line in handle:
+                fields = line.split()
+                if fields and "-" in fields[0]:  # mapping header line
+                    path = fields[-1] if len(fields) >= 6 else ""
+                    matching = path.startswith(prefix)
+                elif matching and line.startswith("Pss:"):
+                    total += int(fields[1]) * 1024
+    except OSError:
+        return None
+    return total
+
+
+def _write_block(path: Path, array: np.ndarray) -> Dict:
+    """Write one raw float64 block; returns its manifest record."""
+    data = np.ascontiguousarray(np.asarray(array, dtype="<f8"))
+    with open(path, "wb") as handle:
+        handle.write(memoryview(data).cast("B"))
+    return {
+        "shape": [int(n) for n in data.shape],
+        "dtype": "<f8",
+        "sha256": _sha256_file(path),
+        "nbytes": int(data.nbytes),
+    }
+
+
+def export_model_store(
+    registry: ModelRegistry,
+    keys: Sequence[str],
+    directory,
+) -> dict:
+    """Export registry entries into the flat memmappable store layout.
+
+    Each ``name@vN`` key resolves through the registry (checksum-
+    verified), its frozen models' coefficient and offset arrays land as
+    raw ``.bin`` blocks under ``<directory>/<name>@vN/``, and the store
+    manifest records every block's shape and sha256 plus the entry's
+    basis spec and metric list. Registry versions are immutable, so a
+    key that is already in the manifest is skipped — re-exporting is
+    cheap and idempotent, which is what lets the gateway extend a live
+    store when a canary version arrives. The manifest is replaced
+    atomically (write-temp + rename) so a crashed export never leaves a
+    half-readable store. Returns the updated manifest dict.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / STORE_MANIFEST_NAME
+    if manifest_path.exists():
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    else:
+        manifest = {"schema": _STORE_SCHEMA, "entries": {}}
+    entries = manifest["entries"]
+    changed = False
+    for key in keys:
+        entry, models, basis = registry.load_models(key)
+        if entry.key in entries:
+            continue
+        subdir = directory / entry.key
+        subdir.mkdir(parents=True, exist_ok=True)
+        blocks: Dict[str, Dict] = {}
+        for metric, frozen in sorted(models.items()):
+            for suffix, array in (
+                ("coef", frozen.coef_),
+                ("offsets", frozen.offsets_.reshape(1, -1)),
+            ):
+                filename = f"{metric}.{suffix}.bin"
+                blocks[f"{entry.key}/{filename}"] = _write_block(
+                    subdir / filename, array
+                )
+        entries[entry.key] = {
+            "name": entry.name,
+            "version": int(entry.version),
+            "metrics": sorted(models),
+            "basis": None if basis is None else basis.spec(),
+            "n_states": int(entry.manifest.get("n_states", 0)),
+            "blocks": blocks,
+        }
+        changed = True
+    if changed or not manifest_path.exists():
+        temp = manifest_path.with_suffix(".tmp")
+        with open(temp, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp, manifest_path)
+    return manifest
+
+
+class ModelStore:
+    """Read-only view of an exported store: one memmap per block.
+
+    Opening verifies the manifest's sha256 per block (reading each file
+    once — the same pages the memmaps will serve, so verification
+    doubles as warm-up) and maps every block with ``numpy.memmap`` in
+    read-only mode. All processes opening one store share the physical
+    pages.
+    """
+
+    def __init__(
+        self, directory, manifest: dict, verify: bool = True
+    ) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self._blocks: Dict[str, np.ndarray] = {}
+        for key, entry in manifest.get("entries", {}).items():
+            for relpath, spec in entry["blocks"].items():
+                path = self.directory / relpath
+                if not path.exists():
+                    raise CheckpointError(
+                        f"store block {relpath} is missing under "
+                        f"{self.directory}",
+                        path=str(path),
+                    )
+                if path.stat().st_size != spec["nbytes"]:
+                    raise CheckpointError(
+                        f"store block {relpath} is {path.stat().st_size} "
+                        f"bytes, manifest says {spec['nbytes']} "
+                        "(truncated export?)",
+                        path=str(path),
+                    )
+                if verify:
+                    actual = _sha256_file(path)
+                    if actual != spec["sha256"]:
+                        raise CheckpointError(
+                            f"checksum mismatch for store block {relpath}: "
+                            f"manifest says {spec['sha256'][:12]}…, file "
+                            f"hashes to {actual[:12]}…",
+                            path=str(path),
+                        )
+                self._blocks[relpath] = np.memmap(
+                    path,
+                    dtype=np.dtype(spec["dtype"]),
+                    mode="r",
+                    shape=tuple(spec["shape"]),
+                )
+
+    @classmethod
+    def open(cls, directory, verify: bool = True) -> "ModelStore":
+        """Open (and by default verify) an exported store directory."""
+        directory = Path(directory)
+        manifest_path = directory / STORE_MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CheckpointError(
+                f"no store manifest at {manifest_path}",
+                path=str(manifest_path),
+            )
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        return cls(directory, manifest, verify=verify)
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Exported ``name@vN`` keys, sorted."""
+        return sorted(self.manifest.get("entries", {}))
+
+    @property
+    def nbytes(self) -> int:
+        """Total logical size of every mapped block."""
+        return sum(block.nbytes for block in self._blocks.values())
+
+    def touch(self) -> float:
+        """Fault every block's pages in (returns a throwaway checksum).
+
+        Summing each memmap forces the kernel to map all its pages into
+        this process, which is what makes a PSS measurement reflect the
+        full (shared) store footprint rather than lazily-unmapped zero.
+        """
+        total = 0.0
+        for block in self._blocks.values():
+            total += float(np.asarray(block).sum())
+        return total
+
+    # ------------------------------------------------------------------
+    def frozen_models(self, key: str) -> Dict[str, FrozenModel]:
+        """The frozen models of ``key``, backed by the mapped blocks.
+
+        The returned models' ``coef_`` arrays are views over the shared
+        pages — building them allocates only the (tiny) offsets copy
+        and Python object shells, never a coefficient copy.
+        """
+        entry = self._entry(key)
+        models: Dict[str, FrozenModel] = {}
+        for metric in entry["metrics"]:
+            coef = self._blocks[f"{key}/{metric}.coef.bin"]
+            offsets = self._blocks[f"{key}/{metric}.offsets.bin"]
+            models[metric] = FrozenModel(
+                coef=np.asarray(coef),
+                offsets=np.asarray(offsets).reshape(-1),
+                metric=metric,
+            )
+        return models
+
+    def served_model(self, key: str) -> ServedModel:
+        """Build a ready-to-serve :class:`ServedModel` for ``key``.
+
+        Requires the entry to carry a basis spec (raw-``x`` requests
+        must be expandable); coefficient matrices stay memmapped.
+        """
+        entry = self._entry(key)
+        if entry.get("basis") is None:
+            raise ServingError(
+                f"store entry {key} has no basis spec; it cannot serve "
+                "raw-x requests"
+            )
+        return ServedModel(
+            name=entry["name"],
+            version=int(entry["version"]),
+            basis=basis_from_spec(entry["basis"]),
+            models=self.frozen_models(key),
+        )
+
+    def _entry(self, key: str) -> dict:
+        entries = self.manifest.get("entries", {})
+        if key not in entries:
+            raise KeyError(
+                f"{key!r} is not in the store; exported: {self.keys()}"
+            )
+        return entries[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModelStore({str(self.directory)!r}, keys={self.keys()}, "
+            f"{self.nbytes / 1e6:.1f} MB)"
+        )

@@ -23,7 +23,12 @@ those cases distinguishable at the caller:
     the offending file so operators know what to delete or restore.
 ``ServingError``
     The serving layer failed an operation (e.g. a hot swap) in a way it
-    degraded around rather than crashed on.
+    degraded around rather than crashed on. The cluster gateway refines
+    it into :class:`ShedError` (admission control turned the request
+    away), :class:`DeadlineError` (the per-request deadline expired
+    before an answer arrived) and :class:`ShardCrashError` (the shard
+    process serving the request died mid-flight) — all still
+    ``ServingError`` so existing handlers keep working.
 """
 
 from __future__ import annotations
@@ -34,9 +39,12 @@ import numpy as np
 
 __all__ = [
     "CheckpointError",
+    "DeadlineError",
     "NumericalError",
     "ReproError",
     "ServingError",
+    "ShardCrashError",
+    "ShedError",
     "SimulationError",
 ]
 
@@ -80,3 +88,30 @@ class CheckpointError(ReproError):
 
 class ServingError(ReproError):
     """A serving operation failed (the service degrades, not crashes)."""
+
+
+class ShedError(ServingError):
+    """Admission control rejected a request (shard queue too deep).
+
+    A shed is an explicit, structured refusal — never a silent drop:
+    the caller knows immediately that the request was not (and will not
+    be) processed, and the gateway counts it per shard and per version.
+    """
+
+
+class DeadlineError(ServingError):
+    """A request's deadline expired before its answer arrived.
+
+    Raised by the gateway when a shard is too slow (or hung): the
+    request is abandoned, the expiry is counted, and any late answer
+    from the shard is discarded.
+    """
+
+
+class ShardCrashError(ServingError):
+    """The shard process serving a request died with it in flight.
+
+    The gateway fails every in-flight request of the dead shard with
+    this error (well before any deadline), then respawns the shard with
+    the shared-memory model store remapped.
+    """

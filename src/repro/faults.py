@@ -24,6 +24,11 @@ Wiring points:
   ``"stream"`` site to each ingested batch via
   :func:`apply_stream_fault` — poisoned batches must be quarantined
   while the served model keeps answering.
+* :class:`~repro.cluster.gateway.ClusterService` consumes the
+  ``"shard"`` site through :func:`shard_faults`: ``shard:kill@i``
+  hard-exits shard process ``i`` (the gateway must fail its in-flight
+  requests and respawn it) and ``shard:hang@i`` makes it stop reading
+  its pipe (every routed request must expire on its deadline).
 
 The CLI accepts ``--fault-plan "oracle:raise@2,5;swap:raise@0"`` (see
 :meth:`FaultPlan.parse`) so end-to-end chaos runs need no code.
@@ -48,10 +53,14 @@ __all__ = [
     "FaultyOracle",
     "apply_stream_fault",
     "raise_serving_fault",
+    "shard_faults",
     "worker_crash_flag",
 ]
 
-_MODES = ("raise", "nan", "stall")
+_MODES = ("raise", "nan", "stall", "kill", "hang")
+
+#: Modes that only make sense at the ``"shard"`` site (process-level).
+_SHARD_MODES = ("kill", "hang")
 
 #: Environment variable naming the one-shot worker-crash token file.
 WORKER_CRASH_ENV = "REPRO_FAULT_WORKER_CRASH"
@@ -69,10 +78,14 @@ class Fault:
         string works for custom integration points.
     mode:
         ``"raise"`` (throw :class:`SimulationError`/:class:`ServingError`),
-        ``"nan"`` (poison one seeded row of the returned values), or
-        ``"stall"`` (sleep ``stall_seconds`` before answering).
+        ``"nan"`` (poison one seeded row of the returned values),
+        ``"stall"`` (sleep ``stall_seconds`` before answering), or the
+        process-level ``"kill"`` / ``"hang"`` modes of the ``"shard"``
+        site (hard-exit / stop reading; the *index* names a shard, not
+        a call).
     calls:
-        0-based call indices at which the fault fires.
+        0-based call indices at which the fault fires (shard indices
+        for the ``"shard"`` site).
     every:
         Alternative to ``calls``: fire whenever ``index % every == 0``.
     stall_seconds:
@@ -89,6 +102,11 @@ class Fault:
         if self.mode not in _MODES:
             raise ValueError(
                 f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.mode in _SHARD_MODES and self.site != "shard":
+            raise ValueError(
+                f"mode {self.mode!r} is shard-only (site 'shard'), "
+                f"got site {self.site!r}"
             )
         if self.every is not None and self.every < 1:
             raise ValueError(f"every must be >= 1, got {self.every}")
@@ -153,6 +171,8 @@ class FaultPlan:
             oracle:nan@*2           poison a row on every 2nd call
             swap:raise@0            fail the first hot swap
             oracle:stall@1:0.2      sleep 200 ms on call 1
+            shard:kill@1            hard-kill cluster shard process 1
+            shard:hang@0            make shard 0 stop reading its pipe
         """
         faults = []
         for chunk in filter(None, (c.strip() for c in spec.split(";"))):
@@ -287,6 +307,28 @@ def apply_stream_fault(
         row = int(plan.nan_rng(site).integers(poisoned.size))
         poisoned[row] = np.nan
     return poisoned
+
+
+def shard_faults(plan: Optional[FaultPlan]) -> Dict[int, str]:
+    """Extract the shard-process faults of a plan: ``{index: mode}``.
+
+    ``shard:kill@i`` / ``shard:hang@i`` specs name *shard indices*
+    rather than call counts, so the cluster gateway reads them out once
+    at injection time instead of firing the site per call. ``every``
+    schedules are resolved against the explicit ``calls`` only — a
+    shard fleet has a fixed size, so "every Nth shard" must be spelled
+    out as indices. A shard named by both a kill and a hang keeps the
+    first spec in plan order. ``None`` plans yield no faults.
+    """
+    if plan is None:
+        return {}
+    out: Dict[int, str] = {}
+    for fault in plan.faults:
+        if fault.site != "shard" or fault.mode not in _SHARD_MODES:
+            continue
+        for index in fault.calls:
+            out.setdefault(int(index), fault.mode)
+    return out
 
 
 class worker_crash_flag:

@@ -25,7 +25,7 @@ from repro.serving.engine import (
     PredictionEngine,
     ServedModel,
 )
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import ServingMetrics, aggregate_snapshots
 from repro.serving.registry import (
     ModelRegistry,
     RegistryEntry,
@@ -52,6 +52,7 @@ __all__ = [
     "RegistryError",
     "ServedModel",
     "ServingMetrics",
+    "aggregate_snapshots",
     "quantize_key",
     "read_model_dir",
     "write_model_dir",

@@ -12,11 +12,58 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ServingMetrics"]
+__all__ = ["ServingMetrics", "aggregate_snapshots"]
+
+#: Snapshot fields that sum across processes.
+_ADDITIVE_FIELDS = (
+    "requests",
+    "cache_hits",
+    "cache_misses",
+    "batches",
+    "batched_rows",
+    "hot_swaps",
+    "swap_failures",
+)
+
+
+def aggregate_snapshots(
+    snapshots: Sequence[Dict[str, Optional[float]]],
+) -> Dict[str, Optional[float]]:
+    """Fold per-process :meth:`ServingMetrics.snapshot` dicts into one.
+
+    Each shard worker owns a private ``PredictionEngine`` whose LRU
+    cache and ``ServingMetrics`` counters live in that process only —
+    a cluster report that showed a single shard's snapshot would
+    under-count every other shard's traffic. This helper sums the
+    additive counters (requests, cache hits/misses, batches, rows,
+    swaps) across *all* shards and recomputes the derived rates from
+    the sums. Latency percentiles are **not** mergeable from snapshots
+    (the raw windows stay in the workers), so ``p50_latency_ms`` /
+    ``p95_latency_ms`` come back ``None`` — read per-shard percentiles
+    from the individual snapshots instead.
+    """
+    out: Dict[str, Optional[float]] = {
+        field: 0 for field in _ADDITIVE_FIELDS
+    }
+    max_batch = 0
+    for snapshot in snapshots:
+        for field in _ADDITIVE_FIELDS:
+            out[field] += int(snapshot.get(field) or 0)
+        max_batch = max(max_batch, int(snapshot.get("max_batch_size") or 0))
+    lookups = out["cache_hits"] + out["cache_misses"]
+    out["cache_hit_rate"] = out["cache_hits"] / lookups if lookups else 0.0
+    out["mean_batch_size"] = (
+        out["batched_rows"] / out["batches"] if out["batches"] else 0.0
+    )
+    out["max_batch_size"] = max_batch
+    out["p50_latency_ms"] = None
+    out["p95_latency_ms"] = None
+    out["n_processes"] = len(snapshots)
+    return out
 
 
 class ServingMetrics:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
@@ -74,6 +74,14 @@ class StreamingConfig:
         so a finite window is what actually re-anchors the model.
     refit_max_workers:
         Worker budget forwarded to drift-triggered refits.
+    on_push:
+        Optional callback invoked with each pushed
+        :class:`RegistryEntry` right after it lands in the registry
+        (before the serving hot-swap). This is the cluster-integration
+        hook: a gateway can canary each streamed version
+        (``ClusterService.set_canary``) instead of cutting over
+        blindly. Exceptions propagate — a broken hook should stop the
+        stream, not silently decouple it from its consumer.
     """
 
     name: str = "stream"
@@ -84,6 +92,7 @@ class StreamingConfig:
     max_consecutive_failures: int = 5
     refit_window: Optional[int] = None
     refit_max_workers: Optional[int] = None
+    on_push: Optional[Callable[["RegistryEntry"], None]] = None
 
     def __post_init__(self) -> None:
         if self.push_every < 1:
@@ -201,6 +210,8 @@ class StreamingService:
         )
         self.metrics.record_push()
         self._absorbs_since_push = 0
+        if self.config.on_push is not None:
+            self.config.on_push(entry)
         return entry
 
     def _swap(self, entry: RegistryEntry) -> str:

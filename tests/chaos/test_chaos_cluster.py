@@ -1,0 +1,196 @@
+"""Chaos tests for the serving cluster: kills, hangs, sheds, canaries.
+
+Acceptance: a killed shard is respawned and serving resumes; requests
+caught by a crash fail with the structured error taxonomy (never a
+silent drop, never a hang past the deadline); a hung shard burns its
+deadline and the expiry is counted; admission control sheds loudly; and
+canary weights 0 / 1 route exactly even while chaos is configured.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterService
+from repro.errors import (
+    DeadlineError,
+    ServingError,
+    ShardCrashError,
+    ShedError,
+)
+from repro.faults import FaultPlan
+from repro.modelset import PerformanceModelSet
+from repro.serving import ModelRegistry
+
+_TAXONOMY = (ShedError, DeadlineError, ShardCrashError)
+
+
+@pytest.fixture(scope="module")
+def modelset(lna_dataset) -> PerformanceModelSet:
+    train, _ = lna_dataset.split(25)
+    return PerformanceModelSet.fit_dataset(train, method="somp", seed=0)
+
+
+@pytest.fixture()
+def registry(tmp_path, modelset) -> ModelRegistry:
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.push("lna", modelset)
+    registry.push("lna", modelset)
+    return registry
+
+
+def _x(modelset, rows=2):
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((rows, modelset.basis.n_variables))
+
+
+class TestKillRespawn:
+    def test_killed_shard_respawns_and_serving_resumes(
+        self, registry, modelset
+    ):
+        """Acceptance: shard:kill@owner → respawn, recovery, taxonomy-only
+        failures, every call bounded by its deadline."""
+        deadline = 10.0
+        config = ClusterConfig(n_shards=2, default_deadline_s=deadline)
+        x = _x(modelset)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.predict_many("lna", x, [0, 1])  # warm path
+            owner = cluster.describe_routes()["lna"]["shard"]
+            applied = cluster.inject_faults(
+                FaultPlan.parse(f"shard:kill@{owner}")
+            )
+            assert applied == {owner: "kill"}
+
+            recovered = False
+            failures = []
+            for _ in range(30):
+                started = time.monotonic()
+                try:
+                    results = cluster.predict_many("lna", x, [0, 1])
+                except ServingError as error:
+                    failures.append(error)
+                else:
+                    recovered = True
+                    direct = modelset.predict(x[:1], 0)
+                    for metric, value in results[0].values.items():
+                        assert abs(value - float(direct[metric][0])) <= 1e-15
+                    break
+                finally:
+                    # Never hangs past the deadline (+ scheduling slack).
+                    assert time.monotonic() - started < deadline + 2.0
+
+            assert recovered, f"never recovered; failures: {failures}"
+            assert cluster.metrics.total_respawns >= 1
+            # Every failure is a structured taxonomy error, not a silent
+            # drop or a bare exception.
+            assert all(isinstance(f, _TAXONOMY) for f in failures)
+            snapshot = cluster.metrics.snapshot()
+            assert snapshot["shards"][owner]["respawns"] >= 1
+
+    def test_in_flight_requests_fail_with_crash_error(
+        self, registry, modelset
+    ):
+        """Deterministic crash-with-requests-in-flight: hang the shard so
+        a request pends, then hard-kill the process."""
+        config = ClusterConfig(
+            n_shards=1, default_deadline_s=10.0, max_respawns=0
+        )
+        x = _x(modelset)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.predict_many("lna", x, [0, 0])
+            cluster.inject_faults(FaultPlan.parse("shard:hang@0"))
+            caught = {}
+
+            def pending_call():
+                started = time.monotonic()
+                try:
+                    cluster.predict_many("lna", x, [0, 0])
+                except ServingError as error:
+                    caught["error"] = error
+                caught["elapsed"] = time.monotonic() - started
+
+            worker = threading.Thread(target=pending_call)
+            worker.start()
+            time.sleep(0.5)  # let the request reach the hung shard
+            cluster._shards[0].process.kill()
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
+            assert isinstance(caught["error"], ShardCrashError)
+            # Failed promptly on the crash, not by burning the deadline.
+            assert caught["elapsed"] < 5.0
+            assert cluster.metrics.snapshot()["shards"][0][
+                "crash_failures"
+            ] >= 2
+            # Respawn budget 0: the shard stays down and later requests
+            # fail fast with the same taxonomy error.
+            with pytest.raises(ShardCrashError, match="respawn budget"):
+                cluster.predict_many("lna", x, [0, 0])
+
+
+class TestHangDeadline:
+    def test_hung_shard_expires_deadline_and_counts_it(
+        self, registry, modelset
+    ):
+        config = ClusterConfig(n_shards=1, default_deadline_s=30.0)
+        x = _x(modelset)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.predict_many("lna", x, [0, 0])
+            cluster.inject_faults(FaultPlan.parse("shard:hang@0"))
+            started = time.monotonic()
+            with pytest.raises(DeadlineError):
+                cluster.predict_many("lna", x, [0, 0], deadline_s=0.5)
+            assert time.monotonic() - started < 3.0
+            assert cluster.metrics.total_deadline_expired >= 1
+            snapshot = cluster.metrics.snapshot()
+            assert snapshot["versions"]["lna@v1"]["deadline_expired"] >= 1
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_loudly(self, registry, modelset):
+        config = ClusterConfig(
+            n_shards=1, max_queue_rows=8, default_deadline_s=30.0
+        )
+        x = _x(modelset, rows=8)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.predict_many("lna", _x(modelset), [0, 0])
+            cluster.inject_faults(FaultPlan.parse("shard:hang@0"))
+
+            def pending_call():
+                with pytest.raises(DeadlineError):
+                    cluster.predict_many(
+                        "lna", x, [0] * 8, deadline_s=2.0
+                    )
+
+            worker = threading.Thread(target=pending_call)
+            worker.start()
+            time.sleep(0.5)  # 8 rows now in flight on the hung shard
+            with pytest.raises(ShedError, match="shed"):
+                cluster.predict_many("lna", x, [0] * 8)
+            assert cluster.metrics.total_shed >= 8
+            snapshot = cluster.metrics.snapshot()
+            assert snapshot["shards"][0]["shed"] >= 8
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+
+
+class TestCanaryEdgeWeights:
+    def test_weights_zero_and_one_route_exactly(self, registry, modelset):
+        """20 calls at weight 0 all hit stable; 20 at weight 1 all hit
+        the canary — the fractional accumulator has exact edges."""
+        config = ClusterConfig(n_shards=1)
+        x = _x(modelset)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.set_canary("lna", "lna@v2", 0.0)
+            versions = [
+                cluster.predict("lna", x[0], 0).version for _ in range(20)
+            ]
+            assert versions == [1] * 20
+            cluster.set_canary("lna", "lna@v2", 1.0)
+            versions = [
+                cluster.predict("lna", x[0], 0).version for _ in range(20)
+            ]
+            assert versions == [2] * 20

@@ -1,0 +1,1 @@
+"""Tests of the horizontal serving cluster (repro.cluster)."""

@@ -1,0 +1,39 @@
+"""Cluster-test fixtures: a fitted model set, registry and store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import export_model_store
+from repro.modelset import PerformanceModelSet
+from repro.serving import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def cluster_modelset(lna_dataset) -> PerformanceModelSet:
+    """A fast (S-OMP) model set over every LNA metric, 6 states."""
+    train, _ = lna_dataset.split(25)
+    return PerformanceModelSet.fit_dataset(train, method="somp", seed=0)
+
+
+@pytest.fixture()
+def registry(tmp_path) -> ModelRegistry:
+    """An empty registry rooted in a fresh temp directory."""
+    return ModelRegistry(tmp_path / "registry")
+
+
+@pytest.fixture()
+def two_versions(registry, cluster_modelset):
+    """``lna@v1`` and ``lna@v2`` pushed (identical content)."""
+    return (
+        registry.push("lna", cluster_modelset),
+        registry.push("lna", cluster_modelset),
+    )
+
+
+@pytest.fixture()
+def store_dir(tmp_path, registry, two_versions):
+    """A store directory with ``lna@v1`` exported."""
+    directory = tmp_path / "store"
+    export_model_store(registry, ["lna@v1"], directory)
+    return directory

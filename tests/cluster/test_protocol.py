@@ -1,0 +1,165 @@
+"""Wire-protocol round trips, malformed frames, and close semantics."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    read_frame,
+    read_frame_async,
+    send_frame,
+    write_frame_async,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestBlockingRoundTrip:
+    def test_header_and_arrays_preserved(self, pair):
+        left, right = pair
+        rng = np.random.default_rng(0)
+        arrays = [
+            rng.standard_normal((4, 7)),
+            np.arange(12, dtype=np.int32).reshape(3, 4),
+            np.array([True, False, True]),
+        ]
+        send_frame(left, {"kind": "predict", "id": 9}, arrays)
+        header, got = read_frame(right)
+        assert header["kind"] == "predict"
+        assert header["id"] == 9
+        assert len(got) == len(arrays)
+        for sent, received in zip(arrays, got):
+            assert received.dtype == sent.dtype
+            assert received.shape == sent.shape
+            assert np.array_equal(received, sent)
+
+    def test_no_array_frame(self, pair):
+        left, right = pair
+        send_frame(left, {"kind": "ping"})
+        header, arrays = read_frame(right)
+        assert header["kind"] == "ping"
+        assert arrays == []
+
+    def test_non_contiguous_array_survives(self, pair):
+        left, right = pair
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        sliced = base[:, ::2]  # non-contiguous view
+        send_frame(left, {"kind": "predict"}, [sliced])
+        _, (got,) = read_frame(right)
+        assert np.array_equal(got, sliced)
+
+    def test_multiple_frames_in_sequence(self, pair):
+        left, right = pair
+        for i in range(5):
+            send_frame(left, {"seq": i}, [np.full(3, float(i))])
+        for i in range(5):
+            header, (array,) = read_frame(right)
+            assert header["seq"] == i
+            assert np.array_equal(array, np.full(3, float(i)))
+
+
+class TestBlockingCloseAndCorruption:
+    def test_eoferror_on_closed_peer(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(EOFError):
+            read_frame(right)
+
+    def test_eoferror_mid_frame(self, pair):
+        left, right = pair
+        # A prefix promising more bytes than ever arrive.
+        left.sendall(struct.pack("<IQ", 100, 0))
+        left.close()
+        with pytest.raises(EOFError):
+            read_frame(right)
+
+    def test_oversized_prefix_rejected(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("<IQ", 16, MAX_FRAME_BYTES))
+        with pytest.raises(ProtocolError, match="bound"):
+            read_frame(right)
+
+    def test_short_payload_rejected(self, pair):
+        left, right = pair
+        # Header promises an 8-byte float64 array, payload carries none.
+        header = (
+            b'{"arrays": [{"shape": [1], "dtype": "float64"}]}'
+        )
+        left.sendall(struct.pack("<IQ", len(header), 0))
+        left.sendall(header)
+        with pytest.raises(ProtocolError, match="too short"):
+            read_frame(right)
+
+    def test_send_oversized_frame_rejected(self, pair):
+        left, _ = pair
+
+        class _Huge:
+            """Stands in for an array too large to ever allocate."""
+
+            nbytes = MAX_FRAME_BYTES
+
+        with pytest.raises(ProtocolError, match="bound"):
+            # Bypass ascontiguousarray by monkey-level construction:
+            # a real oversized array is unaffordable, so check the
+            # length guard directly.
+            from repro.cluster import protocol
+
+            protocol._check_lengths(64, MAX_FRAME_BYTES)
+        assert _Huge.nbytes == MAX_FRAME_BYTES
+
+
+class TestAsyncRoundTrip:
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_async_to_blocking_and_back(self, pair):
+        left, right = pair
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((6, 5))
+
+        def shard_side():
+            header, (got,) = read_frame(right)
+            send_frame(right, {"kind": "result", "echo": header["id"]}, [got * 2])
+
+        worker = threading.Thread(target=shard_side)
+        worker.start()
+
+        async def gateway_side():
+            reader, writer = await asyncio.open_connection(sock=left)
+            await write_frame_async(writer, {"kind": "predict", "id": 4}, [x])
+            header, (doubled,) = await read_frame_async(reader)
+            writer.close()
+            return header, doubled
+
+        header, doubled = self._run(gateway_side())
+        worker.join(timeout=10)
+        assert header == {"kind": "result", "echo": 4, "arrays": [
+            {"shape": [6, 5], "dtype": "float64"}
+        ]}
+        assert np.array_equal(doubled, x * 2)
+
+    def test_async_close_raises_incomplete_read(self, pair):
+        left, right = pair
+
+        async def gateway_side():
+            reader, writer = await asyncio.open_connection(sock=left)
+            right.close()
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_frame_async(reader)
+            writer.close()
+
+        self._run(gateway_side())

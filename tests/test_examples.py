@@ -63,6 +63,15 @@ class TestExamples:
         assert "serving live@v" in out
         assert "streaming telemetry:" in out
 
+    def test_cluster_demo(self):
+        out = run_example("cluster_demo.py")
+        assert "cluster serving live@v1 on 2 shards" in out
+        assert "canarying at 30%" in out
+        assert "per-version traffic:" in out
+        assert "promoted live@v" in out
+        assert "CLUSTER REPORT" in out
+        assert "aggregate: requests=" in out
+
     @pytest.mark.parametrize(
         "name",
         [
@@ -76,6 +85,7 @@ class TestExamples:
             "serving_demo.py",
             "active_learning_demo.py",
             "streaming_demo.py",
+            "cluster_demo.py",
         ],
     )
     def test_example_compiles(self, name):

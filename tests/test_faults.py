@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ServingError, SimulationError
-from repro.faults import Fault, FaultPlan, FaultyOracle, raise_serving_fault
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    FaultyOracle,
+    raise_serving_fault,
+    shard_faults,
+)
 
 from tests.active.conftest import sparse_oracle
 
@@ -110,6 +116,35 @@ class TestFaultyOracle:
         assert oracle.metric == base.metric
         assert oracle.n_states == base.n_states
         assert oracle.n_variables == base.n_variables
+
+
+class TestShardFaults:
+    def test_parse_kill_and_hang(self):
+        plan = FaultPlan.parse("shard:kill@1; shard:hang@0")
+        kill, hang = plan.faults
+        assert kill.site == "shard" and kill.mode == "kill"
+        assert kill.calls == (1,)
+        assert hang.site == "shard" and hang.mode == "hang"
+        assert hang.calls == (0,)
+
+    def test_shard_faults_extraction(self):
+        plan = FaultPlan.parse("shard:kill@1,3; shard:hang@0")
+        assert shard_faults(plan) == {0: "hang", 1: "kill", 3: "kill"}
+
+    def test_first_spec_wins_on_conflict(self):
+        plan = FaultPlan.parse("shard:hang@2; shard:kill@2")
+        assert shard_faults(plan) == {2: "hang"}
+
+    def test_none_plan_and_non_shard_sites_ignored(self):
+        assert shard_faults(None) == {}
+        plan = FaultPlan.parse("oracle:raise@0")
+        assert shard_faults(plan) == {}
+
+    def test_kill_hang_are_shard_only(self):
+        with pytest.raises(ValueError, match="shard-only"):
+            Fault("oracle", "kill", calls=(0,))
+        with pytest.raises(ValueError, match="shard-only"):
+            Fault("swap", "hang", calls=(1,))
 
 
 class TestServingFaultHelper:
