@@ -14,16 +14,26 @@ reports next to the working directory:
 * ``BENCH_cluster.json`` — the horizontal serving cluster (multi-shard
   ``ClusterService`` throughput vs the single-process ``ModelService``
   on the same request stream, plus the shared-memory accounting: the
-  summed PSS cost of N shards mapping one store).
+  summed PSS cost of N shards mapping one store);
+* ``BENCH_kron.json`` — the Kronecker posterior solver on the K=201
+  swept-frequency workload: full ``CBMF.fit`` through the Kronecker
+  path vs the same fit forced onto the dual/Woodbury path
+  (``REPRO_POSTERIOR_SOLVER=dual``), a K-scaling curve, and the
+  coefficient-parity numbers the speedup is only valid together with.
 
 Each report carries the workload fingerprint (circuit, scale, shapes,
 repeat count) plus environment info, and every timing is the **median**
 over ``--repeats`` runs so a single scheduler hiccup cannot fail CI.
+``--suite`` selects one report (``fit``/``serving``/``streaming``/
+``cluster``/``kron``); the default runs all of them.
 
 ``--check`` compares the fresh numbers against committed baselines
 (``benchmarks/baselines/`` by default) and exits non-zero when any
-timing regresses beyond ``--threshold`` (default 1.5×). Baselines are
-refreshed by re-running with ``--update-baseline`` on a quiet machine.
+timing regresses beyond ``--threshold`` (default 1.5×). The kron suite
+additionally enforces *absolute* gates — fit speedup ≥ 5× over the dual
+path and coefficient parity ≤ 1e-8 — independent of the baseline.
+Baselines are refreshed by re-running with ``--update-baseline`` on a
+quiet machine.
 """
 
 from __future__ import annotations
@@ -42,8 +52,10 @@ import numpy as np
 __all__ = [
     "bench_cluster",
     "bench_fit",
+    "bench_kron",
     "bench_serving",
     "bench_streaming",
+    "check_kron_gates",
     "check_regression",
     "main_bench",
 ]
@@ -501,6 +513,184 @@ def bench_cluster(
     }
 
 
+#: Absolute gates of the kron suite (ISSUE 8 acceptance criteria):
+#: the Kronecker fit must beat the dual-path fit by at least this factor
+#: at K=201 while matching its coefficients (and the dense oracle on the
+#: sub-problem) to this relative tolerance.
+KRON_MIN_SPEEDUP = 5.0
+KRON_PARITY_RTOL = 1e-8
+
+#: The K-scaling curve recorded in the kron report / EXPERIMENTS.md.
+KRON_K_CURVE = (32, 64, 128, 201)
+
+
+def bench_kron(
+    repeats: int = 3,
+    seed: int = 2016,
+    n_points: int = 201,
+    n_train: int = 10,
+    k_curve=KRON_K_CURVE,
+) -> dict:
+    """Time ``CBMF.fit`` on the swept-frequency workload: kron vs dual.
+
+    Both arms run the *identical* pipeline (same data, same single-point
+    CV grid, same EM cap); only ``REPRO_POSTERIOR_SOLVER`` differs, so
+    the measured ratio is purely the solver. The dual arm is timed once
+    per K (it costs minutes at K=201 — exactly the problem the Kronecker
+    path removes); the kron arm reports the median over ``repeats``.
+    Coefficient parity is recorded at full K between the two arms, and
+    both fast paths are checked against ``compute_posterior_dense`` on a
+    column/state-restricted sub-problem small enough to materialize the
+    MK × MK prior.
+    """
+    import os
+
+    from repro.basis.polynomial import LinearBasis
+    from repro.core.cbmf import CBMF
+    from repro.core.em import EmConfig
+    from repro.core.posterior import compute_posterior, compute_posterior_dense
+    from repro.core.prior import CorrelatedPrior, ar1_correlation
+    from repro.core.somp_init import InitConfig
+    from repro.paper import simulate_sweep
+
+    train = simulate_sweep(
+        n_points=n_points, n_samples_per_state=n_train, seed=seed
+    )
+    basis = LinearBasis(train.n_variables)
+    designs = basis.expand_states(train.inputs())
+    targets = train.targets("s21_db")
+    # Single-point CV grid: both arms deterministically pick the same
+    # (r0, σ0, θ), so the final coefficients are comparable bit-for-bit
+    # modulo solver round-off — the parity this report gates on.
+    init_config = InitConfig(
+        r0_grid=(0.95,),
+        sigma0_grid=(0.15,),
+        n_basis_grid=(20,),
+        n_folds=2,
+    )
+    em_config = EmConfig(max_iterations=8)
+
+    def fit(n_states: int) -> "CBMF":
+        model = CBMF(
+            init_config=init_config, em_config=em_config, seed=seed
+        )
+        return model.fit(designs[:n_states], targets[:n_states])
+
+    def timed_dual(fn):
+        previous = os.environ.get("REPRO_POSTERIOR_SOLVER")
+        os.environ["REPRO_POSTERIOR_SOLVER"] = "dual"
+        try:
+            started = time.perf_counter()
+            result = fn()
+            return result, time.perf_counter() - started
+        finally:
+            if previous is None:
+                del os.environ["REPRO_POSTERIOR_SOLVER"]
+            else:
+                os.environ["REPRO_POSTERIOR_SOLVER"] = previous
+
+    curve = []
+    kron_models = {}
+    for k in k_curve:
+        if k > n_points:
+            continue
+        started = time.perf_counter()
+        kron_models[k] = fit(k)
+        kron_seconds = time.perf_counter() - started
+        _, dual_seconds = timed_dual(lambda: fit(k))
+        curve.append(
+            {
+                "k": int(k),
+                "kron_seconds": kron_seconds,
+                "dual_seconds": dual_seconds,
+                "speedup": dual_seconds / kron_seconds,
+            }
+        )
+
+    # Headline: median kron fit at full K against the (single) dual run.
+    kron_median = _median_seconds(lambda: fit(n_points), max(repeats, 1))
+    dual_model, dual_seconds = timed_dual(lambda: fit(n_points))
+    kron_model = kron_models.get(n_points) or fit(n_points)
+    denom = float(np.max(np.abs(dual_model.coef_))) or 1.0
+    coef_parity = float(
+        np.max(np.abs(kron_model.coef_ - dual_model.coef_)) / denom
+    )
+
+    # Dense-oracle parity on a sub-problem that fits in memory: first 32
+    # states, first 60 basis columns (MK = 1920).
+    k_sub, m_sub = min(32, n_points), min(60, basis.n_basis)
+    sub_designs = [d[:, :m_sub] for d in designs[:k_sub]]
+    sub_targets = targets[:k_sub]
+    sub_prior = CorrelatedPrior(
+        lambdas=np.full(m_sub, 0.5),
+        correlation=ar1_correlation(k_sub, 0.9),
+    )
+    dense = compute_posterior_dense(
+        sub_designs, sub_targets, sub_prior, 0.01
+    )
+    dense_scale = float(np.max(np.abs(dense.mean))) or 1.0
+
+    def parity_vs_dense(method: str) -> float:
+        result = compute_posterior(
+            sub_designs, sub_targets, sub_prior, 0.01, method=method
+        )
+        return float(
+            np.max(np.abs(result.mean - dense.mean)) / dense_scale
+        )
+
+    return {
+        "kind": "kron",
+        "config": {
+            "circuit": "lna_sweep",
+            "metric": "s21_db",
+            "n_points": n_points,
+            "n_train_per_state": n_train,
+            "n_basis": basis.n_basis,
+            "seed": seed,
+            "repeats": repeats,
+            "k_curve": [point["k"] for point in curve],
+        },
+        "env": _environment(),
+        "timings_seconds": {
+            "kron_fit_k201": kron_median,
+            "dual_fit_k201": dual_seconds,
+        },
+        "details": {
+            "solver_used": kron_model.predictor.solver,
+            "speedup_vs_dual": dual_seconds / kron_median,
+            "coef_parity_vs_dual": coef_parity,
+            "kron_vs_dense_parity": parity_vs_dense("kron"),
+            "dual_vs_dense_parity": parity_vs_dense("dual"),
+            "k_scaling": curve,
+        },
+    }
+
+
+def check_kron_gates(report: dict) -> List[str]:
+    """Absolute acceptance gates of the kron report (baseline-free)."""
+    problems: List[str] = []
+    details = report.get("details", {})
+    speedup = details.get("speedup_vs_dual", 0.0)
+    if speedup < KRON_MIN_SPEEDUP:
+        problems.append(
+            f"kron fit speedup {speedup:.2f}× below the "
+            f"{KRON_MIN_SPEEDUP}× gate"
+        )
+    for key in ("coef_parity_vs_dual", "kron_vs_dense_parity",
+                "dual_vs_dense_parity"):
+        value = details.get(key)
+        if value is None or value > KRON_PARITY_RTOL:
+            problems.append(
+                f"kron parity {key}={value} exceeds {KRON_PARITY_RTOL}"
+            )
+    if details.get("solver_used") != "kron":
+        problems.append(
+            "the benchmarked fit did not take the Kronecker path "
+            f"(solver_used={details.get('solver_used')!r})"
+        )
+    return problems
+
+
 def check_regression(
     current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> List[str]:
@@ -541,6 +731,10 @@ def _write_report(report: dict, path: Path) -> None:
     print(f"wrote {path}")
 
 
+#: Suite registry: report filename per suite, in run order.
+SUITES = ("fit", "serving", "streaming", "cluster", "kron")
+
+
 def main_bench(args: argparse.Namespace) -> int:
     """Entry point of ``python -m repro bench``."""
     scale_name = "small" if args.quick else args.scale
@@ -548,58 +742,80 @@ def main_bench(args: argparse.Namespace) -> int:
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     baseline_dir = Path(args.baseline_dir)
+    selected = SUITES if args.suite == "all" else (args.suite,)
 
-    print(
-        f"benchmarking fit path (scale={scale_name}, repeats={repeats}) ..."
-    )
-    fit_report = bench_fit(scale_name, repeats=repeats, seed=args.seed)
-    timings = fit_report["timings_seconds"]
-    print(
-        f"  cbmf_fit {timings['cbmf_fit']:.3f}s  "
-        f"somp_init {timings['somp_init']:.3f}s  "
-        f"em {timings['em']:.3f}s  "
-        f"posterior {timings['posterior_solve'] * 1e3:.2f}ms"
-    )
-    print("benchmarking serving path ...")
-    serving_report = bench_serving(repeats=repeats, seed=args.seed)
-    serving_t = serving_report["timings_seconds"]["predict_many"]
-    print(
-        f"  predict_many {serving_t:.3f}s "
-        f"({serving_report['details']['requests_per_second']:,.0f} req/s)"
-    )
+    reports: Dict[str, dict] = {}
 
-    print("benchmarking streaming path ...")
-    streaming_report = bench_streaming(
-        scale_name, repeats=repeats, seed=args.seed
-    )
-    streaming_t = streaming_report["timings_seconds"]
-    print(
-        f"  absorb_batch {streaming_t['absorb_batch'] * 1e3:.3f}ms  "
-        f"full_refit {streaming_t['full_refit']:.3f}s  "
-        f"(speedup "
-        f"{streaming_report['details']['absorb_vs_refit_speedup']:.0f}x)"
-    )
+    if "fit" in selected:
+        print(
+            f"benchmarking fit path (scale={scale_name}, "
+            f"repeats={repeats}) ..."
+        )
+        fit_report = bench_fit(scale_name, repeats=repeats, seed=args.seed)
+        timings = fit_report["timings_seconds"]
+        print(
+            f"  cbmf_fit {timings['cbmf_fit']:.3f}s  "
+            f"somp_init {timings['somp_init']:.3f}s  "
+            f"em {timings['em']:.3f}s  "
+            f"posterior {timings['posterior_solve'] * 1e3:.2f}ms"
+        )
+        reports["BENCH_fit.json"] = fit_report
 
-    print("benchmarking cluster path ...")
-    cluster_report = bench_cluster(
-        scale_name, repeats=repeats, seed=args.seed
-    )
-    cluster_d = cluster_report["details"]
-    ratio = cluster_d["pss_share_ratio"]
-    print(
-        f"  single {cluster_d['single_rows_per_second']:,.0f} rows/s  "
-        f"cluster {cluster_d['cluster_rows_per_second']:,.0f} rows/s  "
-        f"(speedup {cluster_d['cluster_vs_single_speedup']:.2f}x on "
-        f"{cluster_d['cpu_count']} cores; pss share "
-        f"{'n/a' if ratio is None else f'{ratio:.2f}x'})"
-    )
+    if "serving" in selected:
+        print("benchmarking serving path ...")
+        serving_report = bench_serving(repeats=repeats, seed=args.seed)
+        serving_t = serving_report["timings_seconds"]["predict_many"]
+        print(
+            f"  predict_many {serving_t:.3f}s "
+            f"({serving_report['details']['requests_per_second']:,.0f} "
+            "req/s)"
+        )
+        reports["BENCH_serving.json"] = serving_report
 
-    reports = {
-        "BENCH_fit.json": fit_report,
-        "BENCH_serving.json": serving_report,
-        "BENCH_streaming.json": streaming_report,
-        "BENCH_cluster.json": cluster_report,
-    }
+    if "streaming" in selected:
+        print("benchmarking streaming path ...")
+        streaming_report = bench_streaming(
+            scale_name, repeats=repeats, seed=args.seed
+        )
+        streaming_t = streaming_report["timings_seconds"]
+        print(
+            f"  absorb_batch {streaming_t['absorb_batch'] * 1e3:.3f}ms  "
+            f"full_refit {streaming_t['full_refit']:.3f}s  "
+            f"(speedup "
+            f"{streaming_report['details']['absorb_vs_refit_speedup']:.0f}x)"
+        )
+        reports["BENCH_streaming.json"] = streaming_report
+
+    if "cluster" in selected:
+        print("benchmarking cluster path ...")
+        cluster_report = bench_cluster(
+            scale_name, repeats=repeats, seed=args.seed
+        )
+        cluster_d = cluster_report["details"]
+        ratio = cluster_d["pss_share_ratio"]
+        print(
+            f"  single {cluster_d['single_rows_per_second']:,.0f} rows/s  "
+            f"cluster {cluster_d['cluster_rows_per_second']:,.0f} rows/s  "
+            f"(speedup {cluster_d['cluster_vs_single_speedup']:.2f}x on "
+            f"{cluster_d['cpu_count']} cores; pss share "
+            f"{'n/a' if ratio is None else f'{ratio:.2f}x'})"
+        )
+        reports["BENCH_cluster.json"] = cluster_report
+
+    if "kron" in selected:
+        print("benchmarking kron solver (K=201 sweep, dual arm runs "
+              "once) ...")
+        kron_report = bench_kron(repeats=repeats, seed=args.seed)
+        kron_t = kron_report["timings_seconds"]
+        kron_d = kron_report["details"]
+        print(
+            f"  kron_fit {kron_t['kron_fit_k201']:.3f}s  "
+            f"dual_fit {kron_t['dual_fit_k201']:.3f}s  "
+            f"(speedup {kron_d['speedup_vs_dual']:.1f}x, coef parity "
+            f"{kron_d['coef_parity_vs_dual']:.2e})"
+        )
+        reports["BENCH_kron.json"] = kron_report
+
     for name, report in reports.items():
         _write_report(report, output_dir / name)
 
@@ -613,14 +829,18 @@ def main_bench(args: argparse.Namespace) -> int:
         failures: List[str] = []
         for name, report in reports.items():
             baseline_path = baseline_dir / name
-            if not baseline_path.exists():
+            if baseline_path.exists():
+                baseline = json.loads(baseline_path.read_text())
+                failures.extend(
+                    check_regression(
+                        report, baseline, threshold=args.threshold
+                    )
+                )
+            else:
                 print(f"no baseline at {baseline_path}; skipping check")
-                continue
-            baseline = json.loads(baseline_path.read_text())
-            for message in check_regression(
-                report, baseline, threshold=args.threshold
-            ):
-                failures.append(message)
+            if report["kind"] == "kron":
+                # Absolute gates, enforced with or without a baseline.
+                failures.extend(check_kron_gates(report))
         if failures:
             for message in failures:
                 print(f"REGRESSION: {message}", file=sys.stderr)
@@ -638,6 +858,10 @@ def add_bench_parser(sub) -> None:
     p.add_argument(
         "--quick", action="store_true",
         help="small scale + fewer repeats (the CI perf-smoke setting)",
+    )
+    p.add_argument(
+        "--suite", default="all", choices=("all",) + SUITES,
+        help="run a single benchmark suite (default: all)",
     )
     p.add_argument(
         "--scale", default="medium",

@@ -34,6 +34,7 @@ from repro.circuits.mixer import TunableMixer
 from repro.circuits.mna import AcSolution, Circuit
 from repro.circuits.noise import NoiseAnalysis, NoiseContribution
 from repro.circuits.sparams import SParameters, TwoPortTestbench
+from repro.circuits.sweep import SweptLNA
 from repro.circuits.vco import TunableVCO
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "TunableLNA",
     "TunableMixer",
     "TunableVCO",
+    "SweptLNA",
     "Circuit",
     "AcSolution",
     "NoiseAnalysis",

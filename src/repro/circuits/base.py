@@ -23,6 +23,14 @@ __all__ = ["TunableCircuit", "peripheral_padding"]
 class TunableCircuit(abc.ABC):
     """Abstract tunable circuit: process model + states + evaluator."""
 
+    #: Preferred sampling mode for :meth:`MonteCarloEngine.run`: True means
+    #: every state should see the *same* process samples by default (one
+    #: die measured at all knob settings). Circuits whose states are sweep
+    #: points of one measurement — e.g. the swept-frequency family — set
+    #: this, which also makes their datasets state-balanced and therefore
+    #: eligible for the Kronecker fit path (``repro.core.kronecker``).
+    shared_samples: bool = False
+
     @property
     @abc.abstractmethod
     def name(self) -> str:

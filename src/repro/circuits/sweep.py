@@ -1,0 +1,161 @@
+"""Swept-frequency characterization of the tunable LNA.
+
+VNA-style workload: the "states" are not knob codes but the points of a
+frequency sweep — one S-parameter/noise measurement of the same amplifier
+at K frequencies. This is C-BMF's regime pushed to the hundreds-of-states
+scale (a 201-point sweep is the classic VNA default): adjacent frequency
+points are strongly correlated, exactly what the AR(1) prior models, and
+the per-point posterior cost is what the Kronecker solver
+(``repro.core.kronecker``) removes.
+
+Two properties distinguish the sweep family from the knob circuits:
+
+* ``shared_samples = True`` — a sweep measures *one* die across all
+  frequencies, so every state is evaluated on the same process samples.
+  The resulting datasets are state-balanced, which makes the whole fit
+  path (S-OMP CV, EM, predictor) eligible for the Kronecker fast path.
+* the bias knob is frozen at one code; the inner
+  :class:`~repro.circuits.lna.TunableLNA` supplies the netlist through
+  its public ``stamp_core``/``noise_setup`` helpers.
+
+Metrics per (process sample, frequency point):
+
+* ``s21_db`` — forward transmission from a Z0-terminated two-port
+  testbench (:class:`~repro.circuits.sparams.TwoPortTestbench`);
+* ``nf_db`` — noise figure at the point's frequency from the linear
+  noise analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.base import TunableCircuit
+from repro.circuits.knobs import KnobConfiguration, TuningKnob, enumerate_states
+from repro.circuits.lna import TunableLNA
+from repro.circuits.sparams import TwoPortTestbench
+from repro.circuits.noise import NoiseAnalysis
+from repro.variation.process import ProcessModel, ProcessSample
+
+__all__ = ["SweptLNA"]
+
+#: VNA-default sweep length used by the registered ``lna_sweep`` datasets.
+DEFAULT_SWEEP_POINTS = 201
+
+
+class SweptLNA(TunableCircuit):
+    """The tunable LNA measured over a frequency sweep.
+
+    Parameters
+    ----------
+    n_points:
+        Number of sweep points K (default 201, the VNA classic).
+    f_start_hz, f_stop_hz:
+        Sweep limits; the default 1.8–3.0 GHz brackets the 2.4 GHz band
+        the LNA is tuned to, so the S21 curve carries the full tank
+        resonance shape.
+    bias_code:
+        Frozen bias DAC code; ``None`` picks the mid code.
+    n_bias_states:
+        Resolution of the (frozen) bias DAC of the inner LNA. Kept small —
+        the sweep's variation space should be the physical devices, not a
+        wide mirror bank.
+    """
+
+    METRICS: Tuple[str, ...] = ("s21_db", "nf_db")
+    shared_samples = True
+
+    def __init__(
+        self,
+        n_points: int = DEFAULT_SWEEP_POINTS,
+        f_start_hz: float = 1.8e9,
+        f_stop_hz: float = 3.0e9,
+        bias_code: Optional[int] = None,
+        n_bias_states: int = 8,
+    ) -> None:
+        if n_points < 2:
+            raise ValueError(f"n_points must be >= 2, got {n_points}")
+        if not 0.0 < f_start_hz < f_stop_hz:
+            raise ValueError(
+                f"need 0 < f_start_hz < f_stop_hz, got "
+                f"{f_start_hz}..{f_stop_hz}"
+            )
+        # The inner LNA carries the devices/variation space; its padding is
+        # skipped (n_variables=None) so the sweep models the physical
+        # space only.
+        self._lna = TunableLNA(n_states=n_bias_states, n_variables=None)
+        if bias_code is None:
+            bias_code = n_bias_states // 2
+        if not 0 <= bias_code < n_bias_states:
+            raise ValueError(
+                f"bias_code {bias_code} out of range 0..{n_bias_states - 1}"
+            )
+        self._bias_state = self._lna.states[bias_code]
+        knob = TuningKnob(
+            "frequency_hz",
+            tuple(np.linspace(f_start_hz, f_stop_hz, n_points)),
+        )
+        self._states = tuple(enumerate_states([knob]))
+
+    # ------------------------------------------------------------------
+    # TunableCircuit interface
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Circuit identifier."""
+        return "lna_sweep"
+
+    @property
+    def process_model(self) -> ProcessModel:
+        """The inner LNA's variation space (no peripheral padding)."""
+        return self._lna.process_model
+
+    @property
+    def states(self) -> Tuple[KnobConfiguration, ...]:
+        """One state per sweep frequency, in ascending order."""
+        return self._states
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Performances of interest."""
+        return self.METRICS
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """The sweep grid (K,)."""
+        return np.array(
+            [state.values["frequency_hz"] for state in self._states]
+        )
+
+    @property
+    def bias_state(self) -> KnobConfiguration:
+        """The frozen bias configuration of the inner LNA."""
+        return self._bias_state
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, sample: ProcessSample, state: KnobConfiguration
+    ) -> Dict[str, float]:
+        """One sweep point: S21 and NF of the biased LNA at one frequency."""
+        frequency = state.values["frequency_hz"]
+        lna = self._lna
+        bias = lna.bias_current(self._bias_state, sample)
+        ss1 = lna.m1.small_signal(bias, sample)
+        ss2 = lna.m2.small_signal(bias, sample)
+
+        # S21 from the Z0-terminated two-port testbench (the testbench
+        # supplies the source/load, so only the core is stamped).
+        def build(circuit, port1, port2):
+            lna.stamp_core(circuit, port1, port2, sample, ss1, ss2)
+
+        sparams = TwoPortTestbench(build).at(frequency)
+        s21_db = sparams.magnitude_db("s21")
+
+        # NF at the same frequency from the quiet configuration.
+        quiet, sources = lna.noise_setup(sample, ss1, ss2)
+        nf_db = NoiseAnalysis(quiet, "out").noise_figure_db(
+            frequency, sources, "RS"
+        )
+        return {"s21_db": s21_db, "nf_db": nf_db}

@@ -7,6 +7,7 @@
     python -m repro all
     python -m repro info
     python -m repro serve-bench [--requests N] [--batch-size B]
+    python -m repro sweep-fit [--points K] [--train N] [--registry DIR]
     python -m repro bench [--quick] [--check] [--update-baseline]
     python -m repro registry list|push|get --root DIR ...
     python -m repro active-fit [--circuit lna|mixer] [--strategy NAME] ...
@@ -24,6 +25,10 @@ its acquisition provenance in the manifest), and ``stream`` runs the
 online-ingest loop: seed fit → absorb batches → drift-triggered refits →
 registry pushes → serving hot-swaps (record/replay with ``--record`` /
 ``--replay``, chaos via ``--fault-plan 'stream:nan@2'``).
+``sweep-fit`` runs the swept-frequency workload end-to-end: simulate the
+K-point S21/NF sweep (state-balanced, so C-BMF takes the Kronecker
+solver), fit, push the model set to a registry and verify the frozen
+artifacts predict identically after the round-trip.
 ``cluster serve-bench`` spins up the horizontal serving cluster —
 asyncio gateway over ``--shards`` worker processes sharing one
 memmapped model store — drives a concurrent request stream through it,
@@ -227,6 +232,74 @@ def _cmd_serve_bench(args) -> int:
         print(f"p50 / p95 latency   {snapshot['p50_latency_ms']:.4f} / "
               f"{snapshot['p95_latency_ms']:.4f} ms")
         return 0 if identical else 1
+
+    if args.registry:
+        return run(ModelRegistry(args.registry))
+    with tempfile.TemporaryDirectory() as tmp:
+        return run(ModelRegistry(tmp))
+
+
+def _cmd_sweep_fit(args) -> int:
+    """Swept-frequency fit: simulate → Kronecker-path fit → registry."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.modelset import PerformanceModelSet
+    from repro.paper import simulate_sweep
+    from repro.serving import ModelRegistry
+
+    print(
+        f"simulating lna_sweep — {args.points} frequency points, "
+        f"{args.train} shared process samples"
+    )
+    started = time.perf_counter()
+    train = simulate_sweep(
+        n_points=args.points,
+        n_samples_per_state=args.train,
+        seed=args.seed,
+    )
+    print(f"dataset ready in {time.perf_counter() - started:.2f}s "
+          f"(K={train.n_states}, {train.n_variables} variables)")
+
+    metrics = (args.metric,) if args.metric else None
+    started = time.perf_counter()
+    models = PerformanceModelSet.fit_dataset(
+        train, method="cbmf", metrics=metrics, seed=args.seed
+    )
+    elapsed = time.perf_counter() - started
+    solvers = {
+        metric: getattr(
+            getattr(models.model(metric), "predictor", None),
+            "solver",
+            "dense",
+        )
+        for metric in models.metric_names
+    }
+    print(f"fit {len(models.metric_names)} metrics in {elapsed:.2f}s "
+          f"(posterior solver: "
+          f"{', '.join(f'{m}={s}' for m, s in sorted(solvers.items()))})")
+
+    def run(registry):
+        entry = registry.push(args.name, models)
+        print(f"pushed {entry.key} -> {entry.path}")
+        loaded = registry.load(entry.key)
+
+        rng = np.random.default_rng(args.seed)
+        probe = rng.standard_normal((8, train.n_variables))
+        worst = 0.0
+        for state in (0, train.n_states // 2, train.n_states - 1):
+            live = models.predict(probe, state)
+            back = loaded.predict(probe, state)
+            for metric in models.metric_names:
+                worst = max(
+                    worst,
+                    float(np.max(np.abs(live[metric] - back[metric]))),
+                )
+        ok = worst <= 1e-12
+        print(f"round-trip          parity={'ok' if ok else 'FAILED'} "
+              f"(max |live - reloaded| = {worst:.1e})")
+        return 0 if ok else 1
 
     if args.registry:
         return run(ModelRegistry(args.registry))
@@ -726,6 +799,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing trials per path (best-of-N)")
     p.add_argument("--seed", type=int, default=2016)
 
+    p = sub.add_parser(
+        "sweep-fit",
+        help="simulate a frequency sweep, fit on the Kronecker path, "
+             "verify the registry round-trip",
+    )
+    p.add_argument("--points", type=int, default=201,
+                   help="sweep points K (default: 201, the VNA classic)")
+    p.add_argument("--train", type=int, default=10,
+                   help="shared process samples per sweep point")
+    p.add_argument("--metric", default=None, choices=("s21_db", "nf_db"),
+                   help="fit one metric only (default: both)")
+    p.add_argument("--registry", default=None,
+                   help="persist the registry here (default: temp dir)")
+    p.add_argument("--name", default="lna_sweep",
+                   help="registry model name (default: 'lna_sweep')")
+    p.add_argument("--seed", type=int, default=2016)
+
     from repro.bench import add_bench_parser
 
     add_bench_parser(sub)
@@ -891,6 +981,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "sweep-fit":
+        return _cmd_sweep_fit(args)
     if args.command == "bench":
         from repro.bench import main_bench
 

@@ -36,7 +36,7 @@ from repro.core.base import validate_multistate
 from repro.core.multistate import MultiStateData
 from repro.core.posterior import PosteriorResult, compute_posterior
 from repro.core.prior import CorrelatedPrior
-from repro.utils.linalg import inv_psd, nearest_psd, symmetrize
+from repro.utils.linalg import nearest_psd, symmetrize
 
 __all__ = ["EmConfig", "EmTrace", "run_em"]
 
@@ -142,14 +142,11 @@ def run_em(
         trace.noise_history.append(noise_var)
 
         # ---------------- M-step ----------------
+        # The moment contractions live on PosteriorResult so each solver
+        # representation (dense (M, K, K) blocks vs Kronecker factors)
+        # supplies them without materializing the other's form.
         m_started = time.perf_counter()
-        mean = posterior.mean  # (|active|, K)
-        blocks = posterior.sigma_blocks  # (|active|, K, K)
-        second_moment = blocks + np.einsum("mk,ml->mkl", mean, mean)
-
-        r_inv = inv_psd(correlation)
-        quad = np.einsum("mk,kl,ml->m", mean, r_inv, mean)
-        traces = np.einsum("kl,mlk->m", r_inv, blocks)
+        quad, traces = posterior.mstep_lambda_stats(correlation)
         new_lambdas = lambdas.copy()
         new_lambdas[active] = np.maximum(
             (quad + traces) / n_states, config.lambda_floor
@@ -157,10 +154,12 @@ def run_em(
 
         if config.update_r:
             safe_lambda = np.maximum(new_lambdas[active], config.lambda_floor)
-            contributions = second_moment / safe_lambda[:, None, None]
             # Frozen bases contribute their EM limit: the current R each.
             n_frozen = n_basis - active.size
-            summed = contributions.sum(axis=0) + n_frozen * correlation
+            summed = (
+                posterior.mstep_scaled_moment(safe_lambda)
+                + n_frozen * correlation
+            )
             new_r = symmetrize(summed / n_basis)
             if config.diagonal_r:
                 new_r = np.diag(np.diag(new_r))

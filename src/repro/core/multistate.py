@@ -18,7 +18,7 @@ no-pruning EM configuration performs zero re-stacking work per iteration.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,7 @@ class MultiStateData:
         "state_slices",
         "_row_grid",
         "_all_columns",
+        "_balanced",
     )
 
     def __init__(
@@ -77,6 +78,7 @@ class MultiStateData:
         # Open-mesh index pair expanding R (K×K) to R[s, s] (n×n).
         self._row_grid = (state_of_row[:, None], state_of_row[None, :])
         self._all_columns = None
+        self._balanced: Optional[bool] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -125,6 +127,56 @@ class MultiStateData:
         return [self.y[sl] for sl in self.state_slices]
 
     # ------------------------------------------------------------------
+    @property
+    def state_balanced(self) -> bool:
+        """True when every state carries the *same* design matrix.
+
+        This is the structural precondition of the Kronecker posterior
+        solver: with one shared ``B`` (N × M) per state, ``DᵀD = BᵀB ⊗ I``
+        and the MK-dimensional posterior decouples along the eigenvectors
+        of R. Datasets generated with ``MonteCarloEngine.run(...,
+        shared_samples=True)`` (one Monte-Carlo draw evaluated at every
+        state) have this property by construction. The check is lazy and
+        cached: equal row counts first, then an exact block comparison.
+        """
+        if self._balanced is None:
+            self._balanced = self._check_balanced()
+        return self._balanced
+
+    def _check_balanced(self) -> bool:
+        counts = np.diff(self.offsets)
+        if counts.size == 0 or not np.all(counts == counts[0]):
+            return False
+        first = self.phi[self.state_slices[0]]
+        for sl in self.state_slices[1:]:
+            if not np.array_equal(first, self.phi[sl]):
+                return False
+        return True
+
+    @property
+    def shared_design(self) -> np.ndarray:
+        """The per-state design ``B`` (N × M) of state-balanced data."""
+        if not self.state_balanced:
+            raise ValueError(
+                "shared_design requires state-balanced data (every state "
+                "fitted on the same design matrix)"
+            )
+        return self.phi[self.state_slices[0]]
+
+    def targets_matrix(self) -> np.ndarray:
+        """Targets as an (N, K) matrix (column k = state k); balanced only.
+
+        Rows are state-major in ``y``, so for balanced data this is a
+        zero-copy reshape.
+        """
+        if not self.state_balanced:
+            raise ValueError(
+                "targets_matrix requires state-balanced data"
+            )
+        n_per = self.n_rows // self.n_states
+        return self.y.reshape(self.n_states, n_per).T
+
+    # ------------------------------------------------------------------
     def restrict(self, columns: np.ndarray) -> "MultiStateData":
         """Column-restricted companion sharing all row/state structure.
 
@@ -145,6 +197,10 @@ class MultiStateData:
         restricted.state_slices = self.state_slices
         restricted._row_grid = self._row_grid
         restricted._all_columns = None
+        # A column subset of a shared design is still shared; an already
+        # known-unbalanced parent cannot become balanced by dropping
+        # columns we'd want to rely on — propagate the cached verdict.
+        restricted._balanced = self._balanced
         return restricted
 
     def expand_correlation(self, correlation: np.ndarray) -> np.ndarray:

@@ -21,6 +21,13 @@ Those blocks are exactly what the EM updates (eq. 29-31) consume, so the
 whole algorithm runs in ``O(n²·M + n³)`` per iteration instead of
 ``O((MK)³)``. ``compute_posterior_dense`` keeps the literal textbook
 formulas as a cross-check oracle for tests.
+
+For *state-balanced* data (every state fitted on the same design matrix,
+e.g. a swept-frequency dataset) a second fast path exists: the Kronecker
+solver of :mod:`repro.core.kronecker`, which decouples the posterior into
+K independent M-dimensional solves along the eigenvectors of R and scales
+near-linearly in K. :func:`compute_posterior` auto-selects between the
+two (``method="auto"``); both are validated against the dense oracle.
 """
 
 from __future__ import annotations
@@ -32,10 +39,16 @@ import numpy as np
 from scipy import linalg as sla
 
 from repro.core.base import validate_multistate
+from repro.core.kronecker import (
+    KroneckerFactors,
+    compute_posterior_kron,
+    kron_applicable,
+    resolve_solver_mode,
+)
 from repro.core.multistate import MultiStateData
 from repro.core.prior import CorrelatedPrior
 from repro.errors import NumericalError
-from repro.utils.linalg import cholesky_factor, inv_from_cholesky
+from repro.utils.linalg import cholesky_factor, inv_from_cholesky, inv_psd
 
 __all__ = ["PosteriorResult", "compute_posterior", "compute_posterior_dense"]
 
@@ -51,7 +64,12 @@ class PosteriorResult:
         of basis m in state k (the paper's α_{k,m}, eq. 22).
     sigma_blocks:
         Per-basis K×K posterior covariance blocks Σ_p^m, shape (M, K, K);
-        ``None`` when not requested.
+        ``None`` when not requested — and *also* ``None`` on the
+        Kronecker path, which keeps the blocks factored in :attr:`kron`
+        instead of materializing O(M·K²) memory. Consumers that need
+        block statistics go through :meth:`mstep_lambda_stats` /
+        :meth:`mstep_scaled_moment` / :meth:`covariance_blocks`, which
+        work for either representation.
     residual_sq:
         ``‖y − D μ_p‖²`` summed over all states.
     trace_dsd:
@@ -65,6 +83,9 @@ class PosteriorResult:
         ``n·log 2π``).
     noise_var:
         The σ0² used for this solve.
+    kron:
+        :class:`repro.core.kronecker.KroneckerFactors` when this result
+        came from the Kronecker solver (factored covariance), else None.
     """
 
     mean: np.ndarray
@@ -73,11 +94,73 @@ class PosteriorResult:
     trace_dsd: Optional[float]
     nll: float
     noise_var: float
+    kron: Optional[KroneckerFactors] = None
 
     @property
     def coef(self) -> np.ndarray:
         """Coefficients in estimator layout, shape (K, M)."""
         return self.mean.T
+
+    @property
+    def solver(self) -> str:
+        """Which fast path produced this result: ``"kron"`` or ``"dual"``."""
+        return "kron" if self.kron is not None else "dual"
+
+    # ------------------------------------------------------------------
+    # representation-agnostic covariance consumers
+    # ------------------------------------------------------------------
+    def covariance_blocks(self) -> np.ndarray:
+        """Dense (M, K, K) blocks, materializing Kronecker factors on demand.
+
+        O(M·K²) memory on the Kronecker path — for tests and inspection;
+        the fit path consumes the factored statistics below instead.
+        """
+        if self.sigma_blocks is not None:
+            return self.sigma_blocks
+        if self.kron is not None:
+            return self.kron.materialize_blocks()
+        raise NumericalError(
+            "posterior covariance was not computed (solved with "
+            "want_blocks=False); re-solve with want_blocks=True"
+        )
+
+    def mstep_lambda_stats(
+        self, correlation: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-basis ``(μ^mᵀR⁻¹μ^m, Tr(R⁻¹Σ^m))`` for the λ update (eq. 29).
+
+        ``correlation`` must be the R this posterior was solved at. The
+        dense representation evaluates the literal einsums; the Kronecker
+        representation reads both off its ω-grid without forming R⁻¹.
+        """
+        if self.kron is not None:
+            return self.kron.mstep_lambda_stats(correlation)
+        if self.sigma_blocks is None:
+            raise NumericalError(
+                "posterior covariance was not computed (solved with "
+                "want_blocks=False); re-solve with want_blocks=True"
+            )
+        r_inv = inv_psd(correlation)
+        quad = np.einsum("mk,kl,ml->m", self.mean, r_inv, self.mean)
+        traces = np.einsum("kl,mlk->m", r_inv, self.sigma_blocks)
+        return quad, traces
+
+    def mstep_scaled_moment(self, scale: np.ndarray) -> np.ndarray:
+        """``Σ_m (Σ^m + μ^m·μ^mᵀ)/scale_m`` — the R-update numerator (eq. 30)."""
+        if self.kron is not None:
+            return self.kron.mstep_scaled_moment(scale)
+        if self.sigma_blocks is None:
+            raise NumericalError(
+                "posterior covariance was not computed (solved with "
+                "want_blocks=False); re-solve with want_blocks=True"
+            )
+        second_moment = self.sigma_blocks + np.einsum(
+            "mk,ml->mkl", self.mean, self.mean
+        )
+        contributions = second_moment / np.asarray(scale, dtype=float)[
+            :, None, None
+        ]
+        return contributions.sum(axis=0)
 
     def require_trace_dsd(self) -> float:
         """``Tr(D Σ_p Dᵀ)``, or :class:`NumericalError` if unavailable.
@@ -117,8 +200,9 @@ def compute_posterior(
     noise_var: float = None,
     *,
     want_blocks: bool = True,
+    method: str = "auto",
 ) -> PosteriorResult:
-    """Posterior mean/blocks/marginal-likelihood in the dual space.
+    """Posterior mean/blocks/marginal-likelihood through a fast path.
 
     Parameters
     ----------
@@ -133,9 +217,16 @@ def compute_posterior(
     noise_var:
         Observation noise variance σ0² (> 0).
     want_blocks:
-        Skip the (M, K, K) covariance blocks when only the MAP mean and the
-        marginal likelihood are needed (e.g. pure prediction) — the block
-        pass dominates runtime for large M.
+        Skip the covariance pass when only the MAP mean and the marginal
+        likelihood are needed (e.g. pure prediction) — it dominates
+        runtime for large M on the dual path.
+    method:
+        ``"auto"`` (default) — dual-space solve, except state-balanced
+        data with ≥ :data:`repro.core.kronecker.KRON_MIN_STATES` states
+        and a favourable flop estimate takes the Kronecker path (the
+        ``REPRO_POSTERIOR_SOLVER`` environment variable overrides the
+        policy); ``"dual"``/``"kron"`` force one path explicitly —
+        ``"kron"`` raises :class:`ValueError` on unbalanced data.
     """
     if isinstance(designs, MultiStateData):
         if targets is not None:
@@ -157,6 +248,23 @@ def compute_posterior(
         raise ValueError(
             f"prior has {prior.n_states} states, got {n_states} designs"
         )
+
+    if method not in ("auto", "dual", "kron"):
+        raise ValueError(
+            f"method must be 'auto', 'dual' or 'kron', got {method!r}"
+        )
+    if method == "kron":
+        return compute_posterior_kron(
+            data, prior, noise_var, want_blocks=want_blocks
+        )
+    if method == "auto":
+        mode = resolve_solver_mode()
+        if (mode == "kron" and data.state_balanced) or (
+            mode == "auto" and kron_applicable(data)
+        ):
+            return compute_posterior_kron(
+                data, prior, noise_var, want_blocks=want_blocks
+            )
 
     lambdas = prior.lambdas
     correlation = prior.correlation
@@ -225,10 +333,18 @@ def compute_posterior_dense(
     prior: CorrelatedPrior,
     noise_var: float,
 ) -> PosteriorResult:
-    """Literal-textbook posterior (eq. 18-22) — O((MK)³) test oracle.
+    """Literal-textbook posterior (eq. 18-22) — the O((MK)³) test oracle.
 
-    Materializes the permuted block-diagonal ``D`` and the full prior
-    covariance ``A``; only usable for small M·K.
+    Materializes the permuted block-diagonal ``D``, the full MK × MK
+    prior covariance ``A`` and the complete posterior covariance; only
+    usable for small M·K. This function is the ground truth that *both*
+    production fast paths are validated against on random shapes
+    (including pruned-column designs): the dual-space/Woodbury solve of
+    :func:`compute_posterior` and the Kronecker solve of
+    :func:`repro.core.kronecker.compute_posterior_kron` — see
+    ``tests/core/test_posterior_parity.py`` and
+    ``tests/core/test_kronecker.py``. Keep it deliberately naive: any
+    optimization here would erode its oracle status.
     """
     designs, targets = validate_multistate(designs, targets)
     n_states = len(designs)

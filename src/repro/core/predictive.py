@@ -39,12 +39,26 @@ import numpy as np
 from scipy import linalg as sla
 
 from repro.core.base import validate_multistate
+from repro.core.kronecker import (
+    KRON_MIN_STATES,
+    _psd_eigh,
+    resolve_solver_mode,
+)
 from repro.core.prior import CorrelatedPrior
 from repro.errors import NumericalError
 from repro.utils.linalg import cholesky_factor
 from repro.utils.validation import check_matrix
 
 __all__ = ["PosteriorPredictor"]
+
+
+def _shared_design(designs: Sequence[np.ndarray]) -> Optional[np.ndarray]:
+    """The common per-state design when every state carries the same one."""
+    first = designs[0]
+    for other in designs[1:]:
+        if other.shape != first.shape or not np.array_equal(other, first):
+            return None
+    return first
 
 
 class PosteriorPredictor:
@@ -86,18 +100,81 @@ class PosteriorPredictor:
         self._state_of_row = np.concatenate(
             [np.full(d.shape[0], k, dtype=int) for k, d in enumerate(designs)]
         )
-        gram = (self._phi * prior.lambdas) @ self._phi.T
-        r_expanded = prior.correlation[
+        # Kronecker factors (populated in kron mode only).
+        self._kron_u: Optional[np.ndarray] = None
+        self._kron_q: Optional[np.ndarray] = None
+        self._kron_denom: Optional[np.ndarray] = None
+
+        mode = resolve_solver_mode()
+        shared = (
+            _shared_design(designs) if mode != "dual" else None
+        )
+        if shared is not None and (
+            mode == "kron" or len(designs) >= KRON_MIN_STATES
+        ):
+            self._mode = "kron"
+            self._init_kron(shared, np.stack(targets, axis=1))
+        else:
+            self._mode = "dense"
+            self._init_dense()
+
+    def _init_dense(self) -> None:
+        """Factorize the full n×n kernel matrix C (general path)."""
+        gram = (self._phi * self._prior.lambdas) @ self._phi.T
+        r_expanded = self._prior.correlation[
             np.ix_(self._state_of_row, self._state_of_row)
         ]
-        self._factor = cholesky_factor(
-            gram * r_expanded + noise_var * np.eye(self._phi.shape[0])
+        self._factor: Optional[np.ndarray] = cholesky_factor(
+            gram * r_expanded + self._noise_var * np.eye(self._phi.shape[0])
         )
         self._alpha = sla.cho_solve(
             (self._factor, True), self._y, check_finite=False
         )
+        self._kron_u = self._kron_q = self._kron_denom = None
+
+    def _init_kron(self, design: np.ndarray, y_matrix: np.ndarray) -> None:
+        """Diagonalize C = R ⊗ H + σ0²·I without materializing it.
+
+        With one shared per-state design B (rows state-major in the
+        stacked ``_phi``), the kernel matrix factorizes as ``C = R ⊗ H +
+        σ0²·I`` with ``H = B Λ Bᵀ`` (N × N). Eigendecomposing both
+        factors — ``H = U diag(h) Uᵀ``, ``R = Q diag(ω) Qᵀ`` — gives
+        ``C = (Q ⊗ U) diag(σ0² + h_i ω_j) (Q ⊗ U)ᵀ``, so the dual
+        weights α = C⁻¹y and every query quadratic form cost
+        O(N³ + K³ + NK·(N + K)) instead of O((NK)³).
+        """
+        lam = self._prior.lambdas
+        h_mat = (design * lam) @ design.T
+        h, u = _psd_eigh(0.5 * (h_mat + h_mat.T))
+        omega, q = _psd_eigh(self._prior.correlation)
+        denom = self._noise_var + np.outer(h, omega)  # (N, K), all > 0
+        y_rot = u.T @ y_matrix @ q
+        alpha = u @ (y_rot / denom) @ q.T  # (N, K), column k = state k
+        self._kron_u = u
+        self._kron_q = q
+        self._kron_denom = denom
+        self._alpha = alpha.T.ravel()  # state-major, matching _phi rows
+        self._factor = None
+
+    def _densify(self) -> None:
+        """Swap from Kronecker factors to the dense Cholesky factor.
+
+        ``absorb`` extends C row-wise, which breaks the Kronecker
+        structure (the absorbed state gains rows the others lack), so the
+        first absorb on a Kronecker-mode predictor pays one dense
+        factorization and continues on the dense path. Raises
+        :class:`NumericalError` if C cannot be factorized — never a
+        silently wrong answer.
+        """
+        self._init_dense()
+        self._mode = "dense"
 
     # ------------------------------------------------------------------
+    @property
+    def solver(self) -> str:
+        """Active representation: ``"kron"`` or ``"dense"``."""
+        return self._mode
+
     @property
     def n_rows(self) -> int:
         """Training rows currently conditioned on (grows with absorb)."""
@@ -165,6 +242,8 @@ class PosteriorPredictor:
                 "absorb refuses non-finite design/target values; "
                 "quarantine the batch upstream"
             )
+        if self._mode == "kron":
+            self._densify()
 
         n_old = self._phi.shape[0]
         n_new = design.shape[0]
@@ -269,14 +348,25 @@ class PosteriorPredictor:
             raise IndexError(
                 f"state {state} out of range 0..{self._prior.n_states - 1}"
             )
-        kernel = self._cross_covariance(design, state)
-        half = sla.solve_triangular(
-            self._factor, kernel, lower=True, check_finite=False
-        )
         prior_var = self._prior.correlation[state, state] * np.einsum(
             "ij,j,ij->i", design, self._prior.lambdas, design
         )
-        variance = prior_var - np.einsum("ij,ij->j", half, half)
+        if self._mode == "kron":
+            # Query kernel separates: k_q = R[:, s] ⊗ (B Λ φ_q), so
+            # kᵀC⁻¹k = Σ_{i,j} (Uᵀ B Λ φ_q)_i² (Qᵀ R[:, s])_j² / denom_ij.
+            n_per = self._kron_u.shape[0]
+            w = self._phi[:n_per] @ (design * self._prior.lambdas).T
+            a_sq = (self._kron_u.T @ w) ** 2  # (N, n_query)
+            c_sq = (self._kron_q.T @ self._prior.correlation[:, state]) ** 2
+            inner = (1.0 / self._kron_denom) @ c_sq  # (N,)
+            quad = np.einsum("iq,i->q", a_sq, inner)
+        else:
+            kernel = self._cross_covariance(design, state)
+            half = sla.solve_triangular(
+                self._factor, kernel, lower=True, check_finite=False
+            )
+            quad = np.einsum("ij,ij->j", half, half)
+        variance = prior_var - quad
         variance = np.maximum(variance, 0.0)
         if not np.all(np.isfinite(variance)):
             raise NumericalError(

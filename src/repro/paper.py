@@ -33,6 +33,7 @@ from repro.basis.polynomial import LinearBasis
 from repro.circuits.base import TunableCircuit
 from repro.circuits.lna import TunableLNA
 from repro.circuits.mixer import TunableMixer
+from repro.circuits.sweep import SweptLNA
 from repro.evaluation.experiment import MethodResult, ModelingExperiment
 from repro.evaluation.sweep import SweepResult, sample_count_sweep
 from repro.simulate.cost import CostModel, LNA_COST_MODEL, MIXER_COST_MODEL
@@ -45,6 +46,7 @@ __all__ = [
     "resolve_scale",
     "build_circuit",
     "load_or_simulate",
+    "simulate_sweep",
     "run_cost_table",
     "run_figure_sweep",
     "PAPER_TABLE1",
@@ -118,6 +120,9 @@ class ExperimentScale:
     #: Per-state budgets of the table comparison: (S-OMP, C-BMF).
     table_somp_per_state: int
     table_cbmf_per_state: int
+    #: Frequency points of the swept-frequency workload (``lna_sweep``);
+    #: 201 is the VNA classic the Kronecker-path benchmark gates on.
+    sweep_points: int = 32
 
 
 SCALES: Dict[str, ExperimentScale] = {
@@ -131,6 +136,7 @@ SCALES: Dict[str, ExperimentScale] = {
         sweep_grid=(10, 20, 40),
         table_somp_per_state=35,
         table_cbmf_per_state=15,
+        sweep_points=32,
     ),
     "medium": ExperimentScale(
         name="medium",
@@ -142,6 +148,7 @@ SCALES: Dict[str, ExperimentScale] = {
         sweep_grid=(8, 12, 16, 24, 35),
         table_somp_per_state=35,
         table_cbmf_per_state=15,
+        sweep_points=101,
     ),
     "paper": ExperimentScale(
         name="paper",
@@ -153,6 +160,7 @@ SCALES: Dict[str, ExperimentScale] = {
         sweep_grid=(10, 15, 20, 25, 30, 35),
         table_somp_per_state=35,  # × 32 states = 1120 samples
         table_cbmf_per_state=15,  # × 32 states = 480 samples
+        sweep_points=201,
     ),
 }
 
@@ -168,7 +176,7 @@ def resolve_scale(scale: Optional[str] = None) -> ExperimentScale:
 
 
 def build_circuit(circuit_name: str, scale: ExperimentScale) -> TunableCircuit:
-    """Instantiate the LNA or mixer at the requested scale."""
+    """Instantiate the LNA, mixer or swept-LNA at the requested scale."""
     if circuit_name == "lna":
         return TunableLNA(
             n_states=scale.n_states, n_variables=scale.n_variables_lna
@@ -177,14 +185,21 @@ def build_circuit(circuit_name: str, scale: ExperimentScale) -> TunableCircuit:
         return TunableMixer(
             n_states=scale.n_states, n_variables=scale.n_variables_mixer
         )
+    if circuit_name == "lna_sweep":
+        return SweptLNA(n_points=scale.sweep_points)
     raise KeyError(
-        f"unknown circuit {circuit_name!r}; expected 'lna' or 'mixer'"
+        f"unknown circuit {circuit_name!r}; expected 'lna', 'mixer' or "
+        "'lna_sweep'"
     )
 
 
 def cost_model_for(circuit_name: str) -> CostModel:
-    """Per-sample simulation cost calibrated to the paper's tables."""
-    return LNA_COST_MODEL if circuit_name == "lna" else MIXER_COST_MODEL
+    """Per-sample simulation cost calibrated to the paper's tables.
+
+    The mixer carries its own calibration; every LNA-derived workload
+    (``lna``, ``lna_sweep``) uses the LNA model.
+    """
+    return MIXER_COST_MODEL if circuit_name == "mixer" else LNA_COST_MODEL
 
 
 def load_or_simulate(
@@ -217,6 +232,40 @@ def load_or_simulate(
     pool.save(pool_path)
     test.save(test_path)
     return pool, test
+
+
+def simulate_sweep(
+    n_points: int = 201,
+    n_samples_per_state: int = 10,
+    seed: int = 2016,
+    cache_dir: Optional[Path] = None,
+) -> Dataset:
+    """A swept-frequency training dataset, cached on disk.
+
+    Simulates :class:`~repro.circuits.sweep.SweptLNA` — ``n_points``
+    frequency states, every state evaluated on the *same*
+    ``n_samples_per_state`` process samples (the circuit's
+    ``shared_samples`` default), so the result is state-balanced and the
+    fit path takes the Kronecker solver. The benchmark and the CLI
+    ``sweep-fit`` command share this entry so their workloads agree.
+    """
+    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"lna_sweep{n_points}_seed{seed}_n{n_samples_per_state}"
+    path = cache_dir / f"{stem}.npz"
+    if path.exists():
+        try:
+            return Dataset.load(path)
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError):
+            warnings.warn(
+                f"dataset cache for {stem!r} is unreadable; regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    circuit = SweptLNA(n_points=n_points)
+    dataset = MonteCarloEngine(circuit, seed=seed).run(n_samples_per_state)
+    dataset.save(path)
+    return dataset
 
 
 def run_cost_table(

@@ -112,19 +112,23 @@ class MonteCarloEngine:
     def run(
         self,
         n_samples_per_state: int,
-        shared_samples: bool = False,
+        shared_samples: Optional[bool] = None,
         progress: Optional[callable] = None,
     ) -> Dataset:
         """Simulate ``n_samples_per_state`` per knob state.
 
         With ``shared_samples=True`` every state is evaluated on the *same*
         process samples (one die measured at all knob settings — how a
-        tunable circuit is actually characterized post-silicon); the default
+        tunable circuit is actually characterized post-silicon); ``False``
         draws fresh samples per state, matching the paper's formulation
-        where each state has its own sampling set.
+        where each state has its own sampling set. The default ``None``
+        defers to the circuit's ``shared_samples`` class attribute
+        (False for the paper circuits, True for sweep-style circuits).
         """
         n = check_integer(n_samples_per_state, "n_samples_per_state", minimum=1)
         circuit = self.circuit
+        if shared_samples is None:
+            shared_samples = bool(getattr(circuit, "shared_samples", False))
         generators = spawn_generators(self._seed, circuit.n_states)
         if shared_samples:
             shared = self._draw(n, circuit.n_variables, generators[0])

@@ -1,0 +1,103 @@
+"""The swept-frequency LNA workload (``lna_sweep``)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sweep import DEFAULT_SWEEP_POINTS, SweptLNA
+from repro.simulate.montecarlo import MonteCarloEngine
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return SweptLNA(n_points=7)
+
+
+class TestSweptLNAStructure:
+    def test_states_are_the_frequency_grid(self, small_sweep):
+        assert small_sweep.name == "lna_sweep"
+        assert small_sweep.n_states == 7
+        assert small_sweep.metric_names == ("s21_db", "nf_db")
+        freqs = small_sweep.frequencies_hz
+        assert freqs.shape == (7,)
+        assert np.all(np.diff(freqs) > 0)
+        assert freqs[0] == pytest.approx(1.8e9)
+        assert freqs[-1] == pytest.approx(3.0e9)
+        for state, frequency in zip(small_sweep.states, freqs):
+            assert state.values["frequency_hz"] == pytest.approx(frequency)
+
+    def test_default_is_the_vna_classic(self):
+        assert DEFAULT_SWEEP_POINTS == 201
+        assert SweptLNA().n_states == 201
+
+    def test_sweep_circuits_share_samples(self, small_sweep):
+        assert small_sweep.shared_samples is True
+
+    def test_variation_space_is_the_physical_lna(self, small_sweep):
+        # No peripheral padding: the sweep varies real devices only.
+        assert small_sweep.n_variables == small_sweep.process_model.n_variables
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="n_points"):
+            SweptLNA(n_points=1)
+        with pytest.raises(ValueError, match="f_start_hz"):
+            SweptLNA(f_start_hz=3.0e9, f_stop_hz=1.8e9)
+        with pytest.raises(ValueError, match="bias_code"):
+            SweptLNA(bias_code=99, n_bias_states=8)
+
+    def test_bias_state_defaults_to_mid_code(self):
+        sweep = SweptLNA(n_points=3, n_bias_states=8)
+        assert sweep.bias_state.index == 4
+        pinned = SweptLNA(n_points=3, bias_code=0)
+        assert pinned.bias_state.index == 0
+
+
+class TestSweptLNAEvaluation:
+    def test_nominal_metrics_are_physical(self, small_sweep):
+        sample = small_sweep.process_model.realize(
+            np.zeros(small_sweep.n_variables)
+        )
+        curves = {
+            metric: np.array([
+                small_sweep.evaluate(sample, state)[metric]
+                for state in small_sweep.states
+            ])
+            for metric in small_sweep.metric_names
+        }
+        assert np.all(np.isfinite(curves["s21_db"]))
+        assert np.all(np.isfinite(curves["nf_db"]))
+        # An amplifier around its band: positive gain with real frequency
+        # shape (the tank resonance), and a noise figure above 0 dB.
+        assert curves["s21_db"].max() > 5.0
+        assert np.ptp(curves["s21_db"]) > 1.0
+        assert np.all(curves["nf_db"] > 0.0)
+        assert np.all(curves["nf_db"] < 20.0)
+
+    def test_bias_code_changes_the_curves(self):
+        low = SweptLNA(n_points=3, bias_code=1)
+        high = SweptLNA(n_points=3, bias_code=7)
+        sample = low.process_model.realize(np.zeros(low.n_variables))
+        gain_low = low.evaluate(sample, low.states[1])["s21_db"]
+        gain_high = high.evaluate(sample, high.states[1])["s21_db"]
+        assert gain_low != pytest.approx(gain_high, abs=1e-9)
+
+
+class TestSweptLNADatasets:
+    def test_engine_produces_state_balanced_datasets(self):
+        sweep = SweptLNA(n_points=5)
+        dataset = MonteCarloEngine(sweep, seed=11).run(4)
+        assert dataset.n_states == 5
+        inputs = dataset.inputs()
+        for x in inputs[1:]:
+            np.testing.assert_array_equal(x, inputs[0])
+        for metric in sweep.metric_names:
+            for y in dataset.targets(metric):
+                assert y.shape == (4,)
+                assert np.all(np.isfinite(y))
+
+    def test_shared_samples_can_be_overridden(self):
+        sweep = SweptLNA(n_points=3)
+        dataset = MonteCarloEngine(sweep, seed=11).run(
+            3, shared_samples=False
+        )
+        inputs = dataset.inputs()
+        assert not np.array_equal(inputs[0], inputs[1])

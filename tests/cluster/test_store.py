@@ -238,3 +238,37 @@ class TestFreshProcessRemap:
                     assert np.all(np.abs(got - expected) <= 1e-15), (
                         metric, state
                     )
+
+
+class TestKronFittedModels:
+    def test_kron_fitted_modelset_round_trips(self, tmp_path, monkeypatch):
+        """Frozen models produced by the Kronecker fit path survive the
+        registry push -> store export -> memmap reload chain with
+        bit-identical predictions (serving is solver-agnostic)."""
+        from repro.circuits.sweep import SweptLNA
+        from repro.modelset import PerformanceModelSet
+        from repro.serving import ModelRegistry
+        from repro.simulate.montecarlo import MonteCarloEngine
+
+        monkeypatch.setenv("REPRO_POSTERIOR_SOLVER", "kron")
+        sweep = SweptLNA(n_points=6)
+        train = MonteCarloEngine(sweep, seed=3).run(5)
+        models = PerformanceModelSet.fit_dataset(
+            train, method="cbmf", metrics=("s21_db",), seed=3
+        )
+        assert models.model("s21_db").predictor.solver == "kron"
+        monkeypatch.delenv("REPRO_POSTERIOR_SOLVER")
+
+        registry = ModelRegistry(tmp_path / "registry")
+        entry = registry.push("lna_sweep", models)
+        directory = tmp_path / "store"
+        export_model_store(registry, [entry.key], directory)
+
+        mapped = ModelStore.open(directory).frozen_models(entry.key)
+        frozen = models.freeze()["s21_db"]
+        rng = np.random.default_rng(8)
+        design = rng.standard_normal((4, frozen.coef_.shape[1]))
+        for state in (0, 3, 5):
+            expected = frozen.predict(design, state)
+            got = mapped["s21_db"].predict(design, state)
+            assert np.all(np.abs(got - expected) <= 1e-15)

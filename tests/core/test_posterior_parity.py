@@ -1,4 +1,4 @@
-"""Property tests: the fast dual-space posterior vs the dense oracle.
+"""Property tests: both fast posterior paths vs the dense oracle.
 
 ``compute_posterior`` runs the cached/vectorized dual-space algebra
 (shared ``MultiStateData``, segment-sum S-tensor, trace identities);
@@ -6,6 +6,12 @@
 They must agree to tight tolerance for *every* shape — including ragged
 per-state sample counts and the column-restricted solves the EM pruning
 path issues.
+
+The same oracle also pins the second production fast path: the
+Kronecker solver for state-balanced designs (``method="kron"``), again
+on random shapes including pruned-column solves. Deeper Kronecker
+coverage (dispatch policy, M-step factors, memory contract) lives in
+``tests/core/test_kronecker.py``.
 """
 
 import numpy as np
@@ -127,6 +133,106 @@ def test_fast_matches_dense_with_pruned_columns(
         [d[:, active] for d in designs], targets, sub_prior, noise_var
     )
     assert_posteriors_match(fast, dense)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_states=st.integers(2, 6),
+    n_basis=st.integers(1, 8),
+    n_per=st.integers(2, 7),
+    r0=st.floats(0.0, 0.95),
+    noise_var=st.floats(1e-3, 2.0),
+)
+def test_kron_matches_dense_random_balanced_shapes(
+    seed, n_states, n_basis, n_per, r0, noise_var
+):
+    """The second fast path — the Kronecker solver for state-balanced
+    data — is pinned to the same oracle on random shapes."""
+    rng = np.random.default_rng(seed)
+    design = rng.standard_normal((n_per, n_basis))
+    designs = [design] * n_states
+    targets = [rng.standard_normal(n_per) for _ in range(n_states)]
+    prior = CorrelatedPrior(
+        lambdas=rng.uniform(0.05, 2.0, n_basis),
+        correlation=ar1_correlation(n_states, r0),
+    )
+    fast = compute_posterior(
+        designs, targets, prior, noise_var, want_blocks=True, method="kron"
+    )
+    assert fast.solver == "kron"
+    dense = compute_posterior_dense(designs, targets, prior, noise_var)
+    np.testing.assert_allclose(
+        fast.mean,
+        dense.mean,
+        rtol=RTOL,
+        atol=RTOL * float(np.abs(dense.mean).max(initial=1e-12)),
+    )
+    block_scale = float(np.abs(dense.sigma_blocks).max(initial=1e-12))
+    np.testing.assert_allclose(
+        fast.covariance_blocks(),
+        dense.sigma_blocks,
+        rtol=RTOL,
+        atol=RTOL * block_scale,
+    )
+    np.testing.assert_allclose(fast.nll, dense.nll, rtol=RTOL, atol=1e-10)
+    np.testing.assert_allclose(
+        fast.trace_dsd, dense.trace_dsd, rtol=RTOL, atol=1e-10
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_states=st.integers(2, 5),
+    n_basis=st.integers(3, 9),
+    noise_var=st.floats(1e-3, 1.0),
+)
+def test_kron_matches_dense_with_pruned_columns(
+    seed, n_states, n_basis, noise_var
+):
+    """Pruned-column (``restrict``) solves keep balance, so the EM prune
+    path stays on the Kronecker solver — and must still match a dense
+    solve on the explicitly-sliced designs."""
+    rng = np.random.default_rng(seed)
+    design = rng.standard_normal((5, n_basis))
+    designs = [design] * n_states
+    targets = [rng.standard_normal(5) for _ in range(n_states)]
+    prior = CorrelatedPrior(
+        lambdas=rng.uniform(0.05, 2.0, n_basis),
+        correlation=ar1_correlation(n_states, 0.7),
+    )
+    n_active = int(rng.integers(1, n_basis + 1))
+    active = np.sort(rng.choice(n_basis, size=n_active, replace=False))
+
+    data = MultiStateData.from_states(designs, targets)
+    sub_prior = CorrelatedPrior(
+        lambdas=prior.lambdas[active], correlation=prior.correlation
+    )
+    fast = compute_posterior(
+        data.restrict(active),
+        prior=sub_prior,
+        noise_var=noise_var,
+        want_blocks=True,
+        method="kron",
+    )
+    assert fast.solver == "kron"
+    dense = compute_posterior_dense(
+        [d[:, active] for d in designs], targets, sub_prior, noise_var
+    )
+    np.testing.assert_allclose(
+        fast.mean,
+        dense.mean,
+        rtol=RTOL,
+        atol=RTOL * float(np.abs(dense.mean).max(initial=1e-12)),
+    )
+    block_scale = float(np.abs(dense.sigma_blocks).max(initial=1e-12))
+    np.testing.assert_allclose(
+        fast.covariance_blocks(),
+        dense.sigma_blocks,
+        rtol=RTOL,
+        atol=RTOL * block_scale,
+    )
 
 
 def test_em_with_pruning_matches_dense_per_iteration():

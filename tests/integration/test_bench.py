@@ -2,12 +2,17 @@
 
 import argparse
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.bench import (
     DEFAULT_THRESHOLD,
+    KRON_MIN_SPEEDUP,
+    KRON_PARITY_RTOL,
+    SUITES,
     add_bench_parser,
+    check_kron_gates,
     check_regression,
 )
 
@@ -80,6 +85,76 @@ class TestCheckRegression:
     def test_roundtrips_through_json(self):
         baseline = json.loads(json.dumps(report()))
         assert check_regression(report(), baseline) == []
+
+
+def kron_report(
+    speedup=10.0,
+    coef_parity=1e-12,
+    kron_dense=1e-10,
+    dual_dense=1e-10,
+    solver="kron",
+):
+    return {
+        "kind": "kron",
+        "config": {"circuit": "lna_sweep", "n_points": 201},
+        "timings_seconds": {
+            "kron_fit_k201": 0.5, "dual_fit_k201": 0.5 * speedup,
+        },
+        "details": {
+            "speedup_vs_dual": speedup,
+            "coef_parity_vs_dual": coef_parity,
+            "kron_vs_dense_parity": kron_dense,
+            "dual_vs_dense_parity": dual_dense,
+            "solver_used": solver,
+        },
+    }
+
+
+class TestCheckKronGates:
+    """Absolute gates — enforced with or without a committed baseline."""
+
+    def test_healthy_report_passes(self):
+        assert check_kron_gates(kron_report()) == []
+
+    def test_speedup_below_gate_fails(self):
+        problems = check_kron_gates(
+            kron_report(speedup=KRON_MIN_SPEEDUP - 0.1)
+        )
+        assert problems and "speedup" in problems[0]
+
+    def test_each_parity_gate_enforced(self):
+        for key in ("coef_parity", "kron_dense", "dual_dense"):
+            problems = check_kron_gates(
+                kron_report(**{key: 10 * KRON_PARITY_RTOL})
+            )
+            assert problems, f"{key} beyond rtol must fail the gate"
+
+    def test_missing_parity_fails_loudly(self):
+        broken = kron_report()
+        broken["details"]["coef_parity_vs_dual"] = None
+        assert check_kron_gates(broken)
+
+    def test_wrong_solver_fails(self):
+        problems = check_kron_gates(kron_report(solver="dual"))
+        assert problems and "solver" in problems[0]
+
+    def test_committed_baseline_satisfies_its_own_gates(self):
+        """The repo's committed BENCH_kron.json must pass the absolute
+        gates — otherwise CI's perf-smoke would be red from the start."""
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "BENCH_kron.json"
+        )
+        baseline = json.loads(path.read_text())
+        assert baseline["kind"] == "kron"
+        assert check_kron_gates(baseline) == []
+        curve = baseline["details"]["k_scaling"]
+        assert [point["k"] for point in curve] == [32, 64, 128, 201]
+
+
+class TestSuiteRegistry:
+    def test_kron_is_a_selectable_suite(self):
+        assert "kron" in SUITES
 
 
 class TestBenchParser:

@@ -49,6 +49,25 @@ class TestParser:
         assert args.method == "cbmf"
         assert args.batch_size == 64
 
+    def test_sweep_fit_defaults(self):
+        args = build_parser().parse_args(["sweep-fit"])
+        assert args.command == "sweep-fit"
+        assert args.points == 201
+        assert args.train == 10
+        assert args.metric is None
+        assert args.name == "lna_sweep"
+
+    def test_sweep_fit_metric_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep-fit", "--metric", "zzz"])
+
+    def test_bench_suite_flag(self):
+        args = build_parser().parse_args(["bench", "--suite", "kron"])
+        assert args.suite == "kron"
+        assert build_parser().parse_args(["bench"]).suite == "all"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--suite", "turbo"])
+
     def test_registry_subcommands_parse(self):
         args = build_parser().parse_args(
             ["registry", "list", "--root", "/tmp/r"]
@@ -143,6 +162,23 @@ class TestServeBench:
         assert "bit-identical       True" in out
         assert "cache hit rate" in out
         assert "speedup" in out
+
+
+class TestSweepFit:
+    def test_small_end_to_end(self, capsys, tmp_path, monkeypatch):
+        """Tiny sweep through the full path: simulate -> Kronecker-mode
+        fit -> registry push -> reload -> prediction parity."""
+        import repro.paper as paper
+
+        monkeypatch.setattr(paper, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main([
+            "sweep-fit", "--points", "24", "--train", "6",
+            "--metric", "s21_db", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "s21_db=kron" in out
+        assert "pushed lna_sweep@v1" in out
+        assert "parity=ok" in out
 
 
 class TestStreamCommand:

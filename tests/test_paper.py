@@ -56,3 +56,53 @@ class TestScaleDefinitions:
         for scale in paper.SCALES.values():
             ratio = scale.table_somp_per_state / scale.table_cbmf_per_state
             assert 2.0 <= ratio <= 2.5
+
+
+class TestSweptWorkload:
+    def test_lna_sweep_circuit_built_at_scale(self):
+        scale = paper.SCALES["small"]
+        circuit = paper.build_circuit("lna_sweep", scale)
+        assert circuit.name == "lna_sweep"
+        assert circuit.n_states == scale.sweep_points
+
+    def test_lna_sweep_uses_lna_cost_model(self):
+        assert paper.cost_model_for("lna_sweep") is LNA_COST_MODEL
+
+    def test_paper_scale_is_the_vna_default(self):
+        assert paper.SCALES["paper"].sweep_points == 201
+
+    def test_simulate_sweep_caches_and_reloads(self, tmp_path, monkeypatch):
+        first = paper.simulate_sweep(
+            n_points=4, n_samples_per_state=3, seed=3, cache_dir=tmp_path
+        )
+        assert first.n_states == 4
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+        # A second call must come from the cache, not the simulator.
+        from repro.simulate.montecarlo import MonteCarloEngine
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss: the engine re-ran")
+
+        monkeypatch.setattr(MonteCarloEngine, "run", boom)
+        again = paper.simulate_sweep(
+            n_points=4, n_samples_per_state=3, seed=3, cache_dir=tmp_path
+        )
+        assert again.n_states == 4
+        for x_first, x_again in zip(first.inputs(), again.inputs()):
+            import numpy as np
+
+            np.testing.assert_array_equal(x_first, x_again)
+
+    def test_simulate_sweep_regenerates_corrupt_cache(self, tmp_path):
+        dataset = paper.simulate_sweep(
+            n_points=3, n_samples_per_state=2, seed=5, cache_dir=tmp_path
+        )
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(b"not a zip archive")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            rebuilt = paper.simulate_sweep(
+                n_points=3, n_samples_per_state=2, seed=5,
+                cache_dir=tmp_path,
+            )
+        assert rebuilt.n_states == dataset.n_states
