@@ -1,0 +1,108 @@
+"""Correlation-shared yield reports on a swept-frequency fleet.
+
+The paper's economic argument is that once a C-BMF model is fitted,
+million-sample yield analysis is nearly free. This demo adds the
+refinement the yields package ships: the learned K x K inter-state
+correlation R is reused a *second* time to shrink each state's
+Monte-Carlo yield estimate toward the correlation-weighted fleet
+estimate. At a fixed small budget per state, the shrunk estimator
+tracks a large-sample ground truth more closely than the independent
+per-state fractions do.
+
+1. simulate a 48-point swept LNA (every frequency point is a "state"),
+2. fit C-BMF per metric (the balanced sweep takes the Kronecker path),
+3. define ground truth with a 20k-sample Monte-Carlo pass per state,
+4. re-estimate at a 300-sample budget, independently vs shrunk,
+5. print the fleet report and the RMSE improvement.
+
+Run:  python examples/yield_demo.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.applications import Specification
+from repro.basis.polynomial import LinearBasis
+from repro.core.cbmf import CBMF
+from repro.core.em import EmConfig
+from repro.core.somp_init import InitConfig
+from repro.modelset import PerformanceModelSet
+from repro.paper import simulate_sweep
+from repro.yields import (
+    compute_yield_report,
+    format_yield_report,
+    sample_state_estimates,
+)
+
+N_POINTS = 48
+BUDGET = 300
+TRUTH_SAMPLES = 20_000
+SEED = 2016
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache:
+        train = simulate_sweep(
+            n_points=N_POINTS, n_samples_per_state=10, seed=SEED,
+            cache_dir=cache,
+        )
+    print(f"simulated swept LNA: K={train.n_states} frequency states, "
+          f"{train.n_variables} process variables")
+
+    basis = LinearBasis(train.n_variables)
+    designs = basis.expand_states(train.inputs())
+    fitted = {}
+    for metric in train.metric_names:
+        model = CBMF(
+            init_config=InitConfig(
+                r0_grid=(0.95,), sigma0_grid=(0.15,), n_basis_grid=(20,),
+                n_folds=2,
+            ),
+            em_config=EmConfig(max_iterations=8),
+            seed=SEED,
+        ).fit(designs, train.targets(metric))
+        print(f"fitted {metric}: solver={model.predictor.solver}")
+        fitted[metric] = model
+    models = PerformanceModelSet(fitted, basis)
+    frozen = models.freeze()
+
+    specs = [
+        Specification.parse("s21_db>=16.5"),
+        Specification.parse("nf_db<=1.55"),
+    ]
+    print("specs:", ", ".join(
+        f"{s.metric} {'<=' if s.kind == 'max' else '>='} {s.bound:g}"
+        for s in specs
+    ))
+
+    # Ground truth: the fitted posterior sampled to death.
+    truth = sample_state_estimates(
+        frozen, basis, specs, n_samples=TRUTH_SAMPLES, seed=SEED + 1
+    ).yields
+
+    # The budgeted pass: same draws feed both estimators.
+    estimates = sample_state_estimates(
+        frozen, basis, specs, n_samples=BUDGET, seed=SEED + 2
+    )
+    report = compute_yield_report(
+        frozen, basis, specs, estimates=estimates
+    )
+    print()
+    print(format_yield_report(report))
+
+    rmse_raw = float(np.sqrt(np.mean((report.yield_raw - truth) ** 2)))
+    rmse_shrunk = float(
+        np.sqrt(np.mean((report.yield_shrunk - truth) ** 2))
+    )
+    print()
+    print(f"yield RMSE vs {TRUTH_SAMPLES}-sample ground truth "
+          f"at a {BUDGET}-sample budget:")
+    print(f"  independent per-state fractions : {rmse_raw:.5f}")
+    print(f"  correlation-shared shrinkage    : {rmse_shrunk:.5f} "
+          f"({rmse_raw / rmse_shrunk:.2f}x tighter)")
+    print(f"  between-state variance tau^2    : {report.tau2:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ from repro.active.acquisition import (
     CostWeightedVariance,
     RandomAcquisition,
     VarianceAcquisition,
+    YieldVarianceAcquisition,
 )
 from repro.active.history import FitHistory, RoundRecord
 from repro.active.loop import (
@@ -48,6 +49,7 @@ __all__ = [
     "StoppingRule",
     "SyntheticOracle",
     "VarianceAcquisition",
+    "YieldVarianceAcquisition",
     "linearized_surrogate",
     "push_result",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "CostWeightedVariance",
     "RandomAcquisition",
     "VarianceAcquisition",
+    "YieldVarianceAcquisition",
 ]
 
 
@@ -370,5 +371,133 @@ class CorrelationAwareAllocation(AcquisitionStrategy):
         picks = []
         for k in range(n_states):
             top = np.argsort(-variances[k])[: allocation[k]]
+            picks.append(np.sort(top.astype(int)))
+        return picks
+
+
+class YieldVarianceAcquisition(AcquisitionStrategy):
+    """Target yield-CI width instead of raw predictive variance.
+
+    What gets signed off is the spec-pass probability, not the RMSE —
+    so spend samples where *yield* is uncertain. The pass probability at
+    a candidate is ``Φ(z)`` with ``z = (bound − μ)/σ_tot`` and
+    ``σ_tot² = σ_model² + σ0²``; by the delta method, the model's mean
+    uncertainty contributes ``φ(z)²·σ_model²/σ_tot²`` to the variance of
+    that probability. The score is this contribution summed over specs:
+    it peaks for candidates that are both near a spec boundary (``φ(z)``
+    large) *and* model-uncertain (``σ_model`` large), and vanishes for
+    points that pass or fail with certainty — exactly the points raw
+    variance-chasing wastes budget on. Allocation across states follows
+    the two-phase split of :class:`CorrelationAwareAllocation`
+    (score-mass shares, then top-score picks within each state).
+
+    Specs are interpreted against the metric the model is fitted on;
+    the ``metric`` field of each
+    :class:`~repro.applications.yield_estimation.Specification` is
+    carried for bookkeeping only.
+    """
+
+    name = "yield_variance"
+
+    def __init__(self, specs: Sequence) -> None:
+        from repro.applications.yield_estimation import Specification
+
+        parsed = []
+        for spec in specs:
+            if isinstance(spec, str):
+                spec = Specification.parse(spec)
+            if not isinstance(spec, Specification):
+                raise TypeError(
+                    "specs must be Specification objects or "
+                    f"'metric<=bound' strings, got {type(spec).__name__}"
+                )
+            parsed.append(spec)
+        if not parsed:
+            raise ValueError("at least one specification is required")
+        self.specs = parsed
+
+    def describe(self) -> dict:
+        """Name plus the spec list driving the scores."""
+        return {
+            "strategy": self.name,
+            "specs": [
+                f"{s.metric}{'<=' if s.kind == 'max' else '>='}{s.bound:g}"
+                for s in self.specs
+            ],
+        }
+
+    def _scores(self, predictor, design: np.ndarray, state: int) -> np.ndarray:
+        """Delta-method yield-variance contribution of each candidate."""
+        from scipy.stats import norm
+
+        mean = predictor.predict_mean(design, state)
+        model_var = predictor.predict_std(design, state) ** 2
+        total_var = model_var + predictor.noise_var
+        score = np.zeros(design.shape[0])
+        for spec in self.specs:
+            z = (spec.bound - mean) / np.sqrt(total_var)
+            score += norm.pdf(z) ** 2 * model_var / total_var
+        return score
+
+    def select(self, model, basis, candidates, n_select, rng):
+        """Score-mass allocation across states, top-score picks within.
+
+        Degrades to uniform allocation with random picks — recorded in
+        :attr:`last_degraded` — when the predictor raises
+        :class:`NumericalError` or the score mass is non-finite/zero
+        (every candidate certain to pass or fail).
+        """
+        self._reset_degradation()
+        rng = as_generator(rng)
+        n_states = len(candidates)
+        _validate_pool(model, candidates, n_select)
+        designs = [basis.expand(pool) for pool in candidates]
+        try:
+            predictor = model.predictor
+            scores = [
+                self._scores(predictor, designs[k], k)
+                for k in range(n_states)
+            ]
+        except NumericalError as error:
+            self._record_degradation(
+                f"uniform_allocation:yield_score_failed({error})"
+            )
+            scores = [
+                rng.random(pool.shape[0]) for pool in candidates
+            ]
+        mass = np.array([float(np.mean(s)) for s in scores])
+        if not np.all(np.isfinite(mass)) or mass.sum() <= 0.0:
+            if not self.last_degraded:
+                self._record_degradation(
+                    "uniform_allocation:zero_yield_score_mass"
+                )
+            mass = np.ones(n_states)
+            scores = [rng.random(pool.shape[0]) for pool in candidates]
+        shares = mass / mass.sum() * n_select
+        allocation = np.floor(shares).astype(int)
+        remainder = np.argsort(-(shares - allocation))
+        for k in remainder[: n_select - int(allocation.sum())]:
+            allocation[k] += 1
+        order = list(np.argsort(-shares))
+        for _ in range(n_states):
+            overflow = 0
+            for k in range(n_states):
+                cap = candidates[k].shape[0]
+                if allocation[k] > cap:
+                    overflow += allocation[k] - cap
+                    allocation[k] = cap
+            if not overflow:
+                break
+            for k in order:
+                room = candidates[k].shape[0] - allocation[k]
+                if room > 0:
+                    added = min(room, overflow)
+                    allocation[k] += added
+                    overflow -= added
+                if not overflow:
+                    break
+        picks = []
+        for k in range(n_states):
+            top = np.argsort(-scores[k])[: allocation[k]]
             picks.append(np.sort(top.astype(int)))
         return picks

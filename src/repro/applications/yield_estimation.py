@@ -17,6 +17,7 @@ import numpy as np
 from repro.basis.dictionary import BasisDictionary
 from repro.circuits.base import TunableCircuit
 from repro.core.base import MultiStateRegressor
+from repro.errors import NumericalError
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer
 from repro.variation.sampling import standard_normal_samples
@@ -41,6 +42,33 @@ class Specification:
             raise ValueError(
                 f"kind must be 'max' or 'min', got {self.kind!r}"
             )
+        if not np.isfinite(self.bound):
+            raise ValueError(
+                f"bound for metric {self.metric!r} must be finite, got "
+                f"{self.bound!r} — a NaN/inf bound would silently pass or "
+                "fail every sample"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Specification":
+        """Parse ``metric<=bound`` / ``metric>=bound`` (CLI spec syntax)."""
+        text = str(text).strip()
+        for token, kind in (("<=", "max"), (">=", "min")):
+            if token in text:
+                metric, _, bound = text.partition(token)
+                metric = metric.strip()
+                if not metric:
+                    raise ValueError(f"spec {text!r} has an empty metric name")
+                try:
+                    value = float(bound)
+                except ValueError:
+                    raise ValueError(
+                        f"spec {text!r} has a non-numeric bound {bound!r}"
+                    ) from None
+                return cls(metric=metric, bound=value, kind=kind)
+        raise ValueError(
+            f"spec {text!r} must look like 'metric<=bound' or 'metric>=bound'"
+        )
 
     def passes(self, values: np.ndarray) -> np.ndarray:
         """Boolean pass mask for an array of metric values."""
@@ -101,6 +129,14 @@ class YieldEstimator:
             model = self.models[spec.metric]
             for state in range(self.n_states):
                 predictions = model.predict(design, state)
+                if not np.all(np.isfinite(predictions)):
+                    n_bad = int(np.sum(~np.isfinite(predictions)))
+                    raise NumericalError(
+                        f"model for metric {spec.metric!r} produced {n_bad} "
+                        f"non-finite prediction(s) at state {state}; "
+                        "NaN comparisons would silently count as spec "
+                        "failures and corrupt the yield estimate"
+                    )
                 passes[:, state] &= spec.passes(predictions)
         return passes
 
@@ -196,9 +232,14 @@ def monte_carlo_yield(
     for _ in range(n_samples):
         x = rng.standard_normal(circuit.n_variables)
         values = circuit.evaluate_x(x, state)
-        ok = all(
-            bool(spec.passes(np.asarray([values[spec.metric]]))[0])
-            for spec in specs
-        )
+        ok = True
+        for spec in specs:
+            value = float(values[spec.metric])
+            if not np.isfinite(value):
+                raise NumericalError(
+                    f"circuit produced a non-finite {spec.metric!r} value "
+                    f"({value!r}) at state {state_index}"
+                )
+            ok = ok and bool(spec.passes(np.asarray([value]))[0])
         n_pass += int(ok)
     return n_pass / n_samples

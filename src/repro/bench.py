@@ -19,19 +19,27 @@ reports next to the working directory:
   swept-frequency workload: full ``CBMF.fit`` through the Kronecker
   path vs the same fit forced onto the dual/Woodbury path
   (``REPRO_POSTERIOR_SOLVER=dual``), a K-scaling curve, and the
-  coefficient-parity numbers the speedup is only valid together with.
+  coefficient-parity numbers the speedup is only valid together with;
+* ``BENCH_yield.json`` — the correlation-shared yield estimator on the
+  same K=201 sweep: per-state yield RMSE of the shrunk estimator vs
+  the independent per-state estimator against a 10⁵-sample Monte-Carlo
+  ground truth at equal sampling budget, plus the cluster ``yield``
+  endpoint's tracemalloc peak (the proof the shard never densifies an
+  MK × MK covariance).
 
 Each report carries the workload fingerprint (circuit, scale, shapes,
 repeat count) plus environment info, and every timing is the **median**
 over ``--repeats`` runs so a single scheduler hiccup cannot fail CI.
 ``--suite`` selects one report (``fit``/``serving``/``streaming``/
-``cluster``/``kron``); the default runs all of them.
+``cluster``/``kron``/``yield``); the default runs all of them.
 
 ``--check`` compares the fresh numbers against committed baselines
 (``benchmarks/baselines/`` by default) and exits non-zero when any
 timing regresses beyond ``--threshold`` (default 1.5×). The kron suite
 additionally enforces *absolute* gates — fit speedup ≥ 5× over the dual
-path and coefficient parity ≤ 1e-8 — independent of the baseline.
+path and coefficient parity ≤ 1e-8 — independent of the baseline; the
+yield suite likewise gates on shrunk-beats-independent RMSE and on the
+shard's memory peak staying far below the dense-covariance cost.
 Baselines are refreshed by re-running with ``--update-baseline`` on a
 quiet machine.
 """
@@ -55,8 +63,10 @@ __all__ = [
     "bench_kron",
     "bench_serving",
     "bench_streaming",
+    "bench_yield",
     "check_kron_gates",
     "check_regression",
+    "check_yield_gates",
     "main_bench",
 ]
 
@@ -691,6 +701,209 @@ def check_kron_gates(report: dict) -> List[str]:
     return problems
 
 
+#: Fixed workload of the yield suite (ISSUE 9 acceptance criteria).
+#: The config is deliberately independent of ``--quick``/``--scale`` so
+#: the committed baseline matches every invocation; only ``repeats``
+#: (excluded from the fingerprint) varies.
+YIELD_SPECS = ("s21_db>=16.5", "nf_db<=1.55")
+YIELD_BUDGET = 400
+YIELD_MC_SAMPLES = 100_000
+YIELD_REPS = 5
+#: The shard's tracemalloc peak while answering the yield query must
+#: stay below this fraction of the dense MK × MK covariance it would
+#: take to answer naively (K=201, M≈238 ⇒ ~18 GB dense).
+YIELD_PEAK_FRACTION = 0.01
+
+
+def bench_yield(
+    repeats: int = 3,
+    seed: int = 2016,
+    n_points: int = 201,
+    n_train: int = 10,
+) -> dict:
+    """Yield-estimator quality + the cluster ``yield`` endpoint memory.
+
+    Fits the K=201 swept-frequency workload once (the same fast
+    single-point CV grid as the kron suite), then treats the fitted
+    posterior mean as the population: a ``YIELD_MC_SAMPLES``-sample
+    Monte-Carlo pass defines the ground-truth per-state yield under
+    ``YIELD_SPECS``. Each of ``YIELD_REPS`` seeded replicates draws the
+    small equal budget (``YIELD_BUDGET`` samples/state), estimates
+    per-state yield twice from the *same* draws — independently
+    (empirical fraction per state) and with correlation-shared
+    shrinkage across the learned K × K prior correlation — and the
+    report records both RMSE curves. The cluster arm pushes the frozen
+    set to a one-shard ``ClusterService`` and answers the identical
+    query through the ``yield`` frame, recording the shard's
+    tracemalloc peak next to the dense-covariance byte count it must
+    stay far below.
+    """
+    import tempfile
+
+    from repro.applications.yield_estimation import Specification
+    from repro.basis.polynomial import LinearBasis
+    from repro.cluster import ClusterConfig, ClusterService
+    from repro.core.cbmf import CBMF
+    from repro.core.em import EmConfig
+    from repro.core.somp_init import InitConfig
+    from repro.modelset import PerformanceModelSet
+    from repro.paper import simulate_sweep
+    from repro.serving import ModelRegistry
+    from repro.yields import compute_yield_report, sample_state_estimates
+
+    train = simulate_sweep(
+        n_points=n_points, n_samples_per_state=n_train, seed=seed
+    )
+    basis = LinearBasis(train.n_variables)
+    designs = basis.expand_states(train.inputs())
+    init_config = InitConfig(
+        r0_grid=(0.95,),
+        sigma0_grid=(0.15,),
+        n_basis_grid=(20,),
+        n_folds=2,
+    )
+    em_config = EmConfig(max_iterations=8)
+
+    fitted = {}
+
+    def one_fit():
+        for metric in train.metric_names:
+            model = CBMF(
+                init_config=init_config, em_config=em_config, seed=seed
+            )
+            fitted[metric] = model.fit(designs, train.targets(metric))
+
+    fit_median = _median_seconds(one_fit, max(repeats, 1))
+    models = PerformanceModelSet(fitted, basis)
+    frozen = models.freeze()
+    specs = [Specification.parse(text) for text in YIELD_SPECS]
+
+    # Ground truth: the big Monte-Carlo pass through the same frozen
+    # models, on a stream disjoint from every replicate's budget draw.
+    truth = sample_state_estimates(
+        frozen, basis, specs,
+        n_samples=YIELD_MC_SAMPLES, seed=seed + 500_000,
+    ).yields
+
+    rmse_raw: List[float] = []
+    rmse_shrunk: List[float] = []
+    estimate_samples: List[float] = []
+    last_report = None
+    for rep in range(YIELD_REPS):
+        started = time.perf_counter()
+        estimates = sample_state_estimates(
+            frozen, basis, specs,
+            n_samples=YIELD_BUDGET, seed=seed + rep,
+        )
+        estimate_samples.append(time.perf_counter() - started)
+        last_report = compute_yield_report(
+            frozen, basis, specs,
+            n_samples=YIELD_BUDGET, seed=seed + rep, estimates=estimates,
+        )
+        rmse_raw.append(float(
+            np.sqrt(np.mean((last_report.yield_raw - truth) ** 2))
+        ))
+        rmse_shrunk.append(float(
+            np.sqrt(np.mean((last_report.yield_shrunk - truth) ** 2))
+        ))
+    estimate_median = float(statistics.median(estimate_samples))
+    rmse_raw_mean = float(np.mean(rmse_raw))
+    rmse_shrunk_mean = float(np.mean(rmse_shrunk))
+
+    # Cluster arm: the same query answered by a shard from the shared
+    # store, peak-metered. The dense alternative would materialize an
+    # MK × MK covariance — record its byte cost next to the peak.
+    dense_cov_bytes = int((basis.n_basis * n_points) ** 2 * 8)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        registry.push("lna_sweep", models)
+        config = ClusterConfig(n_shards=1)
+        with ClusterService(
+            registry,
+            ["lna_sweep@v1"],
+            config=config,
+            store_dir=Path(tmp) / "store",
+        ) as cluster:
+            started = time.perf_counter()
+            reply = cluster.yield_report(
+                "lna_sweep",
+                list(YIELD_SPECS),
+                n_samples=YIELD_BUDGET,
+                seed=seed,
+                deadline_s=300.0,
+            )
+            cluster_seconds = time.perf_counter() - started
+
+    return {
+        "kind": "yield",
+        "config": {
+            "circuit": "lna_sweep",
+            "specs": list(YIELD_SPECS),
+            "n_points": n_points,
+            "n_train_per_state": n_train,
+            "n_basis": basis.n_basis,
+            "budget_per_state": YIELD_BUDGET,
+            "mc_samples": YIELD_MC_SAMPLES,
+            "n_reps": YIELD_REPS,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "env": _environment(),
+        "timings_seconds": {
+            "fit": fit_median,
+            "estimate": estimate_median,
+            "cluster_yield": cluster_seconds,
+        },
+        "details": {
+            "rmse_independent": rmse_raw_mean,
+            "rmse_shrunk": rmse_shrunk_mean,
+            "rmse_improvement": (
+                rmse_raw_mean / rmse_shrunk_mean
+                if rmse_shrunk_mean > 0 else None
+            ),
+            "rmse_independent_per_rep": rmse_raw,
+            "rmse_shrunk_per_rep": rmse_shrunk,
+            "tau2": last_report.tau2,
+            "correlation_shared": last_report.correlation_shared,
+            "fleet_yield": last_report.fleet_yield,
+            "cluster_peak_bytes": int(reply["peak_bytes"]),
+            "dense_cov_bytes": dense_cov_bytes,
+            "peak_fraction_of_dense": (
+                reply["peak_bytes"] / dense_cov_bytes
+            ),
+            "cluster_version": reply["version"],
+        },
+    }
+
+
+def check_yield_gates(report: dict) -> List[str]:
+    """Absolute acceptance gates of the yield report (baseline-free)."""
+    problems: List[str] = []
+    details = report.get("details", {})
+    raw = details.get("rmse_independent")
+    shrunk = details.get("rmse_shrunk")
+    if raw is None or shrunk is None or not shrunk < raw:
+        problems.append(
+            f"shrunk yield RMSE {shrunk} does not beat the independent "
+            f"estimator {raw} at equal budget"
+        )
+    if not details.get("correlation_shared"):
+        problems.append(
+            "the report did not use the learned correlation "
+            "(correlation_shared is false — shrinkage fell back to "
+            "independent intervals)"
+        )
+    peak = details.get("cluster_peak_bytes")
+    dense = details.get("dense_cov_bytes")
+    if peak is None or dense is None or peak >= dense * YIELD_PEAK_FRACTION:
+        problems.append(
+            f"cluster yield endpoint peaked at {peak} bytes — not far "
+            f"enough below the dense MK×MK covariance ({dense} bytes, "
+            f"gate {YIELD_PEAK_FRACTION:.0%})"
+        )
+    return problems
+
+
 def check_regression(
     current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> List[str]:
@@ -732,7 +945,7 @@ def _write_report(report: dict, path: Path) -> None:
 
 
 #: Suite registry: report filename per suite, in run order.
-SUITES = ("fit", "serving", "streaming", "cluster", "kron")
+SUITES = ("fit", "serving", "streaming", "cluster", "kron", "yield")
 
 
 def main_bench(args: argparse.Namespace) -> int:
@@ -816,6 +1029,20 @@ def main_bench(args: argparse.Namespace) -> int:
         )
         reports["BENCH_kron.json"] = kron_report
 
+    if "yield" in selected:
+        print("benchmarking yield estimator (K=201 sweep, "
+              f"{YIELD_MC_SAMPLES:,}-sample MC ground truth) ...")
+        yield_report = bench_yield(repeats=repeats, seed=args.seed)
+        yield_d = yield_report["details"]
+        print(
+            f"  rmse independent {yield_d['rmse_independent']:.4f}  "
+            f"shrunk {yield_d['rmse_shrunk']:.4f}  "
+            f"(improvement {yield_d['rmse_improvement']:.2f}x; shard "
+            f"peak {yield_d['cluster_peak_bytes'] / 1e6:.1f} MB vs "
+            f"{yield_d['dense_cov_bytes'] / 1e9:.1f} GB dense)"
+        )
+        reports["BENCH_yield.json"] = yield_report
+
     for name, report in reports.items():
         _write_report(report, output_dir / name)
 
@@ -841,6 +1068,8 @@ def main_bench(args: argparse.Namespace) -> int:
             if report["kind"] == "kron":
                 # Absolute gates, enforced with or without a baseline.
                 failures.extend(check_kron_gates(report))
+            if report["kind"] == "yield":
+                failures.extend(check_yield_gates(report))
         if failures:
             for message in failures:
                 print(f"REGRESSION: {message}", file=sys.stderr)

@@ -8,6 +8,7 @@
     python -m repro info
     python -m repro serve-bench [--requests N] [--batch-size B]
     python -m repro sweep-fit [--points K] [--train N] [--registry DIR]
+    python -m repro yield-report [--spec 'nf_db<=1.55'] [--points K] ...
     python -m repro bench [--quick] [--check] [--update-baseline]
     python -m repro registry list|push|get --root DIR ...
     python -m repro active-fit [--circuit lna|mixer] [--strategy NAME] ...
@@ -29,6 +30,11 @@ registry pushes → serving hot-swaps (record/replay with ``--record`` /
 K-point S21/NF sweep (state-balanced, so C-BMF takes the Kronecker
 solver), fit, push the model set to a registry and verify the frozen
 artifacts predict identically after the round-trip.
+``yield-report`` fits the same sweep (or loads a pushed model set with
+``--registry``/``--key``) and prints the fleet yield report: per-state
+pass probability under the ``--spec`` bounds with correlation-shared
+shrinkage across the learned K × K prior correlation and an analytic
+confidence interval per state (see :mod:`repro.yields`).
 ``cluster serve-bench`` spins up the horizontal serving cluster —
 asyncio gateway over ``--shards`` worker processes sharing one
 memmapped model store — drives a concurrent request stream through it,
@@ -307,6 +313,91 @@ def _cmd_sweep_fit(args) -> int:
         return run(ModelRegistry(tmp))
 
 
+#: Default pass/fail bounds of ``yield-report`` on the lna_sweep
+#: metrics — chosen so the per-state yield actually varies across the
+#: sweep (the regime shrinkage is for). Loading other metrics via
+#: ``--key`` requires explicit ``--spec``.
+DEFAULT_SWEEP_SPECS = ("s21_db>=16.5", "nf_db<=1.55")
+
+
+def _cmd_yield_report(args) -> int:
+    """Fleet yield report: fit (or load) a model set, shrink, print."""
+    from repro.applications.yield_estimation import Specification
+    from repro.modelset import PerformanceModelSet
+    from repro.paper import simulate_sweep
+    from repro.yields import (
+        compute_yield_report,
+        format_yield_report,
+        report_to_dict,
+    )
+
+    if args.key and not args.spec:
+        print(
+            "--key loads arbitrary metrics; pass at least one --spec "
+            "like 'nf_db<=1.55'",
+            file=sys.stderr,
+        )
+        return 2
+    spec_texts = list(args.spec) if args.spec else list(DEFAULT_SWEEP_SPECS)
+    specs = [Specification.parse(text) for text in spec_texts]
+
+    if args.key:
+        from repro.serving import ModelRegistry
+
+        if not args.registry:
+            print("--key requires --registry", file=sys.stderr)
+            return 2
+        models = ModelRegistry(args.registry).load(args.key)
+        print(f"loaded {args.key} from {args.registry} "
+              f"(K={models.n_states}, "
+              f"metrics: {', '.join(models.metric_names)})")
+    else:
+        print(
+            f"simulating lna_sweep — {args.points} frequency points, "
+            f"{args.train} shared process samples"
+        )
+        train = simulate_sweep(
+            n_points=args.points,
+            n_samples_per_state=args.train,
+            seed=args.seed,
+        )
+        started = time.perf_counter()
+        models = PerformanceModelSet.fit_dataset(
+            train, method="cbmf", seed=args.seed
+        )
+        print(f"fit {len(models.metric_names)} metrics in "
+              f"{time.perf_counter() - started:.2f}s")
+
+    started = time.perf_counter()
+    report = compute_yield_report(
+        models.as_mapping(),
+        models.basis,
+        specs,
+        n_samples=args.samples,
+        seed=args.seed,
+        confidence=args.confidence,
+    )
+    elapsed = time.perf_counter() - started
+    print(format_yield_report(report, max_rows=args.max_rows))
+    print(f"[{report.n_states} states x {args.samples} samples "
+          f"in {elapsed:.2f}s]")
+    if args.json:
+        from pathlib import Path
+
+        payload = report_to_dict(report)
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if not report.correlation_shared:
+        print(
+            "warning: no learned correlation on the loaded models — "
+            "intervals are the independent per-state fallback",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_active_fit(args) -> int:
     """Actively fit one circuit metric; optionally push to a registry."""
     from repro.active import (
@@ -343,6 +434,15 @@ def _cmd_active_fit(args) -> int:
         kwargs["state_costs"] = (
             [cost_model.seconds_per_sample] * circuit.n_states
         )
+    if args.strategy == "yield_variance":
+        if not args.spec:
+            print(
+                "--strategy yield_variance requires at least one --spec "
+                f"bound on {metric!r}, e.g. --spec '{metric}<=1.5'",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["specs"] = list(args.spec)
     strategy = make_acquisition(args.strategy, **kwargs)
 
     config = ActiveFitConfig(
@@ -816,6 +916,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="registry model name (default: 'lna_sweep')")
     p.add_argument("--seed", type=int, default=2016)
 
+    p = sub.add_parser(
+        "yield-report",
+        help="per-state yield with correlation-shared shrinkage + CIs",
+    )
+    p.add_argument("--spec", action="append", default=None,
+                   help="pass/fail bound 'metric<=x' or 'metric>=x' "
+                        "(repeatable; default: the lna_sweep bounds "
+                        + " and ".join(repr(s) for s in
+                                       DEFAULT_SWEEP_SPECS) + ")")
+    p.add_argument("--points", type=int, default=201,
+                   help="sweep points K when fitting (default: 201)")
+    p.add_argument("--train", type=int, default=10,
+                   help="shared process samples per sweep point")
+    p.add_argument("--samples", type=int, default=400,
+                   help="Monte-Carlo samples per state (default: 400)")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   help="confidence level of the per-state intervals")
+    p.add_argument("--registry", default=None,
+                   help="load the model set from this registry root")
+    p.add_argument("--key", default=None,
+                   help="registry key to load (skips the sweep fit)")
+    p.add_argument("--json", default=None,
+                   help="also write the full report to this JSON file")
+    p.add_argument("--max-rows", type=int, default=12,
+                   help="worst states shown in the table (default: 12)")
+    p.add_argument("--seed", type=int, default=2016)
+
     from repro.bench import add_bench_parser
 
     add_bench_parser(sub)
@@ -829,9 +956,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="metric to fit (default: the circuit's first)")
     p.add_argument(
         "--strategy", default="variance",
-        choices=("variance", "random", "cost_weighted", "correlation"),
+        choices=("variance", "random", "cost_weighted", "correlation",
+                 "yield_variance"),
         help="acquisition strategy (default: variance)",
     )
+    p.add_argument("--spec", action="append", default=None,
+                   help="yield bound 'metric<=x' / 'metric>=x' for "
+                        "--strategy yield_variance (repeatable)")
     p.add_argument("--states", type=int, default=4,
                    help="number of knob states K")
     p.add_argument("--rounds", type=int, default=6,
@@ -983,6 +1114,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "sweep-fit":
         return _cmd_sweep_fit(args)
+    if args.command == "yield-report":
+        return _cmd_yield_report(args)
     if args.command == "bench":
         from repro.bench import main_bench
 

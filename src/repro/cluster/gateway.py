@@ -419,6 +419,85 @@ class ClusterService:
         )
         return results
 
+    def yield_report(
+        self,
+        name: str,
+        specs: Sequence,
+        n_samples: int = 400,
+        seed: int = 0,
+        confidence: float = 0.95,
+        states: Optional[Sequence[int]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Dict:
+        """Fleet yield/moment report for ``name``, computed in its shard.
+
+        The owning shard samples every state of the routed version from
+        the shared memmapped store, applies correlation-shared shrinkage
+        (see :mod:`repro.yields`), and answers per-state yields with
+        confidence intervals inside a single reply frame. ``specs``
+        accepts :class:`~repro.applications.yield_estimation.Specification`
+        objects, ``{"metric", "bound", "kind"}`` dicts, or
+        ``"metric<=bound"`` strings. ``states`` restricts the *returned*
+        per-state arrays (shrinkage always uses the full fleet).
+
+        Returns a dict with the served ``key``/``version``, the shard's
+        measured ``peak_bytes`` during the computation (the proof that
+        no MK × MK covariance was densified), and the ``report`` payload
+        of :func:`repro.yields.report_to_dict`. Raises the same error
+        taxonomy as :meth:`predict_many` — a killed shard surfaces as
+        :class:`ShardCrashError`, an expired wait as
+        :class:`DeadlineError`.
+        """
+        from repro.applications.yield_estimation import Specification
+
+        self._require_started()
+        parsed = []
+        for spec in specs:
+            if isinstance(spec, str):
+                spec = Specification.parse(spec)
+            if isinstance(spec, Specification):
+                spec = {
+                    "metric": spec.metric,
+                    "bound": float(spec.bound),
+                    "kind": spec.kind,
+                }
+            else:
+                spec = {
+                    "metric": str(spec["metric"]),
+                    "bound": float(spec["bound"]),
+                    "kind": str(spec.get("kind", "max")),
+                }
+            parsed.append(spec)
+        if not parsed:
+            raise ValueError("at least one specification is required")
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        if deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        key = self._choose_version(name)
+        reply = self._run(
+            self._submit_yield(
+                key,
+                parsed,
+                int(n_samples),
+                int(seed),
+                float(confidence),
+                time.time() + deadline_s,
+            )
+        )
+        if states is not None:
+            index = [int(s) for s in states]
+            report = reply["report"]
+            for field_name in (
+                "yield_raw",
+                "yield_shrunk",
+                "yield_ci_lower",
+                "yield_ci_upper",
+            ):
+                report[field_name] = [report[field_name][k] for k in index]
+            report["states"] = index
+        return reply
+
     # -- observability --------------------------------------------------
     def shard_engine_snapshots(self) -> List[Dict]:
         """Per-shard engine/metrics digests fetched over the wire.
@@ -807,6 +886,61 @@ class ClusterService:
                 f"request {item.id} ({n} rows on shard {handle.index}) "
                 f"expired after {max(timeout, 0.0):.3f}s"
             ) from None
+
+    async def _submit_yield(
+        self,
+        key: str,
+        specs: List[Dict],
+        n_samples: int,
+        seed: int,
+        confidence: float,
+        deadline: float,
+    ) -> Dict:
+        """Ship one yield frame to the owning shard; await its report.
+
+        Registered in ``handle.pending`` like a predict so a worker
+        death while the report is computing fails it with
+        :class:`ShardCrashError` instead of hanging to the deadline.
+        """
+        handle = self._shards[self._key_shard[key]]
+        if handle.dead_forever:
+            raise ShardCrashError(
+                f"shard {handle.index} exhausted its respawn budget "
+                f"({self.config.max_respawns}); {key!r} is unservable"
+            )
+        item = _PredictItem(
+            id=next(self._ids),
+            key=key,
+            x=np.empty((0, 1)),
+            states=np.empty(0, dtype=np.int64),
+            deadline=deadline,
+            future=asyncio.get_event_loop().create_future(),
+        )
+        header = {
+            "kind": "yield",
+            "id": item.id,
+            "key": key,
+            "specs": specs,
+            "n_samples": n_samples,
+            "seed": seed,
+            "confidence": confidence,
+            "deadline": deadline,
+        }
+        handle.pending[item.id] = item
+        await handle.queue.put(_ControlItem(header=header))
+        timeout = deadline - time.time()
+        try:
+            reply = await asyncio.wait_for(item.future, timeout=timeout)
+        except asyncio.TimeoutError:
+            handle.pending.pop(item.id, None)
+            self.metrics.record_deadline_expired(handle.index, key, 1)
+            raise DeadlineError(
+                f"yield request {item.id} on shard {handle.index} "
+                f"expired after {max(timeout, 0.0):.3f}s"
+            ) from None
+        if isinstance(reply, dict) and reply.get("kind") == "yield-result":
+            return reply
+        raise ServingError(f"unexpected yield reply {reply!r}")
 
     async def _enqueue_control(self, index: int, header: Dict) -> None:
         handle = self._shards[index]

@@ -16,6 +16,13 @@ socket:
     rows are not computed); the rest are answered by **one**
     ``predict_many`` call — the single-matmul hot path of the whole
     cluster.
+``yield``
+    Computes a correlation-shared yield/moment report for one served
+    key (see :mod:`repro.yields`) and answers it entirely inside the
+    reply header — per-state yields with CIs are a few KB of JSON at
+    K=201. The handler runs under ``tracemalloc`` and reports the
+    computation's peak allocation, so the caller can *prove* no
+    MK × MK covariance was densified inside the worker.
 ``metrics``
     Ships the engine's :meth:`ServingMetrics.snapshot` plus cache size
     and the store-mapping PSS numbers, so the gateway can aggregate
@@ -39,6 +46,7 @@ from __future__ import annotations
 import os
 import socket
 import time
+import tracemalloc
 from typing import Dict, Optional
 
 import numpy as np
@@ -142,6 +150,80 @@ def _serve_predict(
         )
 
 
+def _serve_yield(
+    served: Dict[str, ServedModel],
+    sock: socket.socket,
+    header: Dict,
+) -> None:
+    """Answer one yield-report frame, header-only (no binary payload).
+
+    The whole computation — per-state sampling through the memmapped
+    models plus the K × K shrinkage solve — runs under ``tracemalloc``;
+    the measured peak rides back in the reply so the gateway side can
+    assert the shard never materialized anything near an MK × MK
+    covariance while answering fleet-wide per-state yields.
+    """
+    from repro.applications.yield_estimation import Specification
+    from repro.yields import compute_yield_report, report_to_dict
+
+    key = header["key"]
+    request_id = header.get("id")
+    if key not in served:
+        send_frame(sock, {
+            "kind": "error", "id": request_id, "etype": "serving",
+            "error": f"shard does not serve {key!r}",
+        })
+        return
+    deadline = header.get("deadline")
+    if deadline is not None and time.time() > deadline:
+        send_frame(sock, {
+            "kind": "error", "id": request_id, "etype": "deadline",
+            "error": (
+                f"yield request expired in the shard queue "
+                f"({time.time() - deadline:.3f}s past deadline)"
+            ),
+        })
+        return
+    model = served[key]
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        specs = [
+            Specification(
+                metric=s["metric"], bound=float(s["bound"]), kind=s["kind"]
+            )
+            for s in header["specs"]
+        ]
+        report = compute_yield_report(
+            model.models,
+            model.basis,
+            specs,
+            n_samples=int(header.get("n_samples", 400)),
+            seed=int(header.get("seed", 0)),
+            confidence=float(header.get("confidence", 0.95)),
+        )
+        _, peak_bytes = tracemalloc.get_traced_memory()
+    except Exception as error:  # answer, never die
+        send_frame(sock, {
+            "kind": "error", "id": request_id, "etype": "serving",
+            "error": f"{type(error).__name__}: {error}",
+        })
+        return
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    send_frame(sock, {
+        "kind": "yield-result",
+        "id": request_id,
+        "key": key,
+        "version": model.version,
+        "peak_bytes": int(peak_bytes),
+        "report": report_to_dict(report),
+    })
+
+
 def shard_main(
     sock: socket.socket,
     store_dir: str,
@@ -181,6 +263,8 @@ def shard_main(
         kind = header.get("kind")
         if kind == "predict":
             _serve_predict(engine, served, sock, header, arrays)
+        elif kind == "yield":
+            _serve_yield(served, sock, header)
         elif kind == "metrics":
             send_frame(sock, {
                 "kind": "metrics-result",

@@ -161,10 +161,13 @@ def export_model_store(
         subdir.mkdir(parents=True, exist_ok=True)
         blocks: Dict[str, Dict] = {}
         for metric, frozen in sorted(models.items()):
-            for suffix, array in (
+            arrays = [
                 ("coef", frozen.coef_),
                 ("offsets", frozen.offsets_.reshape(1, -1)),
-            ):
+            ]
+            if frozen.correlation_ is not None:
+                arrays.append(("correlation", frozen.correlation_))
+            for suffix, array in arrays:
                 filename = f"{metric}.{suffix}.bin"
                 blocks[f"{entry.key}/{filename}"] = _write_block(
                     subdir / filename, array
@@ -284,10 +287,14 @@ class ModelStore:
         for metric in entry["metrics"]:
             coef = self._blocks[f"{key}/{metric}.coef.bin"]
             offsets = self._blocks[f"{key}/{metric}.offsets.bin"]
+            correlation = self._blocks.get(f"{key}/{metric}.correlation.bin")
             models[metric] = FrozenModel(
                 coef=np.asarray(coef),
                 offsets=np.asarray(offsets).reshape(-1),
                 metric=metric,
+                correlation=(
+                    None if correlation is None else np.asarray(correlation)
+                ),
             )
         return models
 

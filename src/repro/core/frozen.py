@@ -39,6 +39,12 @@ class FrozenModel(MultiStateRegressor):
         Optional metric name carried as metadata.
     basis_names:
         Optional basis-function names (length M) for reporting.
+    correlation:
+        Optional learned (K × K) inter-state correlation matrix. A
+        C-BMF fit learns it as part of the prior; carrying it with the
+        frozen artifact lets downstream consumers (the yield/moment
+        estimation service) share statistical strength across states
+        long after the fitting stack is gone.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class FrozenModel(MultiStateRegressor):
         offsets: Optional[np.ndarray] = None,
         metric: str = "",
         basis_names: Optional[tuple] = None,
+        correlation: Optional[np.ndarray] = None,
     ) -> None:
         self.coef_ = check_matrix(coef, "coef")
         n_states = self.coef_.shape[0]
@@ -62,6 +69,11 @@ class FrozenModel(MultiStateRegressor):
                 )
             basis_names = tuple(str(name) for name in basis_names)
         self.basis_names = basis_names
+        if correlation is not None:
+            correlation = check_matrix(
+                correlation, "correlation", shape=(n_states, n_states)
+            )
+        self.correlation_ = correlation
 
     # ------------------------------------------------------------------
     @classmethod
@@ -74,11 +86,16 @@ class FrozenModel(MultiStateRegressor):
         """Freeze any fitted estimator's coefficients."""
         estimator._require_fitted()
         offsets = getattr(estimator, "offsets_", None)
+        prior = getattr(estimator, "prior_", None)
+        correlation = getattr(prior, "correlation", None)
         return cls(
             coef=np.array(estimator.coef_, copy=True),
             offsets=None if offsets is None else np.array(offsets, copy=True),
             metric=metric,
             basis_names=basis_names,
+            correlation=(
+                None if correlation is None else np.array(correlation, copy=True)
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +122,8 @@ class FrozenModel(MultiStateRegressor):
         }
         if self.basis_names is not None:
             payload["basis_names"] = np.array(list(self.basis_names))
+        if self.correlation_ is not None:
+            payload["correlation"] = self.correlation_
         np.savez_compressed(Path(path), **payload)
 
     @classmethod
@@ -121,11 +140,13 @@ class FrozenModel(MultiStateRegressor):
             basis_names = None
             if "basis_names" in data:
                 basis_names = tuple(str(n) for n in data["basis_names"])
+            correlation = data["correlation"] if "correlation" in data else None
             return cls(
                 coef=data["coef"],
                 offsets=data["offsets"],
                 metric=str(data["metric"]),
                 basis_names=basis_names,
+                correlation=correlation,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -377,3 +377,38 @@ class PosteriorPredictor:
         if include_noise:
             variance = variance + self._noise_var
         return np.sqrt(variance)
+
+    def pass_probability(
+        self,
+        design: np.ndarray,
+        state: int,
+        bound: float,
+        kind: str = "max",
+        include_noise: bool = True,
+    ) -> np.ndarray:
+        """Posterior-predictive probability that each query meets a bound.
+
+        Under the Gaussian predictive ``y ~ N(μ, σ²)`` the probability of
+        ``y ≤ bound`` (``kind="max"``) is ``Φ((bound − μ)/σ)``; a
+        ``kind="min"`` spec takes the complement. This is the per-sample
+        building block of the yield service: averaging it over process
+        samples gives a spec-pass probability that accounts for *model*
+        uncertainty, not just process spread. ``include_noise=True``
+        asks about a new measured value rather than the latent mean.
+        """
+        from scipy.stats import norm
+
+        if kind not in ("max", "min"):
+            raise ValueError(f"kind must be 'max' or 'min', got {kind!r}")
+        if not np.isfinite(bound):
+            raise ValueError(f"bound must be finite, got {bound!r}")
+        mean = self.predict_mean(design, state)
+        std = self.predict_std(design, state, include_noise=include_noise)
+        with np.errstate(divide="ignore"):
+            z = np.where(std > 0.0, (float(bound) - mean) / std, np.inf)
+        # σ = 0 collapses to a deterministic pass/fail at the mean.
+        z = np.where(
+            (std > 0.0) | (mean <= float(bound)), z, -np.inf
+        )
+        probability = norm.cdf(z)
+        return probability if kind == "max" else 1.0 - probability

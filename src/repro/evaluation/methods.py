@@ -56,6 +56,7 @@ def _acquisition_factories() -> Dict[str, Callable[..., object]]:
         CostWeightedVariance,
         RandomAcquisition,
         VarianceAcquisition,
+        YieldVarianceAcquisition,
     )
 
     return {
@@ -63,6 +64,7 @@ def _acquisition_factories() -> Dict[str, Callable[..., object]]:
         "variance": VarianceAcquisition,
         "cost_weighted": CostWeightedVariance,
         "correlation": CorrelationAwareAllocation,
+        "yield_variance": YieldVarianceAcquisition,
     }
 
 

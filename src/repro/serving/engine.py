@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from types import MappingProxyType
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -151,6 +152,11 @@ class ServedModel:
     def metric_names(self) -> Tuple[str, ...]:
         """Served metrics, sorted."""
         return tuple(sorted(self._models))
+
+    @property
+    def models(self) -> Mapping[str, FrozenModel]:
+        """Read-only metric → frozen-model mapping (do not mutate)."""
+        return MappingProxyType(self._models)
 
     def predict_design(
         self, design: np.ndarray, state: int

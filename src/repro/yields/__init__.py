@@ -1,0 +1,51 @@
+"""Correlation-shared yield and moment estimation (the sign-off workload).
+
+The paper's economic argument is that once a C-BMF model is fitted,
+million-sample yield analysis is nearly free. This package is that
+workload, with one refinement borrowed from multiple-population moment
+estimation: the learned K × K inter-state correlation ``R`` is reused a
+second time to *shrink* the per-state Monte-Carlo estimates toward
+their correlation-weighted fleet estimate, tightening every state's
+yield number at a fixed sample budget. See ``shrinkage`` for the math,
+``moments`` for the deterministic per-state sampling, ``report`` for
+the shared entry point behind the CLI, the cluster endpoint, and the
+benchmark.
+"""
+
+from repro.yields.moments import (
+    RawStateEstimates,
+    model_correlation,
+    sample_state_estimates,
+    state_sample_rng,
+)
+from repro.yields.report import (
+    MetricMoments,
+    YieldReport,
+    compute_yield_report,
+    format_yield_report,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.yields.shrinkage import (
+    ShrinkageResult,
+    binomial_moments,
+    correlation_shrink,
+    independent_intervals,
+)
+
+__all__ = [
+    "MetricMoments",
+    "RawStateEstimates",
+    "ShrinkageResult",
+    "YieldReport",
+    "binomial_moments",
+    "compute_yield_report",
+    "correlation_shrink",
+    "format_yield_report",
+    "independent_intervals",
+    "model_correlation",
+    "report_from_dict",
+    "report_to_dict",
+    "sample_state_estimates",
+    "state_sample_rng",
+]

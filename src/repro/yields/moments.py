@@ -1,0 +1,192 @@
+"""Raw per-state moment/yield estimates from a fitted model.
+
+This is the sampling half of the yield service: push ``n`` process
+samples through the fitted performance models *per state* and record
+each state's pass count and metric moments, together with the sampling
+variance of every estimate. The streams are deliberately independent
+and deterministic per state — state k always draws from
+``default_rng([seed, k])`` — so the same (seed, state) pair reproduces
+bit-identically whether it is evaluated in-process, in a CLI run, or
+inside a cluster shard. That determinism is what lets the chaos tests
+assert a hot-swapped model changes the served yield *atomically*: every
+legitimate answer is exactly one version's vector, never a blend.
+
+The raw estimates here are exactly the "independent per-state
+estimator" the benchmark compares against; ``repro.yields.shrinkage``
+turns them into the correlation-shared estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.applications.yield_estimation import Specification
+from repro.basis.dictionary import BasisDictionary
+from repro.core.base import MultiStateRegressor
+from repro.errors import NumericalError
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "RawStateEstimates",
+    "model_correlation",
+    "sample_state_estimates",
+    "state_sample_rng",
+]
+
+
+def state_sample_rng(seed: int, state: int) -> np.random.Generator:
+    """The deterministic per-state stream: ``default_rng([seed, state])``."""
+    return np.random.default_rng([int(seed), int(state)])
+
+
+def model_correlation(
+    models: Mapping[str, MultiStateRegressor]
+) -> Optional[np.ndarray]:
+    """The learned K × K correlation carried by the models, if any.
+
+    Checks the frozen-artifact attribute (``correlation_``) first, then
+    a fitted C-BMF estimator's prior. When several metrics carry one
+    (they share the knob geometry, so the matrices are near-identical
+    up to fit noise), the first by sorted metric name wins — a
+    deterministic choice. Returns ``None`` when no model has one, which
+    downstream code treats as "no sharing: report raw estimates".
+    """
+    for _, model in sorted(models.items()):
+        correlation = getattr(model, "correlation_", None)
+        if correlation is None:
+            prior = getattr(model, "prior_", None)
+            correlation = getattr(prior, "correlation", None)
+        if correlation is not None:
+            return np.asarray(correlation, dtype=float)
+    return None
+
+
+@dataclass(frozen=True)
+class RawStateEstimates:
+    """Per-state sampling estimates at a fixed budget.
+
+    Attributes
+    ----------
+    successes:
+        Spec-pass counts per state (length K).
+    n_samples:
+        The per-state sample budget n.
+    yields:
+        Raw pass fractions ``successes / n``.
+    yield_variances:
+        Strictly-positive sampling variances of the yields
+        (Beta-posterior smoothed; see ``binomial_moments``).
+    means, stds:
+        metric name → per-state sample mean / std of the predicted
+        metric (length K each).
+    mean_variances:
+        metric name → sampling variance ``s²/n`` of each state's mean.
+    seed:
+        The base seed of the per-state streams.
+    """
+
+    successes: np.ndarray
+    n_samples: int
+    yields: np.ndarray
+    yield_variances: np.ndarray
+    means: Dict[str, np.ndarray]
+    stds: Dict[str, np.ndarray]
+    mean_variances: Dict[str, np.ndarray]
+    seed: int
+
+
+def sample_state_estimates(
+    models: Mapping[str, MultiStateRegressor],
+    basis: BasisDictionary,
+    specs: Sequence[Specification],
+    n_samples: int = 400,
+    seed: int = 0,
+    states: Optional[Sequence[int]] = None,
+) -> RawStateEstimates:
+    """Monte-Carlo per-state yield and moment estimates.
+
+    Draws ``n_samples`` fresh process samples *per state* from that
+    state's deterministic stream, expands them through ``basis`` once,
+    and evaluates every metric model on them. Non-finite predictions
+    raise :class:`~repro.errors.NumericalError` naming the metric and
+    state. ``states`` restricts evaluation to a subset (estimates for
+    other states are NaN / zero-count) — shrinkage requires the full
+    fleet, so most callers leave it ``None``.
+    """
+    if not models:
+        raise ValueError("at least one metric model is required")
+    if not specs:
+        raise ValueError("at least one specification is required")
+    for spec in specs:
+        if spec.metric not in models:
+            raise KeyError(
+                f"no model for metric {spec.metric!r}; have "
+                f"{sorted(models)}"
+            )
+    n_samples = check_integer(n_samples, "n_samples", minimum=2)
+    counts = {model.n_states for model in models.values()}
+    if len(counts) != 1:
+        raise ValueError(
+            f"models disagree on the state count: {sorted(counts)}"
+        )
+    n_states = counts.pop()
+    if states is None:
+        state_list = list(range(n_states))
+    else:
+        state_list = [int(s) for s in states]
+        for s in state_list:
+            if not 0 <= s < n_states:
+                raise IndexError(
+                    f"state {s} out of range 0..{n_states - 1}"
+                )
+
+    metrics = sorted(models)
+    successes = np.zeros(n_states)
+    means = {m: np.full(n_states, np.nan) for m in metrics}
+    stds = {m: np.full(n_states, np.nan) for m in metrics}
+    mean_variances = {m: np.full(n_states, np.nan) for m in metrics}
+
+    for state in state_list:
+        rng = state_sample_rng(seed, state)
+        x = rng.standard_normal((n_samples, basis.n_variables))
+        design = basis.expand(x)
+        ok = np.ones(n_samples, dtype=bool)
+        predictions: Dict[str, np.ndarray] = {}
+        for metric in metrics:
+            values = models[metric].predict(design, state)
+            if not np.all(np.isfinite(values)):
+                n_bad = int(np.sum(~np.isfinite(values)))
+                raise NumericalError(
+                    f"model for metric {metric!r} produced {n_bad} "
+                    f"non-finite prediction(s) at state {state}"
+                )
+            predictions[metric] = values
+            means[metric][state] = float(values.mean())
+            spread = float(values.std(ddof=1))
+            stds[metric][state] = spread
+            mean_variances[metric][state] = spread**2 / n_samples
+        for spec in specs:
+            ok &= spec.passes(predictions[spec.metric])
+        successes[state] = float(ok.sum())
+
+    from repro.yields.shrinkage import binomial_moments
+
+    yields, yield_variances = binomial_moments(successes, n_samples)
+    if states is not None:
+        skipped = np.ones(n_states, dtype=bool)
+        skipped[state_list] = False
+        yields[skipped] = np.nan
+        yield_variances[skipped] = np.nan
+    return RawStateEstimates(
+        successes=successes,
+        n_samples=n_samples,
+        yields=yields,
+        yield_variances=yield_variances,
+        means=means,
+        stds=stds,
+        mean_variances=mean_variances,
+        seed=int(seed),
+    )

@@ -8,6 +8,7 @@ from repro.active.acquisition import (
     CostWeightedVariance,
     RandomAcquisition,
     VarianceAcquisition,
+    YieldVarianceAcquisition,
 )
 from repro.basis.polynomial import LinearBasis
 from repro.core.cbmf import CBMF
@@ -279,3 +280,122 @@ class TestCorrelationAwareAllocation:
             worst_picked = std[picks[k]].min()
             unpicked = np.setdiff1d(np.arange(pool.shape[0]), picks[k])
             assert worst_picked >= std[unpicked].max() - 1e-12
+
+
+class YieldStubPredictor:
+    """Predictor stub with controlled mean/std per state."""
+
+    noise_var = 0.04
+
+    def __init__(self, means, stds):
+        self.means = means
+        self.stds = stds
+
+    def predict_mean(self, design, state):
+        return np.full(design.shape[0], float(self.means[state]))
+
+    def predict_std(self, design, state):
+        return np.full(design.shape[0], float(self.stds[state]))
+
+
+class YieldStubModel:
+    def __init__(self, means, stds):
+        self.n_states = len(means)
+        self.predictor = YieldStubPredictor(means, stds)
+
+
+class TestYieldVarianceAcquisition:
+    def test_accepts_strings_and_objects(self):
+        from repro.applications.yield_estimation import Specification
+
+        strategy = YieldVarianceAcquisition(
+            ["nf_db<=1.5", Specification("gain_db", 24.0, "min")]
+        )
+        assert [s.metric for s in strategy.specs] == ["nf_db", "gain_db"]
+        assert strategy.describe() == {
+            "strategy": "yield_variance",
+            "specs": ["nf_db<=1.5", "gain_db>=24"],
+        }
+
+    def test_rejects_empty_specs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            YieldVarianceAcquisition([])
+
+    def test_rejects_non_spec_entries(self):
+        with pytest.raises(TypeError, match="Specification"):
+            YieldVarianceAcquisition([3.5])
+
+    def test_registered_in_factory(self):
+        from repro.evaluation.methods import make_acquisition
+
+        strategy = make_acquisition(
+            "yield_variance", specs=["nf_db<=1.5"]
+        )
+        assert strategy.name == "yield_variance"
+
+    def test_valid_picks_on_fitted_model(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)
+        strategy = YieldVarianceAcquisition(["y<=0.5"])
+        picks = strategy.select(
+            model, basis, candidates, 7, np.random.default_rng(3)
+        )
+        check_picks(picks, candidates, 7)
+
+    def test_budget_flows_to_boundary_state(self):
+        """A state whose mean sits on the spec bound has maximal yield
+        uncertainty; states that pass or fail with certainty score ~0."""
+        model = YieldStubModel(
+            means=[0.5, 10.0, -10.0], stds=[0.3, 0.3, 0.3]
+        )
+        basis = LinearBasis(4)
+        rng = np.random.default_rng(0)
+        candidates = [rng.standard_normal((20, 4)) for _ in range(3)]
+        strategy = YieldVarianceAcquisition(["m<=0.5"])
+        picks = strategy.select(model, basis, candidates, 9, rng)
+        check_picks(picks, candidates, 9)
+        assert picks[0].size >= 7
+        assert not strategy.last_degraded
+
+    def test_certain_everywhere_degrades_to_uniform(self):
+        """All candidates pass with certainty -> zero score mass -> the
+        strategy records its degradation and allocates uniformly."""
+        model = YieldStubModel(
+            means=[-50.0, -50.0, -50.0], stds=[0.1, 0.1, 0.1]
+        )
+        basis = LinearBasis(4)
+        rng = np.random.default_rng(1)
+        candidates = [rng.standard_normal((20, 4)) for _ in range(3)]
+        strategy = YieldVarianceAcquisition(["m<=0.5"])
+        picks = strategy.select(model, basis, candidates, 6, rng)
+        check_picks(picks, candidates, 6)
+        assert strategy.last_degraded == (
+            "uniform_allocation:zero_yield_score_mass",
+        )
+        assert [p.size for p in picks] == [2, 2, 2]
+
+    def test_numerical_error_degrades_to_uniform(self):
+        from repro.errors import NumericalError
+
+        class ExplodingPredictor(YieldStubPredictor):
+            def predict_mean(self, design, state):
+                raise NumericalError("synthetic failure")
+
+        model = YieldStubModel([0.0, 0.0], [1.0, 1.0])
+        model.predictor = ExplodingPredictor([0.0, 0.0], [1.0, 1.0])
+        basis = LinearBasis(4)
+        rng = np.random.default_rng(2)
+        candidates = [rng.standard_normal((10, 4)) for _ in range(2)]
+        strategy = YieldVarianceAcquisition(["m<=0.5"])
+        picks = strategy.select(model, basis, candidates, 4, rng)
+        check_picks(picks, candidates, 4)
+        assert len(strategy.last_degraded) == 1
+        assert "yield_score_failed" in strategy.last_degraded[0]
+
+    def test_pool_count_mismatch_rejected(self, fitted):
+        oracle, model, basis = fitted
+        candidates = make_pool(oracle)[:-1]
+        with pytest.raises(ValueError, match="candidate pools"):
+            YieldVarianceAcquisition(["y<=0.5"]).select(
+                model, basis, candidates, 4, np.random.default_rng(0)
+            )

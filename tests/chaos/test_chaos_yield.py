@@ -1,0 +1,199 @@
+"""Chaos tests for the cluster yield endpoint: kills and hot swaps.
+
+Acceptance: a yield request caught by a shard kill fails only with the
+structured error taxonomy and the endpoint recovers after respawn; a
+hot swap changes the *served* yield atomically — because the per-state
+sample streams are deterministic, every legitimate reply equals exactly
+one version's vector, never a torn blend of two models.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.applications.yield_estimation import Specification
+from repro.cluster import ClusterConfig, ClusterService
+from repro.errors import (
+    DeadlineError,
+    ServingError,
+    ShardCrashError,
+    ShedError,
+)
+from repro.faults import FaultPlan
+from repro.modelset import PerformanceModelSet
+from repro.serving import ModelRegistry
+from repro.yields import compute_yield_report
+
+_TAXONOMY = (ShedError, DeadlineError, ShardCrashError)
+
+# Tight enough that the SOMP and LS fits serve visibly different
+# yield vectors (both saturate at 1.0 for looser bounds).
+SPECS = [Specification("nf_db", 1.35, "max")]
+N_SAMPLES = 120
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def modelset_v1(lna_dataset) -> PerformanceModelSet:
+    train, _ = lna_dataset.split(25)
+    return PerformanceModelSet.fit_dataset(train, method="somp", seed=0)
+
+
+@pytest.fixture(scope="module")
+def modelset_v2(lna_dataset) -> PerformanceModelSet:
+    """A genuinely different fit, so v1 and v2 serve different yields."""
+    train, _ = lna_dataset.split(25)
+    return PerformanceModelSet.fit_dataset(train, method="ls", seed=0)
+
+
+@pytest.fixture()
+def registry(tmp_path, modelset_v1, modelset_v2) -> ModelRegistry:
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.push("lna", modelset_v1)
+    registry.push("lna", modelset_v2)
+    return registry
+
+
+def expected_vector(modelset) -> np.ndarray:
+    """The deterministic yield vector one version must serve."""
+    report = compute_yield_report(
+        modelset.freeze(),
+        modelset.basis,
+        SPECS,
+        n_samples=N_SAMPLES,
+        seed=SEED,
+    )
+    return report.yield_shrunk
+
+
+class TestKillRespawn:
+    def test_yield_endpoint_survives_shard_kill(
+        self, registry, modelset_v1
+    ):
+        """kill@owner → taxonomy-only failures, then a correct answer
+        from the respawned shard."""
+        deadline = 10.0
+        config = ClusterConfig(n_shards=2, default_deadline_s=deadline)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            first = cluster.yield_report(
+                "lna", SPECS, n_samples=N_SAMPLES, seed=SEED
+            )
+            assert first["version"] == 1
+            owner = cluster.describe_routes()["lna"]["shard"]
+            applied = cluster.inject_faults(
+                FaultPlan.parse(f"shard:kill@{owner}")
+            )
+            assert applied == {owner: "kill"}
+
+            recovered = None
+            failures = []
+            for _ in range(30):
+                started = time.monotonic()
+                try:
+                    recovered = cluster.yield_report(
+                        "lna", SPECS, n_samples=N_SAMPLES, seed=SEED
+                    )
+                except ServingError as error:
+                    failures.append(error)
+                else:
+                    break
+                finally:
+                    assert time.monotonic() - started < deadline + 2.0
+
+            assert recovered is not None, (
+                f"never recovered; failures: {failures}"
+            )
+            # Structured taxonomy only — no silent drops, no bare errors.
+            assert all(isinstance(f, _TAXONOMY) for f in failures)
+            assert cluster.metrics.total_respawns >= 1
+            # The respawned shard serves the identical deterministic
+            # vector — state was rebuilt from the store, not improvised.
+            assert np.allclose(
+                recovered["report"]["yield_shrunk"],
+                expected_vector(modelset_v1),
+                rtol=0,
+                atol=1e-12,
+            )
+
+    def test_exhausted_respawn_budget_fails_fast(self, registry):
+        config = ClusterConfig(
+            n_shards=1, default_deadline_s=10.0, max_respawns=0
+        )
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.yield_report("lna", SPECS, n_samples=50, seed=0)
+            cluster.inject_faults(FaultPlan.parse("shard:kill@0"))
+            with pytest.raises(ShardCrashError):
+                for _ in range(10):
+                    cluster.yield_report(
+                        "lna", SPECS, n_samples=50, seed=0
+                    )
+                    time.sleep(0.1)
+
+
+class TestHotSwapAtomicity:
+    def test_every_reply_is_exactly_one_versions_vector(
+        self, registry, modelset_v1, modelset_v2
+    ):
+        """Hammer the endpoint while swapping v1 → v2: every reply must
+        match one version's deterministic vector bit-for-bit, and the
+        advertised version must agree with the vector served."""
+        v1_vector = expected_vector(modelset_v1)
+        v2_vector = expected_vector(modelset_v2)
+        assert not np.allclose(v1_vector, v2_vector, atol=1e-6), (
+            "fixture bug: the two versions serve identical yields"
+        )
+
+        config = ClusterConfig(n_shards=1, default_deadline_s=30.0)
+        replies = []
+        errors = []
+        stop = threading.Event()
+
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        reply = cluster.yield_report(
+                            "lna", SPECS, n_samples=N_SAMPLES, seed=SEED
+                        )
+                    except ServingError as error:
+                        errors.append(error)
+                    else:
+                        replies.append(
+                            (
+                                reply["version"],
+                                np.asarray(
+                                    reply["report"]["yield_shrunk"]
+                                ),
+                            )
+                        )
+
+            worker = threading.Thread(target=hammer)
+            worker.start()
+            time.sleep(0.6)  # a run of v1 answers
+            cluster.set_canary("lna", "lna@v2", 1.0)  # hot swap
+            time.sleep(0.6)  # a run of v2 answers
+            stop.set()
+            worker.join(timeout=30.0)
+            assert not worker.is_alive()
+
+        assert not errors, f"chaos-free run must not error: {errors}"
+        served_versions = {version for version, _ in replies}
+        assert served_versions == {1, 2}, (
+            f"expected answers from both versions, got {served_versions}"
+        )
+        by_version = {1: v1_vector, 2: v2_vector}
+        for version, vector in replies:
+            # Atomic: the reply matches its advertised version exactly —
+            # a torn read would blend per-state streams of two models.
+            assert np.allclose(
+                vector, by_version[version], rtol=0, atol=1e-12
+            )
+        # Monotone cutover: once v2 answers, v1 never answers again.
+        versions = [version for version, _ in replies]
+        first_v2 = versions.index(2)
+        assert all(v == 2 for v in versions[first_v2:])

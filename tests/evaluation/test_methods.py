@@ -55,6 +55,7 @@ class TestAcquisitionRegistry:
             "cost_weighted",
             "random",
             "variance",
+            "yield_variance",
         )
 
     def test_instantiation(self):

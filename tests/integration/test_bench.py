@@ -12,8 +12,10 @@ from repro.bench import (
     KRON_PARITY_RTOL,
     SUITES,
     add_bench_parser,
+    YIELD_PEAK_FRACTION,
     check_kron_gates,
     check_regression,
+    check_yield_gates,
 )
 
 
@@ -181,3 +183,81 @@ class TestBenchParser:
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.command == "bench"
         assert args.quick
+
+
+def yield_report(
+    rmse_independent=0.012,
+    rmse_shrunk=0.010,
+    correlation_shared=True,
+    peak_bytes=2_000_000,
+    dense_bytes=18_000_000_000,
+):
+    return {
+        "kind": "yield",
+        "config": {"circuit": "lna_sweep", "n_points": 201},
+        "timings_seconds": {"fit": 1.0, "estimate": 0.1},
+        "details": {
+            "rmse_independent": rmse_independent,
+            "rmse_shrunk": rmse_shrunk,
+            "correlation_shared": correlation_shared,
+            "cluster_peak_bytes": peak_bytes,
+            "dense_cov_bytes": dense_bytes,
+        },
+    }
+
+
+class TestCheckYieldGates:
+    """Absolute gates of the yield suite — baseline-free acceptance."""
+
+    def test_healthy_report_passes(self):
+        assert check_yield_gates(yield_report()) == []
+
+    def test_shrunk_must_beat_independent(self):
+        problems = check_yield_gates(yield_report(rmse_shrunk=0.013))
+        assert problems and "does not beat" in problems[0]
+        # A tie is not a win either.
+        assert check_yield_gates(
+            yield_report(rmse_shrunk=0.012, rmse_independent=0.012)
+        )
+
+    def test_missing_rmse_fails_loudly(self):
+        broken = yield_report()
+        del broken["details"]["rmse_shrunk"]
+        assert check_yield_gates(broken)
+
+    def test_independent_fallback_fails(self):
+        problems = check_yield_gates(
+            yield_report(correlation_shared=False)
+        )
+        assert problems and "correlation_shared" in problems[0]
+
+    def test_densified_covariance_fails(self):
+        problems = check_yield_gates(
+            yield_report(peak_bytes=18_000_000_000)
+        )
+        assert problems and "dense" in problems[0]
+
+    def test_peak_gate_is_a_strict_fraction(self):
+        dense = 1_000_000_000
+        at_gate = int(dense * YIELD_PEAK_FRACTION)
+        assert check_yield_gates(
+            yield_report(peak_bytes=at_gate, dense_bytes=dense)
+        )
+        assert check_yield_gates(
+            yield_report(peak_bytes=at_gate - 1, dense_bytes=dense)
+        ) == []
+
+    def test_committed_baseline_satisfies_its_own_gates(self):
+        """The repo's committed BENCH_yield.json must pass the absolute
+        gates — otherwise CI's yield-smoke would be red from the start."""
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "BENCH_yield.json"
+        )
+        baseline = json.loads(path.read_text())
+        assert baseline["kind"] == "yield"
+        assert check_yield_gates(baseline) == []
+        assert baseline["config"]["mc_samples"] >= 100_000
+
+    def test_yield_is_a_selectable_suite(self):
+        assert "yield" in SUITES

@@ -271,3 +271,83 @@ class TestRegistryCommands:
             ["registry", "list", "--root", str(tmp_path / "registry")]
         ) == 0
         assert "empty registry" in capsys.readouterr().out
+
+
+class TestYieldReport:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["yield-report"])
+        assert args.command == "yield-report"
+        assert args.points == 201
+        assert args.train == 10
+        assert args.samples == 400
+        assert args.confidence == 0.95
+        assert args.spec is None
+        assert args.key is None
+
+    def test_parser_spec_accumulates(self):
+        args = build_parser().parse_args([
+            "yield-report", "--spec", "s21_db>=16.5",
+            "--spec", "nf_db<=1.55",
+        ])
+        assert args.spec == ["s21_db>=16.5", "nf_db<=1.55"]
+
+    def test_key_without_spec_rejected(self, capsys, tmp_path):
+        assert main([
+            "yield-report", "--registry", str(tmp_path), "--key", "x@v1",
+        ]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_key_without_registry_rejected(self, capsys):
+        assert main([
+            "yield-report", "--key", "x@v1", "--spec", "nf_db<=1.5",
+        ]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_registry_end_to_end(self, capsys, tmp_path, lna_dataset):
+        """Full path against a pushed model set: report table, JSON
+        artifact, and the independent-fallback warning for a
+        correlation-free (SOMP) fit."""
+        import json as json_module
+
+        from repro.modelset import PerformanceModelSet
+        from repro.serving import ModelRegistry
+
+        train, _ = lna_dataset.split(20)
+        models = PerformanceModelSet.fit_dataset(
+            train, method="somp", seed=0
+        )
+        ModelRegistry(tmp_path / "reg").push("lna", models)
+        out_json = tmp_path / "report.json"
+        assert main([
+            "yield-report", "--registry", str(tmp_path / "reg"),
+            "--key", "lna@v1", "--spec", "nf_db<=1.6",
+            "--samples", "200", "--json", str(out_json),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "loaded lna@v1" in captured.out
+        assert "independent" in captured.out
+        assert "warning: no learned correlation" in captured.err
+        payload = json_module.loads(out_json.read_text())
+        assert payload["n_states"] == models.n_states
+        assert len(payload["yield_shrunk"]) == models.n_states
+
+    def test_bad_spec_text_surfaces(self, tmp_path):
+        with pytest.raises(ValueError, match="must look like"):
+            main(["yield-report", "--spec", "nf_db=1.5"])
+
+
+class TestActiveFitYieldStrategy:
+    def test_strategy_choice_parses_with_specs(self):
+        args = build_parser().parse_args([
+            "active-fit", "--strategy", "yield_variance",
+            "--spec", "nf_db<=1.5",
+        ])
+        assert args.strategy == "yield_variance"
+        assert args.spec == ["nf_db<=1.5"]
+
+    def test_yield_variance_requires_spec(self, capsys):
+        assert main([
+            "active-fit", "--strategy", "yield_variance",
+            "--states", "3", "--rounds", "1",
+        ]) == 2
+        assert "--spec" in capsys.readouterr().err

@@ -72,12 +72,20 @@ class TestExamples:
         assert "CLUSTER REPORT" in out
         assert "aggregate: requests=" in out
 
+    def test_yield_demo(self):
+        out = run_example("yield_demo.py")
+        assert "solver=kron" in out
+        assert "correlation-shared" in out
+        assert "ground truth" in out
+        assert "tau^2" in out
+
     @pytest.mark.parametrize(
         "name",
         [
             "quickstart.py",
             "reproduce_paper.py",
             "yield_and_tuning.py",
+            "yield_demo.py",
             "corner_extraction.py",
             "state_clustering.py",
             "adaptive_vco.py",

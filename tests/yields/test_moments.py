@@ -1,0 +1,169 @@
+"""Unit tests for the per-state sampling half of the yield service."""
+
+import numpy as np
+import pytest
+
+from repro.applications.yield_estimation import Specification
+from repro.basis.polynomial import LinearBasis
+from repro.core.frozen import FrozenModel
+from repro.errors import NumericalError
+from repro.yields.moments import (
+    model_correlation,
+    sample_state_estimates,
+    state_sample_rng,
+)
+
+
+def ar1(n, rho):
+    idx = np.arange(n)
+    return rho ** np.abs(idx[:, None] - idx[None, :])
+
+
+def linear_models(n_states=5, n_variables=4, seed=0, correlation=None):
+    """Frozen linear models: metric value = α0 + wᵀx, exactly Gaussian."""
+    rng = np.random.default_rng(seed)
+    basis = LinearBasis(n_variables)
+    models = {}
+    for metric in ("a", "b"):
+        coef = rng.normal(0.0, 0.5, (n_states, basis.n_basis))
+        coef[:, 0] = rng.normal(1.0, 0.2, n_states)
+        models[metric] = FrozenModel(
+            coef=coef, metric=metric, correlation=correlation
+        )
+    return models, basis
+
+
+class TestStateSampleRng:
+    def test_deterministic(self):
+        a = state_sample_rng(7, 3).standard_normal(5)
+        b = state_sample_rng(7, 3).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_states_draw_distinct_streams(self):
+        a = state_sample_rng(7, 0).standard_normal(5)
+        b = state_sample_rng(7, 1).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+
+class TestModelCorrelation:
+    def test_frozen_attribute_wins(self):
+        models, _ = linear_models(correlation=ar1(5, 0.9))
+        correlation = model_correlation(models)
+        assert correlation is not None
+        assert np.allclose(correlation, ar1(5, 0.9))
+
+    def test_none_when_absent(self):
+        models, _ = linear_models()
+        assert model_correlation(models) is None
+
+    def test_live_estimator_prior(self):
+        class FakePrior:
+            correlation = ar1(3, 0.5)
+
+        class FakeModel:
+            prior_ = FakePrior()
+
+        assert np.allclose(
+            model_correlation({"m": FakeModel()}), ar1(3, 0.5)
+        )
+
+    def test_first_by_sorted_metric_name(self):
+        models, _ = linear_models(correlation=ar1(5, 0.9))
+        other, _ = linear_models(correlation=ar1(5, 0.2))
+        mixed = {"z": other["a"], "a": models["a"]}
+        assert np.allclose(model_correlation(mixed), ar1(5, 0.9))
+
+
+class TestSampleStateEstimates:
+    def test_shapes_and_ranges(self):
+        models, basis = linear_models()
+        specs = [Specification("a", 1.0, "max")]
+        est = sample_state_estimates(models, basis, specs, n_samples=200)
+        assert est.yields.shape == (5,)
+        assert np.all((0.0 <= est.yields) & (est.yields <= 1.0))
+        assert np.all(est.yield_variances > 0.0)
+        for metric in ("a", "b"):
+            assert est.means[metric].shape == (5,)
+            assert np.all(est.stds[metric] > 0.0)
+            assert np.allclose(
+                est.mean_variances[metric],
+                est.stds[metric] ** 2 / 200,
+            )
+
+    def test_deterministic_across_calls(self):
+        models, basis = linear_models()
+        specs = [Specification("a", 1.0, "max")]
+        one = sample_state_estimates(models, basis, specs, seed=9)
+        two = sample_state_estimates(models, basis, specs, seed=9)
+        assert np.array_equal(one.yields, two.yields)
+        assert np.array_equal(one.means["b"], two.means["b"])
+
+    def test_seed_changes_the_draw(self):
+        models, basis = linear_models()
+        specs = [Specification("a", 1.0, "max")]
+        one = sample_state_estimates(models, basis, specs, seed=1)
+        two = sample_state_estimates(models, basis, specs, seed=2)
+        assert not np.array_equal(one.means["a"], two.means["a"])
+
+    def test_states_subset_nans_the_rest(self):
+        models, basis = linear_models()
+        specs = [Specification("a", 1.0, "max")]
+        est = sample_state_estimates(
+            models, basis, specs, n_samples=100, states=[1, 3]
+        )
+        assert np.all(np.isfinite(est.yields[[1, 3]]))
+        assert np.all(np.isnan(est.yields[[0, 2, 4]]))
+        assert np.all(np.isnan(est.means["a"][[0, 2, 4]]))
+
+    def test_subset_matches_full_run_on_shared_states(self):
+        """Per-state streams are independent, so a subset run reproduces
+        the full run's numbers for the states it covers."""
+        models, basis = linear_models()
+        specs = [Specification("b", 1.5, "max")]
+        full = sample_state_estimates(models, basis, specs, seed=4)
+        part = sample_state_estimates(
+            models, basis, specs, seed=4, states=[2]
+        )
+        assert part.yields[2] == full.yields[2]
+        assert part.means["b"][2] == full.means["b"][2]
+
+    def test_validation_errors(self):
+        models, basis = linear_models()
+        specs = [Specification("a", 1.0, "max")]
+        with pytest.raises(ValueError, match="at least one metric"):
+            sample_state_estimates({}, basis, specs)
+        with pytest.raises(ValueError, match="at least one spec"):
+            sample_state_estimates(models, basis, [])
+        with pytest.raises(KeyError, match="no model"):
+            sample_state_estimates(
+                models, basis, [Specification("zzz", 1.0, "max")]
+            )
+        with pytest.raises(IndexError, match="out of range"):
+            sample_state_estimates(models, basis, specs, states=[99])
+        with pytest.raises(ValueError):
+            sample_state_estimates(models, basis, specs, n_samples=1)
+
+    def test_nonfinite_prediction_raises(self):
+        class NanModel:
+            n_states = 2
+
+            def predict(self, design, state):
+                return np.full(design.shape[0], np.nan)
+
+        basis = LinearBasis(3)
+        with pytest.raises(NumericalError, match="non-finite"):
+            sample_state_estimates(
+                {"m": NanModel()},
+                basis,
+                [Specification("m", 1.0, "max")],
+                n_samples=10,
+            )
+
+    def test_mismatched_state_counts_rejected(self):
+        models, basis = linear_models(n_states=5)
+        other, _ = linear_models(n_states=3)
+        mixed = {"a": models["a"], "b": other["b"]}
+        with pytest.raises(ValueError, match="disagree"):
+            sample_state_estimates(
+                mixed, basis, [Specification("a", 1.0, "max")]
+            )

@@ -1,0 +1,130 @@
+"""Tests for the yield report: shrinkage plumbing, JSON round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.applications.yield_estimation import Specification
+from repro.basis.polynomial import LinearBasis
+from repro.core.frozen import FrozenModel
+from repro.yields import (
+    compute_yield_report,
+    format_yield_report,
+    report_from_dict,
+    report_to_dict,
+    sample_state_estimates,
+)
+
+
+def ar1(n, rho):
+    idx = np.arange(n)
+    return rho ** np.abs(idx[:, None] - idx[None, :])
+
+
+def make_models(n_states=6, n_variables=4, seed=0, correlation=None):
+    rng = np.random.default_rng(seed)
+    basis = LinearBasis(n_variables)
+    models = {}
+    for metric in ("gain", "noise"):
+        coef = rng.normal(0.0, 0.4, (n_states, basis.n_basis))
+        coef[:, 0] = rng.normal(2.0, 0.1, n_states)
+        models[metric] = FrozenModel(
+            coef=coef, metric=metric, correlation=correlation
+        )
+    return models, basis
+
+
+SPECS = [Specification("gain", 2.0, "min"), Specification("noise", 3.0, "max")]
+
+
+class TestComputeYieldReport:
+    def test_shared_report_structure(self):
+        models, basis = make_models(correlation=ar1(6, 0.9))
+        report = compute_yield_report(models, basis, SPECS, n_samples=300)
+        assert report.correlation_shared
+        assert report.n_states == 6
+        assert np.all((0.0 <= report.yield_shrunk)
+                      & (report.yield_shrunk <= 1.0))
+        assert np.all(report.yield_ci_lower <= report.yield_ci_upper)
+        assert np.all(report.ci_width >= 0.0)
+        assert set(report.moments) == {"gain", "noise"}
+        assert np.isfinite(report.tau2)
+
+    def test_fallback_without_correlation(self):
+        models, basis = make_models()
+        report = compute_yield_report(models, basis, SPECS, n_samples=300)
+        assert not report.correlation_shared
+        assert np.isnan(report.tau2)
+        assert np.allclose(
+            report.yield_shrunk, np.clip(report.yield_raw, 0.0, 1.0)
+        )
+
+    def test_estimates_param_skips_sampling(self):
+        """Pre-computed estimates (the benchmark path) give the identical
+        report as sampling inside the call."""
+        models, basis = make_models(correlation=ar1(6, 0.9))
+        estimates = sample_state_estimates(
+            models, basis, SPECS, n_samples=300, seed=5
+        )
+        direct = compute_yield_report(
+            models, basis, SPECS, n_samples=300, seed=5
+        )
+        reused = compute_yield_report(
+            models, basis, SPECS, estimates=estimates
+        )
+        assert np.array_equal(direct.yield_shrunk, reused.yield_shrunk)
+        assert direct.fleet_yield == reused.fleet_yield
+
+    def test_deterministic_given_seed(self):
+        models, basis = make_models(correlation=ar1(6, 0.9))
+        one = compute_yield_report(models, basis, SPECS, seed=3)
+        two = compute_yield_report(models, basis, SPECS, seed=3)
+        assert np.array_equal(one.yield_shrunk, two.yield_shrunk)
+
+    def test_metric_moments_track_population(self):
+        """Shrunk per-state means stay near the analytic population mean
+        α0 of each exactly-linear metric."""
+        models, basis = make_models(correlation=ar1(6, 0.9), seed=2)
+        report = compute_yield_report(models, basis, SPECS, n_samples=2000)
+        for metric in ("gain", "noise"):
+            truth = models[metric].coef_[:, 0]
+            assert np.allclose(
+                report.moments[metric].mean_shrunk, truth, atol=0.15
+            )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        import json
+
+        models, basis = make_models(correlation=ar1(6, 0.9))
+        report = compute_yield_report(models, basis, SPECS, n_samples=200)
+        payload = json.loads(json.dumps(report_to_dict(report)))
+        back = report_from_dict(payload)
+        assert back.n_states == report.n_states
+        assert back.correlation_shared == report.correlation_shared
+        assert np.allclose(back.yield_shrunk, report.yield_shrunk)
+        assert np.allclose(back.yield_ci_upper, report.yield_ci_upper)
+        assert [s.metric for s in back.specs] == [
+            s.metric for s in report.specs
+        ]
+        assert np.allclose(
+            back.moments["gain"].mean_shrunk,
+            report.moments["gain"].mean_shrunk,
+        )
+
+
+class TestFormat:
+    def test_mentions_sharing_and_worst_state(self):
+        models, basis = make_models(correlation=ar1(6, 0.9))
+        report = compute_yield_report(models, basis, SPECS, n_samples=200)
+        text = format_yield_report(report, max_rows=3)
+        assert "correlation-shared" in text
+        assert "worst 3 states" in text
+        assert "… 3 more states" in text
+        worst = int(np.argmin(report.yield_shrunk))
+        assert f"state {worst:4d}" in text
+
+    def test_fallback_label(self):
+        models, basis = make_models()
+        report = compute_yield_report(models, basis, SPECS, n_samples=200)
+        assert "independent" in format_yield_report(report)

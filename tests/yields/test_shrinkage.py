@@ -1,0 +1,160 @@
+"""Unit tests for correlation-shared shrinkage (the K×K GLS core)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericalError
+from repro.yields.shrinkage import (
+    binomial_moments,
+    correlation_shrink,
+    independent_intervals,
+)
+
+
+def ar1(n, rho):
+    idx = np.arange(n)
+    return rho ** np.abs(idx[:, None] - idx[None, :])
+
+
+class TestBinomialMoments:
+    def test_raw_fraction(self):
+        raw, _ = binomial_moments(np.array([0.0, 5.0, 10.0]), 10)
+        assert raw.tolist() == [0.0, 0.5, 1.0]
+
+    def test_variance_strictly_positive_at_edges(self):
+        _, var = binomial_moments(np.array([0.0, 10.0]), 10)
+        assert np.all(var > 0.0)
+
+    def test_variance_shrinks_with_budget(self):
+        _, small = binomial_moments(np.array([5.0]), 10)
+        _, large = binomial_moments(np.array([500.0]), 1000)
+        assert large[0] < small[0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            binomial_moments(np.array([0.0]), 0)
+        with pytest.raises(ValueError, match="lie in"):
+            binomial_moments(np.array([11.0]), 10)
+        with pytest.raises(ValueError, match="lie in"):
+            binomial_moments(np.array([-1.0]), 10)
+
+
+class TestIndependentIntervals:
+    def test_shrunk_equals_raw(self):
+        raw = np.array([0.2, 0.5, 0.9])
+        result = independent_intervals(raw, np.full(3, 0.01))
+        assert np.array_equal(result.shrunk, raw)
+        assert np.isnan(result.tau2)
+
+    def test_interval_centred_on_raw(self):
+        raw = np.array([0.5])
+        result = independent_intervals(raw, np.array([0.04]), confidence=0.95)
+        assert result.ci_lower[0] == pytest.approx(0.5 - 1.96 * 0.2, abs=1e-3)
+        assert result.ci_upper[0] == pytest.approx(0.5 + 1.96 * 0.2, abs=1e-3)
+
+    def test_clip(self):
+        result = independent_intervals(
+            np.array([0.01, 0.99]), np.full(2, 0.04), clip=(0.0, 1.0)
+        )
+        assert np.all(result.ci_lower >= 0.0)
+        assert np.all(result.ci_upper <= 1.0)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            independent_intervals(np.zeros(2), np.array([0.1, -0.1]))
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            independent_intervals(np.zeros(2), np.ones(2), confidence=1.5)
+
+
+class TestCorrelationShrink:
+    def test_shapes_and_interval_ordering(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(0.5, 0.1, 20)
+        result = correlation_shrink(raw, np.full(20, 0.01), ar1(20, 0.9))
+        for arr in (result.shrunk, result.ci_lower, result.ci_upper,
+                    result.posterior_variance):
+            assert arr.shape == (20,)
+        assert np.all(result.ci_lower <= result.shrunk + 1e-12)
+        assert np.all(result.shrunk <= result.ci_upper + 1e-12)
+        assert np.all(np.isfinite(result.shrunk))
+
+    def test_pulls_noisy_outlier_toward_neighbours(self):
+        """A state whose raw estimate sits far from its highly-correlated
+        neighbours moves toward them; the others barely move."""
+        raw = np.array([0.5, 0.5, 0.9, 0.5, 0.5])
+        result = correlation_shrink(
+            raw, np.full(5, 0.02), ar1(5, 0.95)
+        )
+        assert result.shrunk[2] < raw[2]
+        assert result.shrunk[2] > raw.mean()
+
+    def test_tight_budget_barely_moves(self):
+        """Tiny sampling variance ⇒ the data dominates the prior."""
+        raw = np.array([0.2, 0.8, 0.4, 0.6])
+        result = correlation_shrink(raw, np.full(4, 1e-8), ar1(4, 0.9))
+        assert np.allclose(result.shrunk, raw, atol=1e-3)
+
+    def test_pure_noise_pools_completely(self):
+        """When the raw spread is explained by sampling noise alone the
+        method-of-moments τ̂² floors at 0 and every state collapses onto
+        the fleet mean."""
+        raw = np.array([0.5, 0.5, 0.5, 0.5])
+        result = correlation_shrink(raw, np.full(4, 0.05), ar1(4, 0.9))
+        assert np.allclose(result.shrunk, result.fleet_mean, atol=1e-6)
+
+    def test_identity_correlation_degenerate_denominator(self):
+        """R̃ = 11ᵀ makes the centred trace vanish — the guard must take
+        the τ²=0 branch instead of dividing by ~0."""
+        correlation = np.ones((4, 4))
+        result = correlation_shrink(
+            np.array([0.1, 0.9, 0.3, 0.7]), np.full(4, 0.01), correlation
+        )
+        assert result.tau2 == 0.0
+        assert np.all(np.isfinite(result.shrunk))
+
+    def test_clip_bounds_everything(self):
+        raw = np.array([0.01, 0.02, 0.99, 0.98])
+        result = correlation_shrink(
+            raw, np.full(4, 0.03), ar1(4, 0.5), clip=(0.0, 1.0)
+        )
+        for arr in (result.shrunk, result.ci_lower, result.ci_upper):
+            assert np.all((0.0 <= arr) & (arr <= 1.0))
+
+    def test_posterior_variance_below_prior_scale(self):
+        """Conditioning on data cannot inflate the prior variance."""
+        rng = np.random.default_rng(3)
+        raw = rng.normal(0.5, 0.2, 30)
+        result = correlation_shrink(raw, np.full(30, 0.01), ar1(30, 0.8))
+        prior_scale = result.tau2 + 1.0 / np.sum(
+            1.0 / (result.tau2 + result.raw_variance)
+        )
+        assert np.all(result.posterior_variance <= prior_scale + 1e-9)
+
+    def test_rejects_nonpositive_variances(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            correlation_shrink(np.zeros(3), np.zeros(3), ar1(3, 0.5))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation_shrink(np.zeros(3), np.ones(3), ar1(4, 0.5))
+
+    def test_indefinite_correlation_raises_numerical_error(self):
+        """An indefinite matrix (eigenvalue −0.8) with real between-state
+        spread exhausts the jitter ladder loudly instead of silently
+        producing a bogus posterior."""
+        bad = np.array(
+            [[1.0, 0.9, -0.9], [0.9, 1.0, 0.9], [-0.9, 0.9, 1.0]]
+        )
+        with pytest.raises(NumericalError, match="positive definite"):
+            correlation_shrink(
+                np.array([0.0, 1.0, 0.0]), np.full(3, 1e-6), bad
+            )
+
+    def test_asymmetric_correlation_symmetrised(self):
+        correlation = ar1(5, 0.8)
+        correlation[0, 4] += 0.05  # slight asymmetry, as a real fit has
+        raw = np.linspace(0.2, 0.8, 5)
+        result = correlation_shrink(raw, np.full(5, 0.01), correlation)
+        assert np.all(np.isfinite(result.shrunk))
