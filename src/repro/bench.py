@@ -13,8 +13,10 @@ reports next to the working directory:
   same rows);
 * ``BENCH_cluster.json`` — the horizontal serving cluster (multi-shard
   ``ClusterService`` throughput vs the single-process ``ModelService``
-  on the same request stream, plus the shared-memory accounting: the
-  summed PSS cost of N shards mapping one store);
+  on the same request stream, the same stream again over a real TCP
+  loopback listener — the socketpair-vs-TCP transport tax — plus the
+  shared-memory accounting: the summed PSS cost of N shards mapping
+  one store);
 * ``BENCH_kron.json`` — the Kronecker posterior solver on the K=201
   swept-frequency workload: full ``CBMF.fit`` through the Kronecker
   path vs the same fit forced onto the dual/Woodbury path
@@ -470,6 +472,31 @@ def bench_cluster(
                 repeats,
             )
 
+            # TCP-loopback lane: same cluster, same request stream, but
+            # every call crosses a real socket through the listener and
+            # pays frame encode/decode both ways.
+            from repro.cluster import ClusterClient, ClusterListener
+
+            with ClusterListener(cluster, "127.0.0.1:0") as listener:
+                clients = {
+                    name: ClusterClient(listener.address)
+                    for name in names
+                }
+                try:
+                    tcp_predict = lambda name, x, states: (  # noqa: E731
+                        clients[name].predict_many(name, x, states)
+                    )
+                    _drive_requests(tcp_predict, names, batches)
+                    tcp_median = _median_seconds(
+                        lambda: _drive_requests(
+                            tcp_predict, names, batches
+                        ),
+                        repeats,
+                    )
+                finally:
+                    for client in clients.values():
+                        client.close()
+
         # Shared-memory accounting on a model big enough to dwarf page
         # noise: N workers mapping one store must together cost ~1× it.
         big = PerformanceModelSet(
@@ -504,6 +531,7 @@ def bench_cluster(
         "timings_seconds": {
             "single_process": single_median,
             "cluster": cluster_median,
+            "cluster_tcp": tcp_median,
         },
         "details": {
             "cpu_count": os.cpu_count(),
@@ -511,6 +539,8 @@ def bench_cluster(
             "single_rows_per_second": n_rows_total / single_median,
             "cluster_rows_per_second": n_rows_total / cluster_median,
             "cluster_vs_single_speedup": single_median / cluster_median,
+            "tcp_rows_per_second": n_rows_total / tcp_median,
+            "tcp_vs_socketpair_ratio": tcp_median / cluster_median,
             "store_bytes": store_bytes,
             "pss_bytes_1_shard": pss_single,
             "pss_bytes_n_shards": pss_multi,
@@ -1009,8 +1039,10 @@ def main_bench(args: argparse.Namespace) -> int:
         print(
             f"  single {cluster_d['single_rows_per_second']:,.0f} rows/s  "
             f"cluster {cluster_d['cluster_rows_per_second']:,.0f} rows/s  "
+            f"tcp {cluster_d['tcp_rows_per_second']:,.0f} rows/s  "
             f"(speedup {cluster_d['cluster_vs_single_speedup']:.2f}x on "
-            f"{cluster_d['cpu_count']} cores; pss share "
+            f"{cluster_d['cpu_count']} cores; tcp/socketpair "
+            f"{cluster_d['tcp_vs_socketpair_ratio']:.2f}x; pss share "
             f"{'n/a' if ratio is None else f'{ratio:.2f}x'})"
         )
         reports["BENCH_cluster.json"] = cluster_report

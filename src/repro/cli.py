@@ -661,21 +661,12 @@ def _parse_canary(spec: str):
     return keys[0], keys[1], weight
 
 
-def _cmd_cluster(args) -> int:
-    """Run the horizontal serving cluster end-to-end and report it."""
-    import tempfile
-    from concurrent.futures import ThreadPoolExecutor
-
-    import numpy as np
-
+def _fit_demo_fleet(args):
+    """Fit the demo LNA model set used by the cluster subcommands."""
     from repro.circuits.lna import TunableLNA
-    from repro.cluster import ClusterConfig, ClusterService
-    from repro.errors import ServingError
     from repro.modelset import PerformanceModelSet
-    from repro.serving import BatchConfig, CacheConfig, ModelRegistry
     from repro.simulate.montecarlo import MonteCarloEngine
 
-    rng = np.random.default_rng(args.seed)
     lna = TunableLNA(n_states=args.states, n_variables=None)
     print(
         f"fitting {args.method} model set — LNA, K={args.states} states, "
@@ -686,6 +677,182 @@ def _cmd_cluster(args) -> int:
     models = PerformanceModelSet.fit_dataset(
         train, method=args.method, seed=args.seed
     )
+    return lna, models
+
+
+def _cluster_config(args):
+    from repro.cluster import ClusterConfig
+    from repro.serving import BatchConfig, CacheConfig
+
+    return ClusterConfig(
+        n_shards=args.shards,
+        replication=args.replication,
+        max_queue_rows=args.queue_rows,
+        default_deadline_s=args.deadline,
+        batch=BatchConfig(max_batch_size=args.batch_size),
+        cache=CacheConfig(capacity=args.cache_size),
+    )
+
+
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "serve":
+        return _cluster_serve(args)
+    if args.connect:
+        return _cluster_connect_bench(args)
+    return _cluster_serve_bench(args)
+
+
+def _cluster_serve(args) -> int:
+    """Fit a demo fleet and serve it over a TCP/Unix listener."""
+    import tempfile
+
+    from repro.cluster import ClusterListener, ClusterService
+    from repro.serving import ModelRegistry
+
+    _, models = _fit_demo_fleet(args)
+    names = [f"lna{i}" for i in range(args.shards)]
+
+    def run(registry):
+        for name in names:
+            registry.push(name, models)  # v1
+            registry.push(name, models)  # v2 (hot-swap/canary target)
+        keys = [f"{name}@v1" for name in names]
+        service = ClusterService(registry, keys, config=_cluster_config(args))
+        with service:
+            with ClusterListener(service, args.listen) as listener:
+                print(
+                    f"cluster listening on {listener.address} — "
+                    f"{args.shards} shards, replication "
+                    f"{args.replication}, serving {', '.join(names)}",
+                    flush=True,
+                )
+                try:
+                    if args.duration > 0:
+                        time.sleep(args.duration)
+                    else:
+                        while True:
+                            time.sleep(3600.0)
+                except KeyboardInterrupt:
+                    print("\nshutting down")
+            print(service.report())
+        return 0
+
+    if args.registry:
+        return run(ModelRegistry(args.registry))
+    with tempfile.TemporaryDirectory() as tmp:
+        return run(ModelRegistry(tmp))
+
+
+def _drive_cluster_traffic(names, batches, predict, max_workers):
+    """Hammer ``predict(name, x, states)``; return the error tally."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.errors import (
+        DeadlineError,
+        ServingError,
+        ShardCrashError,
+        ShedError,
+    )
+
+    errors = {"shed": 0, "deadline": 0, "crash": 0, "other": 0}
+
+    def drive(name, chunk):
+        for x, states in chunk:
+            try:
+                predict(name, x, states)
+            except ShedError:
+                errors["shed"] += 1
+            except DeadlineError:
+                errors["deadline"] += 1
+            except ShardCrashError:
+                errors["crash"] += 1
+            except ServingError:
+                errors["other"] += 1
+
+    def run_chunk(slicer):
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            list(pool.map(
+                lambda name: drive(name, slicer(batches[name])), names
+            ))
+
+    return errors, run_chunk
+
+
+def _cluster_connect_bench(args) -> int:
+    """Client mode: drive an already-listening cluster over the wire."""
+    import numpy as np
+
+    from repro.cluster import ClusterClient
+
+    with ClusterClient(args.connect) as probe:
+        routes = probe.describe_routes()
+        names = sorted(routes)
+        if not names:
+            print(f"no models served at {args.connect}")
+            return 1
+        print(
+            f"connected to {args.connect}: "
+            + ", ".join(
+                f"{name}={routes[name]['stable']}" for name in names
+            )
+        )
+        clients = {name: ClusterClient(args.connect) for name in names}
+        try:
+            batches = {}
+            for i, name in enumerate(names):
+                n_variables = routes[name].get("n_variables")
+                if not n_variables:
+                    print(
+                        f"{name}: registry manifest records no "
+                        "n_variables; cannot size request vectors"
+                    )
+                    return 1
+                rng = np.random.default_rng([args.seed, i])
+                batches[name] = [
+                    (
+                        rng.standard_normal((args.rows, n_variables)),
+                        rng.integers(0, args.states, args.rows),
+                    )
+                    for _ in range(args.requests)
+                ]
+            errors, run_chunk = _drive_cluster_traffic(
+                names,
+                batches,
+                lambda name, x, states: clients[name].predict_many(
+                    name, x, states
+                ),
+                max_workers=len(names),
+            )
+            started = time.perf_counter()
+            run_chunk(lambda b: b)
+            elapsed = time.perf_counter() - started
+        finally:
+            for client in clients.values():
+                client.close()
+        total_rows = len(names) * args.requests * args.rows
+        print()
+        print(f"rows served         {total_rows} in {elapsed:.3f}s "
+              f"({total_rows / elapsed:,.0f} rows/s, over TCP)")
+        print(f"request failures    shed={errors['shed']} "
+              f"deadline={errors['deadline']} "
+              f"crash={errors['crash']} other={errors['other']}")
+        print()
+        print(probe.report())
+    return 0
+
+
+def _cluster_serve_bench(args) -> int:
+    """Run the horizontal serving cluster end-to-end and report it."""
+    import contextlib
+    import tempfile
+
+    import numpy as np
+
+    from repro.cluster import ClusterClient, ClusterListener, ClusterService
+    from repro.serving import ModelRegistry
+
+    rng = np.random.default_rng(args.seed)
+    lna, models = _fit_demo_fleet(args)
 
     names = [f"lna{i}" for i in range(args.shards)]
     plan = None
@@ -699,15 +866,10 @@ def _cmd_cluster(args) -> int:
         for name in names:
             registry.push(name, models)  # v1
             registry.push(name, models)  # v2 (canary target)
-        config = ClusterConfig(
-            n_shards=args.shards,
-            max_queue_rows=args.queue_rows,
-            default_deadline_s=args.deadline,
-            batch=BatchConfig(max_batch_size=args.batch_size),
-            cache=CacheConfig(capacity=args.cache_size),
-        )
         keys = [f"{name}@v1" for name in names]
-        with ClusterService(registry, keys, config=config) as cluster:
+        with ClusterService(
+            registry, keys, config=_cluster_config(args)
+        ) as cluster:
             if args.canary:
                 stable, canary, weight = _parse_canary(args.canary)
                 cluster.load(stable)
@@ -715,6 +877,22 @@ def _cmd_cluster(args) -> int:
                     stable.split("@", 1)[0], canary, weight
                 )
                 print(f"canary: {stable} -> {canary} at {weight:.0%}")
+
+            listener = None
+            clients = {}
+            if args.listen is not None:
+                listener = ClusterListener(cluster, args.listen).start()
+                print(f"listener: {listener.address} (driving over "
+                      "the network)")
+                clients = {
+                    name: ClusterClient(listener.address)
+                    for name in names
+                }
+                predict = lambda name, x, states: (  # noqa: E731
+                    clients[name].predict_many(name, x, states)
+                )
+            else:
+                predict = cluster.predict_many
 
             batches = {
                 name: [
@@ -726,43 +904,24 @@ def _cmd_cluster(args) -> int:
                 ]
                 for name in names
             }
-            errors = {"shed": 0, "deadline": 0, "crash": 0, "other": 0}
-
-            def drive(name, chunk):
-                from repro.errors import (
-                    DeadlineError,
-                    ShardCrashError,
-                    ShedError,
-                )
-
-                for x, states in chunk:
-                    try:
-                        cluster.predict_many(name, x, states)
-                    except ShedError:
-                        errors["shed"] += 1
-                    except DeadlineError:
-                        errors["deadline"] += 1
-                    except ShardCrashError:
-                        errors["crash"] += 1
-                    except ServingError:
-                        errors["other"] += 1
-
+            errors, run_chunk = _drive_cluster_traffic(
+                names, batches, predict, max_workers=args.shards
+            )
             half = args.requests // 2
-
-            def run_half(slicer):
-                with ThreadPoolExecutor(max_workers=args.shards) as pool:
-                    list(pool.map(
-                        lambda name: drive(name, slicer(batches[name])),
-                        names,
-                    ))
-
-            started = time.perf_counter()
-            run_half(lambda b: b[:half])
-            if plan is not None:
-                applied = cluster.inject_faults(plan)
-                print(f"injected mid-run: {applied}")
-            run_half(lambda b: b[half:])
-            elapsed = time.perf_counter() - started
+            try:
+                started = time.perf_counter()
+                run_chunk(lambda b: b[:half])
+                if plan is not None:
+                    applied = cluster.inject_faults(plan)
+                    print(f"injected mid-run: {applied}")
+                run_chunk(lambda b: b[half:])
+                elapsed = time.perf_counter() - started
+            finally:
+                for client in clients.values():
+                    client.close()
+                if listener is not None:
+                    with contextlib.suppress(Exception):
+                        listener.stop()
 
             total_rows = args.shards * args.requests * args.rows
             print()
@@ -772,6 +931,7 @@ def _cmd_cluster(args) -> int:
             print(f"request failures    shed={errors['shed']} "
                   f"deadline={errors['deadline']} "
                   f"crash={errors['crash']} other={errors['other']}")
+            print(f"failovers           {cluster.metrics.total_failovers}")
             print()
             print(cluster.report())
         return 0
@@ -1076,10 +1236,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_cbench.add_argument("--fault-plan", default=None,
                           help="chaos spec applied mid-run, e.g. "
                                "'shard:kill@0' or 'shard:hang@1'")
+    p_cbench.add_argument("--replication", type=int, default=1,
+                          help="replicas per model key (default: 1; "
+                               "2+ enables failover)")
+    p_cbench.add_argument("--listen", default=None,
+                          help="serve through a real listener at this "
+                               "address (host:port or unix:/path) and "
+                               "drive the traffic over it")
+    p_cbench.add_argument("--connect", default=None,
+                          help="client mode: skip fitting, drive an "
+                               "already-listening cluster at this "
+                               "address")
     p_cbench.add_argument("--registry", default=None,
                           help="persist the registry here "
                                "(default: temp dir)")
     p_cbench.add_argument("--seed", type=int, default=2016)
+
+    p_cserve = cluster_sub.add_parser(
+        "serve",
+        help="fit a demo fleet and serve it over TCP/Unix sockets",
+    )
+    p_cserve.add_argument("--listen", default="127.0.0.1:0",
+                          help="bind address: host:port or unix:/path "
+                               "(default: 127.0.0.1 on an OS port)")
+    p_cserve.add_argument("--duration", type=float, default=0.0,
+                          help="serve for this many seconds then exit "
+                               "(default: 0 = until interrupted)")
+    p_cserve.add_argument("--shards", type=int, default=2,
+                          help="shard worker processes (default: 2)")
+    p_cserve.add_argument("--replication", type=int, default=1,
+                          help="replicas per model key (default: 1)")
+    p_cserve.add_argument("--states", type=int, default=4)
+    p_cserve.add_argument("--train", type=int, default=12,
+                          help="training samples per state")
+    p_cserve.add_argument("--method", default="somp",
+                          help="estimator to fit (default: somp)")
+    p_cserve.add_argument("--batch-size", type=int, default=64,
+                          help="shard engine max micro-batch size")
+    p_cserve.add_argument("--cache-size", type=int, default=16_384,
+                          help="per-shard LRU capacity (0 disables)")
+    p_cserve.add_argument("--queue-rows", type=int, default=4096,
+                          help="admission bound: rows in flight per shard")
+    p_cserve.add_argument("--deadline", type=float, default=30.0,
+                          help="default per-request deadline in seconds")
+    p_cserve.add_argument("--registry", default=None,
+                          help="persist the registry here "
+                               "(default: temp dir)")
+    p_cserve.add_argument("--seed", type=int, default=2016)
 
     p = sub.add_parser("registry", help="manage a model registry directory")
     reg_sub = p.add_subparsers(dest="registry_command", required=True)

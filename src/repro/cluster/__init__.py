@@ -22,10 +22,19 @@ model memory footprint::
   façade, :class:`ClusterService`.
 - :mod:`repro.cluster.metrics` — per-shard / per-version telemetry and
   the text report.
+- :mod:`repro.cluster.net` — the TCP / Unix-domain
+  :class:`ClusterListener` in front of the gateway, plus the blocking
+  :class:`ClusterClient` and :class:`AsyncClusterClient` libraries.
 """
 
 from repro.cluster.gateway import ClusterConfig, ClusterService
 from repro.cluster.metrics import ClusterMetrics, format_cluster_report
+from repro.cluster.net import (
+    AsyncClusterClient,
+    ClusterClient,
+    ClusterListener,
+    parse_address,
+)
 from repro.cluster.protocol import ProtocolError
 from repro.cluster.shard import shard_main
 from repro.cluster.store import (
@@ -35,13 +44,17 @@ from repro.cluster.store import (
 )
 
 __all__ = [
+    "AsyncClusterClient",
+    "ClusterClient",
     "ClusterConfig",
+    "ClusterListener",
     "ClusterMetrics",
     "ClusterService",
     "ModelStore",
     "ProtocolError",
     "export_model_store",
     "format_cluster_report",
+    "parse_address",
     "process_pss_bytes",
     "shard_main",
 ]

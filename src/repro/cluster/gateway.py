@@ -66,6 +66,14 @@ class ClusterConfig:
     n_shards:
         Worker processes to spawn. Models are assigned to shards by
         fewest-keys-first, so distinct names spread across the fleet.
+    replication:
+        Replica count R per ``name@vN`` key: each key is loaded on R
+        shards against the shared store (still one physical copy via
+        the memmap). Reads route to the primary (first) replica and
+        fail over to the next on :class:`ShardCrashError` or an
+        expired attempt budget, so a killed or hung primary no longer
+        makes its keys unavailable for the respawn window. Clamped to
+        ``n_shards``.
     max_queue_rows:
         Admission-control bound: a shard with this many rows already in
         flight sheds new requests with :class:`ShedError`.
@@ -87,6 +95,7 @@ class ClusterConfig:
     """
 
     n_shards: int = 2
+    replication: int = 1
     max_queue_rows: int = 4096
     max_batch_rows: int = 512
     default_deadline_s: float = 30.0
@@ -99,6 +108,10 @@ class ClusterConfig:
         """Validate the configuration."""
         if self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
+            )
         if self.max_queue_rows < 1:
             raise ValueError(
                 f"max_queue_rows must be >= 1, got {self.max_queue_rows}"
@@ -116,6 +129,45 @@ class ClusterConfig:
             raise ValueError(
                 f"max_respawns must be >= 0, got {self.max_respawns}"
             )
+
+
+def _parse_specs(specs: Sequence) -> List[Dict]:
+    """Normalize yield specifications into wire-friendly dicts."""
+    from repro.applications.yield_estimation import Specification
+
+    parsed = []
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = Specification.parse(spec)
+        if isinstance(spec, Specification):
+            spec = {
+                "metric": spec.metric,
+                "bound": float(spec.bound),
+                "kind": spec.kind,
+            }
+        else:
+            spec = {
+                "metric": str(spec["metric"]),
+                "bound": float(spec["bound"]),
+                "kind": str(spec.get("kind", "max")),
+            }
+        parsed.append(spec)
+    if not parsed:
+        raise ValueError("at least one specification is required")
+    return parsed
+
+
+def _validate_predict(x, states) -> Tuple[np.ndarray, np.ndarray]:
+    """Coerce and shape-check one predict batch (gateway and listener)."""
+    x = np.ascontiguousarray(np.asarray(x, dtype=float))
+    states = np.ascontiguousarray(np.asarray(states, dtype=np.int64))
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    if states.shape != (x.shape[0],):
+        raise ValueError(
+            f"got {x.shape[0]} rows but {states.shape} states"
+        )
+    return x, states
 
 
 @dataclass
@@ -140,13 +192,20 @@ class _Route:
 
 @dataclass
 class _PredictItem:
-    """One routed request queued for a shard's sender task."""
+    """One routed request queued for a shard's sender task.
+
+    ``expiry`` is a ``time.monotonic()`` instant on *this* process's
+    clock; the wire never carries it — the sender task converts it to a
+    relative remaining budget at frame-write time, so a wall-clock step
+    (NTP, manual reset) between gateway and shard can neither expire
+    nor immortalize an in-flight request.
+    """
 
     id: int
     key: str
     x: np.ndarray
     states: np.ndarray
-    deadline: float
+    expiry: float
     future: asyncio.Future = None
 
     @property
@@ -157,10 +216,16 @@ class _PredictItem:
 
 @dataclass
 class _ControlItem:
-    """A raw control frame queued for a shard's sender task."""
+    """A raw control frame queued for a shard's sender task.
+
+    When ``expiry`` is set (a local ``time.monotonic()`` instant), the
+    sender attaches the remaining relative budget to the header as
+    ``"budget"`` at write time.
+    """
 
     header: Dict
     arrays: Tuple = ()
+    expiry: Optional[float] = None
 
 
 class _ShardHandle:
@@ -229,7 +294,11 @@ class ClusterService:
         self.metrics = ClusterMetrics()
         self._initial_keys = [registry.entry(key).key for key in keys]
         self._routes: Dict[str, _Route] = {}
+        # key -> primary shard index, and key -> full replica list
+        # (primary first). _key_shard stays the single-owner view so
+        # canary placement and reporting keep their PR-6 semantics.
         self._key_shard: Dict[str, int] = {}
+        self._key_replicas: Dict[str, List[int]] = {}
         self._shards: List[_ShardHandle] = []
         self._ids = itertools.count(1)
         self._route_lock = threading.Lock()
@@ -298,15 +367,18 @@ class ClusterService:
 
     # -- routing / versions ---------------------------------------------
     def load(self, key: str) -> str:
-        """Export + load ``key`` onto its shard; route its name to it.
+        """Export + load ``key`` onto its replicas; route its name to it.
 
         Returns the resolved ``name@vN`` key. If the name already has a
         route, the stable version is switched to the new key (a plain
         hot swap — use :meth:`set_canary` for a weighted rollout).
         """
         self._require_started()
+        return self._run(self._load_async(key))
+
+    async def _load_async(self, key: str) -> str:
         key = self.registry.entry(key).key
-        self._load_key(key)
+        await self._load_key_async(key)
         name = key.split("@", 1)[0]
         route = self._routes.get(name)
         if route is None:
@@ -321,10 +393,17 @@ class ClusterService:
         ``weight`` is the canary's traffic fraction in [0, 1]; the
         fractional accumulator makes the edges exact (0 → never,
         1 → always). The canary version is exported and loaded onto the
-        same shard as the stable version so both report their own
+        same replica set as the stable version so both report their own
         per-version metrics from identical placement.
         """
         self._require_started()
+        return self._run(
+            self._set_canary_async(name, canary_key, weight)
+        )
+
+    async def _set_canary_async(
+        self, name: str, canary_key: str, weight: float
+    ) -> str:
         if not 0.0 <= weight <= 1.0:
             raise ValueError(f"weight must be in [0, 1], got {weight}")
         route = self._route(name)
@@ -333,7 +412,9 @@ class ClusterService:
             raise ServingError(
                 f"canary {canary_key!r} is not a version of {name!r}"
             )
-        self._load_key(canary_key, shard=self._key_shard[route.stable])
+        await self._load_key_async(
+            canary_key, replicas=self._key_replicas[route.stable]
+        )
         route.canary = canary_key
         route.weight = float(weight)
         route.acc = 0.0
@@ -353,16 +434,34 @@ class ClusterService:
         route.canary, route.weight, route.acc = None, 0.0, 0.0
 
     def describe_routes(self) -> Dict[str, Dict]:
-        """Routing-table digest: ``{name: {stable, canary, weight, shard}}``."""
-        return {
-            name: {
+        """Routing-table digest per name.
+
+        ``shard`` is the stable version's primary; ``replicas`` its
+        full owner list (primary first). ``n_variables`` — when the
+        registry manifest records it — lets remote clients size request
+        vectors without a local model copy.
+        """
+        digest = {}
+        for name, route in sorted(self._routes.items()):
+            try:
+                manifest = self.registry.entry(route.stable).manifest
+            except Exception:  # registry pruned underneath us
+                manifest = {}
+            digest[name] = {
                 "stable": route.stable,
                 "canary": route.canary,
                 "weight": route.weight,
                 "shard": self._key_shard.get(route.stable),
+                "replicas": list(
+                    self._key_replicas.get(route.stable, ())
+                ),
+                "n_variables": (
+                    manifest.get("basis", {}).get("n_variables")
+                    if isinstance(manifest.get("basis"), dict)
+                    else None
+                ),
             }
-            for name, route in sorted(self._routes.items())
-        }
+        return digest
 
     # -- serving --------------------------------------------------------
     def predict(
@@ -388,33 +487,44 @@ class ClusterService:
         """Predict a batch of rows through the cluster.
 
         Routes the whole call to one version (stable or canary), ships
-        it to the owning shard, and waits at most the deadline. Raises
-        :class:`ShedError` (queue full), :class:`DeadlineError`
-        (expired), or :class:`ShardCrashError` (worker died with the
-        request in flight) — never hangs, never silently drops.
+        it to the primary replica, and waits at most the deadline;
+        a crashed or expired attempt fails over to the next replica
+        while budget remains. Raises :class:`ShedError` (queue full),
+        :class:`DeadlineError` (expired), or :class:`ShardCrashError`
+        (every replica died with the request in flight) — never hangs,
+        never silently drops.
         """
         self._require_started()
-        x = np.ascontiguousarray(np.asarray(x, dtype=float))
-        states = np.ascontiguousarray(np.asarray(states, dtype=np.int64))
-        if x.ndim != 2:
-            raise ValueError(f"x must be 2-D, got shape {x.shape}")
-        if states.shape != (x.shape[0],):
-            raise ValueError(
-                f"got {x.shape[0]} rows but {states.shape} states"
-            )
+        x, states = _validate_predict(x, states)
         if x.shape[0] == 0:
             return []
+        deadline_s = self._resolve_deadline(deadline_s)
+        return self._run(
+            self._predict_async(name, x, states, deadline_s)
+        )
+
+    def _resolve_deadline(self, deadline_s: Optional[float]) -> float:
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         if deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        return float(deadline_s)
+
+    async def _predict_async(
+        self,
+        name: str,
+        x: np.ndarray,
+        states: np.ndarray,
+        deadline_s: float,
+    ) -> List[PredictionResult]:
+        """Loop-side predict: route, submit with failover, record."""
         key = self._choose_version(name)
         started = time.perf_counter()
-        results = self._run(
-            self._submit(key, x, states, time.time() + deadline_s)
+        results, served_by = await self._submit(
+            key, x, states, time.monotonic() + deadline_s
         )
         self.metrics.record_batch(
-            self._key_shard[key], key, x.shape[0],
+            served_by, key, x.shape[0],
             time.perf_counter() - started,
         )
         return results
@@ -448,42 +558,34 @@ class ClusterService:
         :class:`ShardCrashError`, an expired wait as
         :class:`DeadlineError`.
         """
-        from repro.applications.yield_estimation import Specification
-
         self._require_started()
-        parsed = []
-        for spec in specs:
-            if isinstance(spec, str):
-                spec = Specification.parse(spec)
-            if isinstance(spec, Specification):
-                spec = {
-                    "metric": spec.metric,
-                    "bound": float(spec.bound),
-                    "kind": spec.kind,
-                }
-            else:
-                spec = {
-                    "metric": str(spec["metric"]),
-                    "bound": float(spec["bound"]),
-                    "kind": str(spec.get("kind", "max")),
-                }
-            parsed.append(spec)
-        if not parsed:
-            raise ValueError("at least one specification is required")
-        if deadline_s is None:
-            deadline_s = self.config.default_deadline_s
-        if deadline_s <= 0:
-            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
-        key = self._choose_version(name)
-        reply = self._run(
-            self._submit_yield(
-                key,
-                parsed,
-                int(n_samples),
-                int(seed),
-                float(confidence),
-                time.time() + deadline_s,
+        return self._run(
+            self._yield_async(
+                name, specs, n_samples, seed, confidence, states,
+                self._resolve_deadline(deadline_s),
             )
+        )
+
+    async def _yield_async(
+        self,
+        name: str,
+        specs: Sequence,
+        n_samples: int,
+        seed: int,
+        confidence: float,
+        states: Optional[Sequence[int]],
+        deadline_s: float,
+    ) -> Dict:
+        """Loop-side yield report: parse specs, submit with failover."""
+        parsed = _parse_specs(specs)
+        key = self._choose_version(name)
+        reply = await self._submit_yield(
+            key,
+            parsed,
+            int(n_samples),
+            int(seed),
+            float(confidence),
+            time.monotonic() + deadline_s,
         )
         if states is not None:
             index = [int(s) for s in states]
@@ -511,7 +613,11 @@ class ClusterService:
 
     def report(self) -> str:
         """Full cluster text report (shards, versions, routes, engines)."""
-        snapshots = self.shard_engine_snapshots()
+        self._require_started()
+        return self._run(self._report_async())
+
+    async def _report_async(self) -> str:
+        snapshots = await self._collect_metrics()
         return format_cluster_report(
             self.metrics.snapshot(),
             engine_snapshots=[s["engine"] for s in snapshots],
@@ -562,29 +668,82 @@ class ClusterService:
         with self._route_lock:
             return self._route(name).choose()
 
-    def _assign(self, key: str, shard: Optional[int] = None) -> int:
-        """Pick (or confirm) the shard owning ``key``."""
-        if key in self._key_shard:
-            return self._key_shard[key]
-        if shard is None:
-            counts = [0] * len(self._shards)
-            for owner in self._key_shard.values():
-                counts[owner] += 1
-            shard = int(np.argmin(counts))
-        self._key_shard[key] = shard
-        return shard
+    def _assign(
+        self,
+        key: str,
+        shard: Optional[int] = None,
+        replicas: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Pick (or confirm) the replica set owning ``key``.
 
-    def _load_key(self, key: str, shard: Optional[int] = None) -> None:
-        export_model_store(self.registry, [key], self.store_dir)
-        index = self._assign(key, shard=shard)
-        reply = self._run(
-            self._control_roundtrip(index, {"kind": "load", "key": key})
+        Returns the owner list, primary first. New keys take the R
+        least-loaded shards (fewest keys first, permanently-dead shards
+        avoided while any alternative exists); ``replicas`` pins the
+        placement outright (canary co-placement with its stable
+        version), ``shard`` pins only the primary.
+        """
+        if key in self._key_replicas:
+            return self._key_replicas[key]
+        n = len(self._shards)
+        if replicas is not None:
+            owners = [int(i) for i in replicas]
+        else:
+            r = min(self.config.replication, n)
+            counts = [0] * n
+            for existing in self._key_replicas.values():
+                for owner in existing:
+                    counts[owner] += 1
+            usable = [
+                i for i in range(n) if not self._shards[i].dead_forever
+            ] or list(range(n))
+            order = sorted(usable, key=lambda i: (counts[i], i))
+            if shard is not None:
+                order = [shard] + [i for i in order if i != shard]
+            owners = order[:r]
+        self._key_shard[key] = owners[0]
+        self._key_replicas[key] = owners
+        return owners
+
+    async def _load_key_async(
+        self,
+        key: str,
+        shard: Optional[int] = None,
+        replicas: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Export ``key`` to the store and install it on every replica.
+
+        Replicas currently mid-respawn are skipped — the fresh worker
+        re-reads its key list (which already includes ``key``) during
+        the handshake. Raises :class:`ShardCrashError` when no replica
+        can ever serve the key again.
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, export_model_store, self.registry, [key], self.store_dir
         )
-        if reply.get("kind") != "loaded":
-            raise ServingError(
-                f"shard {index} failed to load {key!r}: "
-                f"{reply.get('error', reply)}"
+        owners = self._assign(key, shard=shard, replicas=replicas)
+        alive = [i for i in owners if self._shards[i].alive]
+        if not alive and all(
+            self._shards[i].dead_forever for i in owners
+        ):
+            raise ShardCrashError(
+                f"every replica of {key!r} ({owners}) has exhausted its "
+                "respawn budget"
             )
+        for index in alive:
+            reply = await self._control_roundtrip(
+                index, {"kind": "load", "key": key}
+            )
+            if reply.get("kind") != "loaded":
+                raise ServingError(
+                    f"shard {index} failed to load {key!r}: "
+                    f"{reply.get('error', reply)}"
+                )
+
+    def _load_key(
+        self, key: str, replicas: Optional[Sequence[int]] = None
+    ) -> None:
+        self._run(self._load_key_async(key, replicas=replicas))
 
     # -- internals: shard lifecycle (loop thread) -----------------------
     async def _start_all_shards(self) -> None:
@@ -615,18 +774,27 @@ class ClusterService:
                 ):
                     pass
             handle.alive = False
+        loop = asyncio.get_running_loop()
         for handle in self._shards:
-            if handle.process is not None and handle.process.is_alive():
-                await asyncio.get_running_loop().run_in_executor(
-                    None, handle.process.join, 2.0
-                )
-                if handle.process.is_alive():
-                    handle.process.terminate()
+            process = handle.process
+            if process is None or not process.is_alive():
+                continue
+            await loop.run_in_executor(None, process.join, 2.0)
+            if process.is_alive():
+                # terminate() alone leaves a zombie: SIGTERM may be
+                # ignored by a hung worker, and an unjoined child is
+                # never reaped. Escalate terminate→join→kill→join so
+                # stop() always leaves zero alive children behind.
+                process.terminate()
+                await loop.run_in_executor(None, process.join, 2.0)
+            if process.is_alive():
+                process.kill()
+                await loop.run_in_executor(None, process.join, 2.0)
 
     def _shard_keys(self, index: int) -> List[str]:
         return sorted(
-            key for key, owner in self._key_shard.items()
-            if owner == index
+            key for key, owners in self._key_replicas.items()
+            if index in owners
         )
 
     async def _spawn_shard(self, handle: _ShardHandle) -> None:
@@ -792,8 +960,19 @@ class ClusterService:
                 else:
                     item = await handle.queue.get()
                 if isinstance(item, _ControlItem):
+                    header = item.header
+                    if item.expiry is not None:
+                        # Relative budget attached at write time: the
+                        # shard re-anchors it on its own monotonic
+                        # clock, so wall-clock steps can't expire it.
+                        header = dict(
+                            header,
+                            budget=max(
+                                item.expiry - time.monotonic(), 0.0
+                            ),
+                        )
                     await write_frame_async(
-                        handle.writer, item.header, item.arrays
+                        handle.writer, header, item.arrays
                     )
                     continue
                 batch = [item]
@@ -815,6 +994,7 @@ class ClusterService:
                 live = [b for b in batch if not b.future.done()]
                 if not live:
                     continue
+                now = time.monotonic()
                 await write_frame_async(
                     handle.writer,
                     {
@@ -824,7 +1004,7 @@ class ClusterService:
                             {
                                 "id": b.id,
                                 "n": b.n,
-                                "deadline": b.deadline,
+                                "budget": max(b.expiry - now, 0.0),
                             }
                             for b in live
                         ],
@@ -843,19 +1023,77 @@ class ClusterService:
             raise
 
     # -- internals: request submission (loop thread) --------------------
+    def _candidates(self, key: str) -> List[_ShardHandle]:
+        """Replica handles to try for ``key``, in failover order.
+
+        Live replicas first (primary leading), then replicas currently
+        mid-respawn (their persistent queue survives the respawn, so
+        queueing there is better than failing when nothing is live).
+        Permanently-dead shards never appear.
+        """
+        handles = [
+            self._shards[index] for index in self._key_replicas[key]
+        ]
+        live = [h for h in handles if h.alive and not h.dead_forever]
+        respawning = [
+            h for h in handles if not h.alive and not h.dead_forever
+        ]
+        return live + respawning
+
     async def _submit(
         self,
         key: str,
         x: np.ndarray,
         states: np.ndarray,
-        deadline: float,
-    ) -> List[PredictionResult]:
-        handle = self._shards[self._key_shard[key]]
-        if handle.dead_forever:
+        expiry: float,
+    ) -> Tuple[List[PredictionResult], int]:
+        """Submit one batch with replica failover; returns (results,
+        serving shard index).
+
+        Each attempt gets an equal slice of the remaining monotonic
+        budget (the final attempt gets all of it), so a hung primary
+        burns only its slice before the request moves to a replica. A
+        :class:`ShardCrashError` fails over immediately; a
+        :class:`DeadlineError` fails over while overall budget remains.
+        """
+        n = int(x.shape[0])
+        candidates = self._candidates(key)
+        if not candidates:
             raise ShardCrashError(
-                f"shard {handle.index} exhausted its respawn budget "
-                f"({self.config.max_respawns}); {key!r} is unservable"
+                f"every replica of {key!r} "
+                f"({self._key_replicas[key]}) exhausted its respawn "
+                f"budget ({self.config.max_respawns}); unservable"
             )
+        for attempt, handle in enumerate(candidates):
+            remaining = expiry - time.monotonic()
+            attempts_left = len(candidates) - attempt
+            attempt_expiry = (
+                expiry
+                if attempts_left == 1
+                else time.monotonic() + remaining / attempts_left
+            )
+            try:
+                results = await self._attempt_predict(
+                    handle, key, x, states, attempt_expiry
+                )
+                return results, handle.index
+            except (ShardCrashError, DeadlineError):
+                if attempts_left == 1 or expiry - time.monotonic() <= 0:
+                    raise
+                self.metrics.record_failover(
+                    handle.index, candidates[attempt + 1].index, key, n
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _attempt_predict(
+        self,
+        handle: _ShardHandle,
+        key: str,
+        x: np.ndarray,
+        states: np.ndarray,
+        expiry: float,
+    ) -> List[PredictionResult]:
+        """One replica attempt: admission, enqueue, bounded wait."""
         n = int(x.shape[0])
         if handle.pending_rows + n > self.config.max_queue_rows:
             self.metrics.record_shed(handle.index, key, n)
@@ -869,13 +1107,13 @@ class ClusterService:
             key=key,
             x=x,
             states=states,
-            deadline=deadline,
+            expiry=expiry,
             future=asyncio.get_event_loop().create_future(),
         )
         handle.pending[item.id] = item
         handle.pending_rows += n
         await handle.queue.put(item)
-        timeout = deadline - time.time()
+        timeout = expiry - time.monotonic()
         try:
             return await asyncio.wait_for(item.future, timeout=timeout)
         except asyncio.TimeoutError:
@@ -894,26 +1132,66 @@ class ClusterService:
         n_samples: int,
         seed: int,
         confidence: float,
-        deadline: float,
+        expiry: float,
     ) -> Dict:
-        """Ship one yield frame to the owning shard; await its report.
+        """Ship one yield frame with replica failover; await the report.
 
         Registered in ``handle.pending`` like a predict so a worker
-        death while the report is computing fails it with
-        :class:`ShardCrashError` instead of hanging to the deadline.
+        death while the report is computing fails the attempt with
+        :class:`ShardCrashError` — which moves it to the next replica
+        instead of erroring out.
         """
-        handle = self._shards[self._key_shard[key]]
-        if handle.dead_forever:
+        candidates = self._candidates(key)
+        if not candidates:
             raise ShardCrashError(
-                f"shard {handle.index} exhausted its respawn budget "
-                f"({self.config.max_respawns}); {key!r} is unservable"
+                f"every replica of {key!r} "
+                f"({self._key_replicas[key]}) exhausted its respawn "
+                f"budget ({self.config.max_respawns}); unservable"
             )
+        for attempt, handle in enumerate(candidates):
+            remaining = expiry - time.monotonic()
+            attempts_left = len(candidates) - attempt
+            attempt_expiry = (
+                expiry
+                if attempts_left == 1
+                else time.monotonic() + remaining / attempts_left
+            )
+            try:
+                reply = await self._attempt_yield(
+                    handle, key, specs, n_samples, seed, confidence,
+                    attempt_expiry,
+                )
+            except (ShardCrashError, DeadlineError):
+                if attempts_left == 1 or expiry - time.monotonic() <= 0:
+                    raise
+                self.metrics.record_failover(
+                    handle.index, candidates[attempt + 1].index, key, 1
+                )
+                continue
+            if (
+                isinstance(reply, dict)
+                and reply.get("kind") == "yield-result"
+            ):
+                return reply
+            raise ServingError(f"unexpected yield reply {reply!r}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _attempt_yield(
+        self,
+        handle: _ShardHandle,
+        key: str,
+        specs: List[Dict],
+        n_samples: int,
+        seed: int,
+        confidence: float,
+        expiry: float,
+    ) -> Dict:
         item = _PredictItem(
             id=next(self._ids),
             key=key,
             x=np.empty((0, 1)),
             states=np.empty(0, dtype=np.int64),
-            deadline=deadline,
+            expiry=expiry,
             future=asyncio.get_event_loop().create_future(),
         )
         header = {
@@ -924,13 +1202,12 @@ class ClusterService:
             "n_samples": n_samples,
             "seed": seed,
             "confidence": confidence,
-            "deadline": deadline,
         }
         handle.pending[item.id] = item
-        await handle.queue.put(_ControlItem(header=header))
-        timeout = deadline - time.time()
+        await handle.queue.put(_ControlItem(header=header, expiry=expiry))
+        timeout = expiry - time.monotonic()
         try:
-            reply = await asyncio.wait_for(item.future, timeout=timeout)
+            return await asyncio.wait_for(item.future, timeout=timeout)
         except asyncio.TimeoutError:
             handle.pending.pop(item.id, None)
             self.metrics.record_deadline_expired(handle.index, key, 1)
@@ -938,9 +1215,6 @@ class ClusterService:
                 f"yield request {item.id} on shard {handle.index} "
                 f"expired after {max(timeout, 0.0):.3f}s"
             ) from None
-        if isinstance(reply, dict) and reply.get("kind") == "yield-result":
-            return reply
-        raise ServingError(f"unexpected yield reply {reply!r}")
 
     async def _enqueue_control(self, index: int, header: Dict) -> None:
         handle = self._shards[index]
@@ -960,7 +1234,7 @@ class ClusterService:
             key=header.get("key", ""),
             x=np.empty((0, 1)),
             states=np.empty(0, dtype=np.int64),
-            deadline=time.time() + self.config.start_timeout_s,
+            expiry=time.monotonic() + self.config.start_timeout_s,
             future=asyncio.get_event_loop().create_future(),
         )
         header = dict(header, id=item.id)

@@ -58,6 +58,7 @@ class _LaneStats:
     deadline_expired: int = 0
     crash_failures: int = 0
     respawns: int = 0
+    failovers: int = 0
     latencies: Deque[float] = field(default_factory=lambda: deque(maxlen=10_000))
 
     def snapshot(self) -> Dict[str, Optional[float]]:
@@ -69,6 +70,7 @@ class _LaneStats:
             "deadline_expired": self.deadline_expired,
             "crash_failures": self.crash_failures,
             "respawns": self.respawns,
+            "failovers": self.failovers,
         }
         out.update(_percentiles(self.latencies))
         return out
@@ -147,6 +149,21 @@ class ClusterMetrics:
         with self._lock:
             self._shard(shard).respawns += 1
 
+    def record_failover(
+        self, from_shard: int, to_shard: int, key: str, n: int
+    ) -> None:
+        """Count ``n`` requests failed over from one replica to another.
+
+        Charged to the *abandoned* shard's lane (the replica that
+        crashed, hung, or was already down) and to the version key —
+        the receiving shard's traffic shows up through the ordinary
+        :meth:`record_batch` call when the retry succeeds.
+        """
+        with self._lock:
+            self._shard(from_shard).failovers += int(n)
+            self._shard(to_shard)  # materialize the receiving lane
+            self._version(key).failovers += int(n)
+
     # ------------------------------------------------------------------
     @property
     def total_shed(self) -> int:
@@ -167,6 +184,12 @@ class ClusterMetrics:
         """Dead-shard respawns, all shards."""
         with self._lock:
             return sum(lane.respawns for lane in self._shards.values())
+
+    @property
+    def total_failovers(self) -> int:
+        """Requests failed over to a replica, all shards."""
+        with self._lock:
+            return sum(lane.failovers for lane in self._shards.values())
 
     def snapshot(self) -> Dict[str, Dict]:
         """Nested plain-dict digest: ``{"shards": …, "versions": …}``."""
@@ -217,14 +240,14 @@ def format_cluster_report(
     lines: List[str] = ["CLUSTER REPORT", ""]
     lines.append(
         f"{'SHARD':<6} {'REQS':>8} {'SHED':>6} {'DEADLN':>7} "
-        f"{'CRASH':>6} {'RESPAWN':>8} {'p50ms':>9} {'p95ms':>9} "
-        f"{'p99ms':>9}"
+        f"{'CRASH':>6} {'RESPAWN':>8} {'FAILOVR':>8} {'p50ms':>9} "
+        f"{'p95ms':>9} {'p99ms':>9}"
     )
     for index, lane in snapshot.get("shards", {}).items():
         lines.append(
             f"{index:<6} {lane['requests']:>8} {lane['shed']:>6} "
             f"{lane['deadline_expired']:>7} {lane['crash_failures']:>6} "
-            f"{lane['respawns']:>8} "
+            f"{lane['respawns']:>8} {lane.get('failovers', 0):>8} "
             f"{_fmt_ms(lane['p50_latency_ms']):>9} "
             f"{_fmt_ms(lane['p95_latency_ms']):>9} "
             f"{_fmt_ms(lane['p99_latency_ms']):>9}"
@@ -249,13 +272,22 @@ def format_cluster_report(
         lines.append("ROUTES")
         for name, route in sorted(routes.items()):
             canary = route.get("canary")
+            replicas = route.get("replicas")
+            placement = (
+                f" shards={list(replicas)}"
+                if replicas and len(replicas) > 1
+                else ""
+            )
             if canary:
                 lines.append(
                     f"  {name}: stable={route['stable']} "
                     f"canary={canary} weight={route['weight']:.2f}"
+                    f"{placement}"
                 )
             else:
-                lines.append(f"  {name}: stable={route['stable']}")
+                lines.append(
+                    f"  {name}: stable={route['stable']}{placement}"
+                )
     if engine_snapshots:
         lines.append("")
         lines.append(f"ENGINES ({len(engine_snapshots)} shards)")

@@ -71,13 +71,61 @@ def _encode_header(
 def _decode_payload(
     header: Dict, payload: memoryview
 ) -> List[np.ndarray]:
-    """Rebuild the payload arrays as zero-copy views over the buffer."""
+    """Rebuild the payload arrays as zero-copy views over the buffer.
+
+    Hardened against untrusted peers: the header is data off the wire,
+    so every shape/dtype entry is validated before it touches an
+    allocation. Negative or non-integer shape entries, unknown dtypes,
+    element counts whose byte size exceeds ``MAX_FRAME_BYTES``, short
+    payloads, and trailing payload bytes the header does not account
+    for all raise :class:`ProtocolError` instead of producing a
+    garbage view (a negative entry would make ``nbytes`` negative and
+    turn the bounds check vacuous) or being silently ignored.
+    """
+    specs = header.get("arrays", ())
+    if not isinstance(specs, (list, tuple)):
+        raise ProtocolError(
+            f"frame header 'arrays' must be a list, got "
+            f"{type(specs).__name__}"
+        )
     arrays: List[np.ndarray] = []
     offset = 0
-    for spec in header.get("arrays", ()):
-        dtype = np.dtype(spec["dtype"])
-        shape = tuple(int(n) for n in spec["shape"])
-        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    for spec in specs:
+        if not isinstance(spec, dict):
+            raise ProtocolError(
+                f"frame array spec must be a dict, got "
+                f"{type(spec).__name__}"
+            )
+        try:
+            dtype = np.dtype(spec["dtype"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"frame array spec has a bad dtype: {error}"
+            ) from None
+        raw_shape = spec.get("shape")
+        if not isinstance(raw_shape, (list, tuple)):
+            raise ProtocolError(
+                f"frame array spec has a bad shape: {raw_shape!r}"
+            )
+        shape: List[int] = []
+        count = 1
+        for entry in raw_shape:
+            if isinstance(entry, bool) or not isinstance(entry, int):
+                raise ProtocolError(
+                    f"frame array shape entry {entry!r} is not an integer"
+                )
+            if entry < 0:
+                raise ProtocolError(
+                    f"frame array shape entry {entry} is negative"
+                )
+            shape.append(entry)
+            count *= entry
+            if count * dtype.itemsize > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame array of shape {raw_shape} ({dtype}) exceeds "
+                    f"the {MAX_FRAME_BYTES}-byte bound"
+                )
+        nbytes = dtype.itemsize * count
         if offset + nbytes > len(payload):
             raise ProtocolError(
                 f"frame payload too short: header promises {nbytes} "
@@ -86,9 +134,14 @@ def _decode_payload(
         arrays.append(
             np.frombuffer(
                 payload[offset:offset + nbytes], dtype=dtype
-            ).reshape(shape)
+            ).reshape(tuple(shape))
         )
         offset += nbytes
+    if offset != len(payload):
+        raise ProtocolError(
+            f"frame payload has {len(payload) - offset} trailing bytes "
+            f"the header does not account for"
+        )
     return arrays
 
 
@@ -98,6 +151,22 @@ def _check_lengths(header_len: int, payload_len: int) -> None:
             f"frame of {header_len + payload_len} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte bound (corrupt length prefix?)"
         )
+
+
+def _decode_header(raw: bytes) -> Dict:
+    """Parse the header JSON; malformed bytes are a protocol error."""
+    try:
+        header = json.loads(raw)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(
+            f"frame header is not valid JSON: {error}"
+        ) from None
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got "
+            f"{type(header).__name__}"
+        )
+    return header
 
 
 # ----------------------------------------------------------------------
@@ -119,7 +188,8 @@ def send_frame(
     sock.sendall(_PREFIX.pack(len(header_bytes), payload_len))
     sock.sendall(header_bytes)
     for array in prepared:
-        sock.sendall(memoryview(array).cast("B"))
+        if array.nbytes:  # empty views refuse the byte cast
+            sock.sendall(memoryview(array).cast("B"))
 
 
 def _recv_exactly(sock: socket.socket, n: int) -> memoryview:
@@ -146,7 +216,7 @@ def read_frame(
         _recv_exactly(sock, _PREFIX.size)
     )
     _check_lengths(header_len, payload_len)
-    header = json.loads(bytes(_recv_exactly(sock, header_len)))
+    header = _decode_header(bytes(_recv_exactly(sock, header_len)))
     payload = (
         _recv_exactly(sock, payload_len) if payload_len else memoryview(b"")
     )
@@ -168,7 +238,8 @@ async def write_frame_async(
     writer.write(_PREFIX.pack(len(header_bytes), payload_len))
     writer.write(header_bytes)
     for array in prepared:
-        writer.write(memoryview(array).cast("B"))
+        if array.nbytes:  # empty views refuse the byte cast
+            writer.write(memoryview(array).cast("B"))
     await writer.drain()
 
 
@@ -183,7 +254,7 @@ async def read_frame_async(
     prefix = await reader.readexactly(_PREFIX.size)
     header_len, payload_len = _PREFIX.unpack(prefix)
     _check_lengths(header_len, payload_len)
-    header = json.loads(await reader.readexactly(header_len))
+    header = _decode_header(await reader.readexactly(header_len))
     payload = (
         memoryview(await reader.readexactly(payload_len))
         if payload_len

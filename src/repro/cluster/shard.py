@@ -11,11 +11,12 @@ socket:
 
 ``predict``
     One frame may coalesce several gateway sub-requests over the same
-    key; each carries its own deadline. Requests already past their
-    deadline are answered with a structured ``deadline`` error (the
-    rows are not computed); the rest are answered by **one**
-    ``predict_many`` call — the single-matmul hot path of the whole
-    cluster.
+    key; each carries its own relative remaining *budget* (seconds),
+    stamped at frame-write time on the sender's monotonic clock.
+    Requests whose budget is already spent are answered with a
+    structured ``deadline`` error (the rows are not computed); the rest
+    are answered by **one** ``predict_many`` call — the single-matmul
+    hot path of the whole cluster.
 ``yield``
     Computes a correlation-shared yield/moment report for one served
     key (see :mod:`repro.yields`) and answers it entirely inside the
@@ -81,11 +82,15 @@ def _serve_predict(
                 "error": f"shard does not serve {key!r}",
             })
         return
-    now = time.time()
+    # The wire carries a *relative* remaining budget (seconds), stamped
+    # by the gateway at frame-write time; each process reads only its
+    # own monotonic clock, so an NTP step or cross-host wall-clock skew
+    # can neither expire nor immortalize a request. A budget that
+    # reached zero before the frame was even written is dead on arrival.
     live, expired = [], []
     for req in reqs:
-        deadline = req.get("deadline")
-        if deadline is not None and now > deadline:
+        budget = req.get("budget")
+        if budget is not None and budget <= 0.0:
             expired.append(req)
         else:
             live.append(req)
@@ -93,8 +98,8 @@ def _serve_predict(
         send_frame(sock, {
             "kind": "error", "id": req["id"], "etype": "deadline",
             "error": (
-                f"request expired in the shard queue "
-                f"({now - req['deadline']:.3f}s past deadline)"
+                "request expired in the gateway queue "
+                "(remaining budget 0 at frame-write time)"
             ),
         })
     if not live:
@@ -174,13 +179,13 @@ def _serve_yield(
             "error": f"shard does not serve {key!r}",
         })
         return
-    deadline = header.get("deadline")
-    if deadline is not None and time.time() > deadline:
+    budget = header.get("budget")
+    if budget is not None and budget <= 0.0:
         send_frame(sock, {
             "kind": "error", "id": request_id, "etype": "deadline",
             "error": (
-                f"yield request expired in the shard queue "
-                f"({time.time() - deadline:.3f}s past deadline)"
+                "yield request expired in the gateway queue "
+                "(remaining budget 0 at frame-write time)"
             ),
         })
         return

@@ -29,6 +29,12 @@ Wiring points:
   hard-exits shard process ``i`` (the gateway must fail its in-flight
   requests and respawn it) and ``shard:hang@i`` makes it stop reading
   its pipe (every routed request must expire on its deadline).
+* :class:`~repro.cluster.net.ClusterListener` fires the ``"net"`` site
+  once per client frame: ``net:drop@i`` closes the connection without
+  answering the ``i``-th frame (clients must surface a connection
+  error, the gateway must keep serving everyone else) and
+  ``net:slow@i`` sleeps before answering it (deadline budgets must
+  absorb the delay).
 
 The CLI accepts ``--fault-plan "oracle:raise@2,5;swap:raise@0"`` (see
 :meth:`FaultPlan.parse`) so end-to-end chaos runs need no code.
@@ -57,10 +63,13 @@ __all__ = [
     "worker_crash_flag",
 ]
 
-_MODES = ("raise", "nan", "stall", "kill", "hang")
+_MODES = ("raise", "nan", "stall", "kill", "hang", "drop", "slow")
 
 #: Modes that only make sense at the ``"shard"`` site (process-level).
 _SHARD_MODES = ("kill", "hang")
+
+#: Modes that only make sense at the ``"net"`` site (listener frames).
+_NET_MODES = ("drop", "slow")
 
 #: Environment variable naming the one-shot worker-crash token file.
 WORKER_CRASH_ENV = "REPRO_FAULT_WORKER_CRASH"
@@ -106,6 +115,11 @@ class Fault:
         if self.mode in _SHARD_MODES and self.site != "shard":
             raise ValueError(
                 f"mode {self.mode!r} is shard-only (site 'shard'), "
+                f"got site {self.site!r}"
+            )
+        if self.mode in _NET_MODES and self.site != "net":
+            raise ValueError(
+                f"mode {self.mode!r} is network-only (site 'net'), "
                 f"got site {self.site!r}"
             )
         if self.every is not None and self.every < 1:
@@ -173,6 +187,10 @@ class FaultPlan:
             oracle:stall@1:0.2      sleep 200 ms on call 1
             shard:kill@1            hard-kill cluster shard process 1
             shard:hang@0            make shard 0 stop reading its pipe
+            net:drop@2              listener drops the 3rd client frame's
+                                    connection without answering
+            net:slow@*2:0.1         listener sleeps 100 ms before
+                                    answering every 2nd frame
         """
         faults = []
         for chunk in filter(None, (c.strip() for c in spec.split(";"))):
@@ -182,7 +200,7 @@ class FaultPlan:
                 if not (site and mode and schedule):
                     raise ValueError("expected site:mode@indices")
                 stall = 0.05
-                if mode == "stall" and ":" in schedule:
+                if mode in ("stall", "slow") and ":" in schedule:
                     schedule, _, stall_text = schedule.rpartition(":")
                     stall = float(stall_text)
                 if schedule.startswith("*"):

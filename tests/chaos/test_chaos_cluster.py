@@ -177,6 +177,128 @@ class TestAdmissionControl:
             assert not worker.is_alive()
 
 
+class TestReplicaFailover:
+    """R=2 replication: a killed or hung primary must not lose requests.
+
+    Acceptance (ISSUE 10): with 4 shards and replication 2, killing the
+    primary mid-hammer loses zero requests — every one is answered by a
+    replica with results bit-identical to the healthy run — and
+    post-respawn throughput recovers.
+    """
+
+    def test_kill_primary_mid_hammer_loses_zero_requests(
+        self, registry, modelset
+    ):
+        config = ClusterConfig(
+            n_shards=4, replication=2, default_deadline_s=15.0
+        )
+        x = _x(modelset, rows=3)
+        states = [0, 1, 2]
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            healthy = cluster.predict_many("lna", x, states)
+            replicas = cluster.describe_routes()["lna"]["replicas"]
+            assert len(replicas) == 2
+            primary = replicas[0]
+
+            answers = []
+            for i in range(40):
+                if i == 5:
+                    applied = cluster.inject_faults(
+                        FaultPlan.parse(f"shard:kill@{primary}")
+                    )
+                    assert applied == {primary: "kill"}
+                # Zero ShardCrashError (or any other) escapes: the
+                # failover path must absorb the primary's death.
+                answers.append(cluster.predict_many("lna", x, states))
+
+            for results in answers:
+                for row, result in enumerate(results):
+                    assert result.values == healthy[row].values
+            assert cluster.metrics.total_failovers >= 1
+            snapshot = cluster.metrics.snapshot()
+            assert snapshot["versions"]["lna@v1"]["failovers"] >= 1
+
+            # Post-respawn recovery: the primary comes back and the
+            # fleet serves normally again.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if cluster._shards[primary].alive:
+                    break
+                time.sleep(0.1)
+            assert cluster._shards[primary].alive
+            assert cluster.metrics.total_respawns >= 1
+            recovered = cluster.predict_many("lna", x, states)
+            for row, result in enumerate(recovered):
+                assert result.values == healthy[row].values
+
+    def test_hung_primary_fails_over_within_budget(
+        self, registry, modelset
+    ):
+        """A hung (not dead) primary burns only its per-attempt slice;
+        the replica answers inside the overall deadline."""
+        config = ClusterConfig(
+            n_shards=2, replication=2, default_deadline_s=30.0
+        )
+        x = _x(modelset)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            healthy = cluster.predict_many("lna", x, [0, 1])
+            primary = cluster.describe_routes()["lna"]["replicas"][0]
+            cluster.inject_faults(FaultPlan.parse(f"shard:hang@{primary}"))
+            started = time.monotonic()
+            results = cluster.predict_many(
+                "lna", x, [0, 1], deadline_s=6.0
+            )
+            elapsed = time.monotonic() - started
+            assert elapsed < 6.0
+            for row, result in enumerate(results):
+                assert result.values == healthy[row].values
+            assert cluster.metrics.total_failovers >= 1
+            # The abandoned attempt is still counted as an expiry on
+            # the hung primary's lane.
+            snapshot = cluster.metrics.snapshot()
+            assert snapshot["shards"][primary]["deadline_expired"] >= 1
+
+    def test_yield_fails_over_to_replica(self, registry, modelset):
+        config = ClusterConfig(
+            n_shards=2, replication=2, default_deadline_s=20.0
+        )
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            healthy = cluster.yield_report(
+                "lna", ["nf_db<=1.6"], n_samples=50, seed=5
+            )
+            primary = cluster.describe_routes()["lna"]["replicas"][0]
+            cluster.inject_faults(
+                FaultPlan.parse(f"shard:kill@{primary}")
+            )
+            over_failover = cluster.yield_report(
+                "lna", ["nf_db<=1.6"], n_samples=50, seed=5
+            )
+            assert over_failover["report"] == healthy["report"]
+
+    def test_every_replica_dead_forever_raises_crash(
+        self, registry, modelset
+    ):
+        config = ClusterConfig(
+            n_shards=2,
+            replication=2,
+            default_deadline_s=10.0,
+            max_respawns=0,
+        )
+        x = _x(modelset)
+        with ClusterService(registry, ["lna@v1"], config) as cluster:
+            cluster.predict_many("lna", x, [0, 0])
+            cluster.inject_faults(
+                FaultPlan.parse("shard:kill@0;shard:kill@1")
+            )
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not all(
+                h.dead_forever for h in cluster._shards
+            ):
+                time.sleep(0.1)
+            with pytest.raises(ShardCrashError, match="every replica"):
+                cluster.predict_many("lna", x, [0, 0])
+
+
 class TestCanaryEdgeWeights:
     def test_weights_zero_and_one_route_exactly(self, registry, modelset):
         """20 calls at weight 0 all hit stable; 20 at weight 1 all hit

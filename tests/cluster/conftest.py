@@ -2,11 +2,53 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.cluster import export_model_store
 from repro.modelset import PerformanceModelSet
 from repro.serving import ModelRegistry
+
+
+@pytest.fixture(autouse=True)
+def no_zombie_shards():
+    """Every shard process must be reaped by the end of each test.
+
+    Regression guard for the ``_stop_all_shards`` zombie leak: a
+    ``terminate()`` without a final ``join()`` left SIGTERM-ignoring
+    (hung) workers alive and unterminated children unreaped. Module- or
+    session-scoped clusters are still up during the check, so only
+    fail on shard processes whose test finished — i.e. any alive shard
+    after the grace period whose parent no longer tracks it.
+    """
+    yield
+    import threading
+
+    # Shards legitimately outlive a test while a module-/session-scoped
+    # cluster fixture is still serving — recognizable by its live
+    # gateway thread. With no gateway running, any alive shard is a
+    # leak; give stragglers a short grace to be reaped.
+    if any(
+        t.name == "repro-cluster-gateway" and t.is_alive()
+        for t in threading.enumerate()
+    ):
+        return
+    deadline = time.monotonic() + 5.0
+    while True:
+        shards = [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith("repro-shard-") and p.is_alive()
+        ]
+        if not shards:
+            return
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"leaked shard processes after teardown: {shards}"
+            )
+        time.sleep(0.05)
 
 
 @pytest.fixture(scope="session")

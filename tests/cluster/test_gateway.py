@@ -187,6 +187,57 @@ class TestFleetReporting:
             assert snap["pid"] > 0
 
 
+class TestReplication:
+    def test_replicas_spread_primary_first(self, cluster_registry):
+        service = ClusterService(
+            cluster_registry,
+            keys=["alpha@v1", "beta@v1"],
+            config=ClusterConfig(n_shards=3, replication=2),
+        )
+        with service:
+            routes = service.describe_routes()
+            for name in ("alpha", "beta"):
+                replicas = routes[name]["replicas"]
+                assert len(replicas) == 2
+                assert len(set(replicas)) == 2
+                assert routes[name]["shard"] == replicas[0]
+            # Canary versions are co-placed on the stable's full
+            # replica set, not just its primary.
+            service.set_canary("alpha", "alpha@v2", 0.5)
+            assert (
+                service._key_replicas["alpha@v2"]
+                == service._key_replicas["alpha@v1"]
+            )
+            service.clear_canary("alpha")
+
+    def test_replication_clamped_to_fleet_size(self, cluster_registry):
+        service = ClusterService(
+            cluster_registry,
+            keys=["alpha@v1"],
+            config=ClusterConfig(n_shards=2, replication=8),
+        )
+        with service:
+            replicas = service.describe_routes()["alpha"]["replicas"]
+            assert sorted(replicas) == [0, 1]
+
+    def test_replicated_predict_bit_identical(
+        self, cluster_registry, cluster_modelset, design
+    ):
+        service = ClusterService(
+            cluster_registry,
+            keys=["alpha@v1"],
+            config=ClusterConfig(n_shards=2, replication=2),
+        )
+        with service:
+            results = service.predict_many("alpha", design, [0] * 4)
+            direct = cluster_modelset.predict(design, 0)
+            for row, result in enumerate(results):
+                for metric, value in result.values.items():
+                    assert (
+                        abs(value - float(direct[metric][row])) <= 1e-15
+                    )
+
+
 class TestValidation:
     def test_unknown_name(self, cluster, design):
         with pytest.raises(ServingError, match="no model named"):
@@ -219,6 +270,7 @@ class TestValidation:
         "kwargs",
         [
             {"n_shards": 0},
+            {"replication": 0},
             {"max_queue_rows": 0},
             {"max_batch_rows": 0},
             {"default_deadline_s": 0.0},

@@ -122,6 +122,215 @@ class TestBlockingCloseAndCorruption:
         assert _Huge.nbytes == MAX_FRAME_BYTES
 
 
+class TestUntrustedHeaders:
+    """Hardening against peers that control the JSON header.
+
+    Regression guards: a negative shape entry used to flow through
+    ``int(n)`` and make ``nbytes`` negative — the bounds check became
+    vacuous and ``np.frombuffer`` got a garbage slice; trailing payload
+    bytes the header did not account for were silently ignored.
+    """
+
+    def _send_raw(self, sock, header_bytes: bytes, payload: bytes = b""):
+        sock.sendall(
+            struct.pack("<IQ", len(header_bytes), len(payload))
+        )
+        sock.sendall(header_bytes)
+        if payload:
+            sock.sendall(payload)
+
+    def test_negative_shape_entry_rejected(self, pair):
+        left, right = pair
+        header = b'{"arrays": [{"shape": [-1], "dtype": "float64"}]}'
+        self._send_raw(left, header, b"\x00" * 8)
+        with pytest.raises(ProtocolError, match="negative"):
+            read_frame(right)
+
+    def test_negative_inner_dimension_rejected(self, pair):
+        left, right = pair
+        header = (
+            b'{"arrays": [{"shape": [2, -4], "dtype": "float64"}]}'
+        )
+        self._send_raw(left, header, b"\x00" * 16)
+        with pytest.raises(ProtocolError, match="negative"):
+            read_frame(right)
+
+    def test_non_integer_shape_entry_rejected(self, pair):
+        left, right = pair
+        header = (
+            b'{"arrays": [{"shape": [1.5], "dtype": "float64"}]}'
+        )
+        self._send_raw(left, header, b"\x00" * 8)
+        with pytest.raises(ProtocolError, match="not an integer"):
+            read_frame(right)
+
+    def test_boolean_shape_entry_rejected(self, pair):
+        left, right = pair
+        header = (
+            b'{"arrays": [{"shape": [true], "dtype": "float64"}]}'
+        )
+        self._send_raw(left, header, b"\x00" * 8)
+        with pytest.raises(ProtocolError, match="not an integer"):
+            read_frame(right)
+
+    def test_overflowing_shape_product_rejected_without_allocation(
+        self, pair
+    ):
+        left, right = pair
+        # 2**40 * 2**40 float64 elements: the incremental product bound
+        # must trip long before any allocation is attempted.
+        header = (
+            b'{"arrays": [{"shape": [1099511627776, 1099511627776], '
+            b'"dtype": "float64"}]}'
+        )
+        self._send_raw(left, header, b"")
+        with pytest.raises(ProtocolError, match="bound"):
+            read_frame(right)
+
+    def test_unknown_dtype_rejected(self, pair):
+        left, right = pair
+        header = b'{"arrays": [{"shape": [1], "dtype": "nonsense"}]}'
+        self._send_raw(left, header, b"\x00" * 8)
+        with pytest.raises(ProtocolError, match="dtype"):
+            read_frame(right)
+
+    def test_trailing_payload_bytes_rejected(self, pair):
+        left, right = pair
+        header = b'{"arrays": [{"shape": [1], "dtype": "float64"}]}'
+        self._send_raw(left, header, b"\x00" * 12)  # 4 bytes extra
+        with pytest.raises(ProtocolError, match="trailing"):
+            read_frame(right)
+
+    def test_payload_without_array_specs_rejected(self, pair):
+        left, right = pair
+        self._send_raw(left, b'{"kind": "ping"}', b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="trailing"):
+            read_frame(right)
+
+    def test_non_list_arrays_entry_rejected(self, pair):
+        left, right = pair
+        self._send_raw(left, b'{"arrays": 3}', b"")
+        with pytest.raises(ProtocolError, match="list"):
+            read_frame(right)
+
+    def test_non_dict_array_spec_rejected(self, pair):
+        left, right = pair
+        self._send_raw(left, b'{"arrays": [7]}', b"")
+        with pytest.raises(ProtocolError, match="dict"):
+            read_frame(right)
+
+    def test_non_json_header_rejected(self, pair):
+        left, right = pair
+        self._send_raw(left, b"\xff\xfenot json", b"")
+        with pytest.raises(ProtocolError, match="JSON"):
+            read_frame(right)
+
+    def test_non_object_json_header_rejected(self, pair):
+        left, right = pair
+        self._send_raw(left, b"[1, 2, 3]", b"")
+        with pytest.raises(ProtocolError, match="object"):
+            read_frame(right)
+
+
+class TestPropertyRoundTrip:
+    """Property tests: round-trip fidelity and fuzzed-header rejection."""
+
+    def test_round_trip_preserves_arbitrary_frames(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        dtypes = st.sampled_from(["float64", "float32", "int64", "uint8"])
+        # min_size=1: ascontiguousarray promotes 0-d arrays to (1,) on
+        # the send side, so only >=1-d shapes round-trip exactly (the
+        # cluster never ships 0-d arrays).
+        shapes = st.lists(
+            st.integers(min_value=0, max_value=5),
+            min_size=1,
+            max_size=3,
+        )
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            header=st.dictionaries(
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("L", "N")
+                    ),
+                    min_size=1,
+                    max_size=8,
+                ).filter(lambda k: k != "arrays"),
+                st.one_of(
+                    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+                    st.text(max_size=16),
+                    st.booleans(),
+                ),
+                max_size=4,
+            ),
+            specs=st.lists(
+                st.tuples(dtypes, shapes), min_size=0, max_size=3
+            ),
+            seed=st.integers(min_value=0, max_value=2 ** 16),
+        )
+        def round_trip(header, specs, seed):
+            rng = np.random.default_rng(seed)
+            arrays = [
+                (rng.standard_normal(shape) * 100).astype(dtype)
+                for dtype, shape in specs
+            ]
+            left, right = socket.socketpair()
+            try:
+                send_frame(left, header, arrays)
+                got_header, got_arrays = read_frame(right)
+            finally:
+                left.close()
+                right.close()
+            for key, value in header.items():
+                assert got_header[key] == value
+            assert len(got_arrays) == len(arrays)
+            for sent, received in zip(arrays, got_arrays):
+                assert received.dtype == sent.dtype
+                assert received.shape == sent.shape
+                assert np.array_equal(received, sent)
+
+        round_trip()
+
+    def test_fuzzed_headers_never_crash_the_reader(self):
+        """Arbitrary header bytes + payload: the reader must answer with
+        ProtocolError/EOFError, never die another way (no garbage
+        arrays, no MemoryError from honoured bogus shapes)."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            header_bytes=st.binary(min_size=0, max_size=64),
+            payload=st.binary(min_size=0, max_size=64),
+        )
+        def fuzz(header_bytes, payload):
+            left, right = socket.socketpair()
+            try:
+                left.sendall(
+                    struct.pack(
+                        "<IQ", len(header_bytes), len(payload)
+                    )
+                )
+                left.sendall(header_bytes)
+                if payload:
+                    left.sendall(payload)
+                try:
+                    header, arrays = read_frame(right)
+                except (ProtocolError, EOFError):
+                    return
+                # A frame that decodes must account for every byte.
+                assert isinstance(header, dict)
+                assert sum(a.nbytes for a in arrays) == len(payload)
+            finally:
+                left.close()
+                right.close()
+
+        fuzz()
+
+
 class TestAsyncRoundTrip:
     def _run(self, coroutine):
         return asyncio.run(coroutine)
